@@ -1,0 +1,96 @@
+// Ablation (paper §V-A): what the RCM reordering + sorted edge endpoints
+// buy — graph bandwidth, cache traffic of the flux kernel (cache-simulated
+// on the real address stream), measured host kernel time, and the
+// replication overhead of natural-order threading.
+#include "bench_common.hpp"
+
+#include "core/flux_kernels.hpp"
+#include "core/gradients.hpp"
+#include "machine/cache_sim.hpp"
+#include "util/rng.hpp"
+
+using namespace fun3d;
+using namespace fun3d::bench;
+
+namespace {
+
+struct ReorderResult {
+  idx_t bandwidth = 0;
+  double host_seconds = 0;
+  double dram_bytes_per_edge = 0;
+  double natural_replication = 0;
+};
+
+ReorderResult evaluate(TetMesh m) {
+  ReorderResult r;
+  r.bandwidth = bandwidth_info(m.vertex_graph()).bandwidth;
+  Physics ph;
+  FlowFields f(m);
+  f.set_uniform(ph.freestream);
+  Rng rng(1);
+  for (auto& q : f.q) q += rng.uniform(-0.05, 0.05);
+  EdgeArrays e(m);
+  const EdgeLoopPlan serial = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  compute_gradients(m, e, serial, f);
+  AVec<double> resid(static_cast<std::size_t>(f.nv) * kNs, 0.0);
+  FluxKernelConfig cfg;
+  r.host_seconds = time_best([&] {
+    std::fill(resid.begin(), resid.end(), 0.0);
+    compute_edge_fluxes(ph, e, serial, cfg, f, {resid.data(), resid.size()});
+  });
+  // Cache-simulated DRAM traffic. One thread's effective share of the
+  // hierarchy with all 10 cores active: private L1/L2 plus ~1/10 of the
+  // 25 MB LLC — the regime where numbering locality decides DRAM traffic
+  // (a scaled-down mesh in a full LLC would hide the effect entirely).
+  CacheSim sim({{32 * 1024, 8, 64},
+                {256 * 1024, 8, 64},
+                {2560 * 1024, 20, 64}});
+  std::vector<idx_t> order(m.edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<idx_t>(i);
+  trace_flux_accesses(e, order, cfg, f, sim);
+  r.dram_bytes_per_edge =
+      static_cast<double>(sim.dram_bytes()) / static_cast<double>(m.edges.size());
+  r.natural_replication =
+      build_edge_plan(m, EdgeStrategy::kReplicationNatural, 10)
+          .replication_overhead;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 2.5);
+
+  header("Ablation", "RCM reordering (paper §V-A locality optimization)");
+  TetMesh shuffled = generate_wing_bump(preset_params(MeshPreset::kMeshC, scale));
+  shuffle_numbering(shuffled, 12345);
+  TetMesh reordered = shuffled;  // copy, then RCM
+  rcm_reorder(reordered);
+
+  const ReorderResult bad = evaluate(std::move(shuffled));
+  const ReorderResult good = evaluate(std::move(reordered));
+
+  Table t({"metric", "scrambled numbering", "after RCM", "improvement"});
+  t.row({"adjacency bandwidth", Table::num(bad.bandwidth),
+         Table::num(good.bandwidth),
+         Table::num(static_cast<double>(bad.bandwidth) / good.bandwidth,
+                    "%.1fx")});
+  t.row({"flux kernel host s/pass", Table::num(bad.host_seconds, "%.4f"),
+         Table::num(good.host_seconds, "%.4f"),
+         Table::num(bad.host_seconds / good.host_seconds, "%.2fx")});
+  t.row({"cache-sim DRAM bytes/edge", Table::num(bad.dram_bytes_per_edge, "%.0f"),
+         Table::num(good.dram_bytes_per_edge, "%.0f"),
+         Table::num(bad.dram_bytes_per_edge / good.dram_bytes_per_edge,
+                    "%.2fx")});
+  t.row({"natural-split replication @10t",
+         Table::num(100 * bad.natural_replication, "%.0f%%"),
+         Table::num(100 * good.natural_replication, "%.0f%%"), ""});
+  t.print();
+  std::printf(
+      "\nShape check: RCM collapses the bandwidth by orders of magnitude, "
+      "cuts irregular-gather DRAM traffic, speeds up the kernel, and makes "
+      "even naive natural-order threading viable.\n");
+  return 0;
+}

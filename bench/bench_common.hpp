@@ -1,0 +1,51 @@
+// Shared setup for the figure/table reproduction benches.
+//
+// Every bench prints the paper's reference values next to this
+// reproduction's measured (host, single core) and modelled (paper machine)
+// values. Mesh sizes default to scaled-down presets so each bench runs in
+// seconds; pass --scale 1 to rebuild the paper-size meshes.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/solver.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "mesh/stats.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fun3d::bench {
+
+/// Mesh in "solver-ready" state: generated, scrambled (like a real
+/// unstructured-generator numbering), then RCM-reordered (the paper's
+/// locality optimization, applied to all configurations as in §V-A).
+inline TetMesh make_mesh(MeshPreset preset, double scale,
+                         bool report = true) {
+  TetMesh m = generate_wing_bump(preset_params(preset, scale));
+  shuffle_numbering(m, 12345);
+  rcm_reorder(m);
+  if (report) {
+    std::printf("%s\n",
+                format_mesh_stats(compute_mesh_stats(m),
+                                  std::string(preset_name(preset)) +
+                                      " (scale " + Table::num(scale) + ")")
+                    .c_str());
+  }
+  return m;
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("\n=== %s: %s ===\n", id, what);
+}
+
+/// "shape holds" annotation helper: ratio of ours to paper.
+inline std::string vs_paper(double ours, double paper) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g (paper %.3g)", ours, paper);
+  return buf;
+}
+
+}  // namespace fun3d::bench

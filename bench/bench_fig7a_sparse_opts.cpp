@@ -1,0 +1,115 @@
+// Fig. 7a reproduction: ILU and TRSV optimization speedups.
+//
+// Paper reference (Mesh-C, 10 cores / 20 threads): ILU 9.4x and TRSV 3.2x
+// over the sequential base; both kernels are bandwidth-bound, TRSV more so.
+//
+// Measured here: the real factor built from the real solver Jacobian; the
+// compressed-buffer and SIMD single-core effects on the host; threading
+// modelled (level-scheduled vs P2P-sparsified) on the paper machine.
+#include "bench_common.hpp"
+
+#include "core/boundary.hpp"
+#include "core/jacobian.hpp"
+#include "core/newton.hpp"
+#include "machine/kernel_model.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+using namespace fun3d;
+using namespace fun3d::bench;
+
+namespace {
+
+/// Assembles the solver's actual preconditioner matrix at freestream+noise.
+Bcsr4 solver_jacobian(const TetMesh& m, const Physics& ph) {
+  FlowFields f(m);
+  f.set_uniform(ph.freestream);
+  Rng rng(3);
+  for (auto& q : f.q) q += rng.uniform(-0.05, 0.05);
+  EdgeArrays e(m);
+  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  Bcsr4 jac = make_jacobian_matrix(m);
+  assemble_jacobian(ph, e, plan, f, FluxScheme::kRoe, jac);
+  add_boundary_jacobian(ph, m, f, jac);
+  AVec<double> lam(static_cast<std::size_t>(m.num_vertices));
+  compute_wavespeed_sums(ph, m, e, f, {lam.data(), lam.size()});
+  AVec<double> shift(lam.size());
+  compute_dt_shift({lam.data(), lam.size()}, 50.0, {shift.data(), shift.size()});
+  jac.shift_diagonal({shift.data(), shift.size()});
+  return jac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 4.0);
+  const int fill = static_cast<int>(cli.get_int("fill", 1));
+
+  header("Fig. 7a", "ILU / TRSV optimization speedups");
+  TetMesh m = make_mesh(MeshPreset::kMeshC, scale);
+  const Physics ph;
+  const Bcsr4 jac = solver_jacobian(m, ph);
+  const IluPattern pattern = symbolic_ilu(jac.structure(), fill);
+
+  // --- single-core measured effects (host) -------------------------------
+  const double t_full = time_best(
+      [&] { factorize_ilu(jac, pattern, /*compressed=*/false, false); });
+  const double t_compressed = time_best(
+      [&] { factorize_ilu(jac, pattern, /*compressed=*/true, false); });
+  const double t_simd = time_best(
+      [&] { factorize_ilu(jac, pattern, /*compressed=*/true, true); });
+  std::printf(
+      "host ILU numeric factorization: full-buffer %.4fs, compressed %.4fs "
+      "(%.2fx), +SIMD blocks %.4fs (%.2fx)\n",
+      t_full, t_compressed, t_full / t_compressed, t_simd, t_full / t_simd);
+
+  const IluFactor f = factorize_ilu(jac, pattern);
+  const std::size_t n = static_cast<std::size_t>(f.num_rows()) * kBs;
+  AVec<double> b(n, 1.0), x(n, 0.0);
+  const double t_trsv = time_best([&] { trsv_serial(f, b, x); });
+  std::printf("host TRSV serial: %.4fs/solve (%.2f GB/s streamed)\n", t_trsv,
+              static_cast<double>(f.solve_stream_bytes()) / t_trsv / 1e9);
+
+  // --- threading modelled on the paper machine ---------------------------
+  const MachineSpec mach = MachineSpec::xeon_e5_2690v2();
+  const RecurrenceWork trsv_w = trsv_row_work(f);
+  const RecurrenceWork ilu_w = ilu_row_work(f);
+  const CsrGraph deps = f.lower_deps();
+  const LevelSchedule sched = build_level_schedule(deps);
+
+  const int cores = 10;
+  const Partition owner = partition_natural(f.num_rows(), cores);
+  const P2PSyncPlan plan = build_p2p_plan(deps, owner, true);
+  // Baseline = sequential scalar code (the paper's out-of-the-box build):
+  // same work vectors with the SIMD fraction stripped. The baseline ILU
+  // additionally pays the full-length temporary row buffer (paper §V-B
+  // "algorithmic optimization"): at Mesh-C size the n-block scratch array
+  // (~45 MB) cannot stay resident, so every row clears and gathers its
+  // rlen scattered slots through DRAM — 2 extra block transfers per entry.
+  RecurrenceWork trsv_base = trsv_w, ilu_base = ilu_w;
+  trsv_base.simd_fraction = 0.0;
+  ilu_base.simd_fraction = 0.0;
+  for (idx_t i = 0; i < f.num_rows(); ++i) {
+    const double rlen = static_cast<double>(f.row_end(i) - f.row_begin(i));
+    ilu_base.row_bytes[static_cast<std::size_t>(i)] +=
+        2.0 * rlen * kBs2 * 8.0;
+  }
+  const double trsv_serial_t =
+      model_recurrence_serial(mach, trsv_base).seconds;
+  const double trsv_p2p_t = model_p2p(mach, trsv_w, deps, owner, plan, cores).seconds;
+  const double ilu_serial_t = model_recurrence_serial(mach, ilu_base).seconds;
+  const double ilu_p2p_t = model_p2p(mach, ilu_w, deps, owner, plan, cores).seconds;
+
+  Table t({"kernel", "modelled 10-core speedup", "paper"});
+  t.row({"TRSV (P2P-sparse)", Table::num(trsv_serial_t / trsv_p2p_t, "%.1f"),
+         "3.2"});
+  t.row({"ILU (P2P + compressed + SIMD)",
+         Table::num(ilu_serial_t / ilu_p2p_t, "%.1f"), "9.4"});
+  t.print();
+  std::printf(
+      "\nShape check: both bandwidth-bound; ILU gains more (higher flop/byte "
+      "+ buffer compression); TRSV capped near the bandwidth-saturation "
+      "ratio (~4x).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig. 7b reproduction: achieved bandwidth of ILU and TRSV vs core count
+// for the two parallelization strategies (level-scheduled barriers vs
+// P2P-sparsified synchronization).
+//
+// Paper reference: P2P beats level scheduling for both kernels at all core
+// counts; TRSV reaches ~94% of STREAM (34.8 GB/s) and saturates beyond 4
+// cores; ILU scales to ~8 cores with lower bandwidth efficiency (irregular
+// access pattern).
+#include "bench_common.hpp"
+
+#include "core/boundary.hpp"
+#include "core/jacobian.hpp"
+#include "core/newton.hpp"
+#include "machine/kernel_model.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+using namespace fun3d;
+using namespace fun3d::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 4.0);
+
+  header("Fig. 7b", "achieved bandwidth vs cores, level vs P2P");
+  TetMesh m = make_mesh(MeshPreset::kMeshC, scale);
+  const Physics ph;
+
+  // Real Jacobian -> real ILU(1) factor (see bench_fig7a).
+  FlowFields fields(m);
+  fields.set_uniform(ph.freestream);
+  Rng rng(3);
+  for (auto& q : fields.q) q += rng.uniform(-0.05, 0.05);
+  EdgeArrays e(m);
+  const EdgeLoopPlan eplan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  Bcsr4 jac = make_jacobian_matrix(m);
+  assemble_jacobian(ph, e, eplan, fields, FluxScheme::kRoe, jac);
+  add_boundary_jacobian(ph, m, fields, jac);
+  const std::vector<double> shift(static_cast<std::size_t>(m.num_vertices), 5.0);
+  jac.shift_diagonal(shift);
+  const IluFactor f = factorize_ilu(jac, symbolic_ilu(jac.structure(), 1));
+
+  const MachineSpec mach = MachineSpec::xeon_e5_2690v2();
+  const RecurrenceWork trsv_w = trsv_row_work(f);
+  const RecurrenceWork ilu_w = ilu_row_work(f);
+  const CsrGraph deps = f.lower_deps();
+  const LevelSchedule sched = build_level_schedule(deps);
+  std::printf("factor: %zu blocks, %d level-schedule wavefronts, DAG "
+              "parallelism %.0fx\n",
+              f.num_blocks(), sched.nlevels, dag_parallelism(deps));
+
+  Table t({"cores", "TRSV level GB/s", "TRSV p2p GB/s", "ILU level GB/s",
+           "ILU p2p GB/s", "TRSV p2p %STREAM"});
+  for (int cores : {1, 2, 4, 6, 8, 10}) {
+    const Partition owner = partition_natural(f.num_rows(), cores);
+    const P2PSyncPlan plan = build_p2p_plan(deps, owner, true);
+    const PhaseTime tl = model_level_schedule(mach, trsv_w, sched, cores);
+    const PhaseTime tp = model_p2p(mach, trsv_w, deps, owner, plan, cores);
+    const PhaseTime il = model_level_schedule(mach, ilu_w, sched, cores);
+    const PhaseTime ip = model_p2p(mach, ilu_w, deps, owner, plan, cores);
+    t.row({Table::num(cores), Table::num(tl.achieved_bw_gbs, "%.1f"),
+           Table::num(tp.achieved_bw_gbs, "%.1f"),
+           Table::num(il.achieved_bw_gbs, "%.1f"),
+           Table::num(ip.achieved_bw_gbs, "%.1f"),
+           Table::num(100 * tp.achieved_bw_gbs / mach.stream_bw_gbs,
+                      "%.0f%%")});
+  }
+  t.print();
+  std::printf(
+      "\nPaper: TRSV hits ~94%% of STREAM and saturates beyond 4 cores; P2P "
+      "above level-scheduling everywhere. Shape check those two columns.\n");
+  return 0;
+}

@@ -1,0 +1,178 @@
+// google-benchmark microbenchmarks of the core kernels — the fine-grained
+// complement to the figure/table reproduction benches: per-edge and
+// per-block costs of every kernel variant, on the host.
+#include <benchmark/benchmark.h>
+
+#include "core/boundary.hpp"
+#include "core/flux_kernels.hpp"
+#include "core/gradients.hpp"
+#include "core/jacobian.hpp"
+#include "core/newton.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+struct KernelFixture {
+  TetMesh mesh;
+  FlowFields fields;
+  EdgeArrays edges;
+  EdgeLoopPlan plan;
+  AVec<double> resid;
+
+  KernelFixture()
+      : mesh(make()),
+        fields(mesh),
+        edges(mesh),
+        plan(build_edge_plan(mesh, EdgeStrategy::kAtomics, 1)),
+        resid(static_cast<std::size_t>(mesh.num_vertices) * kNs, 0.0) {
+    fields.set_uniform({1.0, 1.0, 0.0, 0.0});
+    Rng rng(1);
+    for (auto& q : fields.q) q += rng.uniform(-0.05, 0.05);
+    compute_gradients(mesh, edges, plan, fields);
+    fields.sync_soa_from_aos();
+  }
+  static TetMesh make() {
+    TetMesh m = generate_wing_bump(preset_params(MeshPreset::kMeshC, 6.0));
+    shuffle_numbering(m, 9);
+    rcm_reorder(m);
+    return m;
+  }
+};
+
+KernelFixture& fixture() {
+  static KernelFixture f;
+  return f;
+}
+
+void flux_variant(benchmark::State& state, FluxKernelConfig cfg) {
+  auto& f = fixture();
+  const Physics ph;
+  for (auto _ : state) {
+    std::fill(f.resid.begin(), f.resid.end(), 0.0);
+    compute_edge_fluxes(ph, f.edges, f.plan, cfg, f.fields,
+                        {f.resid.data(), f.resid.size()});
+    benchmark::DoNotOptimize(f.resid.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.mesh.num_edges()));
+}
+
+void BM_FluxSoAScalar(benchmark::State& state) {
+  FluxKernelConfig cfg;
+  cfg.layout = VertexLayout::kSoA;
+  flux_variant(state, cfg);
+}
+void BM_FluxAoSScalar(benchmark::State& state) {
+  flux_variant(state, FluxKernelConfig{});
+}
+void BM_FluxAoSSimd(benchmark::State& state) {
+  FluxKernelConfig cfg;
+  cfg.simd = true;
+  flux_variant(state, cfg);
+}
+void BM_FluxAoSSimdPrefetch(benchmark::State& state) {
+  FluxKernelConfig cfg;
+  cfg.simd = true;
+  cfg.prefetch = true;
+  flux_variant(state, cfg);
+}
+BENCHMARK(BM_FluxSoAScalar);
+BENCHMARK(BM_FluxAoSScalar);
+BENCHMARK(BM_FluxAoSSimd);
+BENCHMARK(BM_FluxAoSSimdPrefetch);
+
+void BM_Gradients(benchmark::State& state) {
+  auto& f = fixture();
+  for (auto _ : state) {
+    compute_gradients(f.mesh, f.edges, f.plan, f.fields);
+    benchmark::DoNotOptimize(f.fields.grad.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.mesh.num_edges()));
+}
+BENCHMARK(BM_Gradients);
+
+void BM_JacobianAssembly(benchmark::State& state) {
+  auto& f = fixture();
+  const Physics ph;
+  Bcsr4 jac = make_jacobian_matrix(f.mesh);
+  for (auto _ : state) {
+    assemble_jacobian(ph, f.edges, f.plan, f.fields, FluxScheme::kRoe, jac);
+    benchmark::DoNotOptimize(jac.block(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.mesh.num_edges()));
+}
+BENCHMARK(BM_JacobianAssembly);
+
+struct FactorFixture {
+  Bcsr4 jac;
+  IluPattern p0, p1;
+  FactorFixture() {
+    auto& f = fixture();
+    const Physics ph;
+    jac = make_jacobian_matrix(f.mesh);
+    assemble_jacobian(ph, f.edges, f.plan, f.fields, FluxScheme::kRoe, jac);
+    add_boundary_jacobian(ph, f.mesh, f.fields, jac);
+    const std::vector<double> shift(
+        static_cast<std::size_t>(f.mesh.num_vertices), 5.0);
+    jac.shift_diagonal(shift);
+    p0 = symbolic_ilu(jac.structure(), 0);
+    p1 = symbolic_ilu(jac.structure(), 1);
+  }
+};
+
+FactorFixture& factors() {
+  static FactorFixture f;
+  return f;
+}
+
+void BM_IluFullBuffer(benchmark::State& state) {
+  auto& ff = factors();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(factorize_ilu(ff.jac, ff.p1, false, false));
+}
+void BM_IluCompressed(benchmark::State& state) {
+  auto& ff = factors();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(factorize_ilu(ff.jac, ff.p1, true, false));
+}
+void BM_IluCompressedSimd(benchmark::State& state) {
+  auto& ff = factors();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(factorize_ilu(ff.jac, ff.p1, true, true));
+}
+BENCHMARK(BM_IluFullBuffer);
+BENCHMARK(BM_IluCompressed);
+BENCHMARK(BM_IluCompressedSimd);
+
+void BM_TrsvSerial(benchmark::State& state) {
+  auto& ff = factors();
+  static const IluFactor f = factorize_ilu(ff.jac, ff.p1);
+  const std::size_t n = static_cast<std::size_t>(f.num_rows()) * kBs;
+  AVec<double> b(n, 1.0), x(n, 0.0);
+  for (auto _ : state) {
+    trsv_serial(f, b, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.solve_stream_bytes()));
+}
+BENCHMARK(BM_TrsvSerial);
+
+void BM_SymbolicIlu(benchmark::State& state) {
+  auto& ff = factors();
+  const int fill = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(symbolic_ilu(ff.jac.structure(), fill));
+}
+BENCHMARK(BM_SymbolicIlu)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace fun3d
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Supporting bench: host calibration vs the paper platform's numbers.
+//
+// Paper platform (1 socket E5-2690v2): 240 Gflop/s DP peak (AVX), 42.2 GB/s
+// peak DRAM, 34.8 GB/s STREAM. This bench measures the host's actual triad
+// bandwidth and flop rates — the anchors for interpreting "measured on
+// host" numbers in the other benches — and sanity-checks the machine model.
+#include "bench_common.hpp"
+
+#include "machine/calibrate.hpp"
+
+using namespace fun3d;
+using namespace fun3d::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::size_t mb = static_cast<std::size_t>(cli.get_int("mb", 64));
+
+  header("calibration", "host microbenchmarks vs paper platform");
+  const HostCalibration c = calibrate_host(mb << 20);
+  const MachineSpec paper = MachineSpec::xeon_e5_2690v2();
+
+  Table t({"quantity", "host (1 core)", "paper node (10 cores)"});
+  t.row({"STREAM triad GB/s", Table::num(c.stream_triad_gbs, "%.1f"),
+         Table::num(paper.stream_bw_gbs, "%.1f")});
+  t.row({"scalar Gflop/s", Table::num(c.scalar_gflops, "%.1f"),
+         Table::num(paper.cores * paper.ghz * paper.scalar_flops_per_cycle,
+                    "%.0f")});
+  t.row({"SIMD Gflop/s", Table::num(c.simd_gflops, "%.1f"),
+         Table::num(paper.peak_gflops(), "%.0f")});
+  t.print();
+
+  const MachineSpec host = host_machine(c);
+  std::printf("\nderived host MachineSpec: '%s', %.1f GB/s, SIMD/scalar "
+              "ratio %.1fx\n",
+              host.name.c_str(), host.stream_bw_gbs,
+              c.simd_gflops / c.scalar_gflops);
+  std::printf(
+      "model sanity: paper-machine 10-core bandwidth %.1f GB/s saturates at "
+      "%.0f cores (bw_1core %.1f GB/s)\n",
+      paper.effective_bw_gbs(10),
+      paper.stream_bw_gbs / paper.bw_1core_gbs, paper.bw_1core_gbs);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table I reproduction: baseline (out-of-the-box, single-thread) solver runs
+// on the Mesh-C and Mesh-D presets — mesh sizes, pseudo-time steps, linear
+// iterations, and execution time.
+//
+// Paper reference (full-size meshes on an E5-2690v2 core):
+//   Mesh-C: 3.58e5 vertices, 2.40e6 edges, 13 steps,  383 iters, 282 s
+//   Mesh-D: 2.76e6 vertices, 1.89e7 edges, 29 steps, 1709 iters, 1.02e4 s
+// Default scales keep runtimes in seconds; counts below are for the scaled
+// meshes, with vertex/edge counts printed for context.
+#include "bench_common.hpp"
+
+using namespace fun3d;
+using namespace fun3d::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale_c = cli.get_double("scale-c", 6.0);
+  const double scale_d = cli.get_double("scale-d", 4.0);
+
+  header("Table I", "baseline performance profile (scaled meshes)");
+  Table t({"mesh", "vertices", "edges", "steps", "lin iters", "time (s)",
+           "paper steps", "paper iters"});
+
+  struct Row {
+    MeshPreset preset;
+    double scale;
+    int paper_steps;
+    int paper_iters;
+  };
+  const Row rows[] = {{MeshPreset::kMeshC, scale_c, 13, 383},
+                      {MeshPreset::kMeshD, scale_d, 29, 1709}};
+  for (const Row& row : rows) {
+    TetMesh m = make_mesh(row.preset, row.scale);
+    const MeshStats ms = compute_mesh_stats(m);
+    SolverConfig cfg = SolverConfig::baseline();
+    cfg.ptc.max_steps = 60;
+    cfg.ptc.rtol = 1e-8;
+    FlowSolver solver(std::move(m), cfg);
+    const SolveStats st = solver.solve();
+    t.row({preset_name(row.preset), Table::num(ms.vertices),
+           Table::num(static_cast<double>(ms.edges)), Table::num(st.steps),
+           Table::num(static_cast<double>(st.linear_iterations)),
+           Table::num(st.wall_seconds, "%.2f"), Table::num(row.paper_steps),
+           Table::num(row.paper_iters)});
+    if (!st.converged)
+      std::printf("WARNING: %s did not reach rtol in %d steps\n",
+                  preset_name(row.preset), cfg.ptc.max_steps);
+  }
+  t.print();
+  std::printf(
+      "\nShape check: steps and iterations grow with mesh size as in the "
+      "paper; absolute times are for the scaled meshes on this host.\n");
+  return 0;
+}

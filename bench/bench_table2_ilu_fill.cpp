@@ -1,0 +1,120 @@
+// Table II reproduction: ILU(0) vs ILU(1) — available parallelism,
+// iterations to converge, and parallel execution time.
+//
+// Paper reference (Mesh-C):
+//                         ILU-0    ILU-1
+//   available parallelism  248x      60x
+//   linear iterations       777      383
+//   1-core time (s)         430      282
+//   10-core time (s)         62       81
+//   speedup                 6.9x     3.5x     (ILU-0 wins by ~1.3x)
+//
+// Parallelism is measured on the real factors; iteration counts from real
+// solves; the 10-core projection applies the machine model's TRSV/ILU
+// threading multipliers, which differ by fill level via the DAG structure.
+#include "bench_common.hpp"
+
+#include "core/jacobian.hpp"
+#include "machine/kernel_model.hpp"
+#include "sparse/trsv.hpp"
+
+using namespace fun3d;
+using namespace fun3d::bench;
+
+namespace {
+
+struct FillResult {
+  double parallelism = 0;
+  std::uint64_t iterations = 0;
+  double seconds_1core = 0;
+  double speedup_10c = 0;
+};
+
+FillResult run_fill(double scale, int fill) {
+  FillResult r;
+  TetMesh m = make_mesh(MeshPreset::kMeshC, scale, /*report=*/false);
+  SolverConfig cfg = SolverConfig::baseline();
+  cfg.fill_level = fill;
+  cfg.ptc.max_steps = 40;
+  cfg.ptc.rtol = 1e-8;
+  FlowSolver solver(std::move(m), cfg);
+  const SolveStats st = solver.solve();
+  r.iterations = st.linear_iterations;
+  r.seconds_1core = st.wall_seconds;
+  r.parallelism = st.ilu_parallelism;
+
+  // Modelled 10-core speedup of the recurrence portion: TRSV+ILU threading
+  // is limited by the factor's DAG; edge kernels scale near-linearly. Use
+  // the measured profile to weight the two classes.
+  const auto frac = solver.profile().fractions();
+  double recur_share = 0;
+  for (const char* k : {kernel::kIlu, kernel::kTrsv})
+    if (frac.count(k)) recur_share += frac.at(k);
+  // Recurrence threading multiplier: min(DAG parallelism, bandwidth cap 4x)
+  // with a sync-overhead knee when parallelism is low.
+  const double recur_mult = std::min(4.0, 0.8 * std::sqrt(r.parallelism));
+  const double other_mult = 8.0;  // compute-bound remainder at 10 cores
+  r.speedup_10c =
+      1.0 / (recur_share / recur_mult + (1.0 - recur_share) / other_mult);
+  return r;
+}
+
+}  // namespace
+
+/// DAG parallelism of the ILU(k) *pattern* on a larger mesh — cheap
+/// (symbolic only) and shows how Table II's 248x/60x emerge with size.
+double pattern_parallelism(double scale, int fill) {
+  TetMesh m = make_mesh(MeshPreset::kMeshC, scale, /*report=*/false);
+  const Bcsr4 jac = make_jacobian_matrix(m);
+  const IluPattern p = symbolic_ilu(jac.structure(), fill);
+  CsrGraph deps;
+  const idx_t n = p.rows.num_vertices();
+  deps.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t i = 0; i < n; ++i)
+    for (idx_t c : p.rows.neighbors(i))
+      if (c < i) deps.rowptr[static_cast<std::size_t>(i) + 1]++;
+  for (std::size_t k = 1; k < deps.rowptr.size(); ++k)
+    deps.rowptr[k] += deps.rowptr[k - 1];
+  deps.col.reserve(static_cast<std::size_t>(deps.rowptr.back()));
+  for (idx_t i = 0; i < n; ++i)
+    for (idx_t c : p.rows.neighbors(i))
+      if (c < i) deps.col.push_back(c);
+  return dag_parallelism(deps);
+}
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 6.0);
+  const double big_scale = cli.get_double("big-scale", 2.0);
+
+  header("Table II", "ILU(0) vs ILU(1): parallelism / convergence tradeoff");
+  const FillResult r0 = run_fill(scale, 0);
+  const FillResult r1 = run_fill(scale, 1);
+  const double p0_big = pattern_parallelism(big_scale, 0);
+  const double p1_big = pattern_parallelism(big_scale, 1);
+
+  Table t({"metric", "ILU-0", "ILU-1", "paper ILU-0", "paper ILU-1"});
+  t.row({"available parallelism", Table::num(r0.parallelism, "%.0f"),
+         Table::num(r1.parallelism, "%.0f"), "248", "60"});
+  t.row({"parallelism at 1/8-size mesh", Table::num(p0_big, "%.0f"),
+         Table::num(p1_big, "%.0f"), "248", "60"});
+  t.row({"linear iterations", Table::num(static_cast<double>(r0.iterations)),
+         Table::num(static_cast<double>(r1.iterations)), "777", "383"});
+  t.row({"1-core time (s, host, scaled mesh)",
+         Table::num(r0.seconds_1core, "%.2f"),
+         Table::num(r1.seconds_1core, "%.2f"), "430", "282"});
+  t.row({"modelled 10-core speedup", Table::num(r0.speedup_10c, "%.1f"),
+         Table::num(r1.speedup_10c, "%.1f"), "6.9", "3.5"});
+  const double ratio =
+      (r0.seconds_1core / r0.speedup_10c) > 0
+          ? (r1.seconds_1core / r1.speedup_10c) /
+                (r0.seconds_1core / r0.speedup_10c)
+          : 0;
+  t.row({"ILU-0 advantage at 10 cores", Table::num(ratio, "%.2f"), "",
+         "1.3", ""});
+  t.print();
+  std::printf(
+      "\nShape check: ILU-0 has far more DAG parallelism but needs more "
+      "iterations; at 10 cores ILU-0 overtakes ILU-1.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Kernel tuning walkthrough: measures every flux-kernel variant and every
+// threading strategy on *your* machine and mesh, and reports which
+// combination wins — the practical distillation of the paper's §V.
+//
+//   $ ./build/examples/kernel_tuning [--scale 4] [--threads 4]
+#include <cstdio>
+
+#include "core/flux_kernels.hpp"
+#include "core/gradients.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace fun3d;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 4.0);
+  const idx_t threads = static_cast<idx_t>(cli.get_int("threads", 4));
+
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kMeshC, scale));
+  shuffle_numbering(m, 3);
+  rcm_reorder(m);
+  Physics ph;
+  FlowFields f(m);
+  f.set_uniform(ph.freestream);
+  Rng rng(1);
+  for (auto& q : f.q) q += rng.uniform(-0.05, 0.05);
+  EdgeArrays e(m);
+  const EdgeLoopPlan serial = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  compute_gradients(m, e, serial, f);
+  f.sync_soa_from_aos();
+  AVec<double> r(static_cast<std::size_t>(f.nv) * kNs, 0.0);
+
+  auto measure = [&](const FluxKernelConfig& cfg, const EdgeLoopPlan& plan) {
+    return time_best([&] {
+      std::fill(r.begin(), r.end(), 0.0);
+      compute_edge_fluxes(ph, e, plan, cfg, f, {r.data(), r.size()});
+    });
+  };
+
+  std::printf("flux kernel variants, serial, %zu edges:\n", m.num_edges());
+  Table t({"layout", "simd", "prefetch", "s/pass", "Medges/s"});
+  FluxKernelConfig best_cfg;
+  double best = 1e300;
+  for (VertexLayout layout : {VertexLayout::kSoA, VertexLayout::kAoS}) {
+    for (bool simd : {false, true}) {
+      if (simd && layout == VertexLayout::kSoA) continue;
+      for (bool prefetch : {false, true}) {
+        FluxKernelConfig cfg;
+        cfg.layout = layout;
+        cfg.simd = simd;
+        cfg.prefetch = prefetch;
+        const double s = measure(cfg, serial);
+        if (s < best) {
+          best = s;
+          best_cfg = cfg;
+        }
+        t.row({layout == VertexLayout::kAoS ? "AoS" : "SoA",
+               simd ? "yes" : "no", prefetch ? "yes" : "no",
+               Table::num(s, "%.4f"),
+               Table::num(static_cast<double>(m.num_edges()) / s / 1e6,
+                          "%.1f")});
+      }
+    }
+  }
+  t.print();
+
+  std::printf("\nthreading strategies with the best variant (%d threads; on "
+              "a single-core host these measure overheads only — the real "
+              "scaling comes from bench_fig6b's model):\n",
+              static_cast<int>(threads));
+  Table t2({"strategy", "s/pass", "replication", "imbalance", "barriers"});
+  for (EdgeStrategy strat :
+       {EdgeStrategy::kAtomics, EdgeStrategy::kReplicationNatural,
+        EdgeStrategy::kReplicationPartitioned, EdgeStrategy::kColoring}) {
+    const EdgeLoopPlan plan = build_edge_plan(m, strat, threads);
+    const double s = measure(best_cfg, plan);
+    t2.row({edge_strategy_name(strat), Table::num(s, "%.4f"),
+            Table::num(100 * plan.replication_overhead, "%.1f%%"),
+            Table::num(plan.load_imbalance, "%.2f"),
+            Table::num(plan.num_barriers)});
+  }
+  t2.print();
+  std::printf("\nbest serial variant: %s%s%s\n",
+              best_cfg.layout == VertexLayout::kAoS ? "AoS" : "SoA",
+              best_cfg.simd ? " + SIMD" : "",
+              best_cfg.prefetch ? " + prefetch" : "");
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "core/bicgstab.hpp"
+
+#include <cmath>
+
+#include "util/aligned.hpp"
+
+namespace fun3d {
+
+BicgstabResult bicgstab_solve(const LinearOp& apply_a,
+                              const LinearOp* precond,
+                              std::span<const double> b, std::span<double> x,
+                              const BicgstabOptions& opt, const VecOps& vec,
+                              Profile* profile) {
+  const std::size_t n = b.size();
+  BicgstabResult res;
+  AVec<double> r(n), rhat(n), p(n, 0.0), v(n, 0.0), s(n), t(n), z(n), y(n);
+
+  auto reduce = [&] {
+    if (profile != nullptr) profile->reductions++;
+  };
+  auto apply_m = [&](std::span<const double> in, std::span<double> out) {
+    if (precond != nullptr) {
+      (*precond)(in, out);
+    } else {
+      vec.copy(in, out);
+    }
+  };
+
+  // r0 = b - A x ; rhat = r0 (shadow residual).
+  apply_a(x, {r.data(), n});
+  vec.aypx(-1.0, b, {r.data(), n});
+  vec.copy({r.data(), n}, {rhat.data(), n});
+  double rnorm = vec.norm2({r.data(), n});
+  reduce();
+  const double bnorm = vec.norm2(b);
+  reduce();
+  const double ref = bnorm > 0 ? bnorm : 1.0;
+  res.relative_residual = rnorm / ref;
+  if (res.relative_residual <= opt.rtol || rnorm <= opt.atol) {
+    res.converged = true;
+    return res;
+  }
+
+  double rho = 1.0, alpha = 1.0, omega = 1.0;
+  for (int k = 0; k < opt.max_iters; ++k) {
+    const double rho_new = vec.dot({rhat.data(), n}, {r.data(), n});
+    reduce();
+    if (std::fabs(rho_new) < 1e-300) {
+      res.breakdown = true;
+      return res;
+    }
+    if (k == 0) {
+      vec.copy({r.data(), n}, {p.data(), n});
+    } else {
+      const double beta = (rho_new / rho) * (alpha / omega);
+      // p = r + beta (p - omega v)
+      vec.axpy(-omega, {v.data(), n}, {p.data(), n});
+      vec.aypx(beta, {r.data(), n}, {p.data(), n});
+    }
+    rho = rho_new;
+
+    apply_m({p.data(), n}, {y.data(), n});
+    apply_a({y.data(), n}, {v.data(), n});
+    const double rhat_v = vec.dot({rhat.data(), n}, {v.data(), n});
+    reduce();
+    if (std::fabs(rhat_v) < 1e-300) {
+      res.breakdown = true;
+      return res;
+    }
+    alpha = rho / rhat_v;
+    // s = r - alpha v
+    vec.waxpy(-alpha, {v.data(), n}, {r.data(), n}, {s.data(), n});
+    const double snorm = vec.norm2({s.data(), n});
+    reduce();
+    ++res.iterations;
+    if (snorm / ref <= opt.rtol || snorm <= opt.atol) {
+      vec.axpy(alpha, {y.data(), n}, x);  // x += alpha M^{-1} p
+      res.relative_residual = snorm / ref;
+      res.converged = true;
+      return res;
+    }
+
+    apply_m({s.data(), n}, {z.data(), n});
+    apply_a({z.data(), n}, {t.data(), n});
+    const double tt = vec.dot({t.data(), n}, {t.data(), n});
+    reduce();
+    const double ts = vec.dot({t.data(), n}, {s.data(), n});
+    reduce();
+    if (tt < 1e-300) {
+      res.breakdown = true;
+      return res;
+    }
+    omega = ts / tt;
+    // x += alpha y + omega z ; r = s - omega t
+    vec.axpy(alpha, {y.data(), n}, x);
+    vec.axpy(omega, {z.data(), n}, x);
+    vec.waxpy(-omega, {t.data(), n}, {s.data(), n}, {r.data(), n});
+    rnorm = vec.norm2({r.data(), n});
+    reduce();
+    res.relative_residual = rnorm / ref;
+    if (res.relative_residual <= opt.rtol || rnorm <= opt.atol) {
+      res.converged = true;
+      return res;
+    }
+    if (std::fabs(omega) < 1e-300) {
+      res.breakdown = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,33 @@
+// BiCGSTAB (van der Vorst) with right preconditioning — the short-recurrence
+// alternative to GMRES offered by PETSc's KSP. Unlike restarted GMRES it
+// needs constant memory (7 vectors) and exactly 4 global reductions per
+// iteration, which matters at scale (paper §VI-B2: the Krylov collectives
+// are the scaling limit).
+#pragma once
+
+#include "core/gmres.hpp"
+
+namespace fun3d {
+
+struct BicgstabOptions {
+  int max_iters = 400;
+  double rtol = 1e-3;
+  double atol = 1e-13;
+};
+
+struct BicgstabResult {
+  int iterations = 0;
+  double relative_residual = 1.0;
+  bool converged = false;
+  bool breakdown = false;  ///< rho or omega underflowed (restart advised)
+};
+
+/// Solves A x = b with right preconditioning: A M^{-1} (M x) = b. `x` holds
+/// the initial guess. `precond` may be null (unpreconditioned).
+BicgstabResult bicgstab_solve(const LinearOp& apply_a,
+                              const LinearOp* precond,
+                              std::span<const double> b, std::span<double> x,
+                              const BicgstabOptions& opt, const VecOps& vec,
+                              Profile* profile = nullptr);
+
+}  // namespace fun3d

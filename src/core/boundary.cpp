@@ -1,0 +1,46 @@
+#include "core/boundary.hpp"
+
+namespace fun3d {
+namespace {
+
+inline void bface_flux(const Physics& ph, BcTag tag, const double* q,
+                       const double* n, double* f, double* dfdq) {
+  if (tag == BcTag::kSlipWall) {
+    slip_wall_flux(ph, q, n, f, dfdq);
+  } else {
+    farfield_flux(ph, q, n, f, dfdq);
+  }
+}
+
+}  // namespace
+
+void add_boundary_fluxes(const Physics& ph, const TetMesh& m,
+                         const FlowFields& fields, std::span<double> resid) {
+  double f[kNs];
+  for (std::size_t bf = 0; bf < m.bfaces.size(); ++bf) {
+    const double n3[3] = {m.bface_nx[bf] / 3.0, m.bface_ny[bf] / 3.0,
+                          m.bface_nz[bf] / 3.0};
+    for (idx_t v : m.bfaces[bf].v) {
+      const std::size_t vs = static_cast<std::size_t>(v);
+      bface_flux(ph, m.bfaces[bf].tag, &fields.q[vs * kNs], n3, f, nullptr);
+      for (int s = 0; s < kNs; ++s)
+        resid[vs * kNs + static_cast<std::size_t>(s)] += f[s];
+    }
+  }
+}
+
+void add_boundary_jacobian(const Physics& ph, const TetMesh& m,
+                           const FlowFields& fields, Bcsr4& jac) {
+  double f[kNs], dfdq[kNs * kNs];
+  for (std::size_t bf = 0; bf < m.bfaces.size(); ++bf) {
+    const double n3[3] = {m.bface_nx[bf] / 3.0, m.bface_ny[bf] / 3.0,
+                          m.bface_nz[bf] / 3.0};
+    for (idx_t v : m.bfaces[bf].v) {
+      const std::size_t vs = static_cast<std::size_t>(v);
+      bface_flux(ph, m.bfaces[bf].tag, &fields.q[vs * kNs], n3, f, dfdq);
+      jac.add_block(v, v, dfdq);
+    }
+  }
+}
+
+}  // namespace fun3d

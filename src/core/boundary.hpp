@@ -1,0 +1,21 @@
+// Boundary-condition residual and Jacobian contributions. Each boundary
+// triangle applies its flux through one third of its area vector at each of
+// its vertices (the median-dual boundary closure).
+#pragma once
+
+#include <span>
+
+#include "core/fields.hpp"
+#include "sparse/bcsr.hpp"
+
+namespace fun3d {
+
+/// Adds slip-wall / far-field fluxes into resid.
+void add_boundary_fluxes(const Physics& ph, const TetMesh& m,
+                         const FlowFields& fields, std::span<double> resid);
+
+/// Adds the boundary-flux linearization to the diagonal blocks of `jac`.
+void add_boundary_jacobian(const Physics& ph, const TetMesh& m,
+                           const FlowFields& fields, Bcsr4& jac);
+
+}  // namespace fun3d

@@ -1,0 +1,53 @@
+#include "core/fields.hpp"
+
+namespace fun3d {
+
+FlowFields::FlowFields(const TetMesh& m) : nv(m.num_vertices) {
+  const std::size_t n = static_cast<std::size_t>(nv);
+  q.assign(n * kNs, 0.0);
+  grad.assign(n * kGradStride, 0.0);
+  coords.resize(n * 3);
+  resid.assign(n * kNs, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    coords[v * 3 + 0] = m.x[v];
+    coords[v * 3 + 1] = m.y[v];
+    coords[v * 3 + 2] = m.z[v];
+  }
+}
+
+void FlowFields::set_uniform(const std::array<double, kNs>& state) {
+  for (idx_t v = 0; v < nv; ++v)
+    for (int s = 0; s < kNs; ++s)
+      q[static_cast<std::size_t>(v) * kNs + static_cast<std::size_t>(s)] =
+          state[static_cast<std::size_t>(s)];
+}
+
+void FlowFields::sync_soa_from_aos() {
+  const std::size_t n = static_cast<std::size_t>(nv);
+  for (int s = 0; s < kNs; ++s) {
+    auto& arr = q_soa[static_cast<std::size_t>(s)];
+    arr.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+      arr[v] = q[v * kNs + static_cast<std::size_t>(s)];
+  }
+  for (int g = 0; g < kGradStride; ++g) {
+    auto& arr = grad_soa[static_cast<std::size_t>(g)];
+    arr.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+      arr[v] = grad[v * kGradStride + static_cast<std::size_t>(g)];
+  }
+}
+
+EdgeArrays::EdgeArrays(const TetMesh& m) : n(m.edges.size()) {
+  a.resize(n);
+  b.resize(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    a[e] = m.edges[e].first;
+    b[e] = m.edges[e].second;
+  }
+  nx = m.dual_nx.data();
+  ny = m.dual_ny.data();
+  nz = m.dual_nz.data();
+}
+
+}  // namespace fun3d

@@ -1,0 +1,51 @@
+// Solution field storage in both layouts studied by the paper (§V-A "Data
+// structures"):
+//  * AoS vertex data (the optimized choice): per-vertex state packed as
+//    q[v*4..], gradients as grad[v*12..], coordinates as coords[v*3..] —
+//    one vector load per vertex, best reuse.
+//  * SoA mirrors (the baseline comparison): one array per component.
+// Edge data is always SoA (streamed sequentially — paper's optimized edge
+// layout); the mesh's dual normals are already stored that way.
+#pragma once
+
+#include <array>
+
+#include "core/physics.hpp"
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+/// grad layout: grad[v*12 + s*3 + d] = d q_s / d x_d.
+inline constexpr int kGradStride = kNs * 3;
+
+struct FlowFields {
+  idx_t nv = 0;
+  AVec<double> q;       ///< nv*4, AoS
+  AVec<double> grad;    ///< nv*12, AoS
+  AVec<double> coords;  ///< nv*3, AoS
+  AVec<double> resid;   ///< nv*4
+
+  // SoA mirrors (filled by sync_soa_from_aos; used only by the baseline
+  // layout kernels and layout-comparison benches).
+  std::array<AVec<double>, kNs> q_soa;
+  std::array<AVec<double>, kGradStride> grad_soa;
+
+  explicit FlowFields(const TetMesh& m);
+
+  void set_uniform(const std::array<double, kNs>& state);
+  void sync_soa_from_aos();
+};
+
+/// SoA copies of the edge list (endpoints + dual normals are gathered /
+/// streamed by every edge kernel).
+struct EdgeArrays {
+  AVec<idx_t> a, b;
+  const double* nx = nullptr;  ///< borrowed from the mesh (already SoA)
+  const double* ny = nullptr;
+  const double* nz = nullptr;
+  std::size_t n = 0;
+
+  explicit EdgeArrays(const TetMesh& m);
+};
+
+}  // namespace fun3d

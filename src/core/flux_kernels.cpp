@@ -1,0 +1,498 @@
+#include "core/flux_kernels.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include <omp.h>
+
+#include "simd/vecd.hpp"
+
+namespace fun3d {
+namespace {
+
+// Software-prefetch distances in edges (tuned as in the paper §V-A).
+constexpr std::size_t kPrefetchL1 = 8;
+constexpr std::size_t kPrefetchL2 = 32;
+
+// ---------------------------------------------------------------------------
+// Scalar path
+// ---------------------------------------------------------------------------
+
+/// Loads the (possibly reconstructed) left/right states of edge e.
+template <VertexLayout L>
+inline void load_states(const FlowFields& f, idx_t va, idx_t vb,
+                        bool second_order, double* ql, double* qr) {
+  const std::size_t a = static_cast<std::size_t>(va);
+  const std::size_t b = static_cast<std::size_t>(vb);
+  if constexpr (L == VertexLayout::kAoS) {
+    for (int s = 0; s < kNs; ++s) {
+      ql[s] = f.q[a * kNs + static_cast<std::size_t>(s)];
+      qr[s] = f.q[b * kNs + static_cast<std::size_t>(s)];
+    }
+  } else {
+    for (int s = 0; s < kNs; ++s) {
+      ql[s] = f.q_soa[static_cast<std::size_t>(s)][a];
+      qr[s] = f.q_soa[static_cast<std::size_t>(s)][b];
+    }
+  }
+  if (!second_order) return;
+  // MUSCL: extrapolate each state to the edge midpoint.
+  double dxa[3], dxb[3];
+  for (int d = 0; d < 3; ++d) {
+    const double xa = f.coords[a * 3 + static_cast<std::size_t>(d)];
+    const double xb = f.coords[b * 3 + static_cast<std::size_t>(d)];
+    const double mid = 0.5 * (xa + xb);
+    dxa[d] = mid - xa;
+    dxb[d] = mid - xb;
+  }
+  for (int s = 0; s < kNs; ++s) {
+    double ga[3], gb[3];
+    if constexpr (L == VertexLayout::kAoS) {
+      for (int d = 0; d < 3; ++d) {
+        ga[d] = f.grad[a * kGradStride + static_cast<std::size_t>(s * 3 + d)];
+        gb[d] = f.grad[b * kGradStride + static_cast<std::size_t>(s * 3 + d)];
+      }
+    } else {
+      for (int d = 0; d < 3; ++d) {
+        ga[d] = f.grad_soa[static_cast<std::size_t>(s * 3 + d)][a];
+        gb[d] = f.grad_soa[static_cast<std::size_t>(s * 3 + d)][b];
+      }
+    }
+    ql[s] += ga[0] * dxa[0] + ga[1] * dxa[1] + ga[2] * dxa[2];
+    qr[s] += gb[0] * dxb[0] + gb[1] * dxb[1] + gb[2] * dxb[2];
+  }
+}
+
+template <VertexLayout L>
+inline void edge_flux_scalar(const Physics& ph, const FlowFields& f,
+                             const EdgeArrays& e, std::size_t ei,
+                             const FluxKernelConfig& cfg, double* flux) {
+  const idx_t va = e.a[ei], vb = e.b[ei];
+  double ql[kNs], qr[kNs];
+  load_states<L>(f, va, vb, cfg.second_order, ql, qr);
+  const double n[3] = {e.nx[ei], e.ny[ei], e.nz[ei]};
+  if (cfg.scheme == FluxScheme::kRoe) {
+    roe_flux(ph, ql, qr, n, flux);
+  } else {
+    rusanov_flux(ph, ql, qr, n, flux);
+  }
+}
+
+inline void prefetch_vertex(const FlowFields& f, idx_t v, bool second_order,
+                            bool to_l1) {
+  const std::size_t vs = static_cast<std::size_t>(v);
+  const double* q = f.q.data() + vs * kNs;
+  const double* g = f.grad.data() + vs * kGradStride;
+  const double* x = f.coords.data() + vs * 3;
+  if (to_l1) {
+    prefetch_l1(q);
+    if (second_order) {
+      prefetch_l1(g);
+      prefetch_l1(g + 8);
+      prefetch_l1(x);
+    }
+  } else {
+    prefetch_l2(q);
+    if (second_order) {
+      prefetch_l2(g);
+      prefetch_l2(g + 8);
+      prefetch_l2(x);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD path: 4 edges per batch, one edge per lane (AoS vertex data only).
+// Compute is conflict-free into a small buffer; write-out is scalar
+// (paper §V-A "Exploring SIMD").
+// ---------------------------------------------------------------------------
+
+struct SimdEdgeFlux {
+  // fout[lane*kNs + comp]
+  alignas(32) double fout[4 * kNs];
+};
+
+inline void flux_simd_batch(const Physics& ph, const FlowFields& f,
+                            const EdgeArrays& e, const idx_t* eids,
+                            const FluxKernelConfig& cfg, SimdEdgeFlux& out) {
+  alignas(16) idx_t ia4[4], ib4[4], ia12[4], ib12[4], ia3[4], ib3[4];
+  for (int l = 0; l < 4; ++l) {
+    const idx_t va = e.a[static_cast<std::size_t>(eids[l])];
+    const idx_t vb = e.b[static_cast<std::size_t>(eids[l])];
+    ia4[l] = va * kNs;
+    ib4[l] = vb * kNs;
+    ia12[l] = va * kGradStride;
+    ib12[l] = vb * kGradStride;
+    ia3[l] = va * 3;
+    ib3[l] = vb * 3;
+  }
+  Vec4d ql[kNs], qr[kNs];
+  for (int s = 0; s < kNs; ++s) {
+    ql[s] = Vec4d::gather(f.q.data() + s, ia4);
+    qr[s] = Vec4d::gather(f.q.data() + s, ib4);
+  }
+  if (cfg.second_order) {
+    Vec4d dxa[3], dxb[3];
+    for (int d = 0; d < 3; ++d) {
+      const Vec4d xa = Vec4d::gather(f.coords.data() + d, ia3);
+      const Vec4d xb = Vec4d::gather(f.coords.data() + d, ib3);
+      const Vec4d mid = Vec4d(0.5) * (xa + xb);
+      dxa[d] = mid - xa;
+      dxb[d] = mid - xb;
+    }
+    for (int s = 0; s < kNs; ++s) {
+      Vec4d accl = ql[s], accr = qr[s];
+      for (int d = 0; d < 3; ++d) {
+        accl = Vec4d::fma(Vec4d::gather(f.grad.data() + s * 3 + d, ia12),
+                          dxa[d], accl);
+        accr = Vec4d::fma(Vec4d::gather(f.grad.data() + s * 3 + d, ib12),
+                          dxb[d], accr);
+      }
+      ql[s] = accl;
+      qr[s] = accr;
+    }
+  }
+  alignas(16) idx_t eidx[4] = {eids[0], eids[1], eids[2], eids[3]};
+  const Vec4d nx = Vec4d::gather(e.nx, eidx);
+  const Vec4d ny = Vec4d::gather(e.ny, eidx);
+  const Vec4d nz = Vec4d::gather(e.nz, eidx);
+
+  auto theta_of = [&](const Vec4d* q) {
+    return nx * q[1] + ny * q[2] + nz * q[3];
+  };
+  auto flux_of = [&](const Vec4d* q, const Vec4d& theta, Vec4d* fl) {
+    fl[0] = Vec4d(ph.beta) * theta;
+    fl[1] = Vec4d::fma(q[1], theta, nx * q[0]);
+    fl[2] = Vec4d::fma(q[2], theta, ny * q[0]);
+    fl[3] = Vec4d::fma(q[3], theta, nz * q[0]);
+  };
+  const Vec4d thl = theta_of(ql), thr = theta_of(qr);
+  Vec4d fl[kNs], fr[kNs];
+  flux_of(ql, thl, fl);
+  flux_of(qr, thr, fr);
+
+  Vec4d qbar[kNs], dq[kNs];
+  for (int s = 0; s < kNs; ++s) {
+    qbar[s] = Vec4d(0.5) * (ql[s] + qr[s]);
+    dq[s] = qr[s] - ql[s];
+  }
+  const Vec4d theta = theta_of(qbar);
+  const Vec4d s2 = nx * nx + ny * ny + nz * nz;
+  const Vec4d c = Vec4d::sqrt(Vec4d::fma(theta, theta, Vec4d(ph.beta) * s2));
+
+  // Apply A(qbar) to a 4-vector of lanes.
+  auto apply_a = [&](const Vec4d* x, Vec4d* y) {
+    const Vec4d xth = nx * x[1] + ny * x[2] + nz * x[3];
+    y[0] = Vec4d(ph.beta) * xth;
+    y[1] = theta * x[1] + qbar[1] * xth + nx * x[0];
+    y[2] = theta * x[2] + qbar[2] * xth + ny * x[0];
+    y[3] = theta * x[3] + qbar[3] * xth + nz * x[0];
+  };
+
+  Vec4d fluxv[kNs];
+  if (cfg.scheme == FluxScheme::kRusanov) {
+    const Vec4d lam = Vec4d::abs(theta) + c;
+    for (int s = 0; s < kNs; ++s)
+      fluxv[s] = Vec4d(0.5) * (fl[s] + fr[s] - lam * dq[s]);
+  } else {
+    const Vec4d delta = Vec4d(ph.entropy_eps) * c;
+    auto soft = [&](const Vec4d& lam) {
+      return Vec4d::sqrt(Vec4d::fma(lam, lam, delta * delta));
+    };
+    const Vec4d l1 = theta, l2 = theta + c, l3 = theta - c;
+    const Vec4d f1 = soft(l1), f2 = soft(l2), f3 = soft(l3);
+    const Vec4d d12 = (f2 - f1) / (l2 - l1);
+    const Vec4d d13 = (f3 - f1) / (l3 - l1);
+    const Vec4d a2 = (d13 - d12) / (l3 - l2);
+    const Vec4d a1 = d12 - a2 * (l1 + l2);
+    const Vec4d a0 = f1 - l1 * (a1 + a2 * l1);
+    Vec4d y1[kNs], y2[kNs];
+    apply_a(dq, y1);
+    apply_a(y1, y2);
+    for (int s = 0; s < kNs; ++s) {
+      const Vec4d diss = a0 * dq[s] + a1 * y1[s] + a2 * y2[s];
+      fluxv[s] = Vec4d(0.5) * (fl[s] + fr[s] - diss);
+    }
+  }
+  // Transpose to per-lane layout for the scalar write-out.
+  for (int s = 0; s < kNs; ++s)
+    for (int l = 0; l < 4; ++l) out.fout[l * kNs + s] = fluxv[s].lane(l);
+}
+
+// ---------------------------------------------------------------------------
+// Accumulation policies
+// ---------------------------------------------------------------------------
+
+inline void add_plain(double* resid, idx_t v, const double* flux, double sign) {
+  for (int s = 0; s < kNs; ++s)
+    resid[static_cast<std::size_t>(v) * kNs + static_cast<std::size_t>(s)] +=
+        sign * flux[s];
+}
+
+inline void add_atomic(double* resid, idx_t v, const double* flux,
+                       double sign) {
+  for (int s = 0; s < kNs; ++s) {
+    double& slot = resid[static_cast<std::size_t>(v) * kNs +
+                         static_cast<std::size_t>(s)];
+#pragma omp atomic
+    slot += sign * flux[s];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+template <VertexLayout L>
+void run_serial(const Physics& ph, const EdgeArrays& e,
+                const FluxKernelConfig& cfg, const FlowFields& f,
+                double* resid) {
+  double flux[kNs];
+  for (std::size_t ei = 0; ei < e.n; ++ei) {
+    if (cfg.prefetch) {
+      if (ei + kPrefetchL1 < e.n) {
+        prefetch_vertex(f, e.a[ei + kPrefetchL1], cfg.second_order, true);
+        prefetch_vertex(f, e.b[ei + kPrefetchL1], cfg.second_order, true);
+      }
+      if (ei + kPrefetchL2 < e.n) {
+        prefetch_vertex(f, e.a[ei + kPrefetchL2], cfg.second_order, false);
+        prefetch_vertex(f, e.b[ei + kPrefetchL2], cfg.second_order, false);
+      }
+    }
+    edge_flux_scalar<L>(ph, f, e, ei, cfg, flux);
+    add_plain(resid, e.a[ei], flux, +1.0);
+    add_plain(resid, e.b[ei], flux, -1.0);
+  }
+}
+
+void run_serial_simd(const Physics& ph, const EdgeArrays& e,
+                     const FluxKernelConfig& cfg, const FlowFields& f,
+                     double* resid) {
+  SimdEdgeFlux buf;
+  std::size_t ei = 0;
+  for (; ei + 4 <= e.n; ei += 4) {
+    if (cfg.prefetch && ei + kPrefetchL1 + 4 <= e.n) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        prefetch_vertex(f, e.a[ei + kPrefetchL1 + k], cfg.second_order, true);
+        prefetch_vertex(f, e.b[ei + kPrefetchL1 + k], cfg.second_order, true);
+      }
+    }
+    idx_t eids[4] = {static_cast<idx_t>(ei), static_cast<idx_t>(ei + 1),
+                     static_cast<idx_t>(ei + 2), static_cast<idx_t>(ei + 3)};
+    flux_simd_batch(ph, f, e, eids, cfg, buf);
+    for (int l = 0; l < 4; ++l) {
+      add_plain(resid, e.a[ei + static_cast<std::size_t>(l)],
+                buf.fout + l * kNs, +1.0);
+      add_plain(resid, e.b[ei + static_cast<std::size_t>(l)],
+                buf.fout + l * kNs, -1.0);
+    }
+  }
+  double flux[kNs];
+  for (; ei < e.n; ++ei) {
+    edge_flux_scalar<VertexLayout::kAoS>(ph, f, e, ei, cfg, flux);
+    add_plain(resid, e.a[ei], flux, +1.0);
+    add_plain(resid, e.b[ei], flux, -1.0);
+  }
+}
+
+template <VertexLayout L>
+void run_atomics(const Physics& ph, const EdgeArrays& e,
+                 const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
+                 const FlowFields& f, double* resid) {
+#pragma omp parallel num_threads(plan.nthreads)
+  {
+    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+    const std::size_t begin =
+        static_cast<std::size_t>(plan.edge_begin[static_cast<std::size_t>(t)]);
+    const std::size_t end = static_cast<std::size_t>(
+        plan.edge_begin[static_cast<std::size_t>(t) + 1]);
+    double flux[kNs];
+    for (std::size_t ei = begin; ei < end; ++ei) {
+      edge_flux_scalar<L>(ph, f, e, ei, cfg, flux);
+      add_atomic(resid, e.a[ei], flux, +1.0);
+      add_atomic(resid, e.b[ei], flux, -1.0);
+    }
+  }
+}
+
+/// Owner-only writes over per-thread (replicated) edge lists.
+template <VertexLayout L, bool Simd>
+void run_replicated(const Physics& ph, const EdgeArrays& e,
+                    const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
+                    const FlowFields& f, double* resid) {
+#pragma omp parallel num_threads(plan.nthreads)
+  {
+    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+    const auto mine = plan.edges_of(t);
+    const auto* owner = plan.vertex_owner.data();
+    if constexpr (Simd) {
+      SimdEdgeFlux buf;
+      std::size_t k = 0;
+      for (; k + 4 <= mine.size(); k += 4) {
+        if (cfg.prefetch && k + kPrefetchL1 + 4 <= mine.size()) {
+          for (std::size_t d = 0; d < 4; ++d) {
+            const std::size_t pe =
+                static_cast<std::size_t>(mine[k + kPrefetchL1 + d]);
+            prefetch_vertex(f, e.a[pe], cfg.second_order, true);
+            prefetch_vertex(f, e.b[pe], cfg.second_order, true);
+          }
+        }
+        flux_simd_batch(ph, f, e, &mine[k], cfg, buf);
+        for (int l = 0; l < 4; ++l) {
+          const std::size_t ei =
+              static_cast<std::size_t>(mine[k + static_cast<std::size_t>(l)]);
+          if (owner[e.a[ei]] == t)
+            add_plain(resid, e.a[ei], buf.fout + l * kNs, +1.0);
+          if (owner[e.b[ei]] == t)
+            add_plain(resid, e.b[ei], buf.fout + l * kNs, -1.0);
+        }
+      }
+      double flux[kNs];
+      for (; k < mine.size(); ++k) {
+        const std::size_t ei = static_cast<std::size_t>(mine[k]);
+        edge_flux_scalar<VertexLayout::kAoS>(ph, f, e, ei, cfg, flux);
+        if (owner[e.a[ei]] == t) add_plain(resid, e.a[ei], flux, +1.0);
+        if (owner[e.b[ei]] == t) add_plain(resid, e.b[ei], flux, -1.0);
+      }
+    } else {
+      double flux[kNs];
+      for (std::size_t k = 0; k < mine.size(); ++k) {
+        if (cfg.prefetch && k + kPrefetchL1 < mine.size()) {
+          const std::size_t pe =
+              static_cast<std::size_t>(mine[k + kPrefetchL1]);
+          prefetch_vertex(f, e.a[pe], cfg.second_order, true);
+          prefetch_vertex(f, e.b[pe], cfg.second_order, true);
+        }
+        const std::size_t ei = static_cast<std::size_t>(mine[k]);
+        edge_flux_scalar<L>(ph, f, e, ei, cfg, flux);
+        if (owner[e.a[ei]] == t) add_plain(resid, e.a[ei], flux, +1.0);
+        if (owner[e.b[ei]] == t) add_plain(resid, e.b[ei], flux, -1.0);
+      }
+    }
+  }
+}
+
+template <VertexLayout L>
+void run_colored(const Physics& ph, const EdgeArrays& e,
+                 const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
+                 const FlowFields& f, double* resid) {
+#pragma omp parallel num_threads(plan.nthreads)
+  {
+    double flux[kNs];
+    for (const auto& cls : plan.color_classes) {
+#pragma omp for schedule(static)
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(cls.size()); ++k) {
+        const std::size_t ei =
+            static_cast<std::size_t>(cls[static_cast<std::size_t>(k)]);
+        edge_flux_scalar<L>(ph, f, e, ei, cfg, flux);
+        add_plain(resid, e.a[ei], flux, +1.0);
+        add_plain(resid, e.b[ei], flux, -1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void compute_edge_fluxes(const Physics& ph, const EdgeArrays& edges,
+                         const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
+                         const FlowFields& fields, std::span<double> resid) {
+  assert(resid.size() >= static_cast<std::size_t>(fields.nv) * kNs);
+  assert(!(cfg.simd && cfg.layout == VertexLayout::kSoA) &&
+         "SIMD flux requires AoS vertex data");
+  double* r = resid.data();
+
+  if (plan.nthreads <= 1) {
+    if (cfg.simd) {
+      run_serial_simd(ph, edges, cfg, fields, r);
+    } else if (cfg.layout == VertexLayout::kAoS) {
+      run_serial<VertexLayout::kAoS>(ph, edges, cfg, fields, r);
+    } else {
+      run_serial<VertexLayout::kSoA>(ph, edges, cfg, fields, r);
+    }
+    return;
+  }
+  switch (plan.strategy) {
+    case EdgeStrategy::kAtomics:
+      if (cfg.layout == VertexLayout::kAoS)
+        run_atomics<VertexLayout::kAoS>(ph, edges, plan, cfg, fields, r);
+      else
+        run_atomics<VertexLayout::kSoA>(ph, edges, plan, cfg, fields, r);
+      break;
+    case EdgeStrategy::kReplicationNatural:
+    case EdgeStrategy::kReplicationPartitioned:
+      if (cfg.simd)
+        run_replicated<VertexLayout::kAoS, true>(ph, edges, plan, cfg, fields,
+                                                 r);
+      else if (cfg.layout == VertexLayout::kAoS)
+        run_replicated<VertexLayout::kAoS, false>(ph, edges, plan, cfg,
+                                                  fields, r);
+      else
+        run_replicated<VertexLayout::kSoA, false>(ph, edges, plan, cfg,
+                                                  fields, r);
+      break;
+    case EdgeStrategy::kColoring:
+      if (cfg.layout == VertexLayout::kAoS)
+        run_colored<VertexLayout::kAoS>(ph, edges, plan, cfg, fields, r);
+      else
+        run_colored<VertexLayout::kSoA>(ph, edges, plan, cfg, fields, r);
+      break;
+  }
+}
+
+double flux_flops_per_edge(const FluxKernelConfig& cfg) {
+  // Analytic operation counts of the scalar implementation.
+  double flops = 0;
+  flops += 2 * 20.0;  // F(qL), F(qR)
+  if (cfg.scheme == FluxScheme::kRoe) {
+    flops += 8 + 10 + 12;   // qbar, wavespeeds+c, softened |lambda| x3
+    flops += 15;            // interpolation coefficients
+    flops += 2 * 28;        // A applied twice
+    flops += 4 * 6 + 4 * 4; // dissipation combine + final average
+  } else {
+    flops += 8 + 10 + 4 * 6;
+  }
+  if (cfg.second_order) flops += 9 + 2 * kNs * 7;  // midpoints + extrapolation
+  return flops;
+}
+
+void trace_flux_accesses(const EdgeArrays& edges,
+                         std::span<const idx_t> edge_order,
+                         const FluxKernelConfig& cfg, const FlowFields& fields,
+                         CacheSim& cache) {
+  auto addr = [](const void* p) {
+    return reinterpret_cast<std::uint64_t>(p);
+  };
+  for (idx_t eid : edge_order) {
+    const std::size_t ei = static_cast<std::size_t>(eid);
+    // Edge data: endpoints + dual normal, streamed.
+    cache.access(addr(&edges.a[ei]), sizeof(idx_t));
+    cache.access(addr(&edges.b[ei]), sizeof(idx_t));
+    cache.access(addr(&edges.nx[ei]), 8);
+    cache.access(addr(&edges.ny[ei]), 8);
+    cache.access(addr(&edges.nz[ei]), 8);
+    for (const idx_t v : {edges.a[ei], edges.b[ei]}) {
+      const std::size_t vs = static_cast<std::size_t>(v);
+      if (cfg.layout == VertexLayout::kAoS) {
+        cache.access(addr(&fields.q[vs * kNs]), kNs * 8);
+        if (cfg.second_order) {
+          cache.access(addr(&fields.grad[vs * kGradStride]), kGradStride * 8);
+          cache.access(addr(&fields.coords[vs * 3]), 3 * 8);
+        }
+      } else {
+        for (int s = 0; s < kNs; ++s)
+          cache.access(addr(&fields.q_soa[static_cast<std::size_t>(s)][vs]), 8);
+        if (cfg.second_order) {
+          for (int g = 0; g < kGradStride; ++g)
+            cache.access(
+                addr(&fields.grad_soa[static_cast<std::size_t>(g)][vs]), 8);
+          cache.access(addr(&fields.coords[vs * 3]), 3 * 8);
+        }
+      }
+      // Residual read-modify-write.
+      cache.access(addr(&fields.resid[vs * kNs]), kNs * 8);
+    }
+  }
+}
+
+}  // namespace fun3d

@@ -1,0 +1,48 @@
+// Edge-based flux residual kernels in every optimization variant studied by
+// the paper (§V-A): vertex-data layout (SoA baseline vs AoS optimized),
+// SIMD across edges with temp-buffer compute / scalar write-out, software
+// prefetching, and the four threading strategies of EdgeLoopPlan.
+//
+// All variants compute the same residual (to floating-point reassociation):
+//   resid[a] += F(qL, qR, n_e);  resid[b] -= F(qL, qR, n_e)
+// for every edge e=(a,b), with optional second-order MUSCL reconstruction
+// from Green-Gauss gradients.
+#pragma once
+
+#include <span>
+
+#include "core/fields.hpp"
+#include "machine/cache_sim.hpp"
+#include "parallel/edge_partition.hpp"
+
+namespace fun3d {
+
+enum class VertexLayout { kSoA, kAoS };
+
+struct FluxKernelConfig {
+  VertexLayout layout = VertexLayout::kAoS;
+  bool simd = false;      ///< vectorize across edges (AoS layout only)
+  bool prefetch = false;  ///< software prefetch of upcoming vertex data
+  bool second_order = true;
+  FluxScheme scheme = FluxScheme::kRoe;
+};
+
+/// Adds all interior edge fluxes into `resid` (not zeroed here). Threading
+/// and conflict handling follow `plan`; with plan.nthreads == 1 the loop is
+/// serial regardless of strategy.
+void compute_edge_fluxes(const Physics& ph, const EdgeArrays& edges,
+                         const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
+                         const FlowFields& fields, std::span<double> resid);
+
+/// Analytic flop count per edge for the configuration (machine-model input).
+double flux_flops_per_edge(const FluxKernelConfig& cfg);
+
+/// Replays the kernel's address stream for the given edge traversal into a
+/// cache simulator (vertex gathers + streamed edge data), without computing.
+/// Used to measure layout-dependent DRAM traffic per thread.
+void trace_flux_accesses(const EdgeArrays& edges,
+                         std::span<const idx_t> edge_order,
+                         const FluxKernelConfig& cfg, const FlowFields& fields,
+                         CacheSim& cache);
+
+}  // namespace fun3d

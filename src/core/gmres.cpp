@@ -1,0 +1,154 @@
+#include "core/gmres.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "util/aligned.hpp"
+
+namespace fun3d {
+namespace {
+
+/// Applies the preconditioner or copies when none.
+void apply_m(const LinearOp* precond, const VecOps& vec,
+             std::span<const double> in, std::span<double> out) {
+  if (precond != nullptr) {
+    (*precond)(in, out);
+  } else {
+    vec.copy(in, out);
+  }
+}
+
+}  // namespace
+
+GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
+                        std::span<const double> b, std::span<double> x,
+                        const GmresOptions& opt, const VecOps& vec,
+                        Profile* profile) {
+  const std::size_t n = b.size();
+  const int m = opt.restart;
+  GmresResult res;
+
+  // Krylov basis (m+1 vectors) + Hessenberg (column-major, (m+1) x m).
+  std::vector<AVec<double>> v(static_cast<std::size_t>(m) + 1);
+  for (auto& vi : v) vi.resize(n);
+  std::vector<double> h(static_cast<std::size_t>((m + 1) * m), 0.0);
+  std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m)),
+      g(static_cast<std::size_t>(m) + 1);
+  AVec<double> tmp(n), mtmp(n);
+
+  auto timed = [&](const char* name) {
+    return profile != nullptr
+               ? std::optional<StopwatchSet::Scope>(std::in_place,
+                                                    profile->timers, name)
+               : std::nullopt;
+  };
+
+  double beta0 = -1;  // preconditioned norm of b (fixed reference)
+  while (res.iterations < opt.max_iters) {
+    // r = M^{-1}(b - A x)
+    apply_a(x, tmp);
+    {
+      auto s = timed(kernel::kVecOps);
+      vec.aypx(-1.0, b, tmp);  // tmp = b - tmp
+    }
+    apply_m(precond, vec, tmp, v[0]);
+    double beta;
+    {
+      auto s = timed(kernel::kVecOps);
+      beta = vec.norm2(v[0]);
+      if (profile != nullptr) profile->reductions++;
+    }
+    if (beta0 < 0) beta0 = beta > 0 ? beta : 1.0;
+    res.relative_residual = beta / beta0;
+    if (beta <= opt.atol || res.relative_residual <= opt.rtol) {
+      res.converged = true;
+      return res;
+    }
+    {
+      auto s = timed(kernel::kVecOps);
+      vec.scale(1.0 / beta, v[0]);
+    }
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int j = 0;
+    for (; j < m && res.iterations < opt.max_iters; ++j) {
+      ++res.iterations;
+      // w = M^{-1} A v_j
+      apply_a(v[static_cast<std::size_t>(j)], tmp);
+      apply_m(precond, vec, tmp, mtmp);
+      // Modified Gram-Schmidt.
+      {
+        auto s = timed(kernel::kVecOps);
+        for (int i = 0; i <= j; ++i) {
+          const double hij = vec.dot(v[static_cast<std::size_t>(i)], mtmp);
+          if (profile != nullptr) profile->reductions++;
+          h[static_cast<std::size_t>(i * m + j)] = hij;
+          vec.axpy(-hij, v[static_cast<std::size_t>(i)], mtmp);
+        }
+        const double hj1 = vec.norm2(mtmp);
+        if (profile != nullptr) profile->reductions++;
+        h[static_cast<std::size_t>((j + 1) * m + j)] = hj1;
+        if (hj1 > 0) {
+          vec.copy(mtmp, v[static_cast<std::size_t>(j) + 1]);
+          vec.scale(1.0 / hj1, v[static_cast<std::size_t>(j) + 1]);
+        }
+      }
+      // Apply stored Givens rotations to the new column, then form a new one.
+      for (int i = 0; i < j; ++i) {
+        const double t1 = h[static_cast<std::size_t>(i * m + j)];
+        const double t2 = h[static_cast<std::size_t>((i + 1) * m + j)];
+        h[static_cast<std::size_t>(i * m + j)] =
+            cs[static_cast<std::size_t>(i)] * t1 + sn[static_cast<std::size_t>(i)] * t2;
+        h[static_cast<std::size_t>((i + 1) * m + j)] =
+            -sn[static_cast<std::size_t>(i)] * t1 + cs[static_cast<std::size_t>(i)] * t2;
+      }
+      {
+        const double t1 = h[static_cast<std::size_t>(j * m + j)];
+        const double t2 = h[static_cast<std::size_t>((j + 1) * m + j)];
+        const double r = std::hypot(t1, t2);
+        cs[static_cast<std::size_t>(j)] = r > 0 ? t1 / r : 1.0;
+        sn[static_cast<std::size_t>(j)] = r > 0 ? t2 / r : 0.0;
+        h[static_cast<std::size_t>(j * m + j)] = r;
+        h[static_cast<std::size_t>((j + 1) * m + j)] = 0.0;
+        const double gj = g[static_cast<std::size_t>(j)];
+        g[static_cast<std::size_t>(j)] = cs[static_cast<std::size_t>(j)] * gj;
+        g[static_cast<std::size_t>(j) + 1] = -sn[static_cast<std::size_t>(j)] * gj;
+      }
+      res.relative_residual =
+          std::fabs(g[static_cast<std::size_t>(j) + 1]) / beta0;
+      if (res.relative_residual <= opt.rtol) {
+        ++j;
+        break;
+      }
+    }
+    // Back-substitute y from the triangularized H, update x += V y.
+    std::vector<double> y(static_cast<std::size_t>(j));
+    for (int i = j - 1; i >= 0; --i) {
+      double s = g[static_cast<std::size_t>(i)];
+      for (int k = i + 1; k < j; ++k)
+        s -= h[static_cast<std::size_t>(i * m + k)] * y[static_cast<std::size_t>(k)];
+      y[static_cast<std::size_t>(i)] = s / h[static_cast<std::size_t>(i * m + i)];
+    }
+    {
+      auto s = timed(kernel::kVecOps);
+      std::vector<std::span<const double>> basis;
+      basis.reserve(static_cast<std::size_t>(j));
+      for (int i = 0; i < j; ++i)
+        basis.emplace_back(v[static_cast<std::size_t>(i)].data(), n);
+      vec.maxpy(std::span<const double>(y.data(), y.size()),
+                std::span<const std::span<const double>>(basis.data(),
+                                                         basis.size()),
+                x);
+    }
+    if (res.relative_residual <= opt.rtol) {
+      res.converged = true;
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,39 @@
+// Restarted GMRES(m) with left preconditioning and modified Gram-Schmidt —
+// the Krylov method of the paper's NKS solver. The operator is supplied as a
+// callback so both the matrix-free Jacobian-vector product (paper §II-B,
+// Knoll & Keyes [12]) and the assembled BCSR operator plug in.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "core/profile.hpp"
+#include "core/vecops.hpp"
+
+namespace fun3d {
+
+/// y = Op(x). Spans are distinct storage.
+using LinearOp = std::function<void(std::span<const double>, std::span<double>)>;
+
+struct GmresOptions {
+  int restart = 30;
+  int max_iters = 400;
+  double rtol = 1e-3;   ///< relative (preconditioned) residual tolerance
+  double atol = 1e-13;
+};
+
+struct GmresResult {
+  int iterations = 0;
+  double relative_residual = 1.0;
+  bool converged = false;
+};
+
+/// Solves A x = b (x holds the initial guess, typically zero). `precond`
+/// applies M^{-1}; pass nullptr for unpreconditioned. `profile` (optional)
+/// accumulates vecops time and reduction counts.
+GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
+                        std::span<const double> b, std::span<double> x,
+                        const GmresOptions& opt, const VecOps& vec,
+                        Profile* profile = nullptr);
+
+}  // namespace fun3d

@@ -1,0 +1,23 @@
+// Green-Gauss edge-based gradient reconstruction (the "Grad" kernel, 13% of
+// the baseline profile in paper Fig. 5):
+//
+//   grad q_s(v) = (1/V_v) [ sum_edges n_e * 0.5 (q_s(a)+q_s(b)) (+/-)
+//                           + sum_bfaces (n_f / 3) * q_s(v) ]
+//
+// The boundary closure uses the vertex's own value, which makes the gradient
+// of a constant field exactly zero (dual closure identity).
+#pragma once
+
+#include "core/fields.hpp"
+#include "parallel/edge_partition.hpp"
+
+namespace fun3d {
+
+/// Overwrites fields.grad. Threading/conflict handling follows `plan`.
+void compute_gradients(const TetMesh& m, const EdgeArrays& edges,
+                       const EdgeLoopPlan& plan, FlowFields& fields);
+
+/// Analytic flops per edge of the gradient kernel (machine-model input).
+double gradient_flops_per_edge();
+
+}  // namespace fun3d

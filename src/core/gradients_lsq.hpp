@@ -1,0 +1,41 @@
+// Unweighted least-squares gradient reconstruction (Anderson & Bonhaus —
+// the gradient FUN3D itself uses for MUSCL reconstruction).
+//
+// Per vertex v, fit grad q to the edge differences dq_e = q(u) - q(v) over
+// neighbours u in the least-squares sense: grad = (A^T A)^{-1} A^T dq with
+// A rows = edge direction vectors. The 3x3 normal-matrix inverses depend
+// only on the mesh and are precomputed once; the per-application sweep is
+// an edge-based loop like the flux kernel.
+//
+// Unlike Green-Gauss with the midpoint rule, this is exact for affine
+// fields on *every* vertex, including boundary vertices.
+#pragma once
+
+#include "core/fields.hpp"
+#include "parallel/edge_partition.hpp"
+
+namespace fun3d {
+
+/// Precomputed per-vertex inverse normal matrices (symmetric 3x3, 6 doubles
+/// per vertex: xx, xy, xz, yy, yz, zz of (A^T A)^{-1}).
+class LsqGradientOperator {
+ public:
+  explicit LsqGradientOperator(const TetMesh& m);
+
+  /// Overwrites fields.grad. Threading/conflicts follow `plan` (atomics,
+  /// replication or colouring — same contract as compute_gradients).
+  void apply(const EdgeArrays& edges, const EdgeLoopPlan& plan,
+             FlowFields& fields) const;
+
+  [[nodiscard]] const double* inv_normal(idx_t v) const {
+    return inv_.data() + static_cast<std::size_t>(v) * 6;
+  }
+
+ private:
+  AVec<double> inv_;  ///< nv * 6
+};
+
+/// Analytic flops per edge of the LSQ accumulation sweep.
+double lsq_gradient_flops_per_edge();
+
+}  // namespace fun3d

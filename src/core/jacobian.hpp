@@ -1,0 +1,26 @@
+// First-order flux Jacobian assembly into BCSR(4x4) — the preconditioning
+// matrix of the Newton-Krylov-Schwarz solver ("derived from a lower-order,
+// sparser and more diffusive discretization", paper §II-B). The "Jacobian"
+// kernel of Fig. 5/8 (7% of baseline time).
+#pragma once
+
+#include "core/fields.hpp"
+#include "parallel/edge_partition.hpp"
+#include "sparse/bcsr.hpp"
+
+namespace fun3d {
+
+/// Builds the BCSR pattern for the mesh (vertex adjacency + diagonal).
+Bcsr4 make_jacobian_matrix(const TetMesh& m);
+
+/// Assembles the first-order (no reconstruction) interior-flux Jacobian into
+/// `jac` (zeroed first). Threading uses the replication plan (owner rows);
+/// any other plan strategy falls back to serial assembly.
+void assemble_jacobian(const Physics& ph, const EdgeArrays& edges,
+                       const EdgeLoopPlan& plan, const FlowFields& fields,
+                       FluxScheme scheme, Bcsr4& jac);
+
+/// Analytic flops per edge of Jacobian assembly (machine-model input).
+double jacobian_flops_per_edge();
+
+}  // namespace fun3d

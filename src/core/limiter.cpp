@@ -1,0 +1,81 @@
+#include "core/limiter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fun3d {
+namespace {
+
+inline double venkat(double d, double dm, double eps2) {
+  // d = unlimited increment, dm = allowed bound (same sign side).
+  const double num = (dm * dm + eps2) + 2.0 * dm * d;
+  const double den = dm * dm + 2.0 * d * d + dm * d + eps2;
+  return den > 0 ? num / den : 1.0;
+}
+
+}  // namespace
+
+void compute_venkat_limiter(const TetMesh& m, const EdgeArrays& edges,
+                            const EdgeLoopPlan& plan, const FlowFields& f,
+                            const LimiterOptions& opt,
+                            std::span<double> phi) {
+  const std::size_t nv = static_cast<std::size_t>(f.nv);
+  (void)m;     // reserved for volume-based length scales
+  (void)plan;  // the two sweeps below are cheap; serial is fine at any size
+  // Pass 1: neighbour min/max deltas per vertex/state.
+  AVec<double> dmax(nv * kNs, 0.0), dmin(nv * kNs, 0.0);
+  for (std::size_t ei = 0; ei < edges.n; ++ei) {
+    const std::size_t a = static_cast<std::size_t>(edges.a[ei]);
+    const std::size_t b = static_cast<std::size_t>(edges.b[ei]);
+    for (int s = 0; s < kNs; ++s) {
+      const double d = f.q[b * kNs + static_cast<std::size_t>(s)] -
+                       f.q[a * kNs + static_cast<std::size_t>(s)];
+      auto& xa = dmax[a * kNs + static_cast<std::size_t>(s)];
+      auto& na = dmin[a * kNs + static_cast<std::size_t>(s)];
+      auto& xb = dmax[b * kNs + static_cast<std::size_t>(s)];
+      auto& nb = dmin[b * kNs + static_cast<std::size_t>(s)];
+      xa = std::max(xa, d);
+      na = std::min(na, d);
+      xb = std::max(xb, -d);
+      nb = std::min(nb, -d);
+    }
+  }
+  // Pass 2: phi = min over incident face increments.
+  std::fill(phi.begin(), phi.end(), 1.0);
+  for (std::size_t ei = 0; ei < edges.n; ++ei) {
+    const std::size_t a = static_cast<std::size_t>(edges.a[ei]);
+    const std::size_t b = static_cast<std::size_t>(edges.b[ei]);
+    double dxa[3], dxb[3], h2 = 0;
+    for (int d = 0; d < 3; ++d) {
+      const double xa = f.coords[a * 3 + static_cast<std::size_t>(d)];
+      const double xb = f.coords[b * 3 + static_cast<std::size_t>(d)];
+      const double mid = 0.5 * (xa + xb);
+      dxa[d] = mid - xa;
+      dxb[d] = mid - xb;
+      h2 += (xb - xa) * (xb - xa);
+    }
+    const double h = std::sqrt(h2);
+    const double eps2 = std::pow(opt.k * h, 3);
+    for (int s = 0; s < kNs; ++s) {
+      for (int side = 0; side < 2; ++side) {
+        const std::size_t v = side == 0 ? a : b;
+        const double* dx = side == 0 ? dxa : dxb;
+        const double* g = f.grad.data() + v * kGradStride +
+                          static_cast<std::size_t>(s * 3);
+        const double delta = g[0] * dx[0] + g[1] * dx[1] + g[2] * dx[2];
+        double p = 1.0;
+        if (delta > 1e-300) {
+          p = venkat(delta, dmax[v * kNs + static_cast<std::size_t>(s)],
+                     eps2);
+        } else if (delta < -1e-300) {
+          p = venkat(delta, dmin[v * kNs + static_cast<std::size_t>(s)],
+                     eps2);
+        }
+        double& slot = phi[v * kNs + static_cast<std::size_t>(s)];
+        slot = std::min(slot, std::clamp(p, 0.0, 1.0));
+      }
+    }
+  }
+}
+
+}  // namespace fun3d

@@ -1,0 +1,35 @@
+// Venkatakrishnan limiter for the MUSCL reconstruction — the smooth slope
+// limiter FUN3D applies in transonic/compressible regimes. Our inviscid
+// incompressible validation case is smooth, so the solver leaves it off by
+// default; it is provided (and tested) for problems with sharp features.
+//
+// For vertex v and state s:
+//   dmax = max over edge-neighbours u of (q_s(u) - q_s(v)), dmin likewise,
+//   phi  = min over incident edges of venkat(delta_face, dmax or dmin, eps)
+// where delta_face = grad q_s(v) . (midpoint - x_v) is the unlimited
+// reconstruction increment and venkat is the smooth rational function
+//   venkat(d, dm, e) = (dm^2 + 2 dm d + e) / (dm^2 + 2 d^2 + dm d + e).
+// The limited reconstruction q_f = q_v + phi * delta_face then stays within
+// the local solution bounds (monotone) while phi -> 1 in smooth regions.
+#pragma once
+
+#include "core/fields.hpp"
+#include "parallel/edge_partition.hpp"
+
+namespace fun3d {
+
+struct LimiterOptions {
+  /// Venkatakrishnan K: eps^2 = (K h)^3 with h a local mesh scale. Larger K
+  /// = less limiting in smooth regions.
+  double k = 5.0;
+};
+
+/// Computes phi (nv*4, in [0,1]) from the current q and grad. Serial or
+/// threaded per `plan` (reduction over incident edges is per-vertex
+/// max/min, handled with the same ownership rules as the other kernels).
+void compute_venkat_limiter(const TetMesh& m, const EdgeArrays& edges,
+                            const EdgeLoopPlan& plan, const FlowFields& f,
+                            const LimiterOptions& opt,
+                            std::span<double> phi);
+
+}  // namespace fun3d

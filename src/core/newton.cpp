@@ -1,0 +1,48 @@
+#include "core/newton.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fun3d {
+
+void compute_wavespeed_sums(const Physics& ph, const TetMesh& m,
+                            const EdgeArrays& edges, const FlowFields& fields,
+                            std::span<double> lam) {
+  std::fill(lam.begin(), lam.end(), 0.0);
+  double qbar[kNs];
+  for (std::size_t ei = 0; ei < edges.n; ++ei) {
+    const std::size_t a = static_cast<std::size_t>(edges.a[ei]);
+    const std::size_t b = static_cast<std::size_t>(edges.b[ei]);
+    for (int s = 0; s < kNs; ++s)
+      qbar[s] = 0.5 * (fields.q[a * kNs + static_cast<std::size_t>(s)] +
+                       fields.q[b * kNs + static_cast<std::size_t>(s)]);
+    const double n[3] = {edges.nx[ei], edges.ny[ei], edges.nz[ei]};
+    const double sr = spectral_radius(ph, qbar, n);
+    lam[a] += sr;
+    lam[b] += sr;
+  }
+  for (std::size_t bf = 0; bf < m.bfaces.size(); ++bf) {
+    const double n3[3] = {m.bface_nx[bf] / 3.0, m.bface_ny[bf] / 3.0,
+                          m.bface_nz[bf] / 3.0};
+    for (idx_t v : m.bfaces[bf].v) {
+      const std::size_t vs = static_cast<std::size_t>(v);
+      lam[vs] += spectral_radius(ph, &fields.q[vs * kNs], n3);
+    }
+  }
+}
+
+void compute_dt_shift(std::span<const double> wavespeed_sum, double cfl,
+                      std::span<double> shift) {
+  assert(shift.size() == wavespeed_sum.size());
+  for (std::size_t v = 0; v < shift.size(); ++v)
+    shift[v] = wavespeed_sum[v] / cfl;
+}
+
+double ser_update(double cfl, double r_prev, double r_now,
+                  const PtcOptions& opt) {
+  double factor = r_now > 0 ? r_prev / r_now : opt.cfl_growth_max;
+  factor = std::clamp(factor, 0.1, opt.cfl_growth_max);
+  return std::clamp(cfl * factor, opt.cfl0, opt.cfl_max);
+}
+
+}  // namespace fun3d

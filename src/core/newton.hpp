@@ -1,0 +1,41 @@
+// Pseudo-transient continuation (Mulder & Van Leer, paper §II-A2/§II-B):
+// a sequence of implicit steps with local time steps Delta t_v = CFL * V_v /
+// (sum of incident face spectral radii), CFL grown by switched-evolution-
+// relaxation (SER) as the residual drops, driving Delta t -> infinity and
+// the iterate to the steady state.
+#pragma once
+
+#include <span>
+
+#include "core/fields.hpp"
+#include "parallel/edge_partition.hpp"
+
+namespace fun3d {
+
+struct PtcOptions {
+  double cfl0 = 10.0;
+  double cfl_max = 1e7;
+  double cfl_growth_max = 2.0;  ///< SER growth clamp per step
+  int max_steps = 100;
+  double rtol = 1e-8;  ///< convergence: ||R|| < rtol * ||R_0||
+  double atol = 0.0;   ///< absolute floor: ||R|| < atol also converges
+                       ///< (needed for restarts from an already-converged
+                       ///< state, where ||R_0|| is tiny)
+};
+
+/// Per-vertex wave-speed sums: lam[v] = sum over incident dual faces of the
+/// spectral radius |Theta|+c (interior edges both sides + boundary pieces).
+void compute_wavespeed_sums(const Physics& ph, const TetMesh& m,
+                            const EdgeArrays& edges, const FlowFields& fields,
+                            std::span<double> lam);
+
+/// dt_scale[v] = V_v / (CFL * dt_v) = lam[v] / CFL — the diagonal shift
+/// added to the Jacobian (the V/dt term of eq. (2)).
+void compute_dt_shift(std::span<const double> wavespeed_sum, double cfl,
+                      std::span<double> shift);
+
+/// SER update: cfl * ||R_prev|| / ||R_now||, clamped.
+double ser_update(double cfl, double r_prev, double r_now,
+                  const PtcOptions& opt);
+
+}  // namespace fun3d

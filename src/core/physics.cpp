@@ -1,0 +1,181 @@
+#include "core/physics.hpp"
+
+#include <cmath>
+
+namespace fun3d {
+namespace {
+
+constexpr int kN2 = kNs * kNs;
+
+inline double softened_abs(double lam, double delta) {
+  return std::sqrt(lam * lam + delta * delta);
+}
+
+}  // namespace
+
+void euler_flux(const Physics& ph, const double* q, const double* n,
+                double* f) {
+  const double p = q[0], u = q[1], v = q[2], w = q[3];
+  const double theta = n[0] * u + n[1] * v + n[2] * w;
+  f[0] = ph.beta * theta;
+  f[1] = u * theta + n[0] * p;
+  f[2] = v * theta + n[1] * p;
+  f[3] = w * theta + n[2] * p;
+}
+
+void euler_flux_jacobian(const Physics& ph, const double* q, const double* n,
+                         double* a) {
+  const double u = q[1], v = q[2], w = q[3];
+  const double theta = n[0] * u + n[1] * v + n[2] * w;
+  // Row 0: d(beta*theta)/dq
+  a[0] = 0;
+  a[1] = ph.beta * n[0];
+  a[2] = ph.beta * n[1];
+  a[3] = ph.beta * n[2];
+  // Row 1: d(u*theta + nx*p)/dq
+  a[4] = n[0];
+  a[5] = theta + u * n[0];
+  a[6] = u * n[1];
+  a[7] = u * n[2];
+  // Row 2
+  a[8] = n[1];
+  a[9] = v * n[0];
+  a[10] = theta + v * n[1];
+  a[11] = v * n[2];
+  // Row 3
+  a[12] = n[2];
+  a[13] = w * n[0];
+  a[14] = w * n[1];
+  a[15] = theta + w * n[2];
+}
+
+double euler_wavespeeds(const Physics& ph, const double* q, const double* n,
+                        double* lam) {
+  const double theta = n[0] * q[1] + n[1] * q[2] + n[2] * q[3];
+  const double s2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+  const double c = std::sqrt(theta * theta + ph.beta * s2);
+  if (lam != nullptr) {
+    lam[0] = theta;
+    lam[1] = theta;
+    lam[2] = theta + c;
+    lam[3] = theta - c;
+  }
+  return c;
+}
+
+double spectral_radius(const Physics& ph, const double* q, const double* n) {
+  const double theta = n[0] * q[1] + n[1] * q[2] + n[2] * q[3];
+  const double s2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+  return std::fabs(theta) + std::sqrt(theta * theta + ph.beta * s2);
+}
+
+void euler_abs_jacobian(const Physics& ph, const double* q, const double* n,
+                        double* absa) {
+  double a[kN2];
+  euler_flux_jacobian(ph, q, n, a);
+  const double theta = n[0] * q[1] + n[1] * q[2] + n[2] * q[3];
+  const double s2 = n[0] * n[0] + n[1] * n[1] + n[2] * n[2];
+  const double c = std::sqrt(theta * theta + ph.beta * s2);
+  const double delta = ph.entropy_eps * c;
+
+  // Interpolate |lambda| (softened) at the distinct eigenvalues
+  // l1 = theta, l2 = theta + c, l3 = theta - c by the quadratic
+  // p(x) = a0 + a1 x + a2 x^2; since A is diagonalizable, |A| = p(A).
+  const double l1 = theta, l2 = theta + c, l3 = theta - c;
+  const double f1 = softened_abs(l1, delta);
+  const double f2 = softened_abs(l2, delta);
+  const double f3 = softened_abs(l3, delta);
+  // Divided differences (l2 != l3 always; l1 distinct unless c == 0, which
+  // requires beta*S^2 == 0 — excluded by beta > 0 and S > 0).
+  const double d12 = (f2 - f1) / (l2 - l1);
+  const double d13 = (f3 - f1) / (l3 - l1);
+  const double a2 = (d13 - d12) / (l3 - l2);
+  const double a1 = d12 - a2 * (l1 + l2);
+  const double a0 = f1 - l1 * (a1 + a2 * l1);
+
+  // absa = a0 I + a1 A + a2 A^2
+  double a2m[kN2];
+  for (int r = 0; r < kNs; ++r)
+    for (int col = 0; col < kNs; ++col) {
+      double s = 0;
+      for (int k = 0; k < kNs; ++k) s += a[r * kNs + k] * a[k * kNs + col];
+      a2m[r * kNs + col] = s;
+    }
+  for (int i = 0; i < kN2; ++i) absa[i] = a1 * a[i] + a2 * a2m[i];
+  for (int r = 0; r < kNs; ++r) absa[r * kNs + r] += a0;
+}
+
+void roe_flux(const Physics& ph, const double* ql, const double* qr,
+              const double* n, double* f, double* dfdl, double* dfdr) {
+  double fl[kNs], fr[kNs];
+  euler_flux(ph, ql, n, fl);
+  euler_flux(ph, qr, n, fr);
+  double qbar[kNs];
+  for (int i = 0; i < kNs; ++i) qbar[i] = 0.5 * (ql[i] + qr[i]);
+  double absa[kN2];
+  euler_abs_jacobian(ph, qbar, n, absa);
+  for (int r = 0; r < kNs; ++r) {
+    double diss = 0;
+    for (int c = 0; c < kNs; ++c) diss += absa[r * kNs + c] * (qr[c] - ql[c]);
+    f[r] = 0.5 * (fl[r] + fr[r]) - 0.5 * diss;
+  }
+  if (dfdl != nullptr) {
+    double al[kN2];
+    euler_flux_jacobian(ph, ql, n, al);
+    for (int i = 0; i < kN2; ++i) dfdl[i] = 0.5 * (al[i] + absa[i]);
+  }
+  if (dfdr != nullptr) {
+    double ar[kN2];
+    euler_flux_jacobian(ph, qr, n, ar);
+    for (int i = 0; i < kN2; ++i) dfdr[i] = 0.5 * (ar[i] - absa[i]);
+  }
+}
+
+void rusanov_flux(const Physics& ph, const double* ql, const double* qr,
+                  const double* n, double* f, double* dfdl, double* dfdr) {
+  double fl[kNs], fr[kNs];
+  euler_flux(ph, ql, n, fl);
+  euler_flux(ph, qr, n, fr);
+  double qbar[kNs];
+  for (int i = 0; i < kNs; ++i) qbar[i] = 0.5 * (ql[i] + qr[i]);
+  const double lam = spectral_radius(ph, qbar, n);
+  for (int i = 0; i < kNs; ++i)
+    f[i] = 0.5 * (fl[i] + fr[i]) - 0.5 * lam * (qr[i] - ql[i]);
+  if (dfdl != nullptr) {
+    double al[kN2];
+    euler_flux_jacobian(ph, ql, n, al);
+    for (int i = 0; i < kN2; ++i) dfdl[i] = 0.5 * al[i];
+    for (int r = 0; r < kNs; ++r) dfdl[r * kNs + r] += 0.5 * lam;
+  }
+  if (dfdr != nullptr) {
+    double ar[kN2];
+    euler_flux_jacobian(ph, qr, n, ar);
+    for (int i = 0; i < kN2; ++i) dfdr[i] = 0.5 * ar[i];
+    for (int r = 0; r < kNs; ++r) dfdr[r * kNs + r] -= 0.5 * lam;
+  }
+}
+
+void slip_wall_flux(const Physics& ph, const double* q, const double* n,
+                    double* f, double* dfdq) {
+  (void)ph;
+  const double p = q[0];
+  f[0] = 0.0;
+  f[1] = n[0] * p;
+  f[2] = n[1] * p;
+  f[3] = n[2] * p;
+  if (dfdq != nullptr) {
+    for (int i = 0; i < kN2; ++i) dfdq[i] = 0;
+    dfdq[1 * kNs + 0] = n[0];
+    dfdq[2 * kNs + 0] = n[1];
+    dfdq[3 * kNs + 0] = n[2];
+  }
+}
+
+void farfield_flux(const Physics& ph, const double* q, const double* n,
+                   double* f, double* dfdq) {
+  const double* qinf = ph.freestream.data();
+  // Rusanov against the freestream: upwinded characteristic inflow/outflow.
+  rusanov_flux(ph, q, qinf, n, f, dfdq, nullptr);
+}
+
+}  // namespace fun3d

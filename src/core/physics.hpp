@@ -1,0 +1,78 @@
+// Incompressible Euler physics with artificial compressibility (paper §II-A):
+// state q = (p, u, v, w), governing flux through a dual face with *area-
+// scaled* normal n:
+//
+//   F(q, n) = ( beta*Theta, u*Theta + nx*p, v*Theta + ny*p, w*Theta + nz*p ),
+//   Theta   = nx*u + ny*v + nz*w.
+//
+// Wave speeds are Theta (x2) and Theta +- c with c = sqrt(Theta^2 + beta*S^2),
+// S = |n| — the "3x3 eigen-system per face" of the incompressible regime.
+//
+// The upwind face flux is flux-difference-splitting (Roe [10] form):
+//   F_face = 1/2 (F(qL) + F(qR)) - 1/2 |A(q_bar)| (qR - qL)
+// with |A| evaluated *exactly* as the quadratic matrix polynomial that
+// interpolates |lambda| at the three distinct eigenvalues (A is
+// diagonalizable, so p(A) = |A|), with a smooth entropy softening
+// |lambda| -> sqrt(lambda^2 + (eps*c)^2). A Rusanov (spectral-radius)
+// variant is provided as the cheap comparison scheme.
+#pragma once
+
+#include <array>
+
+namespace fun3d {
+
+inline constexpr int kNs = 4;  ///< unknowns per vertex: p,u,v,w
+
+/// Global physics parameters.
+struct Physics {
+  double beta = 10.0;          ///< artificial compressibility
+  double entropy_eps = 0.05;   ///< entropy-fix softening (fraction of c)
+  std::array<double, kNs> freestream{1.0, 1.0, 0.0, 0.0};  ///< p,u,v,w
+};
+
+enum class FluxScheme { kRoe, kRusanov };
+
+/// Analytic flux F(q, n) with area-scaled normal.
+void euler_flux(const Physics& ph, const double* q, const double* n,
+                double* f);
+
+/// Analytic flux Jacobian A = dF/dq (row-major 4x4).
+void euler_flux_jacobian(const Physics& ph, const double* q, const double* n,
+                         double* a);
+
+/// Eigenvalues {Theta, Theta, Theta+c, Theta-c}; returns c.
+double euler_wavespeeds(const Physics& ph, const double* q, const double* n,
+                        double* lam);
+
+/// Spectral radius |Theta| + c of A(q,n).
+double spectral_radius(const Physics& ph, const double* q, const double* n);
+
+/// |A(q,n)| as the interpolating quadratic in A (exact for the
+/// diagonalizable A), with smooth entropy softening. Row-major 4x4.
+void euler_abs_jacobian(const Physics& ph, const double* q, const double* n,
+                        double* absa);
+
+/// Upwind face flux and (optionally) its Jacobians w.r.t. qL and qR using
+/// the frozen-|A| linearization dF/dqL = (A(qL) + |A|)/2,
+/// dF/dqR = (A(qR) - |A|)/2 (the standard first-order preconditioner
+/// Jacobian; "lower-order, sparser, more diffusive" per the paper §II-B).
+void roe_flux(const Physics& ph, const double* ql, const double* qr,
+              const double* n, double* f, double* dfdl = nullptr,
+              double* dfdr = nullptr);
+
+/// Rusanov flux: central + spectral-radius dissipation. Same Jacobian
+/// convention when requested.
+void rusanov_flux(const Physics& ph, const double* ql, const double* qr,
+                  const double* n, double* f, double* dfdl = nullptr,
+                  double* dfdr = nullptr);
+
+/// Slip-wall boundary flux through outward area vector n: no normal flow,
+/// only pressure acts. dfdq is the 4x4 Jacobian w.r.t. the interior state.
+void slip_wall_flux(const Physics& ph, const double* q, const double* n,
+                    double* f, double* dfdq = nullptr);
+
+/// Characteristic far-field flux: Rusanov against the freestream state.
+void farfield_flux(const Physics& ph, const double* q, const double* n,
+                   double* f, double* dfdq = nullptr);
+
+}  // namespace fun3d

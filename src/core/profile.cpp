@@ -1,0 +1,40 @@
+#include "core/profile.hpp"
+
+#include <cstdio>
+
+namespace fun3d {
+
+std::map<std::string, double> Profile::fractions() const {
+  std::map<std::string, double> out;
+  const double total = timers.total();
+  if (total <= 0) return out;
+  for (const auto& [k, v] : timers.entries()) out[k] = v / total;
+  return out;
+}
+
+std::string Profile::format(const std::string& title) const {
+  std::string out = title + ":\n";
+  char buf[160];
+  const double total = timers.total();
+  for (const auto& [k, v] : timers.entries()) {
+    std::snprintf(buf, sizeof(buf), "  %-10s %10.4f s  (%5.1f%%)\n", k.c_str(),
+                  v, total > 0 ? 100.0 * v / total : 0.0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  total %.4f s | %llu steps, %llu linear iters, "
+                "%llu residual evals, %llu reductions\n",
+                total, static_cast<unsigned long long>(newton_steps),
+                static_cast<unsigned long long>(linear_iterations),
+                static_cast<unsigned long long>(residual_evals),
+                static_cast<unsigned long long>(reductions));
+  out += buf;
+  return out;
+}
+
+void Profile::clear() {
+  timers.clear();
+  newton_steps = linear_iterations = residual_evals = reductions = 0;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,38 @@
+// Kernel-level profiling of the solver: the machinery behind the paper's
+// Fig. 5 (baseline profile) and Fig. 8 (kernel-wise speedups).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace fun3d {
+
+/// Canonical kernel names used across the solver and benches.
+namespace kernel {
+inline constexpr const char* kFlux = "flux";
+inline constexpr const char* kGradient = "gradient";
+inline constexpr const char* kJacobian = "jacobian";
+inline constexpr const char* kIlu = "ilu";
+inline constexpr const char* kTrsv = "trsv";
+inline constexpr const char* kVecOps = "vecops";
+inline constexpr const char* kOther = "other";
+}  // namespace kernel
+
+struct Profile {
+  StopwatchSet timers;
+  std::uint64_t newton_steps = 0;
+  std::uint64_t linear_iterations = 0;
+  std::uint64_t residual_evals = 0;
+  /// Global reductions performed (dots + norms): the netsim Allreduce count.
+  std::uint64_t reductions = 0;
+
+  /// Fraction of total time per kernel (Fig. 5-style breakdown).
+  [[nodiscard]] std::map<std::string, double> fractions() const;
+  [[nodiscard]] std::string format(const std::string& title) const;
+  void clear();
+};
+
+}  // namespace fun3d

@@ -1,0 +1,263 @@
+#include "core/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/boundary.hpp"
+#include "core/gradients.hpp"
+#include "core/jacobian.hpp"
+#include "graph/levels.hpp"
+#include "sparse/spmv.hpp"
+
+namespace fun3d {
+namespace {
+
+/// Restricts an adjacency pattern to the block diagonal of `nsub` contiguous
+/// row blocks — the sparsity the block-Jacobi (single-level additive
+/// Schwarz, zero overlap) preconditioner factorizes.
+CsrGraph block_diagonal_pattern(const CsrGraph& adj, idx_t nsub) {
+  const idx_t n = adj.num_vertices();
+  auto block_of = [&](idx_t v) {
+    return std::min<idx_t>(static_cast<idx_t>(
+                               static_cast<std::int64_t>(v) * nsub / n),
+                           nsub - 1);
+  };
+  CsrGraph out;
+  out.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t v = 0; v < n; ++v) {
+    idx_t count = 0;
+    for (idx_t u : adj.neighbors(v))
+      if (block_of(u) == block_of(v)) ++count;
+    out.rowptr[static_cast<std::size_t>(v) + 1] =
+        out.rowptr[static_cast<std::size_t>(v)] + count;
+  }
+  out.col.resize(static_cast<std::size_t>(out.rowptr.back()));
+  idx_t w = 0;
+  for (idx_t v = 0; v < n; ++v)
+    for (idx_t u : adj.neighbors(v))
+      if (block_of(u) == block_of(v))
+        out.col[static_cast<std::size_t>(w++)] = u;
+  return out;
+}
+
+}  // namespace
+
+SolverConfig SolverConfig::baseline() {
+  SolverConfig c;
+  c.flux.layout = VertexLayout::kSoA;
+  c.flux.simd = false;
+  c.flux.prefetch = false;
+  c.strategy = EdgeStrategy::kAtomics;  // irrelevant at nthreads = 1
+  c.nthreads = 1;
+  c.trsv_mode = TrsvMode::kSerial;
+  c.compressed_ilu_buffer = false;
+  c.simd_ilu = false;
+  c.threaded_vecops = false;
+  return c;
+}
+
+SolverConfig SolverConfig::optimized(int nthreads) {
+  SolverConfig c;
+  c.flux.layout = VertexLayout::kAoS;
+  c.flux.simd = true;
+  c.flux.prefetch = true;
+  c.strategy = EdgeStrategy::kReplicationPartitioned;
+  c.nthreads = nthreads;
+  c.trsv_mode = nthreads > 1 ? TrsvMode::kP2P : TrsvMode::kSerial;
+  c.compressed_ilu_buffer = true;
+  c.simd_ilu = true;
+  c.threaded_vecops = true;
+  return c;
+}
+
+FlowSolver::FlowSolver(TetMesh mesh, SolverConfig cfg)
+    : mesh_(std::move(mesh)),
+      cfg_(cfg),
+      fields_(mesh_),
+      edges_(mesh_),
+      plan_(build_edge_plan(mesh_, cfg.strategy,
+                            std::max<idx_t>(1, cfg.nthreads))),
+      jac_(make_jacobian_matrix(mesh_)) {
+  vec_.nthreads = cfg_.threaded_vecops ? cfg_.nthreads : 1;
+  const CsrGraph adj =
+      cfg_.subdomains > 1
+          ? block_diagonal_pattern(jac_.structure(), cfg_.subdomains)
+          : jac_.structure();
+  pattern_ = symbolic_ilu(adj, cfg_.fill_level);
+  dt_shift_.assign(static_cast<std::size_t>(mesh_.num_vertices), 0.0);
+  wavespeed_.assign(static_cast<std::size_t>(mesh_.num_vertices), 0.0);
+  if (cfg_.gradient_method == GradientMethod::kLeastSquares)
+    lsq_ = std::make_unique<LsqGradientOperator>(mesh_);
+  fields_.set_uniform(cfg_.physics.freestream);
+  if (cfg_.flux.layout == VertexLayout::kSoA) fields_.sync_soa_from_aos();
+}
+
+FlowSolver::~FlowSolver() = default;
+
+void FlowSolver::eval_residual(std::span<const double> q,
+                               std::span<double> resid) {
+  const std::size_t nq = static_cast<std::size_t>(fields_.nv) * kNs;
+  assert(q.size() == nq && resid.size() == nq);
+  (void)nq;  // only used by the assert in release builds
+  std::copy(q.begin(), q.end(), fields_.q.begin());
+  if (cfg_.flux.layout == VertexLayout::kSoA) {
+    auto s = profile_.timers.scoped(kernel::kOther);
+    fields_.sync_soa_from_aos();
+  }
+  if (cfg_.second_order) {
+    auto s = profile_.timers.scoped(kernel::kGradient);
+    if (lsq_ != nullptr) {
+      lsq_->apply(edges_, plan_, fields_);
+    } else {
+      compute_gradients(mesh_, edges_, plan_, fields_);
+    }
+    if (cfg_.flux.layout == VertexLayout::kSoA) fields_.sync_soa_from_aos();
+  }
+  std::fill(resid.begin(), resid.end(), 0.0);
+  {
+    auto s = profile_.timers.scoped(kernel::kFlux);
+    compute_edge_fluxes(cfg_.physics, edges_, plan_, cfg_.flux, fields_,
+                        resid);
+    add_boundary_fluxes(cfg_.physics, mesh_, fields_, resid);
+  }
+  profile_.residual_evals++;
+}
+
+void FlowSolver::factor_preconditioner() {
+  auto s = profile_.timers.scoped(kernel::kIlu);
+  factor_ = std::make_unique<IluFactor>(factorize_ilu(
+      jac_, pattern_, cfg_.compressed_ilu_buffer, cfg_.simd_ilu));
+  if (schedules_ == nullptr && cfg_.trsv_mode != TrsvMode::kSerial) {
+    schedules_ = std::make_unique<TrsvSchedules>(TrsvSchedules::build(
+        *factor_, std::max<idx_t>(1, cfg_.nthreads), cfg_.sparsify_p2p));
+  }
+}
+
+void FlowSolver::apply_preconditioner(std::span<const double> in,
+                                      std::span<double> out) {
+  auto s = profile_.timers.scoped(kernel::kTrsv);
+  switch (cfg_.trsv_mode) {
+    case TrsvMode::kSerial:
+      trsv_serial(*factor_, in, out);
+      break;
+    case TrsvMode::kLevels:
+      trsv_levels(*factor_, *schedules_, in, out);
+      break;
+    case TrsvMode::kP2P:
+      trsv_p2p(*factor_, *schedules_, in, out);
+      break;
+  }
+}
+
+SolveStats FlowSolver::solve() {
+  Timer wall;
+  SolveStats stats;
+  const std::size_t nq = static_cast<std::size_t>(fields_.nv) * kNs;
+  AVec<double> u(fields_.q.begin(), fields_.q.end());
+  AVec<double> r(nq, 0.0), rhs(nq, 0.0), du(nq, 0.0);
+  AVec<double> jv_tmp(nq, 0.0), jv_pert(nq, 0.0);
+
+  eval_residual(u, {r.data(), nq});
+  double rnorm = vec_.norm2({r.data(), nq});
+  profile_.reductions++;
+  const double r0 = rnorm > 0 ? rnorm : 1.0;
+  stats.residual_history.push_back(rnorm);
+  double cfl = cfg_.ptc.cfl0;
+
+  for (int step = 0; step < cfg_.ptc.max_steps; ++step) {
+    if (rnorm <= cfg_.ptc.rtol * r0 || rnorm <= cfg_.ptc.atol) {
+      stats.converged = true;
+      break;
+    }
+    // Local pseudo-time shift.
+    {
+      auto s = profile_.timers.scoped(kernel::kOther);
+      compute_wavespeed_sums(cfg_.physics, mesh_, edges_, fields_,
+                             {wavespeed_.data(), wavespeed_.size()});
+      compute_dt_shift({wavespeed_.data(), wavespeed_.size()}, cfl,
+                       {dt_shift_.data(), dt_shift_.size()});
+    }
+    // First-order Jacobian + boundary + time term.
+    {
+      auto s = profile_.timers.scoped(kernel::kJacobian);
+      assemble_jacobian(cfg_.physics, edges_, plan_, fields_, cfg_.scheme,
+                        jac_);
+      add_boundary_jacobian(cfg_.physics, mesh_, fields_, jac_);
+      jac_.shift_diagonal({dt_shift_.data(), dt_shift_.size()});
+    }
+    factor_preconditioner();
+
+    // Solve J du = -R.
+    for (std::size_t i = 0; i < nq; ++i) rhs[i] = -r[i];
+    std::fill(du.begin(), du.end(), 0.0);
+
+    const double unorm = vec_.norm2({u.data(), nq});
+    profile_.reductions++;
+    LinearOp apply_a;
+    if (cfg_.matrix_free) {
+      apply_a = [&](std::span<const double> v, std::span<double> y) {
+        const double vnorm = vec_.norm2(v);
+        profile_.reductions++;
+        if (vnorm == 0) {
+          vec_.set(0.0, y);
+          return;
+        }
+        const double h = std::sqrt(1e-14) * (1.0 + unorm) / vnorm;
+        for (std::size_t i = 0; i < nq; ++i) jv_pert[i] = u[i] + h * v[i];
+        eval_residual({jv_pert.data(), nq}, {jv_tmp.data(), nq});
+        const double inv_h = 1.0 / h;
+        for (std::size_t i = 0; i < nq; ++i) {
+          const std::size_t vtx = i / kNs;
+          y[i] = (jv_tmp[i] - r[i]) * inv_h + dt_shift_[vtx] * v[i];
+        }
+      };
+    } else {
+      apply_a = [&](std::span<const double> v, std::span<double> y) {
+        spmv_parallel(jac_, v, y, std::max(1, cfg_.nthreads));
+      };
+    }
+    LinearOp precond = [&](std::span<const double> in, std::span<double> out) {
+      apply_preconditioner(in, out);
+    };
+    int lin_iters = 0;
+    if (cfg_.krylov == KrylovMethod::kBicgstab) {
+      BicgstabOptions bopt;
+      bopt.rtol = cfg_.gmres.rtol;
+      bopt.atol = cfg_.gmres.atol;
+      bopt.max_iters = cfg_.gmres.max_iters;
+      const BicgstabResult bres =
+          bicgstab_solve(apply_a, &precond, {rhs.data(), nq},
+                         {du.data(), nq}, bopt, vec_, &profile_);
+      lin_iters = bres.iterations;
+    } else {
+      const GmresResult gres =
+          gmres_solve(apply_a, &precond, {rhs.data(), nq}, {du.data(), nq},
+                      cfg_.gmres, vec_, &profile_);
+      lin_iters = gres.iterations;
+    }
+    stats.linear_iterations += static_cast<std::uint64_t>(lin_iters);
+    profile_.linear_iterations += static_cast<std::uint64_t>(lin_iters);
+
+    vec_.axpy(1.0, {du.data(), nq}, {u.data(), nq});
+    eval_residual(u, {r.data(), nq});
+    const double rnew = vec_.norm2({r.data(), nq});
+    profile_.reductions++;
+    cfl = ser_update(cfl, rnorm, rnew, cfg_.ptc);
+    rnorm = rnew;
+    stats.residual_history.push_back(rnorm);
+    stats.steps = step + 1;
+    profile_.newton_steps++;
+  }
+  if (rnorm <= cfg_.ptc.rtol * r0 || rnorm <= cfg_.ptc.atol)
+    stats.converged = true;
+  stats.final_cfl = cfl;
+  stats.wall_seconds = wall.seconds();
+  if (factor_ != nullptr)
+    stats.ilu_parallelism = dag_parallelism(factor_->lower_deps());
+  // Leave the converged state in the fields.
+  std::copy(u.begin(), u.end(), fields_.q.begin());
+  return stats;
+}
+
+}  // namespace fun3d

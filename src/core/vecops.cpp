@@ -1,0 +1,106 @@
+#include "core/vecops.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "graph/csr.hpp"
+#include "parallel/workshare.hpp"
+
+namespace fun3d {
+
+double VecOps::dot(std::span<const double> x, std::span<const double> y) const {
+  assert(x.size() == y.size());
+  const double* xp = x.data();
+  const double* yp = y.data();
+  return parallel_sum(static_cast<idx_t>(x.size()), nthreads,
+                      [&](idx_t i) { return xp[i] * yp[i]; });
+}
+
+double VecOps::norm2(std::span<const double> x) const {
+  const double* xp = x.data();
+  return std::sqrt(parallel_sum(static_cast<idx_t>(x.size()), nthreads,
+                                [&](idx_t i) { return xp[i] * xp[i]; }));
+}
+
+void VecOps::axpy(double a, std::span<const double> x,
+                  std::span<double> y) const {
+  assert(x.size() == y.size());
+  const double* xp = x.data();
+  double* yp = y.data();
+  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (idx_t i = b; i < e; ++i) yp[i] += a * xp[i];
+                  });
+}
+
+void VecOps::aypx(double a, std::span<const double> x,
+                  std::span<double> y) const {
+  assert(x.size() == y.size());
+  const double* xp = x.data();
+  double* yp = y.data();
+  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (idx_t i = b; i < e; ++i) yp[i] = xp[i] + a * yp[i];
+                  });
+}
+
+void VecOps::waxpy(double a, std::span<const double> x,
+                   std::span<const double> y, std::span<double> w) const {
+  assert(x.size() == y.size() && y.size() == w.size());
+  const double* xp = x.data();
+  const double* yp = y.data();
+  double* wp = w.data();
+  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (idx_t i = b; i < e; ++i) wp[i] = yp[i] + a * xp[i];
+                  });
+}
+
+void VecOps::scale(double a, std::span<double> x) const {
+  double* xp = x.data();
+  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (idx_t i = b; i < e; ++i) xp[i] *= a;
+                  });
+}
+
+void VecOps::copy(std::span<const double> x, std::span<double> y) const {
+  assert(x.size() == y.size());
+  const double* xp = x.data();
+  double* yp = y.data();
+  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (idx_t i = b; i < e; ++i) yp[i] = xp[i];
+                  });
+}
+
+void VecOps::set(double a, std::span<double> x) const {
+  double* xp = x.data();
+  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (idx_t i = b; i < e; ++i) xp[i] = a;
+                  });
+}
+
+void VecOps::maxpy(std::span<const double> a,
+                   std::span<const std::span<const double>> xs,
+                   std::span<double> y) const {
+  assert(a.size() == xs.size());
+  double* yp = y.data();
+  parallel_ranges(static_cast<idx_t>(y.size()), nthreads,
+                  [&](idx_t, idx_t b, idx_t e) {
+                    for (std::size_t k = 0; k < xs.size(); ++k) {
+                      const double ak = a[k];
+                      const double* xp = xs[k].data();
+                      for (idx_t i = b; i < e; ++i) yp[i] += ak * xp[i];
+                    }
+                  });
+}
+
+void VecOps::mdot(std::span<const std::span<const double>> xs,
+                  std::span<const double> y, std::span<double> out) const {
+  assert(out.size() == xs.size());
+  for (std::size_t k = 0; k < xs.size(); ++k) out[k] = dot(xs[k], y);
+}
+
+}  // namespace fun3d

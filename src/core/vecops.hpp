@@ -1,0 +1,39 @@
+// Threaded vector primitives — the analogues of the PETSc Vec operations
+// (VecNorm, VecMDot, VecMAXPY, VecWAXPY, ...) that the paper identifies as
+// the unthreaded Amdahl fraction of the Hybrid version (§VI-B3) and that the
+// optimized single-node build replaces with threaded implementations.
+//
+// All reductions are deterministic: per-thread partials combined in thread
+// order, so results are independent of scheduling.
+#pragma once
+
+#include <span>
+
+namespace fun3d {
+
+struct VecOps {
+  int nthreads = 1;
+
+  [[nodiscard]] double dot(std::span<const double> x,
+                           std::span<const double> y) const;
+  [[nodiscard]] double norm2(std::span<const double> x) const;
+  /// y += a*x
+  void axpy(double a, std::span<const double> x, std::span<double> y) const;
+  /// y = x + a*y
+  void aypx(double a, std::span<const double> x, std::span<double> y) const;
+  /// w = y + a*x
+  void waxpy(double a, std::span<const double> x, std::span<const double> y,
+             std::span<double> w) const;
+  void scale(double a, std::span<double> x) const;
+  void copy(std::span<const double> x, std::span<double> y) const;
+  void set(double a, std::span<double> x) const;
+  /// y += sum_i a[i] * x[i]  (VecMAXPY)
+  void maxpy(std::span<const double> a,
+             std::span<const std::span<const double>> xs,
+             std::span<double> y) const;
+  /// out[i] = dot(x[i], y)  (VecMDot)
+  void mdot(std::span<const std::span<const double>> xs,
+            std::span<const double> y, std::span<double> out) const;
+};
+
+}  // namespace fun3d

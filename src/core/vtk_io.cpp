@@ -1,0 +1,142 @@
+#include "core/vtk_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "core/physics.hpp"
+
+namespace fun3d {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_or_throw(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  if (f == nullptr)
+    throw std::runtime_error("vtk_io: cannot open " + path);
+  return f;
+}
+
+void write_points(std::FILE* f, const TetMesh& m) {
+  std::fprintf(f, "POINTS %d double\n", m.num_vertices);
+  for (idx_t v = 0; v < m.num_vertices; ++v) {
+    const std::size_t vs = static_cast<std::size_t>(v);
+    std::fprintf(f, "%.9g %.9g %.9g\n", m.x[vs], m.y[vs], m.z[vs]);
+  }
+}
+
+void write_point_data(std::FILE* f, const TetMesh& m,
+                      std::span<const double> q) {
+  if (q.empty()) return;
+  std::fprintf(f, "POINT_DATA %d\n", m.num_vertices);
+  std::fprintf(f, "SCALARS pressure double 1\nLOOKUP_TABLE default\n");
+  for (idx_t v = 0; v < m.num_vertices; ++v)
+    std::fprintf(f, "%.9g\n", q[static_cast<std::size_t>(v) * kNs]);
+  std::fprintf(f, "VECTORS velocity double\n");
+  for (idx_t v = 0; v < m.num_vertices; ++v) {
+    const std::size_t vs = static_cast<std::size_t>(v);
+    std::fprintf(f, "%.9g %.9g %.9g\n", q[vs * kNs + 1], q[vs * kNs + 2],
+                 q[vs * kNs + 3]);
+  }
+}
+
+}  // namespace
+
+void write_vtk(const std::string& path, const TetMesh& m,
+               std::span<const double> q) {
+  if (!q.empty() && q.size() != static_cast<std::size_t>(m.num_vertices) * kNs)
+    throw std::invalid_argument("write_vtk: q size mismatch");
+  File f = open_or_throw(path, "w");
+  std::fprintf(f.get(),
+               "# vtk DataFile Version 3.0\nfun3d-smo volume\nASCII\n"
+               "DATASET UNSTRUCTURED_GRID\n");
+  write_points(f.get(), m);
+  const std::size_t nt = m.tets.size();
+  std::fprintf(f.get(), "CELLS %zu %zu\n", nt, nt * 5);
+  for (const auto& t : m.tets)
+    std::fprintf(f.get(), "4 %d %d %d %d\n", t[0], t[1], t[2], t[3]);
+  std::fprintf(f.get(), "CELL_TYPES %zu\n", nt);
+  for (std::size_t i = 0; i < nt; ++i) std::fprintf(f.get(), "10\n");
+  write_point_data(f.get(), m, q);
+}
+
+void write_vtk_surface(const std::string& path, const TetMesh& m,
+                       std::span<const double> q) {
+  if (!q.empty() && q.size() != static_cast<std::size_t>(m.num_vertices) * kNs)
+    throw std::invalid_argument("write_vtk_surface: q size mismatch");
+  File f = open_or_throw(path, "w");
+  std::fprintf(f.get(),
+               "# vtk DataFile Version 3.0\nfun3d-smo surface\nASCII\n"
+               "DATASET UNSTRUCTURED_GRID\n");
+  write_points(f.get(), m);
+  const std::size_t nf = m.bfaces.size();
+  std::fprintf(f.get(), "CELLS %zu %zu\n", nf, nf * 4);
+  for (const auto& bf : m.bfaces)
+    std::fprintf(f.get(), "3 %d %d %d\n", bf.v[0], bf.v[1], bf.v[2]);
+  std::fprintf(f.get(), "CELL_TYPES %zu\n", nf);
+  for (std::size_t i = 0; i < nf; ++i) std::fprintf(f.get(), "5\n");
+  std::fprintf(f.get(), "CELL_DATA %zu\n", nf);
+  std::fprintf(f.get(), "SCALARS bc_tag int 1\nLOOKUP_TABLE default\n");
+  for (const auto& bf : m.bfaces)
+    std::fprintf(f.get(), "%d\n", static_cast<int>(bf.tag));
+  write_point_data(f.get(), m, q);
+}
+
+std::uint64_t mesh_fingerprint(const TetMesh& m) {
+  // FNV-1a over topology counts and a sample of edges.
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(m.num_vertices));
+  mix(m.tets.size());
+  mix(m.edges.size());
+  const std::size_t stride = std::max<std::size_t>(1, m.edges.size() / 64);
+  for (std::size_t e = 0; e < m.edges.size(); e += stride) {
+    mix(static_cast<std::uint64_t>(m.edges[e].first) << 32 |
+        static_cast<std::uint32_t>(m.edges[e].second));
+  }
+  return h;
+}
+
+namespace {
+constexpr std::uint64_t kCheckpointMagic = 0x46554e3344434b50ull;  // FUN3DCKP
+}
+
+void save_checkpoint(const std::string& path, const TetMesh& m,
+                     std::span<const double> q) {
+  if (q.size() != static_cast<std::size_t>(m.num_vertices) * kNs)
+    throw std::invalid_argument("save_checkpoint: q size mismatch");
+  File f = open_or_throw(path, "wb");
+  const std::uint64_t header[3] = {kCheckpointMagic, mesh_fingerprint(m),
+                                   q.size()};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
+      std::fwrite(q.data(), sizeof(double), q.size(), f.get()) != q.size())
+    throw std::runtime_error("save_checkpoint: short write to " + path);
+}
+
+void load_checkpoint(const std::string& path, const TetMesh& m,
+                     std::span<double> q) {
+  File f = open_or_throw(path, "rb");
+  std::uint64_t header[3];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1)
+    throw std::runtime_error("load_checkpoint: short read");
+  if (header[0] != kCheckpointMagic)
+    throw std::runtime_error("load_checkpoint: not a checkpoint file");
+  if (header[1] != mesh_fingerprint(m))
+    throw std::runtime_error(
+        "load_checkpoint: checkpoint belongs to a different mesh");
+  if (header[2] != q.size())
+    throw std::runtime_error("load_checkpoint: solution size mismatch");
+  if (std::fread(q.data(), sizeof(double), q.size(), f.get()) != q.size())
+    throw std::runtime_error("load_checkpoint: truncated data");
+}
+
+}  // namespace fun3d

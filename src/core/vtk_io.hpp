@@ -1,0 +1,36 @@
+// Legacy-VTK output of meshes and flow solutions (ParaView/VisIt readable),
+// and a binary checkpoint format for solver restarts.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+/// Writes the tetrahedral mesh as an ASCII legacy-VTK unstructured grid.
+/// With `q` (nv*4: p,u,v,w) attached, adds pressure + velocity point data.
+/// Throws std::runtime_error on I/O failure.
+void write_vtk(const std::string& path, const TetMesh& m,
+               std::span<const double> q = {});
+
+/// Writes only the boundary surface (triangles) with their BC tag as cell
+/// data — handy for inspecting the wing bump and wall pressure.
+void write_vtk_surface(const std::string& path, const TetMesh& m,
+                       std::span<const double> q = {});
+
+/// Binary checkpoint of a solution vector, keyed to the mesh by a
+/// topology fingerprint so restarts onto a different mesh are rejected.
+void save_checkpoint(const std::string& path, const TetMesh& m,
+                     std::span<const double> q);
+
+/// Loads a checkpoint into `q` (must be nv*4). Throws on fingerprint or
+/// size mismatch.
+void load_checkpoint(const std::string& path, const TetMesh& m,
+                     std::span<double> q);
+
+/// Topology fingerprint (vertices, tets, edge hash) used by checkpoints.
+std::uint64_t mesh_fingerprint(const TetMesh& m);
+
+}  // namespace fun3d

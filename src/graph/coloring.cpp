@@ -1,0 +1,68 @@
+#include "graph/coloring.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fun3d {
+
+Coloring greedy_coloring(const CsrGraph& g, std::span<const idx_t> order) {
+  const idx_t n = g.num_vertices();
+  Coloring c;
+  c.color.assign(static_cast<std::size_t>(n), -1);
+  std::vector<idx_t> forbidden(static_cast<std::size_t>(n), -1);
+  auto color_vertex = [&](idx_t v) {
+    for (idx_t u : g.neighbors(v))
+      if (c.color[u] >= 0) forbidden[static_cast<std::size_t>(c.color[u])] = v;
+    idx_t col = 0;
+    while (forbidden[static_cast<std::size_t>(col)] == v) ++col;
+    c.color[v] = col;
+    c.ncolors = std::max(c.ncolors, col + 1);
+  };
+  if (order.empty()) {
+    for (idx_t v = 0; v < n; ++v) color_vertex(v);
+  } else {
+    for (idx_t v : order) color_vertex(v);
+  }
+  return c;
+}
+
+std::vector<idx_t> degree_descending_order(const CsrGraph& g) {
+  const idx_t n = g.num_vertices();
+  std::vector<idx_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+    return g.degree(a) > g.degree(b);
+  });
+  return order;
+}
+
+bool is_valid_coloring(const CsrGraph& g, const Coloring& c) {
+  const idx_t n = g.num_vertices();
+  for (idx_t v = 0; v < n; ++v) {
+    if (c.color[v] < 0 || c.color[v] >= c.ncolors) return false;
+    for (idx_t u : g.neighbors(v))
+      if (c.color[u] == c.color[v]) return false;
+  }
+  return true;
+}
+
+CsrGraph edge_conflict_graph(idx_t num_mesh_vertices,
+                             std::span<const std::pair<idx_t, idx_t>> edges) {
+  // vertex -> incident mesh-edges
+  std::vector<std::vector<idx_t>> incident(
+      static_cast<std::size_t>(num_mesh_vertices));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    incident[static_cast<std::size_t>(edges[e].first)].push_back(
+        static_cast<idx_t>(e));
+    incident[static_cast<std::size_t>(edges[e].second)].push_back(
+        static_cast<idx_t>(e));
+  }
+  std::vector<std::pair<idx_t, idx_t>> conflicts;
+  for (const auto& inc : incident)
+    for (std::size_t i = 0; i < inc.size(); ++i)
+      for (std::size_t j = i + 1; j < inc.size(); ++j)
+        conflicts.emplace_back(inc[i], inc[j]);
+  return build_csr_from_edges(static_cast<idx_t>(edges.size()), conflicts);
+}
+
+}  // namespace fun3d

@@ -1,0 +1,33 @@
+// Greedy graph colouring. The paper notes edge loops have "colour-wise
+// concurrency" but rejects colouring for locality reasons; we implement it
+// anyway as the comparison baseline and for correctness-checking concurrent
+// edge schedules.
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+struct Coloring {
+  std::vector<idx_t> color;  ///< color[v] in [0, ncolors)
+  idx_t ncolors = 0;
+};
+
+/// Greedy colouring in the given vertex order (empty = natural order).
+/// No two adjacent vertices share a colour.
+Coloring greedy_coloring(const CsrGraph& g,
+                         std::span<const idx_t> order = {});
+
+/// Largest-degree-first ordering, usually fewer colours than natural order.
+std::vector<idx_t> degree_descending_order(const CsrGraph& g);
+
+/// Validates that no arc connects same-coloured vertices.
+bool is_valid_coloring(const CsrGraph& g, const Coloring& c);
+
+/// Builds the "edge conflict graph" for an edge list: vertices are edges of
+/// the mesh, arcs connect mesh-edges sharing a mesh-vertex. Colouring this
+/// yields conflict-free batches of mesh edges.
+CsrGraph edge_conflict_graph(idx_t num_mesh_vertices,
+                             std::span<const std::pair<idx_t, idx_t>> edges);
+
+}  // namespace fun3d

@@ -1,0 +1,136 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+namespace fun3d {
+
+CsrGraph build_csr_from_edges(idx_t n,
+                              std::span<const std::pair<idx_t, idx_t>> edges) {
+  CsrGraph g;
+  g.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [a, b] : edges) {
+    if (a == b) continue;
+    g.rowptr[static_cast<std::size_t>(a) + 1]++;
+    g.rowptr[static_cast<std::size_t>(b) + 1]++;
+  }
+  for (std::size_t i = 1; i < g.rowptr.size(); ++i)
+    g.rowptr[i] += g.rowptr[i - 1];
+  g.col.resize(static_cast<std::size_t>(g.rowptr.back()));
+  std::vector<idx_t> cursor(g.rowptr.begin(), g.rowptr.end() - 1);
+  for (auto [a, b] : edges) {
+    if (a == b) continue;
+    g.col[static_cast<std::size_t>(cursor[a]++)] = b;
+    g.col[static_cast<std::size_t>(cursor[b]++)] = a;
+  }
+  // Sort + dedup each neighbour list, then compact.
+  std::vector<idx_t> new_rowptr(g.rowptr.size(), 0);
+  std::size_t w = 0;
+  for (idx_t v = 0; v < n; ++v) {
+    auto* beg = g.col.data() + g.rowptr[v];
+    auto* end = g.col.data() + g.rowptr[v + 1];
+    std::sort(beg, end);
+    auto* ue = std::unique(beg, end);
+    for (auto* p = beg; p != ue; ++p) g.col[w++] = *p;
+    new_rowptr[static_cast<std::size_t>(v) + 1] = static_cast<idx_t>(w);
+  }
+  g.col.resize(w);
+  g.rowptr = std::move(new_rowptr);
+  return g;
+}
+
+bool is_valid_symmetric(const CsrGraph& g) {
+  const idx_t n = g.num_vertices();
+  for (idx_t v = 0; v < n; ++v) {
+    auto nb = g.neighbors(v);
+    for (std::size_t i = 0; i < nb.size(); ++i) {
+      const idx_t u = nb[i];
+      if (u < 0 || u >= n || u == v) return false;
+      if (i > 0 && nb[i - 1] >= u) return false;  // sorted & unique
+      auto back = g.neighbors(u);
+      if (!std::binary_search(back.begin(), back.end(), v)) return false;
+    }
+  }
+  return true;
+}
+
+BandwidthInfo bandwidth_info(const CsrGraph& g) {
+  BandwidthInfo info;
+  const idx_t n = g.num_vertices();
+  for (idx_t v = 0; v < n; ++v) {
+    idx_t lo = v;
+    for (idx_t u : g.neighbors(v)) {
+      info.bandwidth = std::max(info.bandwidth, std::abs(v - u));
+      lo = std::min(lo, u);
+    }
+    info.profile += static_cast<std::uint64_t>(v - lo);
+  }
+  return info;
+}
+
+CsrGraph permute_graph(const CsrGraph& g, std::span<const idx_t> perm) {
+  const idx_t n = g.num_vertices();
+  assert(static_cast<idx_t>(perm.size()) == n);
+  const std::vector<idx_t> inv = invert_permutation(perm);
+  CsrGraph out;
+  out.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t nv = 0; nv < n; ++nv)
+    out.rowptr[static_cast<std::size_t>(nv) + 1] = g.degree(inv[nv]);
+  for (std::size_t i = 1; i < out.rowptr.size(); ++i)
+    out.rowptr[i] += out.rowptr[i - 1];
+  out.col.resize(g.col.size());
+  for (idx_t nv = 0; nv < n; ++nv) {
+    const idx_t ov = inv[nv];
+    idx_t w = out.rowptr[nv];
+    for (idx_t u : g.neighbors(ov)) out.col[static_cast<std::size_t>(w++)] = perm[u];
+    std::sort(out.col.begin() + out.rowptr[nv],
+              out.col.begin() + out.rowptr[nv + 1]);
+  }
+  return out;
+}
+
+idx_t connected_components(const CsrGraph& g) {
+  const idx_t n = g.num_vertices();
+  std::vector<idx_t> comp(static_cast<std::size_t>(n), -1);
+  std::vector<idx_t> stack;
+  idx_t ncomp = 0;
+  for (idx_t s = 0; s < n; ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = ncomp;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const idx_t v = stack.back();
+      stack.pop_back();
+      for (idx_t u : g.neighbors(v)) {
+        if (comp[u] < 0) {
+          comp[u] = ncomp;
+          stack.push_back(u);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  return ncomp;
+}
+
+std::vector<idx_t> invert_permutation(std::span<const idx_t> perm) {
+  std::vector<idx_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<idx_t>(i);
+  return inv;
+}
+
+bool is_permutation(std::span<const idx_t> perm) {
+  const std::size_t n = perm.size();
+  std::vector<char> seen(n, 0);
+  for (idx_t p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= n) return false;
+    if (seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  return true;
+}
+
+}  // namespace fun3d

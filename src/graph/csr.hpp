@@ -1,0 +1,63 @@
+// Compressed-sparse-row graph: the common substrate for mesh adjacency,
+// Jacobian sparsity, reordering, partitioning and dependency analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace fun3d {
+
+using idx_t = std::int32_t;  ///< vertex / row index type (meshes < 2^31)
+
+/// Undirected (symmetric) or directed graph in CSR form.
+/// `rowptr.size() == n+1`, neighbours of v are `col[rowptr[v]..rowptr[v+1])`.
+struct CsrGraph {
+  std::vector<idx_t> rowptr;
+  std::vector<idx_t> col;
+
+  [[nodiscard]] idx_t num_vertices() const {
+    return rowptr.empty() ? 0 : static_cast<idx_t>(rowptr.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_arcs() const { return col.size(); }
+  [[nodiscard]] std::span<const idx_t> neighbors(idx_t v) const {
+    return {col.data() + rowptr[v],
+            static_cast<std::size_t>(rowptr[v + 1] - rowptr[v])};
+  }
+  [[nodiscard]] idx_t degree(idx_t v) const {
+    return rowptr[v + 1] - rowptr[v];
+  }
+};
+
+/// Builds a symmetric CSR adjacency from an undirected edge list.
+/// Each edge (a,b) produces arcs a->b and b->a. Duplicate edges are merged.
+/// Self loops are dropped. Neighbour lists come out sorted.
+CsrGraph build_csr_from_edges(idx_t n,
+                              std::span<const std::pair<idx_t, idx_t>> edges);
+
+/// True if the graph is structurally symmetric with sorted, unique,
+/// self-loop-free neighbour lists (the invariant most algorithms assume).
+bool is_valid_symmetric(const CsrGraph& g);
+
+/// Matrix bandwidth max|i-j| over arcs, and profile sum_i (i - min_j(i)).
+struct BandwidthInfo {
+  idx_t bandwidth = 0;
+  std::uint64_t profile = 0;
+};
+BandwidthInfo bandwidth_info(const CsrGraph& g);
+
+/// Renumbers graph vertices: new index of old vertex v is perm[v].
+/// Returns the renumbered graph (neighbour lists re-sorted).
+CsrGraph permute_graph(const CsrGraph& g, std::span<const idx_t> perm);
+
+/// Number of connected components (undirected).
+idx_t connected_components(const CsrGraph& g);
+
+/// Inverts a permutation: out[perm[i]] = i.
+std::vector<idx_t> invert_permutation(std::span<const idx_t> perm);
+
+/// True if perm is a bijection on [0, n).
+bool is_permutation(std::span<const idx_t> perm);
+
+}  // namespace fun3d

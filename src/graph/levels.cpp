@@ -1,0 +1,87 @@
+#include "graph/levels.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fun3d {
+
+std::vector<idx_t> compute_levels(const CsrGraph& deps) {
+  const idx_t n = deps.num_vertices();
+  std::vector<idx_t> level(static_cast<std::size_t>(n), 0);
+  for (idx_t i = 0; i < n; ++i) {
+    idx_t lv = 0;
+    for (idx_t j : deps.neighbors(i)) {
+      assert(j < i && "dependency structure must be lower triangular");
+      lv = std::max(lv, level[j] + 1);
+    }
+    level[i] = lv;
+  }
+  return level;
+}
+
+LevelSchedule build_level_schedule(const CsrGraph& deps) {
+  const idx_t n = deps.num_vertices();
+  const std::vector<idx_t> level = compute_levels(deps);
+  LevelSchedule s;
+  s.nlevels = 0;
+  for (idx_t l : level) s.nlevels = std::max(s.nlevels, l + 1);
+  s.level_ptr.assign(static_cast<std::size_t>(s.nlevels) + 1, 0);
+  for (idx_t l : level) s.level_ptr[static_cast<std::size_t>(l) + 1]++;
+  for (std::size_t i = 1; i < s.level_ptr.size(); ++i)
+    s.level_ptr[i] += s.level_ptr[i - 1];
+  s.rows.resize(static_cast<std::size_t>(n));
+  std::vector<idx_t> cursor(s.level_ptr.begin(), s.level_ptr.end() - 1);
+  for (idx_t i = 0; i < n; ++i)
+    s.rows[static_cast<std::size_t>(cursor[level[i]]++)] = i;
+  return s;
+}
+
+bool is_valid_level_schedule(const CsrGraph& deps, const LevelSchedule& s) {
+  const idx_t n = deps.num_vertices();
+  if (static_cast<idx_t>(s.rows.size()) != n) return false;
+  std::vector<idx_t> level_of(static_cast<std::size_t>(n), -1);
+  for (idx_t l = 0; l < s.nlevels; ++l)
+    for (idx_t r : s.level(l)) {
+      if (level_of[r] != -1) return false;  // duplicate
+      level_of[r] = l;
+    }
+  for (idx_t i = 0; i < n; ++i) {
+    if (level_of[i] < 0) return false;  // missing
+    for (idx_t j : deps.neighbors(i))
+      if (level_of[j] >= level_of[i]) return false;
+  }
+  return true;
+}
+
+double dag_critical_path(const CsrGraph& deps,
+                         std::span<const double> row_cost) {
+  const idx_t n = deps.num_vertices();
+  auto cost = [&](idx_t i) {
+    return row_cost.empty() ? 1.0 + static_cast<double>(deps.degree(i))
+                            : row_cost[i];
+  };
+  std::vector<double> path(static_cast<std::size_t>(n), 0.0);
+  double longest = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    double p = 0;
+    for (idx_t j : deps.neighbors(i)) p = std::max(p, path[j]);
+    path[i] = p + cost(i);
+    longest = std::max(longest, path[i]);
+  }
+  return longest;
+}
+
+double dag_parallelism(const CsrGraph& deps,
+                       std::span<const double> row_cost) {
+  const idx_t n = deps.num_vertices();
+  auto cost = [&](idx_t i) {
+    return row_cost.empty() ? 1.0 + static_cast<double>(deps.degree(i))
+                            : row_cost[i];
+  };
+  double total = 0;
+  for (idx_t i = 0; i < n; ++i) total += cost(i);
+  const double cp = dag_critical_path(deps, row_cost);
+  return cp > 0 ? total / cp : 1.0;
+}
+
+}  // namespace fun3d

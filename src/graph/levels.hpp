@@ -1,0 +1,49 @@
+// Level scheduling of sparse triangular dependency DAGs (Anderson & Saad),
+// and the paper's "available parallelism" metric (total flops / flops along
+// the longest dependency path) used in Table II.
+//
+// A dependency structure is a CSR "graph" where neighbors(i) lists the
+// predecessor rows of row i (all < i for a lower-triangular solve).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+/// Rows grouped by wavefront level; rows within a level are independent.
+struct LevelSchedule {
+  std::vector<idx_t> level_ptr;  ///< size nlevels+1
+  std::vector<idx_t> rows;       ///< rows in level order (ascending in level)
+  idx_t nlevels = 0;
+
+  [[nodiscard]] std::span<const idx_t> level(idx_t l) const {
+    return {rows.data() + level_ptr[l],
+            static_cast<std::size_t>(level_ptr[l + 1] - level_ptr[l])};
+  }
+};
+
+/// level(i) = 1 + max level over predecessors (entries have level 0).
+/// `deps` must be acyclic with all predecessors preceding their row when
+/// processed in index order (true for triangular factors).
+std::vector<idx_t> compute_levels(const CsrGraph& deps);
+
+LevelSchedule build_level_schedule(const CsrGraph& deps);
+
+/// Validates: every row appears once; each row's level exceeds all its
+/// predecessors' levels.
+bool is_valid_level_schedule(const CsrGraph& deps, const LevelSchedule& s);
+
+/// Paper §III-B parallelism metric. `row_cost[i]` is the flop count of row i
+/// (empty = use 1 + #predecessors, proportional to the row inner product).
+/// Returns total_cost / max over rows of (cost along longest path ending at
+/// the row).
+double dag_parallelism(const CsrGraph& deps,
+                       std::span<const double> row_cost = {});
+
+/// Critical path cost (denominator of dag_parallelism).
+double dag_critical_path(const CsrGraph& deps,
+                         std::span<const double> row_cost = {});
+
+}  // namespace fun3d

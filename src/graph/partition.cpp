@@ -1,0 +1,167 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+std::uint64_t weight_of(std::span<const idx_t> vweight, idx_t v) {
+  return vweight.empty() ? 1u : static_cast<std::uint64_t>(vweight[v]);
+}
+
+/// One FM-style boundary refinement pass: moves boundary vertices to the
+/// neighbouring part with the highest gain if balance permits. Returns the
+/// number of moves made.
+std::size_t fm_pass(const CsrGraph& g, Partition& p,
+                    std::span<const idx_t> vweight,
+                    std::vector<std::uint64_t>& pw, double max_weight) {
+  const idx_t n = g.num_vertices();
+  std::size_t moves = 0;
+  std::vector<idx_t> cnt(static_cast<std::size_t>(p.nparts), 0);
+  std::vector<idx_t> touched;
+  for (idx_t v = 0; v < n; ++v) {
+    const idx_t from = p.part[v];
+    // Count neighbour parts.
+    touched.clear();
+    for (idx_t u : g.neighbors(v)) {
+      const idx_t q = p.part[u];
+      if (cnt[q] == 0) touched.push_back(q);
+      cnt[q]++;
+    }
+    idx_t best_part = from;
+    idx_t best_gain = 0;
+    for (idx_t q : touched) {
+      if (q == from) continue;
+      const idx_t gain = cnt[q] - cnt[from];  // cut-edge reduction
+      if (gain > best_gain) {
+        const std::uint64_t w = weight_of(vweight, v);
+        if (static_cast<double>(pw[q] + w) <= max_weight) {
+          best_gain = gain;
+          best_part = q;
+        }
+      }
+    }
+    for (idx_t q : touched) cnt[q] = 0;
+    if (best_part != from) {
+      const std::uint64_t w = weight_of(vweight, v);
+      pw[from] -= w;
+      pw[best_part] += w;
+      p.part[v] = best_part;
+      ++moves;
+    }
+  }
+  return moves;
+}
+
+}  // namespace
+
+Partition partition_natural(idx_t n, idx_t nparts) {
+  Partition p;
+  p.nparts = nparts;
+  p.part.resize(static_cast<std::size_t>(n));
+  // Even contiguous blocks with the remainder spread over the first parts.
+  const idx_t base = n / nparts, rem = n % nparts;
+  idx_t v = 0;
+  for (idx_t q = 0; q < nparts; ++q) {
+    const idx_t count = base + (q < rem ? 1 : 0);
+    for (idx_t i = 0; i < count; ++i) p.part[v++] = q;
+  }
+  return p;
+}
+
+Partition partition_graph(const CsrGraph& g, idx_t nparts,
+                          std::span<const idx_t> vweight,
+                          const PartitionOptions& opt) {
+  const idx_t n = g.num_vertices();
+  Partition p;
+  p.nparts = nparts;
+  p.part.assign(static_cast<std::size_t>(n), -1);
+  if (nparts <= 1) {
+    std::fill(p.part.begin(), p.part.end(), 0);
+    p.nparts = std::max<idx_t>(nparts, 1);
+    return p;
+  }
+
+  std::uint64_t total_w = 0;
+  for (idx_t v = 0; v < n; ++v) total_w += weight_of(vweight, v);
+  const double target = static_cast<double>(total_w) / nparts;
+
+  // BFS-grow: each part grows from a seed until it reaches its target
+  // weight, preferring frontier vertices with many neighbours already in
+  // the part (reduces cut).
+  Rng rng(opt.seed);
+  std::vector<std::uint64_t> pw(static_cast<std::size_t>(nparts), 0);
+  idx_t next_unassigned = 0;
+  for (idx_t q = 0; q < nparts; ++q) {
+    // Seed: first unassigned vertex (natural order keeps parts roughly
+    // spatially coherent after RCM).
+    while (next_unassigned < n && p.part[next_unassigned] >= 0)
+      ++next_unassigned;
+    if (next_unassigned >= n) break;
+    std::vector<idx_t> frontier{next_unassigned};
+    p.part[next_unassigned] = q;
+    pw[q] += weight_of(vweight, next_unassigned);
+    std::size_t cursor = 0;
+    while (static_cast<double>(pw[q]) < target && cursor < frontier.size()) {
+      const idx_t v = frontier[cursor++];
+      for (idx_t u : g.neighbors(v)) {
+        if (p.part[u] >= 0) continue;
+        if (static_cast<double>(pw[q]) >= target) break;
+        p.part[u] = q;
+        pw[q] += weight_of(vweight, u);
+        frontier.push_back(u);
+      }
+    }
+  }
+  // Any vertices left (disconnected leftovers): assign to lightest part.
+  for (idx_t v = 0; v < n; ++v) {
+    if (p.part[v] >= 0) continue;
+    const idx_t q = static_cast<idx_t>(
+        std::min_element(pw.begin(), pw.end()) - pw.begin());
+    p.part[v] = q;
+    pw[q] += weight_of(vweight, v);
+  }
+
+  const double max_weight = target * opt.balance_tol;
+  for (int pass = 0; pass < opt.refine_passes; ++pass) {
+    if (fm_pass(g, p, vweight, pw, max_weight) == 0) break;
+  }
+  return p;
+}
+
+std::uint64_t edge_cut(const CsrGraph& g, const Partition& p) {
+  std::uint64_t cut = 0;
+  const idx_t n = g.num_vertices();
+  for (idx_t v = 0; v < n; ++v)
+    for (idx_t u : g.neighbors(v))
+      if (u > v && p.part[u] != p.part[v]) ++cut;
+  return cut;
+}
+
+std::vector<std::uint64_t> part_weights(const Partition& p,
+                                        std::span<const idx_t> vweight) {
+  std::vector<std::uint64_t> pw(static_cast<std::size_t>(p.nparts), 0);
+  for (std::size_t v = 0; v < p.part.size(); ++v)
+    pw[static_cast<std::size_t>(p.part[v])] +=
+        weight_of(vweight, static_cast<idx_t>(v));
+  return pw;
+}
+
+double partition_imbalance(const Partition& p,
+                           std::span<const idx_t> vweight) {
+  const auto pw = part_weights(p, vweight);
+  std::uint64_t mx = 0, sum = 0;
+  for (auto w : pw) {
+    mx = std::max(mx, w);
+    sum += w;
+  }
+  if (sum == 0) return 1.0;
+  return static_cast<double>(mx) * pw.size() / static_cast<double>(sum);
+}
+
+}  // namespace fun3d

@@ -1,0 +1,50 @@
+// Graph partitioning: the METIS stand-in used for thread-level domain
+// decomposition of edge loops (paper §V-A "METIS based partitioning") and for
+// multi-node rank decomposition in the cluster simulator.
+//
+// Single-level BFS-grow greedy partitioning followed by boundary
+// Fiduccia–Mattheyses refinement. Quality goal (matching the paper's use of
+// METIS): balanced vertex counts and low edge cut, so that per-thread
+// replicated (cut) edges drop from ~40% (natural-order split) to a few %.
+#pragma once
+
+#include <span>
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+/// part[v] in [0, nparts).
+struct Partition {
+  std::vector<idx_t> part;
+  idx_t nparts = 0;
+};
+
+/// Contiguous equal-count blocks in natural vertex order
+/// (paper's "Basic partitioning").
+Partition partition_natural(idx_t n, idx_t nparts);
+
+struct PartitionOptions {
+  int refine_passes = 4;        ///< FM boundary passes (0 disables)
+  double balance_tol = 1.03;    ///< max part weight / average
+  unsigned seed = 12345;        ///< seed-vertex selection
+};
+
+/// BFS-grow + FM-refined k-way partition. `vweight` (optional, size n)
+/// weights vertices by work; empty means unit weights.
+Partition partition_graph(const CsrGraph& g, idx_t nparts,
+                          std::span<const idx_t> vweight = {},
+                          const PartitionOptions& opt = {});
+
+/// Number of edges (unordered pairs) crossing parts.
+std::uint64_t edge_cut(const CsrGraph& g, const Partition& p);
+
+/// Total vertex weight per part (unit weights if vweight empty).
+std::vector<std::uint64_t> part_weights(const Partition& p,
+                                        std::span<const idx_t> vweight = {});
+
+/// Load imbalance of part weights: max/mean (1.0 = perfect).
+double partition_imbalance(const Partition& p,
+                           std::span<const idx_t> vweight = {});
+
+}  // namespace fun3d

@@ -1,0 +1,92 @@
+#include "graph/rcm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace fun3d {
+
+idx_t bfs_levels(const CsrGraph& g, idx_t root, std::vector<idx_t>& level) {
+  const idx_t n = g.num_vertices();
+  level.assign(static_cast<std::size_t>(n), -1);
+  std::vector<idx_t> frontier{root};
+  level[root] = 0;
+  idx_t depth = 0;
+  std::vector<idx_t> next;
+  while (!frontier.empty()) {
+    next.clear();
+    for (idx_t v : frontier) {
+      for (idx_t u : g.neighbors(v)) {
+        if (level[u] < 0) {
+          level[u] = depth + 1;
+          next.push_back(u);
+        }
+      }
+    }
+    if (next.empty()) break;
+    ++depth;
+    frontier.swap(next);
+  }
+  return depth + 1;
+}
+
+idx_t pseudo_peripheral_vertex(const CsrGraph& g, idx_t start) {
+  std::vector<idx_t> level;
+  idx_t root = start;
+  idx_t depth = bfs_levels(g, root, level);
+  for (int iter = 0; iter < 16; ++iter) {  // converges in a handful of rounds
+    // Find minimum-degree vertex of the deepest level.
+    idx_t best = -1;
+    for (idx_t v = 0; v < g.num_vertices(); ++v) {
+      if (level[v] != depth - 1) continue;
+      if (best < 0 || g.degree(v) < g.degree(best)) best = v;
+    }
+    if (best < 0) break;
+    std::vector<idx_t> level2;
+    const idx_t depth2 = bfs_levels(g, best, level2);
+    if (depth2 <= depth) break;
+    root = best;
+    depth = depth2;
+    level.swap(level2);
+  }
+  return root;
+}
+
+std::vector<idx_t> rcm_permutation(const CsrGraph& g) {
+  const idx_t n = g.num_vertices();
+  std::vector<idx_t> order;  // order[k] = old vertex visited k-th
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<idx_t> nbuf;
+
+  for (idx_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    const idx_t root = pseudo_peripheral_vertex(g, seed);
+    // Cuthill–McKee BFS with neighbours visited in increasing-degree order.
+    std::size_t head = order.size();
+    order.push_back(root);
+    visited[root] = 1;
+    while (head < order.size()) {
+      const idx_t v = order[head++];
+      nbuf.clear();
+      for (idx_t u : g.neighbors(v))
+        if (!visited[u]) nbuf.push_back(u);
+      std::sort(nbuf.begin(), nbuf.end(), [&](idx_t a, idx_t b) {
+        return g.degree(a) != g.degree(b) ? g.degree(a) < g.degree(b) : a < b;
+      });
+      for (idx_t u : nbuf) {
+        visited[u] = 1;
+        order.push_back(u);
+      }
+    }
+  }
+  assert(static_cast<idx_t>(order.size()) == n);
+  // Reverse, then convert visit order to permutation perm[old]=new.
+  std::vector<idx_t> perm(static_cast<std::size_t>(n));
+  for (idx_t k = 0; k < n; ++k)
+    perm[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] =
+        n - 1 - k;
+  return perm;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,23 @@
+// Reverse Cuthill–McKee vertex reordering (paper §V-A: "The vertex numbering
+// is reordered using Reverse Cuthill-McKee to improve locality").
+#pragma once
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+/// BFS level structure from `root`: level[v] = distance, -1 if unreachable.
+/// Returns the number of levels (eccentricity + 1 of the component).
+idx_t bfs_levels(const CsrGraph& g, idx_t root, std::vector<idx_t>& level);
+
+/// Pseudo-peripheral vertex via the George–Liu iteration: repeatedly BFS and
+/// jump to a minimum-degree vertex of the deepest level until the
+/// eccentricity stops growing.
+idx_t pseudo_peripheral_vertex(const CsrGraph& g, idx_t start);
+
+/// Reverse Cuthill–McKee permutation: perm[old] = new.
+/// Handles disconnected graphs (each component seeded at a pseudo-peripheral
+/// vertex of minimum degree).
+std::vector<idx_t> rcm_permutation(const CsrGraph& g);
+
+}  // namespace fun3d

@@ -1,0 +1,131 @@
+#include "graph/sparsify.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace fun3d {
+namespace {
+
+bool has(std::span<const idx_t> sorted, idx_t x) {
+  return std::binary_search(sorted.begin(), sorted.end(), x);
+}
+
+/// True if `target` is reachable from `from` within `hops` dependency hops
+/// in `deps` (excluding the trivial 0-hop case).
+bool reachable(const CsrGraph& deps, idx_t from, idx_t target, int hops) {
+  if (hops <= 0) return false;
+  auto d = deps.neighbors(from);
+  if (has(d, target)) return true;
+  if (hops == 1) return false;
+  for (idx_t m : d) {
+    if (m < target) continue;  // deps only point downward; prune
+    if (reachable(deps, m, target, hops - 1)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CsrGraph transitive_reduce(const CsrGraph& deps, int hops) {
+  const idx_t n = deps.num_vertices();
+  CsrGraph out;
+  out.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<idx_t> kept;
+  std::vector<idx_t> all_kept;
+  for (idx_t i = 0; i < n; ++i) {
+    auto d = deps.neighbors(i);
+    kept.clear();
+    // In a DAG an edge (j -> i) is redundant iff a path of length >= 2 from
+    // some other predecessor reaches j; removing all such edges at once is
+    // safe (transitive reduction of a DAG is unique).
+    for (std::size_t a = 0; a < d.size(); ++a) {
+      const idx_t j = d[a];
+      bool redundant = false;
+      for (std::size_t b = 0; b < d.size() && !redundant; ++b) {
+        if (a == b) continue;
+        const idx_t k = d[b];
+        if (k <= j) continue;  // a covering path must come from a later dep
+        redundant = reachable(deps, k, j, hops);
+      }
+      if (!redundant) kept.push_back(j);
+    }
+    out.rowptr[static_cast<std::size_t>(i) + 1] =
+        out.rowptr[static_cast<std::size_t>(i)] +
+        static_cast<idx_t>(kept.size());
+    all_kept.insert(all_kept.end(), kept.begin(), kept.end());
+  }
+  out.col = std::move(all_kept);
+  return out;
+}
+
+P2PSyncPlan build_p2p_plan(const CsrGraph& deps, const Partition& owner,
+                           bool reduce, int hops) {
+  const idx_t n = deps.num_vertices();
+  P2PSyncPlan plan;
+  for (idx_t i = 0; i < n; ++i)
+    for (idx_t j : deps.neighbors(i))
+      if (owner.part[i] != owner.part[j]) plan.raw_cross_deps++;
+
+  const CsrGraph reduced = reduce ? transitive_reduce(deps, hops) : deps;
+
+  plan.wait_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::map<idx_t, idx_t> waits;  // thread -> max row needed
+  for (idx_t i = 0; i < n; ++i) {
+    waits.clear();
+    for (idx_t j : reduced.neighbors(i)) {
+      const idx_t tj = owner.part[j];
+      if (tj == owner.part[i]) continue;  // in-order execution covers it
+      auto [it, inserted] = waits.emplace(tj, j);
+      if (!inserted) it->second = std::max(it->second, j);
+    }
+    for (auto [t, r] : waits) {
+      plan.wait_thread.push_back(t);
+      plan.wait_row.push_back(r);
+    }
+    plan.wait_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<idx_t>(plan.wait_thread.size());
+  }
+  plan.reduced_cross_deps = plan.wait_thread.size();
+  return plan;
+}
+
+bool p2p_plan_covers(const CsrGraph& deps, const Partition& owner,
+                     const P2PSyncPlan& plan) {
+  const idx_t n = deps.num_vertices();
+  const idx_t nt = owner.nparts;
+  // snapshot[i][t] = highest row of thread t guaranteed complete once
+  // owner(i) has finished row i (given in-order execution per thread and the
+  // plan's waits, with knowledge propagating through waits).
+  std::vector<std::vector<idx_t>> snapshot(
+      static_cast<std::size_t>(n),
+      std::vector<idx_t>(static_cast<std::size_t>(nt), -1));
+  std::vector<idx_t> last_row_of_thread(static_cast<std::size_t>(nt), -1);
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t ti = owner.part[i];
+    std::vector<idx_t>& know = snapshot[static_cast<std::size_t>(i)];
+    // Inherit from this thread's previous row.
+    if (last_row_of_thread[ti] >= 0)
+      know = snapshot[static_cast<std::size_t>(last_row_of_thread[ti])];
+    // Apply waits: learn everything the awaited thread knew at that row.
+    for (idx_t w = plan.wait_ptr[i]; w < plan.wait_ptr[i + 1]; ++w) {
+      const idx_t r = plan.wait_row[static_cast<std::size_t>(w)];
+      const auto& other = snapshot[static_cast<std::size_t>(r)];
+      for (idx_t t = 0; t < nt; ++t)
+        know[static_cast<std::size_t>(t)] =
+            std::max(know[static_cast<std::size_t>(t)],
+                     other[static_cast<std::size_t>(t)]);
+    }
+    // Check all true dependencies are guaranteed.
+    for (idx_t j : deps.neighbors(i)) {
+      const idx_t tj = owner.part[j];
+      if (tj == ti) continue;
+      if (know[static_cast<std::size_t>(tj)] < j) return false;
+    }
+    know[static_cast<std::size_t>(ti)] = i;
+    last_row_of_thread[ti] = i;
+  }
+  return true;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,49 @@
+// Synchronization sparsification for point-to-point triangular solves
+// (stand-in for Park, Smelyanskiy & Dubey, ISC'14, cited as [26] in the
+// paper): removes redundant dependency edges by approximate transitive
+// reduction, then reduces cross-thread waits to one monotone progress check
+// per predecessor thread.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/partition.hpp"
+
+namespace fun3d {
+
+/// Approximate transitive edge reduction of a lower-triangular dependency
+/// DAG: drops dependency (j -> i) when another retained predecessor k of i
+/// already (transitively, checked up to `hops` indirections) depends on j.
+/// The reduced DAG admits exactly the same execution orders.
+CsrGraph transitive_reduce(const CsrGraph& deps, int hops = 2);
+
+/// Cross-thread synchronization plan for a P2P triangular solve, given row
+/// ownership. Threads process their rows in ascending index order and
+/// publish a monotone per-thread progress counter; a wait on (thread t, row
+/// r) blocks until t's counter passes r. Intra-thread dependencies need no
+/// sync; multiple waits on the same predecessor thread collapse to the max.
+struct P2PSyncPlan {
+  /// For each row: list of (owner_thread, last_row_needed) waits.
+  std::vector<idx_t> wait_ptr;      ///< size n+1
+  std::vector<idx_t> wait_thread;   ///< owner thread to wait on
+  std::vector<idx_t> wait_row;      ///< row index the owner must have passed
+  std::uint64_t raw_cross_deps = 0;      ///< cross-thread deps before any reduction
+  std::uint64_t reduced_cross_deps = 0;  ///< waits after reduction
+
+  [[nodiscard]] std::size_t num_waits(idx_t row) const {
+    return static_cast<std::size_t>(wait_ptr[row + 1] - wait_ptr[row]);
+  }
+};
+
+/// Builds the sync plan. If `reduce` is true, applies transitive reduction
+/// before collapsing waits (the paper's P2P-Sparse); otherwise only the
+/// per-thread max collapse is applied.
+P2PSyncPlan build_p2p_plan(const CsrGraph& deps, const Partition& owner,
+                           bool reduce = true, int hops = 2);
+
+/// Verifies the plan is sufficient: honouring the waits implies every
+/// dependency in `deps` is satisfied (assuming in-order execution within a
+/// thread). Exhaustive check, O(arcs).
+bool p2p_plan_covers(const CsrGraph& deps, const Partition& owner,
+                     const P2PSyncPlan& plan);
+
+}  // namespace fun3d

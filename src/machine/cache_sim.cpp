@@ -1,0 +1,96 @@
+#include "machine/cache_sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace fun3d {
+
+namespace {
+bool is_pow2(std::size_t x) { return x && (x & (x - 1)) == 0; }
+}  // namespace
+
+CacheLevel::CacheLevel(std::size_t size_bytes, int associativity,
+                       int line_bytes)
+    : assoc_(associativity), line_bytes_(line_bytes) {
+  if (associativity <= 0 || line_bytes <= 0 || size_bytes == 0)
+    throw std::invalid_argument("CacheLevel: bad geometry");
+  num_sets_ = size_bytes / (static_cast<std::size_t>(associativity) *
+                            static_cast<std::size_t>(line_bytes));
+  if (num_sets_ == 0) num_sets_ = 1;
+  if (!is_pow2(num_sets_)) {
+    // Round down to a power of two so the index is a mask.
+    std::size_t p = 1;
+    while (p * 2 <= num_sets_) p *= 2;
+    num_sets_ = p;
+  }
+  tags_.assign(num_sets_ * static_cast<std::size_t>(assoc_), ~0ull);
+  age_.assign(tags_.size(), 0);
+}
+
+bool CacheLevel::access(std::uint64_t line_addr) {
+  const std::size_t set = static_cast<std::size_t>(line_addr) & (num_sets_ - 1);
+  const std::size_t base = set * static_cast<std::size_t>(assoc_);
+  ++clock_;
+  int lru_way = 0;
+  std::uint32_t lru_age = age_[base];
+  for (int w = 0; w < assoc_; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == line_addr) {
+      age_[base + static_cast<std::size_t>(w)] = clock_;
+      ++hits_;
+      return true;
+    }
+    if (age_[base + static_cast<std::size_t>(w)] < lru_age) {
+      lru_age = age_[base + static_cast<std::size_t>(w)];
+      lru_way = w;
+    }
+  }
+  tags_[base + static_cast<std::size_t>(lru_way)] = line_addr;
+  age_[base + static_cast<std::size_t>(lru_way)] = clock_;
+  ++misses_;
+  return false;
+}
+
+void CacheLevel::reset() {
+  std::fill(tags_.begin(), tags_.end(), ~0ull);
+  std::fill(age_.begin(), age_.end(), 0u);
+  clock_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+CacheSim::CacheSim(const std::vector<CacheLevelSpec>& levels) {
+  for (const auto& s : levels)
+    levels_.emplace_back(s.size_bytes, s.associativity, s.line_bytes);
+  if (levels_.empty())
+    throw std::invalid_argument("CacheSim: at least one level required");
+}
+
+void CacheSim::access(std::uint64_t addr, std::uint32_t bytes) {
+  const int line = levels_[0].line_bytes();
+  const std::uint64_t first = addr / static_cast<std::uint64_t>(line);
+  const std::uint64_t last =
+      (addr + bytes - 1) / static_cast<std::uint64_t>(line);
+  for (std::uint64_t l = first; l <= last; ++l) {
+    for (auto& lev : levels_) {
+      if (lev.access(l)) break;  // hit: done; misses install downward
+    }
+  }
+}
+
+void CacheSim::reset() {
+  for (auto& l : levels_) l.reset();
+}
+
+std::uint64_t CacheSim::dram_bytes() const {
+  const auto& last = levels_.back();
+  return last.misses() * static_cast<std::uint64_t>(last.line_bytes());
+}
+
+double CacheSim::hit_rate(std::size_t i) const {
+  const auto& l = levels_[i];
+  const std::uint64_t total = l.hits() + l.misses();
+  return total ? static_cast<double>(l.hits()) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace fun3d

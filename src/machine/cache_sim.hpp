@@ -1,0 +1,66 @@
+// Multi-level set-associative LRU cache simulator.
+//
+// Estimates the DRAM traffic of irregular kernels (edge gathers, factor
+// sweeps) by replaying their address streams. This is what lets the machine
+// model distinguish the AoS vs SoA vertex layouts (paper §V-A: AoS gives
+// ~20% better L1/L2 reuse => ~40% kernel speedup) without the real caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+
+namespace fun3d {
+
+/// One cache level. True LRU within a set.
+class CacheLevel {
+ public:
+  CacheLevel(std::size_t size_bytes, int associativity, int line_bytes);
+
+  /// Returns true on hit; on miss installs the line (LRU eviction).
+  bool access(std::uint64_t line_addr);
+  void reset();
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+
+ private:
+  int assoc_;
+  int line_bytes_;
+  std::size_t num_sets_;
+  // ways_[set*assoc + w] = tag (line address), lru_[..] = age stamp.
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> age_;
+  std::uint32_t clock_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+/// Inclusive-enough multi-level hierarchy: an access probes L1, then L2, ...
+/// installing on each missed level. DRAM traffic = LLC misses * line size.
+class CacheSim {
+ public:
+  explicit CacheSim(const std::vector<CacheLevelSpec>& levels);
+  static CacheSim for_machine(const MachineSpec& m) {
+    return CacheSim(m.caches);
+  }
+
+  /// Touch [addr, addr+bytes) — every spanned line is accessed.
+  void access(std::uint64_t addr, std::uint32_t bytes);
+  void reset();
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] const CacheLevel& level(std::size_t i) const {
+    return levels_[i];
+  }
+  /// Estimated bytes moved from DRAM (misses in the last level).
+  [[nodiscard]] std::uint64_t dram_bytes() const;
+  /// Hit rate of level i over its own accesses.
+  [[nodiscard]] double hit_rate(std::size_t i) const;
+
+ private:
+  std::vector<CacheLevel> levels_;
+};
+
+}  // namespace fun3d

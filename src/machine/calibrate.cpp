@@ -1,0 +1,92 @@
+#include "machine/calibrate.hpp"
+
+#include <algorithm>
+
+#include "simd/vecd.hpp"
+#include "util/aligned.hpp"
+#include "util/timer.hpp"
+
+namespace fun3d {
+
+HostCalibration calibrate_host(std::size_t bytes) {
+  HostCalibration c;
+  const std::size_t n = bytes / (3 * sizeof(double));
+  AVec<double> a(n, 0.0), b(n, 1.0), d(n, 2.0);
+  const double s = 3.0;
+
+  const double triad_sec = time_best([&] {
+    for (std::size_t i = 0; i < n; ++i) a[i] = b[i] + s * d[i];
+  });
+  c.stream_triad_gbs =
+      static_cast<double>(3 * n * sizeof(double)) / triad_sec / 1e9;
+
+  // Scalar flops: 8 independent accumulator chains, 2 flops per fma.
+  // Volatile coefficients and sink keep the compiler from folding or
+  // eliminating the arithmetic.
+  volatile double vmul = 0.999999, vadd = 1e-9;
+  volatile double sink = 0;
+  const double mul_c = vmul, add_c = vadd;
+  const std::size_t iters = 4u << 20;
+  double acc[8] = {1, 1, 1, 1, 1, 1, 1, 1};
+  const double scalar_sec = time_best([&] {
+    double x0 = acc[0], x1 = acc[1], x2 = acc[2], x3 = acc[3];
+    double x4 = acc[4], x5 = acc[5], x6 = acc[6], x7 = acc[7];
+    for (std::size_t i = 0; i < iters; ++i) {
+      x0 = x0 * mul_c + add_c;
+      x1 = x1 * mul_c + add_c;
+      x2 = x2 * mul_c + add_c;
+      x3 = x3 * mul_c + add_c;
+      x4 = x4 * mul_c + add_c;
+      x5 = x5 * mul_c + add_c;
+      x6 = x6 * mul_c + add_c;
+      x7 = x7 * mul_c + add_c;
+    }
+    acc[0] = x0; acc[1] = x1; acc[2] = x2; acc[3] = x3;
+    acc[4] = x4; acc[5] = x5; acc[6] = x6; acc[7] = x7;
+    sink = x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7;
+  });
+  c.scalar_gflops = static_cast<double>(iters) * 8 * 2 / scalar_sec / 1e9;
+
+  // SIMD flops: 8 vector accumulators, 8 flops per Vec4d fma.
+  Vec4d v[8];
+  for (auto& x : v) x = Vec4d(1.0);
+  const Vec4d mul(mul_c), add(add_c);
+  const double simd_sec = time_best([&] {
+    Vec4d y0 = v[0], y1 = v[1], y2 = v[2], y3 = v[3];
+    Vec4d y4 = v[4], y5 = v[5], y6 = v[6], y7 = v[7];
+    for (std::size_t i = 0; i < iters; ++i) {
+      y0 = Vec4d::fma(y0, mul, add);
+      y1 = Vec4d::fma(y1, mul, add);
+      y2 = Vec4d::fma(y2, mul, add);
+      y3 = Vec4d::fma(y3, mul, add);
+      y4 = Vec4d::fma(y4, mul, add);
+      y5 = Vec4d::fma(y5, mul, add);
+      y6 = Vec4d::fma(y6, mul, add);
+      y7 = Vec4d::fma(y7, mul, add);
+    }
+    v[0] = y0; v[1] = y1; v[2] = y2; v[3] = y3;
+    v[4] = y4; v[5] = y5; v[6] = y6; v[7] = y7;
+    sink = y0.lane(0) + y1.lane(1) + y2.lane(2) + y3.lane(3);
+  });
+  c.simd_gflops = static_cast<double>(iters) * 8 * 8 / simd_sec / 1e9;
+  (void)sink;
+  return c;
+}
+
+MachineSpec host_machine(const HostCalibration& c) {
+  MachineSpec m;
+  m.name = "host (calibrated, 1 core)";
+  m.cores = 1;
+  m.threads_per_core = 1;
+  m.ghz = 1.0;  // rates absorbed below
+  m.scalar_flops_per_cycle = c.scalar_gflops;
+  m.simd_flops_per_cycle = c.simd_gflops;
+  m.stream_bw_gbs = c.stream_triad_gbs;
+  m.peak_bw_gbs = c.stream_triad_gbs * 1.2;
+  m.bw_1core_gbs = c.stream_triad_gbs;
+  m.caches = {{32 * 1024, 8, 64}, {1024 * 1024, 8, 64},
+              {32 * 1024 * 1024, 16, 64}};
+  return m;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,23 @@
+// Host calibration: measures what this machine can actually do (STREAM-like
+// bandwidth, scalar/SIMD flop rates) so that (a) single-core measurements
+// can be compared against model predictions and (b) a `MachineSpec` for the
+// host can be constructed.
+#pragma once
+
+#include "machine/machine_model.hpp"
+
+namespace fun3d {
+
+struct HostCalibration {
+  double stream_triad_gbs = 0;   ///< a[i] = b[i] + s*c[i] over ~64 MB
+  double scalar_gflops = 0;      ///< dependent-chain-free scalar FMA loop
+  double simd_gflops = 0;        ///< vectorized FMA loop
+};
+
+/// Runs the microbenchmarks (~a second). `bytes` controls the triad size.
+HostCalibration calibrate_host(std::size_t bytes = 64u << 20);
+
+/// Host MachineSpec (single core) from a calibration.
+MachineSpec host_machine(const HostCalibration& c);
+
+}  // namespace fun3d

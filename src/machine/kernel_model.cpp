@@ -1,0 +1,200 @@
+#include "machine/kernel_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fun3d {
+
+PhaseTime model_edge_loop(const MachineSpec& m, const LatencyModel& lat,
+                          const std::vector<EdgeLoopCounts>& per_thread,
+                          bool sw_prefetch, int barriers) {
+  const int p = static_cast<int>(per_thread.size());
+  const double scalar_rate = m.ghz * 1e9 * m.scalar_flops_per_cycle;
+  const double simd_rate = m.ghz * 1e9 * m.simd_flops_per_cycle;
+  const double bw_share = m.effective_bw_gbs(p) * 1e9 / std::max(p, 1);
+  const double hide =
+      sw_prefetch ? lat.hide_factor_sw_prefetch : lat.hide_factor;
+
+  PhaseTime out;
+  double total_bytes = 0;
+  for (const auto& w : per_thread) {
+    const double compute =
+        w.scalar_flops / scalar_rate + w.simd_flops / simd_rate +
+        w.atomics * m.atomic_contended_ns * 1e-9;
+    const double memory = w.dram_bytes / bw_share;
+    const double stalls = (w.llc_miss_lines * lat.dram_latency_ns +
+                           w.l2_miss_lines * lat.llc_latency_ns) *
+                          (1.0 - hide) * 1e-9;
+    const double t = std::max(compute, memory) + stalls;
+    if (t > out.seconds) {
+      out.seconds = t;
+      out.compute_seconds = compute;
+      out.memory_seconds = memory + stalls;
+      out.bandwidth_bound = memory > compute;
+    }
+    total_bytes += w.dram_bytes;
+  }
+  out.sync_seconds = barriers * m.barrier_seconds(p);
+  out.seconds += out.sync_seconds;
+  out.achieved_bw_gbs = out.seconds > 0 ? total_bytes / out.seconds / 1e9 : 0;
+  return out;
+}
+
+RecurrenceWork trsv_row_work(const IluFactor& f) {
+  const idx_t n = f.num_rows();
+  RecurrenceWork w;
+  w.simd_fraction = 0.3;  // 4x4 gemv vectorizes poorly (paper §V-B)
+  w.row_flops.resize(static_cast<std::size_t>(n));
+  w.row_bytes.resize(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    const double blocks =
+        static_cast<double>(f.row_end(i) - f.row_begin(i));
+    w.row_flops[static_cast<std::size_t>(i)] = blocks * 2.0 * kBs2;
+    // Factor blocks + column indices streamed once; x/b vector accesses.
+    w.row_bytes[static_cast<std::size_t>(i)] =
+        blocks * (kBs2 * 8.0 + 4.0) + 2.0 * kBs * 8.0;
+  }
+  return w;
+}
+
+RecurrenceWork ilu_row_work(const IluFactor& f) {
+  const idx_t n = f.num_rows();
+  RecurrenceWork w;
+  w.simd_fraction = 0.75;  // 4x4 gemm rows vectorize well
+  w.row_flops.resize(static_cast<std::size_t>(n));
+  w.row_bytes.resize(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    // Per L-part entry k: one gemm for L_ik plus updates against row k's
+    // U part; approximate updates by the U length of row k.
+    double flops = 2.0 * kBs * kBs2;  // diagonal inversion
+    double bytes = 0;
+    for (idx_t nz = f.row_begin(i); nz < f.diag_index(i); ++nz) {
+      const idx_t k = f.col(nz);
+      const double ulen =
+          static_cast<double>(f.row_end(k) - f.diag_index(k) - 1);
+      flops += 2.0 * kBs * kBs2 * (1.0 + ulen);
+      bytes += (1.0 + ulen) * kBs2 * 8.0;  // row k streamed
+    }
+    const double own_blocks =
+        static_cast<double>(f.row_end(i) - f.row_begin(i));
+    bytes += own_blocks * (kBs2 * 8.0 * 2.0 + 4.0);  // read A, write factor
+    w.row_flops[static_cast<std::size_t>(i)] = flops;
+    w.row_bytes[static_cast<std::size_t>(i)] = bytes;
+  }
+  return w;
+}
+
+namespace {
+
+/// One chunk of recurrence work on one core, with `p` cores sharing
+/// bandwidth (`p` = 1 for critical-path rows, which execute with little
+/// concurrent traffic). `simd_fraction` splits flops across pipe classes.
+PhaseTime recurrence_phase(const MachineSpec& m, double flops, double bytes,
+                           int p, double simd_fraction) {
+  PhaseTime t;
+  const double scalar_rate = m.ghz * 1e9 * m.scalar_flops_per_cycle;
+  const double simd_rate = m.ghz * 1e9 * m.simd_flops_per_cycle;
+  const double rate = 1.0 / ((1.0 - simd_fraction) / scalar_rate +
+                             simd_fraction / simd_rate);
+  const double bw = m.effective_bw_gbs(p) * 1e9 / std::max(p, 1);
+  t.compute_seconds = flops / rate;
+  t.memory_seconds = bytes / bw;
+  t.seconds = std::max(t.compute_seconds, t.memory_seconds);
+  t.bandwidth_bound = t.memory_seconds > t.compute_seconds;
+  return t;
+}
+
+}  // namespace
+
+PhaseTime model_level_schedule(const MachineSpec& m,
+                               const RecurrenceWork& work,
+                               const LevelSchedule& sched, int p) {
+  PhaseTime out;
+  double total_bytes = 0;
+  for (idx_t l = 0; l < sched.nlevels; ++l) {
+    const auto rows = sched.level(l);
+    // Round-robin deal of the level's rows to p threads.
+    std::vector<double> tf(static_cast<std::size_t>(p), 0.0),
+        tb(static_cast<std::size_t>(p), 0.0);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      const std::size_t t = k % static_cast<std::size_t>(p);
+      tf[t] += work.row_flops[static_cast<std::size_t>(rows[k])];
+      tb[t] += work.row_bytes[static_cast<std::size_t>(rows[k])];
+      total_bytes += work.row_bytes[static_cast<std::size_t>(rows[k])];
+    }
+    double slowest = 0;
+    for (int t = 0; t < p; ++t) {
+      const PhaseTime pt =
+          recurrence_phase(m, tf[static_cast<std::size_t>(t)],
+                           tb[static_cast<std::size_t>(t)], p,
+                           work.simd_fraction);
+      slowest = std::max(slowest, pt.seconds);
+    }
+    out.seconds += slowest + m.barrier_seconds(p);
+    out.sync_seconds += m.barrier_seconds(p);
+  }
+  out.achieved_bw_gbs = out.seconds > 0 ? total_bytes / out.seconds / 1e9 : 0;
+  out.bandwidth_bound = true;
+  return out;
+}
+
+PhaseTime model_p2p(const MachineSpec& m, const RecurrenceWork& work,
+                    const CsrGraph& deps, const Partition& owner,
+                    const P2PSyncPlan& plan, int p) {
+  const idx_t n = deps.num_vertices();
+  PhaseTime out;
+  // Per-thread busy time.
+  std::vector<double> tf(static_cast<std::size_t>(p), 0.0),
+      tb(static_cast<std::size_t>(p), 0.0);
+  double total_bytes = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    const std::size_t t = static_cast<std::size_t>(owner.part[i]);
+    tf[t] += work.row_flops[static_cast<std::size_t>(i)];
+    tb[t] += work.row_bytes[static_cast<std::size_t>(i)];
+    total_bytes += work.row_bytes[static_cast<std::size_t>(i)];
+  }
+  double slowest = 0;
+  for (int t = 0; t < p; ++t)
+    slowest = std::max(slowest,
+                       recurrence_phase(m, tf[static_cast<std::size_t>(t)],
+                                        tb[static_cast<std::size_t>(t)], p,
+                                        work.simd_fraction)
+                           .seconds);
+  // Critical path through the dependency DAG. Rows on the critical path
+  // execute with little concurrent traffic, so they see the single-core
+  // bandwidth, not the p-way share.
+  std::vector<double> path(static_cast<std::size_t>(n), 0.0);
+  double cp = 0;
+  for (idx_t i = 0; i < n; ++i) {
+    double pmax = 0;
+    for (idx_t j : deps.neighbors(i))
+      pmax = std::max(pmax, path[static_cast<std::size_t>(j)]);
+    const double row_t =
+        recurrence_phase(m, work.row_flops[static_cast<std::size_t>(i)],
+                         work.row_bytes[static_cast<std::size_t>(i)], 1,
+                         work.simd_fraction)
+            .seconds;
+    path[static_cast<std::size_t>(i)] = pmax + row_t;
+    cp = std::max(cp, path[static_cast<std::size_t>(i)]);
+  }
+  const double wait_overhead =
+      static_cast<double>(plan.reduced_cross_deps) * m.p2p_wait_ns * 1e-9 /
+      std::max(p, 1);
+  out.seconds = std::max(slowest, cp) + wait_overhead;
+  out.sync_seconds = wait_overhead;
+  out.achieved_bw_gbs = out.seconds > 0 ? total_bytes / out.seconds / 1e9 : 0;
+  out.bandwidth_bound = true;
+  return out;
+}
+
+PhaseTime model_recurrence_serial(const MachineSpec& m,
+                                  const RecurrenceWork& work) {
+  double flops = 0, bytes = 0;
+  for (double f : work.row_flops) flops += f;
+  for (double b : work.row_bytes) bytes += b;
+  PhaseTime t = recurrence_phase(m, flops, bytes, 1, work.simd_fraction);
+  t.achieved_bw_gbs = t.seconds > 0 ? bytes / t.seconds / 1e9 : 0;
+  return t;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,96 @@
+#include "machine/machine_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fun3d {
+
+double MachineSpec::effective_bw_gbs(int p) const {
+  const double linear = bw_1core_gbs * std::max(p, 1);
+  return std::min(linear, stream_bw_gbs);
+}
+
+double MachineSpec::barrier_seconds(int p) const {
+  if (p <= 1) return 0.0;
+  return (barrier_base_us + barrier_log_us * std::log2(static_cast<double>(p))) *
+         1e-6;
+}
+
+MachineSpec MachineSpec::xeon_e5_2690v2() {
+  MachineSpec m;
+  m.name = "Xeon E5-2690 v2 (1 socket)";
+  m.cores = 10;
+  m.threads_per_core = 2;
+  m.ghz = 3.0;
+  m.scalar_flops_per_cycle = 2.0;
+  m.simd_flops_per_cycle = 8.0;  // 4-wide DP mul + 4-wide DP add per cycle
+  m.peak_bw_gbs = 42.2;
+  m.stream_bw_gbs = 34.8;
+  // Paper Fig. 7b: TRSV reaches ~94% of STREAM and saturates beyond 4 cores.
+  m.bw_1core_gbs = 34.8 / 4.0;
+  m.caches = {{32 * 1024, 8, 64}, {256 * 1024, 8, 64},
+              {25 * 1024 * 1024, 20, 64}};
+  return m;
+}
+
+MachineSpec MachineSpec::stampede_node() {
+  MachineSpec m;
+  m.name = "Stampede node (2x Xeon E5-2680)";
+  m.cores = 16;
+  m.threads_per_core = 1;  // hyper-threading disabled on Stampede
+  m.ghz = 2.7;
+  m.scalar_flops_per_cycle = 2.0;
+  m.simd_flops_per_cycle = 8.0;
+  m.peak_bw_gbs = 2 * 51.2;
+  m.stream_bw_gbs = 2 * 38.0;
+  m.bw_1core_gbs = 38.0 / 4.0;
+  m.caches = {{32 * 1024, 8, 64}, {256 * 1024, 8, 64},
+              {20 * 1024 * 1024, 20, 64}};
+  return m;
+}
+
+namespace {
+
+PhaseTime compose(const MachineSpec& m, const std::vector<ThreadWork>& work,
+                  int active, int barriers) {
+  PhaseTime out;
+  const double scalar_rate = m.ghz * 1e9 * m.scalar_flops_per_cycle;
+  const double simd_rate = m.ghz * 1e9 * m.simd_flops_per_cycle;
+  const double bw_share =
+      m.effective_bw_gbs(active) * 1e9 / std::max(active, 1);
+  double total_bytes = 0;
+  for (const auto& w : work) {
+    const double compute = w.scalar_flops / scalar_rate +
+                           w.simd_flops / simd_rate +
+                           w.atomics * m.atomic_rmw_ns * 1e-9 +
+                           w.contended_atomics * m.atomic_contended_ns * 1e-9 +
+                           w.p2p_waits * m.p2p_wait_ns * 1e-9;
+    const double memory = w.dram_bytes / bw_share;
+    const double t = std::max(compute, memory);
+    if (t > out.seconds) {
+      out.seconds = t;
+      out.compute_seconds = compute;
+      out.memory_seconds = memory;
+      out.bandwidth_bound = memory > compute;
+    }
+    total_bytes += w.dram_bytes;
+  }
+  out.sync_seconds = barriers * m.barrier_seconds(active);
+  out.seconds += out.sync_seconds;
+  out.achieved_bw_gbs = out.seconds > 0 ? total_bytes / out.seconds / 1e9 : 0;
+  return out;
+}
+
+}  // namespace
+
+PhaseTime model_phase(const MachineSpec& m,
+                      const std::vector<ThreadWork>& per_thread,
+                      int barriers) {
+  return compose(m, per_thread, static_cast<int>(per_thread.size()), barriers);
+}
+
+PhaseTime model_serial(const MachineSpec& m, const ThreadWork& total) {
+  return compose(m, {total}, 1, 0);
+}
+
+}  // namespace fun3d

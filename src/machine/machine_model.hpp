@@ -1,0 +1,95 @@
+// Machine descriptions and the shared-memory execution-time model.
+//
+// The reproduction substitutes a *model* for the paper's 10-core Xeon
+// E5-2690v2 (and Stampede's E5-2680 nodes), because this environment exposes
+// a single core. The model's inputs are *measured* quantities from real runs
+// of the real data structures — per-thread flop counts, DRAM bytes (from the
+// cache simulator), replication overheads, load imbalance, critical paths,
+// synchronization counts — and its outputs are the parallel execution times
+// the missing hardware would produce, composed roofline-style:
+//
+//   t_thread  = max(flops / flop_rate, bytes / bw_share(p))
+//   t_phase   = max_t t_thread + sync_cost(phase)
+//
+// Bandwidth is shared with saturation: total_bw(p) = min(p * bw_1core,
+// stream_bw). The paper's observation that TRSV saturates beyond 4 cores
+// pins bw_1core ~ stream_bw / 4 on the E5-2690v2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fun3d {
+
+struct CacheLevelSpec {
+  std::size_t size_bytes = 0;
+  int associativity = 8;
+  int line_bytes = 64;
+};
+
+struct MachineSpec {
+  std::string name;
+  int cores = 1;
+  int threads_per_core = 2;  ///< hyper-threading (affects thread mapping)
+  double ghz = 3.0;
+  /// Scalar double-precision flops per cycle per core (mul + add pipes).
+  double scalar_flops_per_cycle = 2.0;
+  /// SIMD flops per cycle per core (4-wide DP mul + add on AVX).
+  double simd_flops_per_cycle = 8.0;
+  double peak_bw_gbs = 42.2;    ///< DRAM peak
+  double stream_bw_gbs = 34.8;  ///< measured STREAM
+  double bw_1core_gbs = 9.0;    ///< single-core achievable bandwidth
+  std::vector<CacheLevelSpec> caches;  ///< L1, L2, LLC
+
+  // Synchronization cost constants (calibrated to typical x86 latencies).
+  double barrier_base_us = 0.4;     ///< OpenMP barrier base cost
+  double barrier_log_us = 0.25;     ///< + log2(threads) scaling
+  double atomic_rmw_ns = 5.0;       ///< uncontended lock-prefixed add
+  double atomic_contended_ns = 28.0;///< cache-line ping-pong add
+  double p2p_wait_ns = 60.0;        ///< one satisfied point-to-point wait
+
+  /// Peak double-precision Gflop/s with SIMD (e.g. 240 for E5-2690v2).
+  [[nodiscard]] double peak_gflops() const {
+    return cores * ghz * simd_flops_per_cycle;
+  }
+  /// Aggregate achievable bandwidth with `p` active cores (GB/s).
+  [[nodiscard]] double effective_bw_gbs(int p) const;
+  /// OpenMP-style barrier cost for `p` threads (seconds).
+  [[nodiscard]] double barrier_seconds(int p) const;
+
+  /// The paper's single-node platform: 1 socket of the 2x Xeon E5-2690v2
+  /// workstation (10 cores @ 3.0 GHz, AVX, 240 Gflop/s, 42.2/34.8 GB/s).
+  static MachineSpec xeon_e5_2690v2();
+  /// One Stampede node: 2x Xeon E5-2680 (16 cores total @ 2.7 GHz).
+  static MachineSpec stampede_node();
+};
+
+/// Work performed by one thread in one parallel phase.
+struct ThreadWork {
+  double scalar_flops = 0;  ///< flops executed on the scalar pipes
+  double simd_flops = 0;    ///< flops executed on SIMD units
+  double dram_bytes = 0;    ///< estimated DRAM traffic (cache-sim or model)
+  double atomics = 0;       ///< atomic RMW count (uncontended assumed)
+  double contended_atomics = 0;
+  double p2p_waits = 0;     ///< point-to-point waits performed
+};
+
+struct PhaseTime {
+  double seconds = 0;
+  double compute_seconds = 0;   ///< slowest thread's compute component
+  double memory_seconds = 0;    ///< slowest thread's memory component
+  double sync_seconds = 0;
+  bool bandwidth_bound = false;
+  double achieved_bw_gbs = 0;   ///< total bytes / seconds
+};
+
+/// Composes one barrier-free parallel phase from per-thread work.
+/// `barriers` adds that many barrier costs (e.g. level-scheduled TRSV).
+PhaseTime model_phase(const MachineSpec& m,
+                      const std::vector<ThreadWork>& per_thread,
+                      int barriers = 0);
+
+/// Serial-equivalent time of the same work on one core (for speedups).
+PhaseTime model_serial(const MachineSpec& m, const ThreadWork& total);
+
+}  // namespace fun3d

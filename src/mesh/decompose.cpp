@@ -1,0 +1,84 @@
+#include "mesh/decompose.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+
+std::uint64_t Decomposition::total_ghosts() const {
+  std::uint64_t s = 0;
+  for (const auto& sub : subs) s += static_cast<std::uint64_t>(sub.num_ghosts);
+  return s;
+}
+
+std::uint64_t Decomposition::total_cut_edges() const {
+  std::uint64_t s = 0;
+  for (const auto& sub : subs) s += sub.cut_edges;
+  return s;
+}
+
+Decomposition decompose(TetMesh& m, idx_t nparts, bool use_graph_partitioner,
+                        const PartitionOptions& opt) {
+  Decomposition d;
+  const CsrGraph g = m.vertex_graph();
+  Partition p = use_graph_partitioner
+                    ? partition_graph(g, nparts, {}, opt)
+                    : partition_natural(m.num_vertices, nparts);
+
+  // Stable renumbering making parts contiguous: new id = rank of (part, old).
+  const idx_t n = m.num_vertices;
+  std::vector<idx_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](idx_t a, idx_t b) {
+    return p.part[a] < p.part[b];
+  });
+  d.perm.resize(static_cast<std::size_t>(n));
+  for (idx_t k = 0; k < n; ++k)
+    d.perm[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = k;
+
+  apply_vertex_permutation(m, d.perm);
+
+  d.part.nparts = nparts;
+  d.part.part.resize(static_cast<std::size_t>(n));
+  for (idx_t old = 0; old < n; ++old)
+    d.part.part[static_cast<std::size_t>(d.perm[static_cast<std::size_t>(old)])] =
+        p.part[static_cast<std::size_t>(old)];
+
+  d.subs.assign(static_cast<std::size_t>(nparts), {});
+  for (idx_t q = 0; q < nparts; ++q) d.subs[static_cast<std::size_t>(q)].owner = q;
+  // Row ranges (parts are contiguous in the new numbering).
+  {
+    std::vector<idx_t> count(static_cast<std::size_t>(nparts), 0);
+    for (idx_t v = 0; v < n; ++v) count[static_cast<std::size_t>(d.part.part[v])]++;
+    idx_t begin = 0;
+    for (idx_t q = 0; q < nparts; ++q) {
+      auto& sub = d.subs[static_cast<std::size_t>(q)];
+      sub.row_begin = begin;
+      begin += count[static_cast<std::size_t>(q)];
+      sub.row_end = begin;
+    }
+  }
+  // Halo and cut statistics from the renumbered edge list.
+  std::vector<std::set<idx_t>> ghosts(static_cast<std::size_t>(nparts));
+  for (const auto& [a, b] : m.edges) {
+    const idx_t pa = d.part.part[static_cast<std::size_t>(a)];
+    const idx_t pb = d.part.part[static_cast<std::size_t>(b)];
+    if (pa == pb) {
+      d.subs[static_cast<std::size_t>(pa)].interior_edges++;
+    } else {
+      d.subs[static_cast<std::size_t>(pa)].cut_edges++;
+      d.subs[static_cast<std::size_t>(pb)].cut_edges++;
+      ghosts[static_cast<std::size_t>(pa)].insert(b);
+      ghosts[static_cast<std::size_t>(pb)].insert(a);
+    }
+  }
+  for (idx_t q = 0; q < nparts; ++q)
+    d.subs[static_cast<std::size_t>(q)].num_ghosts =
+        static_cast<idx_t>(ghosts[static_cast<std::size_t>(q)].size());
+  return d;
+}
+
+}  // namespace fun3d

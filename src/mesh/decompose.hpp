@@ -1,0 +1,43 @@
+// Domain decomposition of a mesh into subdomains: drives thread-level
+// ownership of edge loops, block-Jacobi/additive-Schwarz preconditioning,
+// and the multi-node cluster simulator's halo-exchange volumes.
+#pragma once
+
+#include "graph/partition.hpp"
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+struct Subdomain {
+  idx_t owner = 0;
+  idx_t row_begin = 0;  ///< first owned vertex (contiguous after renumber)
+  idx_t row_end = 0;    ///< one past last owned vertex
+  idx_t num_ghosts = 0; ///< off-part vertices referenced by owned edges
+  std::uint64_t interior_edges = 0;  ///< both endpoints owned
+  std::uint64_t cut_edges = 0;       ///< one endpoint owned
+
+  [[nodiscard]] idx_t num_owned() const { return row_end - row_begin; }
+};
+
+/// Decomposition with subdomain-contiguous vertex numbering.
+struct Decomposition {
+  Partition part;                 ///< in the *new* numbering
+  std::vector<idx_t> perm;        ///< old -> new vertex id
+  std::vector<Subdomain> subs;
+
+  [[nodiscard]] idx_t nparts() const { return part.nparts; }
+  /// Total halo (ghost) vertices across parts — proportional to point-to-
+  /// point communication volume per halo exchange.
+  [[nodiscard]] std::uint64_t total_ghosts() const;
+  /// Total cut edges (each induces replicated flux work or messages).
+  [[nodiscard]] std::uint64_t total_cut_edges() const;
+};
+
+/// Partitions mesh vertices (graph partitioner if `use_graph_partitioner`,
+/// else natural-order blocks), renumbers vertices so each part is
+/// contiguous (stable within a part), applies the renumbering to the mesh,
+/// and gathers per-subdomain statistics.
+Decomposition decompose(TetMesh& m, idx_t nparts, bool use_graph_partitioner,
+                        const PartitionOptions& opt = {});
+
+}  // namespace fun3d

@@ -1,0 +1,52 @@
+#include "mesh/dual.hpp"
+
+#include <cmath>
+
+namespace fun3d {
+
+double dual_closure_error(const TetMesh& m) {
+  const std::size_t nv = static_cast<std::size_t>(m.num_vertices);
+  std::vector<double> sx(nv, 0.0), sy(nv, 0.0), sz(nv, 0.0);
+  for (std::size_t e = 0; e < m.edges.size(); ++e) {
+    const auto [a, b] = m.edges[e];
+    // Normal points a -> b: outward for a, inward for b.
+    sx[static_cast<std::size_t>(a)] += m.dual_nx[e];
+    sy[static_cast<std::size_t>(a)] += m.dual_ny[e];
+    sz[static_cast<std::size_t>(a)] += m.dual_nz[e];
+    sx[static_cast<std::size_t>(b)] -= m.dual_nx[e];
+    sy[static_cast<std::size_t>(b)] -= m.dual_ny[e];
+    sz[static_cast<std::size_t>(b)] -= m.dual_nz[e];
+  }
+  for (std::size_t f = 0; f < m.bfaces.size(); ++f) {
+    for (idx_t v : m.bfaces[f].v) {
+      sx[static_cast<std::size_t>(v)] += m.bface_nx[f] / 3.0;
+      sy[static_cast<std::size_t>(v)] += m.bface_ny[f] / 3.0;
+      sz[static_cast<std::size_t>(v)] += m.bface_nz[f] / 3.0;
+    }
+  }
+  double worst = 0.0;
+  for (std::size_t v = 0; v < nv; ++v) {
+    const double mag = std::sqrt(sx[v] * sx[v] + sy[v] * sy[v] + sz[v] * sz[v]);
+    worst = std::max(worst, mag);
+  }
+  return worst;
+}
+
+double surface_closure_error(const TetMesh& m) {
+  double sx = 0, sy = 0, sz = 0;
+  for (std::size_t f = 0; f < m.bfaces.size(); ++f) {
+    sx += m.bface_nx[f];
+    sy += m.bface_ny[f];
+    sz += m.bface_nz[f];
+  }
+  return std::sqrt(sx * sx + sy * sy + sz * sz);
+}
+
+double volume_consistency_error(const TetMesh& m) {
+  double vt = 0, vd = 0;
+  for (const auto& t : m.tets) vt += tet_volume(m, t);
+  for (double v : m.dual_vol) vd += v;
+  return std::abs(vt - vd) / std::max(vt, 1e-300);
+}
+
+}  // namespace fun3d

@@ -1,0 +1,21 @@
+// Verification utilities for the median-dual metrics: discrete conservation
+// identities that the finite-volume scheme relies on. Used by tests and by
+// mesh generation sanity checks.
+#pragma once
+
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+/// Max over vertices of |sum of outward dual-face area vectors + 1/3 of the
+/// incident boundary-face area vectors|. Zero (to roundoff) for a valid
+/// median-dual closure — this is what makes the FV scheme conservative.
+double dual_closure_error(const TetMesh& m);
+
+/// |sum of all boundary face area vectors| — zero for a watertight boundary.
+double surface_closure_error(const TetMesh& m);
+
+/// Relative difference between sum of dual volumes and sum of tet volumes.
+double volume_consistency_error(const TetMesh& m);
+
+}  // namespace fun3d

@@ -1,0 +1,189 @@
+#include "mesh/generate.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace fun3d {
+namespace {
+
+// Kuhn subdivision: 6 tets per cube, one per permutation of the axes, all
+// sharing the main diagonal 000 -> 111. Conforming across translated cubes.
+constexpr int kAxisPerms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                                  {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+
+struct GridIndexer {
+  idx_t nx, ny, nz;  // cell counts
+  [[nodiscard]] idx_t vid(idx_t i, idx_t j, idx_t k) const {
+    return (k * (ny + 1) + j) * (nx + 1) + i;
+  }
+  [[nodiscard]] idx_t num_vertices() const {
+    return (nx + 1) * (ny + 1) * (nz + 1);
+  }
+};
+
+void add_cube_tets(TetMesh& m, const GridIndexer& g, idx_t i, idx_t j,
+                   idx_t k) {
+  for (const auto& perm : kAxisPerms) {
+    std::array<idx_t, 4> tet;
+    idx_t d[3] = {0, 0, 0};
+    tet[0] = g.vid(i, j, k);
+    for (int s = 0; s < 3; ++s) {
+      d[perm[s]] = 1;
+      tet[static_cast<std::size_t>(s) + 1] =
+          g.vid(i + d[0], j + d[1], k + d[2]);
+    }
+    if (tet_volume(m, tet) < 0) std::swap(tet[2], tet[3]);
+    m.tets.push_back(tet);
+  }
+}
+
+double bump_height_at(const WingBumpParams& p, double x, double y) {
+  if (y > p.span) return 0.0;
+  const double span_frac = y / p.span;
+  const double chord = p.root_chord * (1.0 - p.taper * span_frac);
+  const double x_le = p.x_le0 + p.sweep_tan * y;
+  const double xi = (x - x_le) / chord;
+  if (xi <= 0.0 || xi >= 1.0) return 0.0;
+  const double profile = 4.0 * xi * (1.0 - xi);           // parabolic arc
+  const double span_falloff = 1.0 - span_frac * span_frac; // smooth tip
+  return p.bump_height * profile * span_falloff;
+}
+
+TetMesh generate_structured(const WingBumpParams& p, bool with_bump) {
+  if (p.nx < 1 || p.ny < 1 || p.nz < 1)
+    throw std::invalid_argument("generate: cell counts must be >= 1");
+  TetMesh m;
+  const GridIndexer g{p.nx, p.ny, p.nz};
+  m.num_vertices = g.num_vertices();
+  m.x.resize(static_cast<std::size_t>(m.num_vertices));
+  m.y.resize(static_cast<std::size_t>(m.num_vertices));
+  m.z.resize(static_cast<std::size_t>(m.num_vertices));
+  for (idx_t k = 0; k <= p.nz; ++k) {
+    double w = static_cast<double>(k) / p.nz;
+    if (p.grading > 0)  // cluster points toward the wall at w=0
+      w = std::tanh(p.grading * w) / std::tanh(p.grading);
+    for (idx_t j = 0; j <= p.ny; ++j) {
+      const double y = p.ly * static_cast<double>(j) / p.ny;
+      for (idx_t i = 0; i <= p.nx; ++i) {
+        const double x = p.lx * static_cast<double>(i) / p.nx;
+        const double zb = with_bump ? bump_height_at(p, x, y) : 0.0;
+        const std::size_t v = static_cast<std::size_t>(g.vid(i, j, k));
+        m.x[v] = x;
+        m.y[v] = y;
+        m.z[v] = zb + (p.lz - zb) * w;
+      }
+    }
+  }
+  m.tets.reserve(static_cast<std::size_t>(p.nx) * p.ny * p.nz * 6);
+  for (idx_t k = 0; k < p.nz; ++k)
+    for (idx_t j = 0; j < p.ny; ++j)
+      for (idx_t i = 0; i < p.nx; ++i) add_cube_tets(m, g, i, j, k);
+
+  // Boundary faces: bottom wall (z ~ wall) is slip, the rest far-field.
+  const auto tris = find_boundary_triangles(m);
+  m.bfaces.reserve(tris.size());
+  auto on_bottom = [&](idx_t v) {
+    // Vertices at grid level k=0 have vid < (nx+1)*(ny+1).
+    return v < (p.nx + 1) * (p.ny + 1);
+  };
+  for (const auto& t : tris) {
+    const bool bottom =
+        with_bump && on_bottom(t[0]) && on_bottom(t[1]) && on_bottom(t[2]);
+    m.bfaces.push_back({t, bottom ? BcTag::kSlipWall : BcTag::kFarField});
+  }
+  build_dual_metrics(m);
+  return m;
+}
+
+}  // namespace
+
+TetMesh generate_wing_bump(const WingBumpParams& p) {
+  return generate_structured(p, /*with_bump=*/true);
+}
+
+TetMesh generate_box(idx_t nx, idx_t ny, idx_t nz, double lx, double ly,
+                     double lz) {
+  WingBumpParams p;
+  p.nx = nx;
+  p.ny = ny;
+  p.nz = nz;
+  p.lx = lx;
+  p.ly = ly;
+  p.lz = lz;
+  p.grading = 0.0;
+  return generate_structured(p, /*with_bump=*/false);
+}
+
+WingBumpParams preset_params(MeshPreset preset, double scale) {
+  WingBumpParams p;
+  auto set_dims = [&](double nx, double ny, double nz) {
+    p.nx = std::max<idx_t>(2, static_cast<idx_t>(std::lround(nx / scale)));
+    p.ny = std::max<idx_t>(2, static_cast<idx_t>(std::lround(ny / scale)));
+    p.nz = std::max<idx_t>(2, static_cast<idx_t>(std::lround(nz / scale)));
+  };
+  switch (preset) {
+    case MeshPreset::kTiny:
+      set_dims(6, 4, 4);
+      break;
+    case MeshPreset::kSmall:
+      set_dims(16, 12, 12);
+      break;
+    case MeshPreset::kMeshC:
+      // Full scale: 89*73*56 = 363,832 vertices (paper Mesh-C: 357,900).
+      set_dims(88, 72, 55);
+      break;
+    case MeshPreset::kMeshD:
+      // Full scale: 177*145*109 = 2,797,485 vertices (paper: 2,761,774).
+      set_dims(176, 144, 108);
+      break;
+  }
+  return p;
+}
+
+const char* preset_name(MeshPreset preset) {
+  switch (preset) {
+    case MeshPreset::kTiny: return "Tiny";
+    case MeshPreset::kSmall: return "Small";
+    case MeshPreset::kMeshC: return "Mesh-C";
+    case MeshPreset::kMeshD: return "Mesh-D";
+  }
+  return "?";
+}
+
+std::vector<std::array<idx_t, 3>> find_boundary_triangles(const TetMesh& m) {
+  // Outward-wound faces of a positively oriented tet (a,b,c,d).
+  static constexpr int kFaces[4][3] = {
+      {1, 2, 3}, {0, 3, 2}, {0, 1, 3}, {0, 2, 1}};
+  struct FaceRec {
+    std::array<idx_t, 3> sorted;
+    std::array<idx_t, 3> wound;
+  };
+  std::vector<FaceRec> faces;
+  faces.reserve(m.tets.size() * 4);
+  for (const auto& t : m.tets) {
+    for (const auto& f : kFaces) {
+      FaceRec r;
+      r.wound = {t[static_cast<std::size_t>(f[0])],
+                 t[static_cast<std::size_t>(f[1])],
+                 t[static_cast<std::size_t>(f[2])]};
+      r.sorted = r.wound;
+      std::sort(r.sorted.begin(), r.sorted.end());
+      faces.push_back(r);
+    }
+  }
+  std::sort(faces.begin(), faces.end(),
+            [](const FaceRec& a, const FaceRec& b) { return a.sorted < b.sorted; });
+  std::vector<std::array<idx_t, 3>> out;
+  for (std::size_t i = 0; i < faces.size();) {
+    std::size_t j = i;
+    while (j < faces.size() && faces[j].sorted == faces[i].sorted) ++j;
+    if (j - i == 1) out.push_back(faces[i].wound);  // unshared => boundary
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,50 @@
+// Synthetic unstructured-mesh generator.
+//
+// Substitution for the paper's ONERA M6 wing meshes (not public): a 3D
+// channel with a swept, tapered wing-like bump on the bottom (slip) wall,
+// tetrahedralized by Kuhn subdivision of a graded structured grid. The
+// numbering is deliberately scrambled downstream (see reorder.hpp) so the
+// mesh exhibits the irregular-access behaviour of a real unstructured mesh;
+// topological statistics (degree ~14, edges ~ 6.7x vertices) match the
+// paper's meshes. Presets reproduce Mesh-C / Mesh-D sizes at a given scale.
+#pragma once
+
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+struct WingBumpParams {
+  // Cell counts per direction (vertices are +1).
+  idx_t nx = 16, ny = 12, nz = 12;
+  // Physical extents. Flow is along +x, span along y, wall at z=0.
+  double lx = 4.0, ly = 2.0, lz = 2.0;
+  // Wing-like bump on the bottom wall.
+  double bump_height = 0.12;   ///< max bump height (fraction of lz applied)
+  double root_chord = 1.2;     ///< chord at y=0
+  double taper = 0.4;          ///< tip chord = (1-taper) * root chord
+  double sweep_tan = 0.35;     ///< tan(leading-edge sweep angle)
+  double span = 1.2;           ///< bump vanishes for y > span
+  double x_le0 = 1.0;          ///< leading edge x at root
+  // Vertical grading toward the wall (tanh clustering strength; 0 = uniform).
+  double grading = 1.6;
+};
+
+/// Channel-with-wing-bump mesh. Bottom wall (z side at w=0) is kSlipWall,
+/// all other boundaries kFarField. Dual metrics are built.
+TetMesh generate_wing_bump(const WingBumpParams& p);
+
+/// Plain box [0,lx]x[0,ly]x[0,lz], all boundaries kFarField; for unit tests.
+TetMesh generate_box(idx_t nx, idx_t ny, idx_t nz, double lx = 1.0,
+                     double ly = 1.0, double lz = 1.0);
+
+/// Named sizes mirroring the paper's datasets. `scale` divides each linear
+/// cell count (scale=4 => ~1/64 of the vertices), so benches stay tractable
+/// on small machines while preserving all topological statistics.
+enum class MeshPreset { kTiny, kSmall, kMeshC, kMeshD };
+WingBumpParams preset_params(MeshPreset preset, double scale = 1.0);
+const char* preset_name(MeshPreset preset);
+
+/// All boundary triangles (faces owned by exactly one tet), wound outward.
+std::vector<std::array<idx_t, 3>> find_boundary_triangles(const TetMesh& m);
+
+}  // namespace fun3d

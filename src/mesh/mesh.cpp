@@ -1,0 +1,123 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace fun3d {
+namespace {
+
+struct V3 {
+  double x, y, z;
+};
+V3 operator-(V3 a, V3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+V3 operator+(V3 a, V3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+V3 operator*(double s, V3 a) { return {s * a.x, s * a.y, s * a.z}; }
+V3 cross(V3 a, V3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+double dot(V3 a, V3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+V3 vertex(const TetMesh& m, idx_t v) { return {m.x[v], m.y[v], m.z[v]}; }
+
+/// Vector area of triangle (p,q,r): 0.5 (q-p) x (r-p).
+V3 tri_area(V3 p, V3 q, V3 r) { return 0.5 * cross(q - p, r - p); }
+
+// The 6 edges of a tet as local index pairs (i<j), with the remaining two
+// vertices (k,l) ordered so that (i,j,k,l) is an even permutation of
+// (0,1,2,3); for a positive-volume tet this makes det[j-i, k-i, l-i] > 0,
+// which fixes the winding of the median-dual face piece to point i -> j.
+constexpr int kTetEdges[6][4] = {{0, 1, 2, 3}, {0, 2, 3, 1}, {0, 3, 1, 2},
+                                 {1, 2, 0, 3}, {1, 3, 2, 0}, {2, 3, 0, 1}};
+
+}  // namespace
+
+double tet_volume(const TetMesh& m, const std::array<idx_t, 4>& t) {
+  const V3 a = vertex(m, t[0]), b = vertex(m, t[1]), c = vertex(m, t[2]),
+           d = vertex(m, t[3]);
+  return dot(b - a, cross(c - a, d - a)) / 6.0;
+}
+
+std::vector<std::pair<idx_t, idx_t>> extract_edges(const TetMesh& m) {
+  std::vector<std::pair<idx_t, idx_t>> es;
+  es.reserve(m.tets.size() * 6);
+  for (const auto& t : m.tets) {
+    for (const auto& e : kTetEdges) {
+      idx_t a = t[static_cast<std::size_t>(e[0])];
+      idx_t b = t[static_cast<std::size_t>(e[1])];
+      if (a > b) std::swap(a, b);
+      es.emplace_back(a, b);
+    }
+  }
+  std::sort(es.begin(), es.end());
+  es.erase(std::unique(es.begin(), es.end()), es.end());
+  return es;
+}
+
+CsrGraph TetMesh::vertex_graph() const {
+  return build_csr_from_edges(num_vertices, edges);
+}
+
+void build_dual_metrics(TetMesh& m) {
+  const std::size_t nv = static_cast<std::size_t>(m.num_vertices);
+  m.edges = extract_edges(m);
+  const std::size_t ne = m.edges.size();
+  m.dual_nx.assign(ne, 0.0);
+  m.dual_ny.assign(ne, 0.0);
+  m.dual_nz.assign(ne, 0.0);
+  m.dual_vol.assign(nv, 0.0);
+
+  auto edge_id = [&](idx_t a, idx_t b) -> std::size_t {
+    if (a > b) std::swap(a, b);
+    const auto it = std::lower_bound(m.edges.begin(), m.edges.end(),
+                                     std::make_pair(a, b));
+    assert(it != m.edges.end() && *it == std::make_pair(a, b));
+    return static_cast<std::size_t>(it - m.edges.begin());
+  };
+
+  for (const auto& t : m.tets) {
+    const double vol = tet_volume(m, t);
+    if (!(vol > 0))
+      throw std::runtime_error("build_dual_metrics: non-positive tet volume");
+    // Median dual: each corner owns exactly a quarter of the tet.
+    for (idx_t v : t) m.dual_vol[static_cast<std::size_t>(v)] += vol / 4.0;
+
+    const V3 centroid =
+        0.25 * (vertex(m, t[0]) + vertex(m, t[1]) + vertex(m, t[2]) +
+                vertex(m, t[3]));
+    for (const auto& e : kTetEdges) {
+      const idx_t a = t[static_cast<std::size_t>(e[0])];
+      const idx_t b = t[static_cast<std::size_t>(e[1])];
+      const idx_t c = t[static_cast<std::size_t>(e[2])];
+      const idx_t d = t[static_cast<std::size_t>(e[3])];
+      const V3 pa = vertex(m, a), pb = vertex(m, b);
+      const V3 mid = 0.5 * (pa + pb);
+      const V3 f1 = (1.0 / 3.0) * (pa + pb + vertex(m, c));
+      const V3 f2 = (1.0 / 3.0) * (pa + pb + vertex(m, d));
+      // Quad (mid, f1, centroid, f2): vector area as two triangles, oriented
+      // a -> b by the even-permutation convention above.
+      V3 n = tri_area(mid, f1, centroid) + tri_area(mid, centroid, f2);
+      const std::size_t id = edge_id(a, b);
+      const double sign = (a < b) ? 1.0 : -1.0;  // stored edge is (min,max)
+      m.dual_nx[id] += sign * n.x;
+      m.dual_ny[id] += sign * n.y;
+      m.dual_nz[id] += sign * n.z;
+    }
+  }
+
+  m.bface_nx.assign(m.bfaces.size(), 0.0);
+  m.bface_ny.assign(m.bfaces.size(), 0.0);
+  m.bface_nz.assign(m.bfaces.size(), 0.0);
+  for (std::size_t f = 0; f < m.bfaces.size(); ++f) {
+    const auto& bf = m.bfaces[f];
+    const V3 n = tri_area(vertex(m, bf.v[0]), vertex(m, bf.v[1]),
+                          vertex(m, bf.v[2]));
+    m.bface_nx[f] = n.x;
+    m.bface_ny[f] = n.y;
+    m.bface_nz[f] = n.z;
+  }
+}
+
+}  // namespace fun3d

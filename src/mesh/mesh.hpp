@@ -1,0 +1,66 @@
+// Vertex-centered unstructured tetrahedral mesh with median-dual metrics —
+// the FUN3D-style discretization substrate (paper §II-A).
+//
+// The flow solver works on the *dual* mesh: one control volume per vertex,
+// bounded by faces that bisect the edges. All flux computation is edge-based:
+// each unique vertex pair (edge) carries a directed dual-face area vector.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/aligned.hpp"
+
+namespace fun3d {
+
+/// Boundary condition tags assigned to boundary triangles.
+enum class BcTag : std::uint8_t {
+  kFarField = 0,  ///< characteristic far-field (free stream)
+  kSlipWall = 1,  ///< inviscid wall: no normal flow
+};
+
+/// A boundary triangle (vertices CCW as seen from outside the domain).
+struct BoundaryFace {
+  std::array<idx_t, 3> v;
+  BcTag tag;
+};
+
+struct TetMesh {
+  // --- primal mesh -------------------------------------------------------
+  idx_t num_vertices = 0;
+  AVec<double> x, y, z;                    ///< vertex coordinates (SoA)
+  std::vector<std::array<idx_t, 4>> tets;  ///< positive-volume tetrahedra
+  std::vector<BoundaryFace> bfaces;
+
+  // --- derived edge/dual data (built by build_dual_metrics) --------------
+  /// Unique edges with v0 < v1 ("vertices at one end sorted increasing").
+  std::vector<std::pair<idx_t, idx_t>> edges;
+  /// Directed median-dual face area vector per edge, oriented v0 -> v1 (SoA).
+  AVec<double> dual_nx, dual_ny, dual_nz;
+  /// Median-dual control volume per vertex (vol(T)/4 per incident tet).
+  AVec<double> dual_vol;
+  /// Outward area vector per boundary face (|.| = face area).
+  AVec<double> bface_nx, bface_ny, bface_nz;
+
+  [[nodiscard]] std::size_t num_edges() const { return edges.size(); }
+  [[nodiscard]] std::size_t num_tets() const { return tets.size(); }
+
+  /// Vertex adjacency graph over edges (the Jacobian sparsity off-diagonals).
+  [[nodiscard]] CsrGraph vertex_graph() const;
+};
+
+/// Extracts the unique edge list (v0<v1, lexicographically sorted) from the
+/// tetrahedra. Called by build_dual_metrics; exposed for tests.
+std::vector<std::pair<idx_t, idx_t>> extract_edges(const TetMesh& m);
+
+/// Fills edges, dual face normals, dual volumes, and boundary face normals.
+/// Requires tets and bfaces to be set. Signed tet volumes must be positive.
+void build_dual_metrics(TetMesh& m);
+
+/// Signed volume of tet (a,b,c,d) = det[b-a, c-a, d-a] / 6.
+double tet_volume(const TetMesh& m, const std::array<idx_t, 4>& t);
+
+}  // namespace fun3d

@@ -1,0 +1,50 @@
+#include "mesh/reorder.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "graph/rcm.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+
+void apply_vertex_permutation(TetMesh& m, std::span<const idx_t> perm) {
+  assert(is_permutation(perm));
+  const std::size_t nv = static_cast<std::size_t>(m.num_vertices);
+  AVec<double> nx(nv), ny(nv), nz(nv);
+  for (std::size_t v = 0; v < nv; ++v) {
+    const std::size_t p = static_cast<std::size_t>(perm[v]);
+    nx[p] = m.x[v];
+    ny[p] = m.y[v];
+    nz[p] = m.z[v];
+  }
+  m.x = std::move(nx);
+  m.y = std::move(ny);
+  m.z = std::move(nz);
+  for (auto& t : m.tets)
+    for (auto& v : t) v = perm[v];
+  for (auto& f : m.bfaces)
+    for (auto& v : f.v) v = perm[v];
+  // Edge identities and their traversal order depend on the numbering;
+  // rebuild metrics from the primal mesh.
+  build_dual_metrics(m);
+}
+
+std::vector<idx_t> shuffle_numbering(TetMesh& m, unsigned seed) {
+  std::vector<idx_t> perm(static_cast<std::size_t>(m.num_vertices));
+  std::iota(perm.begin(), perm.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[static_cast<std::size_t>(rng.next_below(i))]);
+  apply_vertex_permutation(m, perm);
+  return perm;
+}
+
+std::vector<idx_t> rcm_reorder(TetMesh& m) {
+  const CsrGraph g = m.vertex_graph();
+  std::vector<idx_t> perm = rcm_permutation(g);
+  apply_vertex_permutation(m, perm);
+  return perm;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,22 @@
+// Vertex renumbering for locality (paper §V-A): random scrambling to mimic
+// raw unstructured-generator output, and RCM-based renumbering to restore
+// locality. Edge lists are re-extracted so edge traversal order follows the
+// new numbering ("vertices at one end of each edge sorted increasing").
+#pragma once
+
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+/// Renumbers vertices: new id of old vertex v is perm[v]. Rebuilds edges and
+/// dual metrics in the new numbering.
+void apply_vertex_permutation(TetMesh& m, std::span<const idx_t> perm);
+
+/// Random bijective renumbering (deterministic in `seed`); models the poor
+/// numbering of real unstructured meshes. Returns the applied permutation.
+std::vector<idx_t> shuffle_numbering(TetMesh& m, unsigned seed = 1);
+
+/// Applies Reverse Cuthill–McKee to the vertex adjacency. Returns perm.
+std::vector<idx_t> rcm_reorder(TetMesh& m);
+
+}  // namespace fun3d

@@ -1,0 +1,47 @@
+#include "mesh/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fun3d {
+
+MeshStats compute_mesh_stats(const TetMesh& m) {
+  MeshStats s;
+  s.vertices = m.num_vertices;
+  s.edges = m.edges.size();
+  s.tets = m.tets.size();
+  s.boundary_faces = m.bfaces.size();
+  s.edges_per_vertex =
+      s.vertices ? static_cast<double>(s.edges) / s.vertices : 0.0;
+  std::vector<double> degree(static_cast<std::size_t>(m.num_vertices), 0.0);
+  for (const auto& [a, b] : m.edges) {
+    degree[static_cast<std::size_t>(a)] += 1;
+    degree[static_cast<std::size_t>(b)] += 1;
+  }
+  s.degree = summarize(degree);
+  s.min_tet_volume = m.tets.empty() ? 0.0 : 1e300;
+  for (const auto& t : m.tets) {
+    const double v = tet_volume(m, t);
+    s.total_volume += v;
+    s.min_tet_volume = std::min(s.min_tet_volume, v);
+  }
+  s.graph_bandwidth = bandwidth_info(m.vertex_graph()).bandwidth;
+  return s;
+}
+
+std::string format_mesh_stats(const MeshStats& s, const std::string& name) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%s: %d vertices, %llu edges (%.2f per vertex), %llu tets, "
+                "%llu boundary faces, degree avg %.1f max %.0f, "
+                "bandwidth %d, volume %.4g (min tet %.3g)",
+                name.c_str(), s.vertices,
+                static_cast<unsigned long long>(s.edges), s.edges_per_vertex,
+                static_cast<unsigned long long>(s.tets),
+                static_cast<unsigned long long>(s.boundary_faces),
+                s.degree.mean, s.degree.max, s.graph_bandwidth,
+                s.total_volume, s.min_tet_volume);
+  return buf;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,27 @@
+// Mesh statistics for reports and for checking that synthetic meshes match
+// the topological profile of the paper's datasets.
+#pragma once
+
+#include <string>
+
+#include "mesh/mesh.hpp"
+#include "util/stats.hpp"
+
+namespace fun3d {
+
+struct MeshStats {
+  idx_t vertices = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t tets = 0;
+  std::uint64_t boundary_faces = 0;
+  double edges_per_vertex = 0;  ///< paper meshes: ~6.7
+  Summary degree;               ///< vertex degree distribution
+  double total_volume = 0;
+  double min_tet_volume = 0;
+  idx_t graph_bandwidth = 0;    ///< adjacency bandwidth (locality proxy)
+};
+
+MeshStats compute_mesh_stats(const TetMesh& m);
+std::string format_mesh_stats(const MeshStats& s, const std::string& name);
+
+}  // namespace fun3d

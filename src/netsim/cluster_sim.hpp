@@ -1,0 +1,84 @@
+// Cluster strong-scaling simulator (paper §VI-B, Figs. 9-11).
+//
+// Inputs are real, measured quantities:
+//  * rank-local mesh sizes and halo volumes from an actual run of the graph
+//    partitioner over the actual mesh at each rank count;
+//  * per-iteration kernel costs from the single-node machine model (which is
+//    itself fed by measured flop counts and cache-simulated traffic);
+//  * solver behaviour (linear iterations per step, reductions per iteration)
+//    from real solver runs, including the block-Jacobi iteration growth with
+//    subdomain count.
+// The network model adds the Allreduce/halo arithmetic of the absent fabric.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "machine/machine_model.hpp"
+#include "mesh/mesh.hpp"
+#include "netsim/network_model.hpp"
+
+namespace fun3d {
+
+/// Per-edge/per-vertex/per-block costs of one linear iteration and one
+/// pseudo-time step on a single core of the node, for a given optimization
+/// level. Derived from the machine model (see make_solver_costs).
+struct SolverCosts {
+  // Per linear (Krylov) iteration, per rank-local entity:
+  double sec_per_edge_iter = 0;    ///< matrix-free residual: flux + gradient
+  double sec_per_vertex_iter = 0;  ///< TRSV + vector primitives
+  // Per pseudo-time step:
+  double sec_per_edge_step = 0;    ///< Jacobian assembly
+  double sec_per_vertex_step = 0;  ///< ILU factorization
+  // Communication counts:
+  double allreduces_per_iter = 2.0;   ///< GMRES MGS dots + norm (batched)
+  double halo_exchanges_per_iter = 2.0;  ///< residual eval + precond
+};
+
+/// Computes SolverCosts from the machine model for a node running
+/// `threads_per_rank` threads per rank (threads share the rank's work) with
+/// `ranks_per_node * threads_per_rank` busy cores.
+/// `optimized` selects the cache+SIMD-optimized kernel constants;
+/// `amdahl_vec_fraction` is the share of per-vertex work that stays serial
+/// per rank in hybrid mode (the unthreaded PETSc vector primitives).
+SolverCosts make_solver_costs(const MachineSpec& node, int ranks_per_node,
+                              int threads_per_rank, bool optimized,
+                              double amdahl_vec_fraction = 1.0);
+
+struct ClusterConfig {
+  MachineSpec node = MachineSpec::stampede_node();
+  NetworkSpec net = NetworkSpec::fdr_fat_tree();
+  int ranks_per_node = 16;
+  int threads_per_rank = 1;
+  bool optimized = false;
+  double amdahl_vec_fraction = 1.0;  // PETSc vec primitives unthreaded
+  /// Linear iterations to convergence as a function of total subdomain
+  /// (rank) count — measured from block-Jacobi solver runs.
+  std::function<double(int)> iterations_of_ranks;
+  double steps = 20;  ///< pseudo-time steps (fixed across scales)
+  /// Communication-hiding Krylov (Ghysels et al. pipelined GMRES — the
+  /// paper's §VI-B2 future work): the Allreduce of iteration k overlaps the
+  /// compute of iteration k+1, exposing only the excess latency.
+  bool pipelined_krylov = false;
+};
+
+struct ScalingPoint {
+  int nodes = 0;
+  int ranks = 0;
+  double iterations = 0;
+  double total_seconds = 0;
+  double compute_seconds = 0;
+  double allreduce_seconds = 0;
+  double p2p_seconds = 0;
+  double comm_fraction = 0;
+  double max_local_edges = 0;   ///< slowest rank's edge count
+  double halo_bytes_per_rank = 0;
+};
+
+/// Runs the real partitioner on `mesh` at each node count and composes the
+/// strong-scaling curve. `mesh` is not modified.
+std::vector<ScalingPoint> simulate_strong_scaling(
+    const TetMesh& mesh, const ClusterConfig& cfg,
+    const std::vector<int>& node_counts);
+
+}  // namespace fun3d

@@ -1,0 +1,28 @@
+#include "netsim/network_model.hpp"
+
+#include <cmath>
+
+namespace fun3d {
+
+double NetworkSpec::base_latency_seconds(int nodes) const {
+  // One stage within an edge switch; crossing to the core level adds hops.
+  const int stages = nodes <= nodes_per_edge_switch ? 1 : 3;
+  return (alpha_us + stages * hop_us) * 1e-6;
+}
+
+double NetworkSpec::allreduce_seconds(int nranks, std::size_t bytes) const {
+  if (nranks <= 1) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nranks)));
+  const double per_round =
+      base_latency_seconds(nranks) +
+      static_cast<double>(bytes) / (bw_gbs * 1e9);
+  return 2.0 * rounds * per_round;
+}
+
+double NetworkSpec::p2p_seconds(std::size_t bytes) const {
+  return alpha_us * 1e-6 + static_cast<double>(bytes) / (bw_gbs * 1e9);
+}
+
+NetworkSpec NetworkSpec::fdr_fat_tree() { return {}; }
+
+}  // namespace fun3d

@@ -1,0 +1,32 @@
+// Interconnect performance model for the multi-node scaling study
+// (substitute for Stampede's Mellanox FDR InfiniBand 2-level fat tree,
+// paper §IV-A / §VI-B).
+//
+// Collectives use the recursive-doubling/halving cost form
+//   T_allreduce(P, m) = 2 ceil(log2 P) (alpha + m/bw)
+// and point-to-point messages the alpha-beta form. Alpha includes the MPI
+// stack; the fat-tree contributes per-stage latency at scale.
+#pragma once
+
+#include <cstddef>
+
+namespace fun3d {
+
+struct NetworkSpec {
+  double alpha_us = 1.9;     ///< per-message latency (MPI + NIC)
+  double bw_gbs = 6.0;       ///< effective per-link bandwidth (FDR ~56 Gb/s)
+  double hop_us = 0.1;       ///< additional latency per fat-tree stage
+  int nodes_per_edge_switch = 20;  ///< 2-level fat tree leaf size
+
+  /// Allreduce of `bytes` across `nranks` ranks (seconds).
+  [[nodiscard]] double allreduce_seconds(int nranks,
+                                         std::size_t bytes) const;
+  /// One point-to-point message (seconds).
+  [[nodiscard]] double p2p_seconds(std::size_t bytes) const;
+  /// Latency across the tree for the given node count.
+  [[nodiscard]] double base_latency_seconds(int nodes) const;
+
+  static NetworkSpec fdr_fat_tree();
+};
+
+}  // namespace fun3d

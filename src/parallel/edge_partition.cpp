@@ -1,0 +1,169 @@
+#include "parallel/edge_partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "graph/coloring.hpp"
+#include "util/stats.hpp"
+
+namespace fun3d {
+namespace {
+
+void finalize_replication_stats(EdgeLoopPlan& p) {
+  p.processed_edges = 0;
+  std::vector<double> per_thread;
+  per_thread.reserve(p.thread_edges.size());
+  for (const auto& te : p.thread_edges) {
+    p.processed_edges += te.size();
+    per_thread.push_back(static_cast<double>(te.size()));
+  }
+  p.replication_overhead =
+      p.num_edges ? static_cast<double>(p.processed_edges) / p.num_edges - 1.0
+                  : 0.0;
+  p.load_imbalance = imbalance(per_thread);
+}
+
+void build_replication(const TetMesh& m, EdgeLoopPlan& p,
+                       const Partition& owner) {
+  p.vertex_owner = owner.part;
+  p.thread_edges.assign(static_cast<std::size_t>(p.nthreads), {});
+  for (std::size_t e = 0; e < m.edges.size(); ++e) {
+    const auto [a, b] = m.edges[e];
+    const idx_t ta = owner.part[static_cast<std::size_t>(a)];
+    const idx_t tb = owner.part[static_cast<std::size_t>(b)];
+    p.thread_edges[static_cast<std::size_t>(ta)].push_back(
+        static_cast<idx_t>(e));
+    if (tb != ta)
+      p.thread_edges[static_cast<std::size_t>(tb)].push_back(
+          static_cast<idx_t>(e));
+  }
+  finalize_replication_stats(p);
+}
+
+}  // namespace
+
+const char* edge_strategy_name(EdgeStrategy s) {
+  switch (s) {
+    case EdgeStrategy::kAtomics: return "atomics";
+    case EdgeStrategy::kReplicationNatural: return "replication-natural";
+    case EdgeStrategy::kReplicationPartitioned: return "replication-metis";
+    case EdgeStrategy::kColoring: return "coloring";
+  }
+  return "?";
+}
+
+EdgeLoopPlan build_edge_plan(const TetMesh& m, EdgeStrategy strategy,
+                             idx_t nthreads, const PartitionOptions& opt) {
+  EdgeLoopPlan p;
+  p.strategy = strategy;
+  p.nthreads = nthreads;
+  p.num_edges = m.edges.size();
+  const idx_t ne = static_cast<idx_t>(m.edges.size());
+
+  switch (strategy) {
+    case EdgeStrategy::kAtomics: {
+      p.edge_begin.resize(static_cast<std::size_t>(nthreads) + 1);
+      for (idx_t t = 0; t <= nthreads; ++t)
+        p.edge_begin[static_cast<std::size_t>(t)] = static_cast<idx_t>(
+            static_cast<std::int64_t>(ne) * t / nthreads);
+      p.processed_edges = p.num_edges;
+      p.replication_overhead = 0;
+      std::vector<double> per_thread;
+      for (idx_t t = 0; t < nthreads; ++t)
+        per_thread.push_back(static_cast<double>(p.edge_begin[static_cast<std::size_t>(t) + 1] -
+                                                 p.edge_begin[static_cast<std::size_t>(t)]));
+      p.load_imbalance = imbalance(per_thread);
+      break;
+    }
+    case EdgeStrategy::kReplicationNatural: {
+      const Partition owner = partition_natural(m.num_vertices, nthreads);
+      build_replication(m, p, owner);
+      break;
+    }
+    case EdgeStrategy::kReplicationPartitioned: {
+      const Partition owner =
+          partition_graph(m.vertex_graph(), nthreads, {}, opt);
+      build_replication(m, p, owner);
+      break;
+    }
+    case EdgeStrategy::kColoring: {
+      const CsrGraph conflicts = edge_conflict_graph(m.num_vertices, m.edges);
+      const Coloring c = greedy_coloring(conflicts);
+      p.color_classes.assign(static_cast<std::size_t>(c.ncolors), {});
+      for (idx_t e = 0; e < ne; ++e)
+        p.color_classes[static_cast<std::size_t>(c.color[e])].push_back(e);
+      p.num_barriers = c.ncolors;
+      p.processed_edges = p.num_edges;
+      p.replication_overhead = 0;
+      // Imbalance per colour class matters; report the worst.
+      double worst = 1.0;
+      for (const auto& cls : p.color_classes) {
+        const double per = static_cast<double>(cls.size()) / nthreads;
+        const double mx = std::ceil(per);
+        if (per > 0) worst = std::max(worst, mx / per);
+      }
+      p.load_imbalance = worst;
+      break;
+    }
+  }
+  return p;
+}
+
+bool validate_edge_plan(const TetMesh& m, const EdgeLoopPlan& p) {
+  const std::size_t ne = m.edges.size();
+  std::vector<int> seen(ne, 0);
+  switch (p.strategy) {
+    case EdgeStrategy::kAtomics: {
+      if (p.edge_begin.front() != 0 ||
+          p.edge_begin.back() != static_cast<idx_t>(ne))
+        return false;
+      for (std::size_t t = 0; t + 1 < p.edge_begin.size(); ++t)
+        if (p.edge_begin[t] > p.edge_begin[t + 1]) return false;
+      return true;
+    }
+    case EdgeStrategy::kReplicationNatural:
+    case EdgeStrategy::kReplicationPartitioned: {
+      for (idx_t t = 0; t < p.nthreads; ++t) {
+        for (idx_t e : p.edges_of(t)) {
+          const auto [a, b] = m.edges[static_cast<std::size_t>(e)];
+          // Thread must own at least one endpoint.
+          if (p.vertex_owner[static_cast<std::size_t>(a)] != t &&
+              p.vertex_owner[static_cast<std::size_t>(b)] != t)
+            return false;
+          seen[static_cast<std::size_t>(e)]++;
+        }
+      }
+      for (std::size_t e = 0; e < ne; ++e) {
+        const auto [a, b] = m.edges[e];
+        const int expected =
+            (p.vertex_owner[static_cast<std::size_t>(a)] ==
+             p.vertex_owner[static_cast<std::size_t>(b)])
+                ? 1
+                : 2;
+        if (seen[e] != expected) return false;
+      }
+      return true;
+    }
+    case EdgeStrategy::kColoring: {
+      for (const auto& cls : p.color_classes) {
+        std::vector<idx_t> touched;
+        for (idx_t e : cls) {
+          seen[static_cast<std::size_t>(e)]++;
+          touched.push_back(m.edges[static_cast<std::size_t>(e)].first);
+          touched.push_back(m.edges[static_cast<std::size_t>(e)].second);
+        }
+        std::sort(touched.begin(), touched.end());
+        if (std::adjacent_find(touched.begin(), touched.end()) !=
+            touched.end())
+          return false;  // conflict within a class
+      }
+      for (std::size_t e = 0; e < ne; ++e)
+        if (seen[e] != 1) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,75 @@
+// Thread-level parallelization strategies for edge-based loops
+// (paper §V-A "Threading"):
+//
+//  * kAtomics               — edges split in natural order between threads;
+//                             vertex updates use atomic adds ("Basic
+//                             partitioning with atomics").
+//  * kReplicationNatural    — vertices split in natural order; each thread
+//                             processes every edge touching an owned vertex
+//                             and writes only owned vertices ("Basic
+//                             partitioning with replication"); cut edges are
+//                             computed twice (~41% redundant work at 20
+//                             threads in the paper).
+//  * kReplicationPartitioned— vertex ownership from the graph partitioner
+//                             ("METIS based partitioning"); replication
+//                             drops to a few percent and load balances.
+//  * kColoring              — conflict-free edge colour classes with a
+//                             barrier per class (the strategy the paper
+//                             rejects for locality; kept as a baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/partition.hpp"
+#include "mesh/mesh.hpp"
+
+namespace fun3d {
+
+enum class EdgeStrategy {
+  kAtomics,
+  kReplicationNatural,
+  kReplicationPartitioned,
+  kColoring,
+};
+
+const char* edge_strategy_name(EdgeStrategy s);
+
+/// Execution plan for an edge loop under a given strategy/thread count.
+struct EdgeLoopPlan {
+  EdgeStrategy strategy = EdgeStrategy::kAtomics;
+  idx_t nthreads = 1;
+
+  /// kAtomics: thread t processes edges [edge_begin[t], edge_begin[t+1]).
+  std::vector<idx_t> edge_begin;
+
+  /// Replication strategies: vertex ownership and per-thread edge lists
+  /// (ascending edge ids; cut edges appear in both touching threads).
+  std::vector<idx_t> vertex_owner;
+  std::vector<std::vector<idx_t>> thread_edges;
+
+  /// kColoring: colour classes of edge ids; classes are barrier-separated,
+  /// edges within a class share no vertex.
+  std::vector<std::vector<idx_t>> color_classes;
+
+  // --- measured work statistics (inputs to the machine model) ------------
+  std::uint64_t num_edges = 0;
+  std::uint64_t processed_edges = 0;  ///< sum over threads (>= num_edges)
+  double replication_overhead = 0;    ///< processed/num_edges - 1
+  double load_imbalance = 1;          ///< max/mean processed per thread
+  idx_t num_barriers = 0;             ///< per loop execution (colours)
+
+  [[nodiscard]] std::span<const idx_t> edges_of(idx_t t) const {
+    return thread_edges[static_cast<std::size_t>(t)];
+  }
+};
+
+/// Builds the plan for `nthreads` threads over the mesh's edge list.
+EdgeLoopPlan build_edge_plan(const TetMesh& m, EdgeStrategy strategy,
+                             idx_t nthreads,
+                             const PartitionOptions& opt = {});
+
+/// Validation: every edge is processed; under replication each vertex's
+/// updates come from exactly its owner; colour classes are conflict-free.
+bool validate_edge_plan(const TetMesh& m, const EdgeLoopPlan& p);
+
+}  // namespace fun3d

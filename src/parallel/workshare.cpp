@@ -1,0 +1,3 @@
+#include "parallel/workshare.hpp"
+
+// Header-only logic; translation unit anchors the library target.

@@ -1,0 +1,53 @@
+// Thin OpenMP work-sharing helpers: static range splitting, parallel-for,
+// and deterministic parallel reductions used by the threaded vector
+// primitives (the "PETSc native functions" the paper identifies as the
+// Amdahl fraction of the Hybrid version).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include <omp.h>
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+/// [begin, end) chunk of `n` items for thread `t` of `nt` (balanced ±1).
+inline std::pair<idx_t, idx_t> static_chunk(idx_t n, idx_t t, idx_t nt) {
+  const idx_t base = n / nt, rem = n % nt;
+  const idx_t begin = t * base + (t < rem ? t : rem);
+  const idx_t len = base + (t < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+/// Runs fn(t, begin, end) on every thread over a static split of [0, n).
+template <class Fn>
+void parallel_ranges(idx_t n, int nthreads, Fn&& fn) {
+#pragma omp parallel num_threads(nthreads)
+  {
+    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+    const auto [b, e] = static_chunk(n, t, static_cast<idx_t>(nthreads));
+    fn(t, b, e);
+  }
+}
+
+/// Deterministic sum reduction: per-thread partials combined in thread
+/// order, independent of scheduling (bitwise-reproducible run to run).
+template <class Fn>
+double parallel_sum(idx_t n, int nthreads, Fn&& term) {
+  std::vector<double> partial(static_cast<std::size_t>(nthreads), 0.0);
+#pragma omp parallel num_threads(nthreads)
+  {
+    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+    const auto [b, e] = static_chunk(n, t, static_cast<idx_t>(nthreads));
+    double acc = 0;
+    for (idx_t i = b; i < e; ++i) acc += term(i);
+    partial[static_cast<std::size_t>(t)] = acc;
+  }
+  double sum = 0;
+  for (double p : partial) sum += p;
+  return sum;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,158 @@
+// 4-wide double SIMD wrapper matching the paper's AVX platform (4-wide DP).
+//
+// The flux kernel vectorizes *across edges*: each SIMD lane processes one
+// edge end-to-end, with gathers for vertex data and a scalar write-out phase
+// (paper §V-A "Exploring SIMD"). AVX2 when available, portable scalar
+// fallback otherwise — identical results either way.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define FUN3D_SIMD_AVX2 1
+#endif
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+inline constexpr int kSimdWidth = 4;
+
+#if FUN3D_SIMD_AVX2
+
+/// AVX2 backend.
+class Vec4d {
+ public:
+  Vec4d() : v_(_mm256_setzero_pd()) {}
+  explicit Vec4d(__m256d v) : v_(v) {}
+  explicit Vec4d(double s) : v_(_mm256_set1_pd(s)) {}
+
+  static Vec4d load(const double* p) { return Vec4d(_mm256_loadu_pd(p)); }
+  static Vec4d load_aligned(const double* p) {
+    return Vec4d(_mm256_load_pd(p));
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v_); }
+  /// Gather lanes from p[idx[0..3]]. The masked form with an explicit zero
+  /// source avoids GCC's uninitialized-source false positive on the plain
+  /// gather intrinsic.
+  static Vec4d gather(const double* p, const idx_t* idx) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx));
+    const __m256d ones = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+    return Vec4d(
+        _mm256_mask_i32gather_pd(_mm256_setzero_pd(), p, vi, ones, 8));
+  }
+
+  friend Vec4d operator+(Vec4d a, Vec4d b) {
+    return Vec4d(_mm256_add_pd(a.v_, b.v_));
+  }
+  friend Vec4d operator-(Vec4d a, Vec4d b) {
+    return Vec4d(_mm256_sub_pd(a.v_, b.v_));
+  }
+  friend Vec4d operator*(Vec4d a, Vec4d b) {
+    return Vec4d(_mm256_mul_pd(a.v_, b.v_));
+  }
+  friend Vec4d operator/(Vec4d a, Vec4d b) {
+    return Vec4d(_mm256_div_pd(a.v_, b.v_));
+  }
+  /// a*b + c
+  static Vec4d fma(Vec4d a, Vec4d b, Vec4d c) {
+    return Vec4d(_mm256_fmadd_pd(a.v_, b.v_, c.v_));
+  }
+  static Vec4d sqrt(Vec4d a) { return Vec4d(_mm256_sqrt_pd(a.v_)); }
+  static Vec4d abs(Vec4d a) {
+    return Vec4d(_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v_));
+  }
+  static Vec4d max(Vec4d a, Vec4d b) {
+    return Vec4d(_mm256_max_pd(a.v_, b.v_));
+  }
+  static Vec4d min(Vec4d a, Vec4d b) {
+    return Vec4d(_mm256_min_pd(a.v_, b.v_));
+  }
+  [[nodiscard]] double lane(int i) const {
+    alignas(32) double tmp[4];
+    _mm256_store_pd(tmp, v_);
+    return tmp[i];
+  }
+
+ private:
+  __m256d v_;
+};
+
+#else
+
+/// Portable scalar backend with identical semantics.
+class Vec4d {
+ public:
+  Vec4d() : v_{0, 0, 0, 0} {}
+  explicit Vec4d(double s) : v_{s, s, s, s} {}
+
+  static Vec4d load(const double* p) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = p[i];
+    return r;
+  }
+  static Vec4d load_aligned(const double* p) { return load(p); }
+  void store(double* p) const {
+    for (int i = 0; i < 4; ++i) p[i] = v_[i];
+  }
+  static Vec4d gather(const double* p, const idx_t* idx) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = p[idx[i]];
+    return r;
+  }
+
+  friend Vec4d operator+(Vec4d a, Vec4d b) { return bin(a, b, [](double x, double y) { return x + y; }); }
+  friend Vec4d operator-(Vec4d a, Vec4d b) { return bin(a, b, [](double x, double y) { return x - y; }); }
+  friend Vec4d operator*(Vec4d a, Vec4d b) { return bin(a, b, [](double x, double y) { return x * y; }); }
+  friend Vec4d operator/(Vec4d a, Vec4d b) { return bin(a, b, [](double x, double y) { return x / y; }); }
+  static Vec4d fma(Vec4d a, Vec4d b, Vec4d c) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = a.v_[i] * b.v_[i] + c.v_[i];
+    return r;
+  }
+  static Vec4d sqrt(Vec4d a) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = std::sqrt(a.v_[i]);
+    return r;
+  }
+  static Vec4d abs(Vec4d a) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = std::fabs(a.v_[i]);
+    return r;
+  }
+  static Vec4d max(Vec4d a, Vec4d b) { return bin(a, b, [](double x, double y) { return x > y ? x : y; }); }
+  static Vec4d min(Vec4d a, Vec4d b) { return bin(a, b, [](double x, double y) { return x < y ? x : y; }); }
+  [[nodiscard]] double lane(int i) const { return v_[i]; }
+
+ private:
+  template <class F>
+  static Vec4d bin(Vec4d a, Vec4d b, F f) {
+    Vec4d r;
+    for (int i = 0; i < 4; ++i) r.v_[i] = f(a.v_[i], b.v_[i]);
+    return r;
+  }
+  double v_[4];
+};
+
+#endif  // FUN3D_SIMD_AVX2
+
+/// Software prefetch into L1 / L2 (no-ops on unsupported compilers).
+inline void prefetch_l1(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, 0, 3);
+#else
+  (void)p;
+#endif
+}
+inline void prefetch_l2(const void* p) {
+#if defined(__GNUC__)
+  __builtin_prefetch(p, 0, 2);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace fun3d

@@ -1,0 +1,79 @@
+#include "sparse/bcsr.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fun3d {
+
+Bcsr4 Bcsr4::from_adjacency(const CsrGraph& adj) {
+  const idx_t n = adj.num_vertices();
+  Bcsr4 m;
+  m.rowptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t r = 0; r < n; ++r) {
+    auto nb = adj.neighbors(r);
+    const bool has_diag = std::binary_search(nb.begin(), nb.end(), r);
+    m.rowptr_[static_cast<std::size_t>(r) + 1] =
+        m.rowptr_[static_cast<std::size_t>(r)] +
+        static_cast<idx_t>(nb.size()) + (has_diag ? 0 : 1);
+  }
+  m.col_.resize(static_cast<std::size_t>(m.rowptr_.back()));
+  m.diag_.resize(static_cast<std::size_t>(n));
+  for (idx_t r = 0; r < n; ++r) {
+    idx_t w = m.rowptr_[static_cast<std::size_t>(r)];
+    bool placed_diag = false;
+    for (idx_t c : adj.neighbors(r)) {
+      if (!placed_diag && c > r) {
+        m.diag_[static_cast<std::size_t>(r)] = w;
+        m.col_[static_cast<std::size_t>(w++)] = r;
+        placed_diag = true;
+      }
+      if (c == r) {
+        m.diag_[static_cast<std::size_t>(r)] = w;
+        placed_diag = true;
+      }
+      m.col_[static_cast<std::size_t>(w++)] = c;
+    }
+    if (!placed_diag) {
+      m.diag_[static_cast<std::size_t>(r)] = w;
+      m.col_[static_cast<std::size_t>(w++)] = r;
+    }
+    assert(w == m.rowptr_[static_cast<std::size_t>(r) + 1]);
+  }
+  m.val_.assign(m.col_.size() * kBs2, 0.0);
+  return m;
+}
+
+idx_t Bcsr4::find(idx_t r, idx_t c) const {
+  const auto cols = row_cols(r);
+  const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  if (it == cols.end() || *it != c) return -1;
+  return rowptr_[r] + static_cast<idx_t>(it - cols.begin());
+}
+
+void Bcsr4::set_zero() { std::fill(val_.begin(), val_.end(), 0.0); }
+
+void Bcsr4::add_block(idx_t r, idx_t c, const double* b) {
+  const idx_t nz = find(r, c);
+  if (nz < 0) throw std::out_of_range("Bcsr4::add_block: entry not in pattern");
+  double* dst = block(nz);
+  for (int i = 0; i < kBs2; ++i) dst[i] += b[i];
+}
+
+void Bcsr4::shift_diagonal(std::span<const double> s) {
+  const idx_t n = num_rows();
+  assert(static_cast<idx_t>(s.size()) == n);
+  for (idx_t r = 0; r < n; ++r) {
+    double* d = block(diag_[static_cast<std::size_t>(r)]);
+    for (int i = 0; i < kBs; ++i) d[i * kBs + i] += s[static_cast<std::size_t>(r)];
+  }
+}
+
+CsrGraph Bcsr4::structure() const {
+  CsrGraph g;
+  g.rowptr = rowptr_;
+  g.col = col_;
+  return g;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,38 @@
+#include "sparse/blockops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fun3d {
+
+bool block_invert(const double* a, double* inv) {
+  // Gauss-Jordan on [A | I] with partial pivoting.
+  double aug[kBs][2 * kBs];
+  for (int r = 0; r < kBs; ++r) {
+    for (int c = 0; c < kBs; ++c) {
+      aug[r][c] = a[r * kBs + c];
+      aug[r][kBs + c] = (r == c) ? 1.0 : 0.0;
+    }
+  }
+  for (int p = 0; p < kBs; ++p) {
+    int piv = p;
+    for (int r = p + 1; r < kBs; ++r)
+      if (std::fabs(aug[r][p]) > std::fabs(aug[piv][p])) piv = r;
+    if (aug[piv][p] == 0.0 || !std::isfinite(aug[piv][p])) return false;
+    if (piv != p)
+      for (int c = 0; c < 2 * kBs; ++c) std::swap(aug[p][c], aug[piv][c]);
+    const double s = 1.0 / aug[p][p];
+    for (int c = 0; c < 2 * kBs; ++c) aug[p][c] *= s;
+    for (int r = 0; r < kBs; ++r) {
+      if (r == p) continue;
+      const double f = aug[r][p];
+      if (f == 0.0) continue;
+      for (int c = 0; c < 2 * kBs; ++c) aug[r][c] -= f * aug[p][c];
+    }
+  }
+  for (int r = 0; r < kBs; ++r)
+    for (int c = 0; c < kBs; ++c) inv[r * kBs + c] = aug[r][kBs + c];
+  return true;
+}
+
+}  // namespace fun3d

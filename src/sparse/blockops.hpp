@@ -1,0 +1,94 @@
+// Dense 4x4 block kernels underlying the BCSR sparse operations (paper
+// §V-B: "the primary compute is multiplying a 4x4 matrix with a 4x1 vector
+// per non-zero block" and "4x4 matrix-matrix multiplication and inversion of
+// the diagonal block"). Blocks are row-major: A[r*4+c].
+//
+// Each kernel has a scalar form and (transparently, via Vec4d) a SIMD form
+// vectorized within the block — the paper's §V-B "Exploring SIMD".
+#pragma once
+
+#include <cmath>
+
+#include "simd/vecd.hpp"
+
+namespace fun3d {
+
+inline constexpr int kBs = 4;              ///< block size (unknowns/vertex)
+inline constexpr int kBs2 = kBs * kBs;     ///< doubles per block
+
+/// y -= A * x   (4x4 * 4-vector)
+inline void block_gemv_sub(const double* a, const double* x, double* y) {
+  for (int r = 0; r < kBs; ++r) {
+    double s = 0;
+    for (int c = 0; c < kBs; ++c) s += a[r * kBs + c] * x[c];
+    y[r] -= s;
+  }
+}
+
+/// y = A * x
+inline void block_gemv(const double* a, const double* x, double* y) {
+  for (int r = 0; r < kBs; ++r) {
+    double s = 0;
+    for (int c = 0; c < kBs; ++c) s += a[r * kBs + c] * x[c];
+    y[r] = s;
+  }
+}
+
+/// SIMD y -= A*x: one row of A per fma with broadcasted x would need
+/// transposes; instead treat columns: y -= sum_c A(:,c) * x[c], where A is
+/// row-major so A(:,c) is a gather — we keep a strided load via set.
+inline void block_gemv_sub_simd(const double* a, const double* x, double* y) {
+  Vec4d acc = Vec4d::load(y);
+  for (int c = 0; c < kBs; ++c) {
+    alignas(32) double colv[4] = {a[0 * kBs + c], a[1 * kBs + c],
+                                  a[2 * kBs + c], a[3 * kBs + c]};
+    acc = Vec4d::fma(Vec4d(-x[c]), Vec4d::load(colv), acc);
+  }
+  acc.store(y);
+}
+
+/// C -= A * B   (4x4 each)
+inline void block_gemm_sub(const double* a, const double* b, double* c) {
+  for (int r = 0; r < kBs; ++r)
+    for (int k = 0; k < kBs; ++k) {
+      const double ark = a[r * kBs + k];
+      for (int j = 0; j < kBs; ++j) c[r * kBs + j] -= ark * b[k * kBs + j];
+    }
+}
+
+/// SIMD C -= A*B: each row of C is a 4-vector; row_r(C) -= sum_k a[r,k] *
+/// row_k(B). This is the natural within-block vectorization for row-major.
+inline void block_gemm_sub_simd(const double* a, const double* b, double* c) {
+  for (int r = 0; r < kBs; ++r) {
+    Vec4d acc = Vec4d::load(c + r * kBs);
+    for (int k = 0; k < kBs; ++k)
+      acc = Vec4d::fma(Vec4d(-a[r * kBs + k]), Vec4d::load(b + k * kBs), acc);
+    acc.store(c + r * kBs);
+  }
+}
+
+/// C = A * B
+inline void block_gemm(const double* a, const double* b, double* c) {
+  for (int i = 0; i < kBs2; ++i) c[i] = 0;
+  for (int r = 0; r < kBs; ++r)
+    for (int k = 0; k < kBs; ++k) {
+      const double ark = a[r * kBs + k];
+      for (int j = 0; j < kBs; ++j) c[r * kBs + j] += ark * b[k * kBs + j];
+    }
+}
+
+/// inv = A^{-1} via Gauss-Jordan with partial pivoting.
+/// Returns false if A is (numerically) singular.
+bool block_invert(const double* a, double* inv);
+
+/// Frobenius norm of the difference of two blocks.
+inline double block_diff_norm(const double* a, const double* b) {
+  double s = 0;
+  for (int i = 0; i < kBs2; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace fun3d

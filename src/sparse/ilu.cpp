@@ -1,0 +1,268 @@
+#include "sparse/ilu.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace fun3d {
+
+IluPattern symbolic_ilu(const CsrGraph& pattern_with_diag, int fill_level) {
+  const idx_t n = pattern_with_diag.num_vertices();
+  IluPattern out;
+  out.fill = fill_level;
+  out.rows.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Row-by-row level-of-fill (IKJ): lev(i,j) = min over k<min(i,j) of
+  // lev(i,k) + lev(k,j) + 1, entries kept while lev <= fill_level.
+  // We keep completed factor rows around to merge from.
+  std::vector<std::vector<idx_t>> fcols(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> flev(static_cast<std::size_t>(n));
+
+  std::vector<int> lev_buf(static_cast<std::size_t>(n), -1);  // -1 = absent
+  std::vector<idx_t> touched;
+
+  for (idx_t i = 0; i < n; ++i) {
+    touched.clear();
+    auto nb = pattern_with_diag.neighbors(i);
+    for (idx_t j : nb) {
+      lev_buf[static_cast<std::size_t>(j)] = 0;
+      touched.push_back(j);
+    }
+    if (lev_buf[static_cast<std::size_t>(i)] < 0) {
+      lev_buf[static_cast<std::size_t>(i)] = 0;  // ensure diagonal
+      touched.push_back(i);
+    }
+    // Process L-part columns in ascending order; touched isn't sorted yet,
+    // so walk a sorted snapshot and re-scan for newly created L entries.
+    // For ILU(k) with small k the L-part is short; a simple sorted set of
+    // L columns suffices.
+    std::vector<idx_t> lcols;
+    for (idx_t j : touched)
+      if (j < i) lcols.push_back(j);
+    std::sort(lcols.begin(), lcols.end());
+    for (std::size_t li = 0; li < lcols.size(); ++li) {
+      const idx_t k = lcols[li];
+      const int lik = lev_buf[static_cast<std::size_t>(k)];
+      if (lik < 0 || lik > fill_level) continue;
+      const auto& krow = fcols[static_cast<std::size_t>(k)];
+      const auto& klev = flev[static_cast<std::size_t>(k)];
+      for (std::size_t p = 0; p < krow.size(); ++p) {
+        const idx_t j = krow[p];
+        if (j <= k) continue;  // only U-part of row k
+        const int cand = lik + klev[p] + 1;
+        if (cand > fill_level) continue;
+        int& cur = lev_buf[static_cast<std::size_t>(j)];
+        if (cur < 0) {
+          cur = cand;
+          touched.push_back(j);
+          if (j < i) {
+            // New L entry: insert into lcols keeping ascending order.
+            auto it = std::lower_bound(lcols.begin(), lcols.end(), j);
+            const std::size_t pos = static_cast<std::size_t>(it - lcols.begin());
+            lcols.insert(it, j);
+            if (pos <= li) ++li;  // keep our cursor on the same element
+          }
+        } else {
+          cur = std::min(cur, cand);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    auto& fc = fcols[static_cast<std::size_t>(i)];
+    auto& fl = flev[static_cast<std::size_t>(i)];
+    fc.reserve(touched.size());
+    fl.reserve(touched.size());
+    for (idx_t j : touched) {
+      const int lv = lev_buf[static_cast<std::size_t>(j)];
+      if (lv >= 0 && lv <= fill_level) {
+        fc.push_back(j);
+        fl.push_back(lv);
+      }
+      lev_buf[static_cast<std::size_t>(j)] = -1;
+    }
+    out.rows.rowptr[static_cast<std::size_t>(i) + 1] =
+        out.rows.rowptr[static_cast<std::size_t>(i)] +
+        static_cast<idx_t>(fc.size());
+  }
+  out.rows.col.reserve(static_cast<std::size_t>(out.rows.rowptr.back()));
+  out.level.reserve(static_cast<std::size_t>(out.rows.rowptr.back()));
+  for (idx_t i = 0; i < n; ++i) {
+    out.rows.col.insert(out.rows.col.end(),
+                        fcols[static_cast<std::size_t>(i)].begin(),
+                        fcols[static_cast<std::size_t>(i)].end());
+    out.level.insert(out.level.end(), flev[static_cast<std::size_t>(i)].begin(),
+                     flev[static_cast<std::size_t>(i)].end());
+  }
+  return out;
+}
+
+CsrGraph IluFactor::lower_deps() const {
+  const idx_t n = num_rows();
+  CsrGraph d;
+  d.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t i = 0; i < n; ++i)
+    d.rowptr[static_cast<std::size_t>(i) + 1] =
+        d.rowptr[static_cast<std::size_t>(i)] + (diag_[static_cast<std::size_t>(i)] - rowptr_[static_cast<std::size_t>(i)]);
+  d.col.reserve(static_cast<std::size_t>(d.rowptr.back()));
+  for (idx_t i = 0; i < n; ++i)
+    for (idx_t nz = rowptr_[static_cast<std::size_t>(i)];
+         nz < diag_[static_cast<std::size_t>(i)]; ++nz)
+      d.col.push_back(col_[static_cast<std::size_t>(nz)]);
+  return d;
+}
+
+CsrGraph IluFactor::upper_deps_mirrored() const {
+  const idx_t n = num_rows();
+  CsrGraph d;
+  d.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Mirrored row i' = n-1-i depends on mirrored cols of the U part.
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t mi = n - 1 - i;
+    d.rowptr[static_cast<std::size_t>(mi) + 1] =
+        rowptr_[static_cast<std::size_t>(i) + 1] -
+        (diag_[static_cast<std::size_t>(i)] + 1);
+  }
+  for (std::size_t r = 1; r < d.rowptr.size(); ++r)
+    d.rowptr[r] += d.rowptr[r - 1];
+  d.col.resize(static_cast<std::size_t>(d.rowptr.back()));
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t mi = n - 1 - i;
+    idx_t w = d.rowptr[static_cast<std::size_t>(mi)];
+    // U columns ascend; mirrored they descend — store sorted ascending.
+    for (idx_t nz = rowptr_[static_cast<std::size_t>(i) + 1] - 1;
+         nz > diag_[static_cast<std::size_t>(i)]; --nz)
+      d.col[static_cast<std::size_t>(w++)] = n - 1 - col_[static_cast<std::size_t>(nz)];
+  }
+  return d;
+}
+
+std::uint64_t IluFactor::solve_stream_bytes() const {
+  // Factor values + column indices streamed once, plus x and b vectors.
+  return static_cast<std::uint64_t>(num_blocks()) * (kBs2 * 8 + 4) +
+         static_cast<std::uint64_t>(num_rows()) * (2u * kBs * 8);
+}
+
+std::uint64_t IluFactor::solve_flops() const {
+  return static_cast<std::uint64_t>(num_blocks()) * (2 * kBs2);
+}
+
+IluFactor factorize_ilu(const Bcsr4& a, const IluPattern& pattern,
+                        bool compressed_buffer, bool simd) {
+  const idx_t n = a.num_rows();
+  if (pattern.rows.num_vertices() != n)
+    throw std::invalid_argument("factorize_ilu: pattern/matrix size mismatch");
+  IluFactor f;
+  f.rowptr_ = pattern.rows.rowptr;
+  f.col_ = pattern.rows.col;
+  f.diag_.resize(static_cast<std::size_t>(n));
+  f.val_.assign(f.col_.size() * kBs2, 0.0);
+  std::uint64_t flops = 0;
+
+  for (idx_t i = 0; i < n; ++i) {
+    bool found = false;
+    for (idx_t nz = f.rowptr_[static_cast<std::size_t>(i)];
+         nz < f.rowptr_[static_cast<std::size_t>(i) + 1]; ++nz) {
+      if (f.col_[static_cast<std::size_t>(nz)] == i) {
+        f.diag_[static_cast<std::size_t>(i)] = nz;
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("factorize_ilu: missing diagonal");
+  }
+
+  // Temporary row buffer. Full variant: one block per global column plus a
+  // presence map. Compressed variant: one block per pattern entry of the
+  // current row; global column -> local slot found by binary search in the
+  // (static) pattern — the paper's reduced working-set formulation.
+  AVec<double> full_buf;
+  std::vector<idx_t> pos_of_col;  // full variant: col -> slot+1 (0 = absent)
+  if (!compressed_buffer) {
+    full_buf.assign(static_cast<std::size_t>(n) * kBs2, 0.0);
+    pos_of_col.assign(static_cast<std::size_t>(n), 0);
+  }
+  AVec<double> cbuf;  // compressed: sized to the longest row
+
+  auto gemm_sub = simd ? block_gemm_sub_simd : block_gemm_sub;
+
+  for (idx_t i = 0; i < n; ++i) {
+    const idx_t rb = f.rowptr_[static_cast<std::size_t>(i)];
+    const idx_t re = f.rowptr_[static_cast<std::size_t>(i) + 1];
+    const idx_t rlen = re - rb;
+    const std::span<const idx_t> cols(f.col_.data() + rb,
+                                      static_cast<std::size_t>(rlen));
+
+    double* row;  // rlen blocks, local slot s corresponds to column cols[s]
+    if (compressed_buffer) {
+      cbuf.assign(static_cast<std::size_t>(rlen) * kBs2, 0.0);
+      row = cbuf.data();
+    } else {
+      for (idx_t s = 0; s < rlen; ++s) {
+        pos_of_col[static_cast<std::size_t>(cols[s])] =
+            s + 1;  // mark presence
+        double* b = full_buf.data() +
+                    static_cast<std::size_t>(cols[s]) * kBs2;
+        std::fill(b, b + kBs2, 0.0);
+      }
+      row = full_buf.data();
+    }
+    auto slot = [&](idx_t c) -> double* {
+      if (compressed_buffer) {
+        const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+        if (it == cols.end() || *it != c) return nullptr;
+        return row + static_cast<std::size_t>(it - cols.begin()) * kBs2;
+      }
+      if (pos_of_col[static_cast<std::size_t>(c)] == 0) return nullptr;
+      return row + static_cast<std::size_t>(c) * kBs2;
+    };
+
+    // Scatter row i of A. Matrix entries outside the pattern are dropped —
+    // that is the incomplete-factorization semantics, and with a block-
+    // diagonal pattern it is exactly the block-Jacobi preconditioner.
+    for (idx_t anz = a.row_begin(i); anz < a.row_end(i); ++anz) {
+      double* dst = slot(a.col(anz));
+      if (dst == nullptr) continue;
+      std::copy(a.block(anz), a.block(anz) + kBs2, dst);
+    }
+
+    // Eliminate: for each k < i in the pattern (ascending — cols is sorted).
+    for (idx_t s = 0; s < rlen && cols[s] < i; ++s) {
+      const idx_t k = cols[s];
+      double* lik = slot(k);
+      // L_ik = (row value at k) * invD_k  (invD stored at k's diagonal).
+      double tmp[kBs2];
+      block_gemm(lik, f.block(f.diag_[static_cast<std::size_t>(k)]), tmp);
+      std::copy(tmp, tmp + kBs2, lik);
+      flops += 2 * kBs * kBs2;
+      // Update with U-part of row k.
+      for (idx_t knz = f.diag_[static_cast<std::size_t>(k)] + 1;
+           knz < f.rowptr_[static_cast<std::size_t>(k) + 1]; ++knz) {
+        double* dst = slot(f.col_[static_cast<std::size_t>(knz)]);
+        if (dst == nullptr) continue;  // dropped fill
+        gemm_sub(lik, f.block(knz), dst);
+        flops += 2 * kBs * kBs2;
+      }
+    }
+
+    // Gather the finished row into the factor; invert the diagonal block.
+    for (idx_t s = 0; s < rlen; ++s) {
+      const double* src = slot(cols[s]);
+      std::copy(src, src + kBs2, f.val_.data() + static_cast<std::size_t>(rb + s) * kBs2);
+    }
+    double inv[kBs2];
+    double* dblk = f.val_.data() +
+                   static_cast<std::size_t>(f.diag_[static_cast<std::size_t>(i)]) * kBs2;
+    if (!block_invert(dblk, inv))
+      throw std::runtime_error("factorize_ilu: singular diagonal block");
+    std::copy(inv, inv + kBs2, dblk);
+    flops += 2 * kBs * kBs2;  // inversion cost, same order as one gemm
+
+    if (!compressed_buffer)
+      for (idx_t s = 0; s < rlen; ++s)
+        pos_of_col[static_cast<std::size_t>(cols[s])] = 0;
+  }
+  f.factor_flops_ = flops;
+  return f;
+}
+
+}  // namespace fun3d

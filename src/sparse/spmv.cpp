@@ -1,0 +1,38 @@
+#include "sparse/spmv.hpp"
+
+#include <cassert>
+
+namespace fun3d {
+namespace {
+
+inline void row_product(const Bcsr4& a, idx_t r, const double* x, double* y) {
+  double acc[kBs] = {0, 0, 0, 0};
+  for (idx_t nz = a.row_begin(r); nz < a.row_end(r); ++nz) {
+    const double* blk = a.block(nz);
+    const double* xj = x + static_cast<std::size_t>(a.col(nz)) * kBs;
+    for (int i = 0; i < kBs; ++i)
+      for (int j = 0; j < kBs; ++j) acc[i] += blk[i * kBs + j] * xj[j];
+  }
+  for (int i = 0; i < kBs; ++i) y[r * kBs + i] = acc[i];
+}
+
+}  // namespace
+
+void spmv_serial(const Bcsr4& a, std::span<const double> x,
+                 std::span<double> y) {
+  const idx_t n = a.num_rows();
+  assert(x.size() == static_cast<std::size_t>(n) * kBs && y.size() == x.size());
+  for (idx_t r = 0; r < n; ++r) row_product(a, r, x.data(), y.data());
+}
+
+void spmv_parallel(const Bcsr4& a, std::span<const double> x,
+                   std::span<double> y, int nthreads) {
+  const idx_t n = a.num_rows();
+  assert(x.size() == static_cast<std::size_t>(n) * kBs && y.size() == x.size());
+  const double* xp = x.data();
+  double* yp = y.data();
+#pragma omp parallel for schedule(static) num_threads(nthreads)
+  for (idx_t r = 0; r < n; ++r) row_product(a, r, xp, yp);
+}
+
+}  // namespace fun3d

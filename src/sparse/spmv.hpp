@@ -1,0 +1,20 @@
+// Block sparse matrix-vector product y = A x for BCSR(4x4) matrices.
+// Used by the preconditioned linear solver when operating on the assembled
+// first-order Jacobian (the matrix-free path evaluates F'(u)v by residual
+// differencing instead; see core/gmres.hpp).
+#pragma once
+
+#include <span>
+
+#include "sparse/bcsr.hpp"
+
+namespace fun3d {
+
+void spmv_serial(const Bcsr4& a, std::span<const double> x,
+                 std::span<double> y);
+
+/// OpenMP row-parallel SpMV (no write conflicts: each thread owns rows).
+void spmv_parallel(const Bcsr4& a, std::span<const double> x,
+                   std::span<double> y, int nthreads);
+
+}  // namespace fun3d

@@ -1,0 +1,147 @@
+#include "sparse/trsv.hpp"
+
+#include <atomic>
+#include <algorithm>
+#include <cassert>
+
+#include <omp.h>
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+#include <sched.h>
+
+namespace fun3d {
+namespace {
+
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#endif
+}
+
+/// Forward-substitute one row: x_i = b_i - sum_{j<i} L_ij x_j.
+inline void fwd_row(const IluFactor& f, idx_t i, const double* b, double* x) {
+  double acc[kBs];
+  for (int c = 0; c < kBs; ++c) acc[c] = b[i * kBs + c];
+  for (idx_t nz = f.row_begin(i); nz < f.diag_index(i); ++nz)
+    block_gemv_sub(f.block(nz), x + static_cast<std::size_t>(f.col(nz)) * kBs,
+                   acc);
+  for (int c = 0; c < kBs; ++c) x[i * kBs + c] = acc[c];
+}
+
+/// Back-substitute one row: x_i = invD_i (x_i - sum_{j>i} U_ij x_j).
+inline void bwd_row(const IluFactor& f, idx_t i, double* x) {
+  double acc[kBs];
+  for (int c = 0; c < kBs; ++c) acc[c] = x[i * kBs + c];
+  for (idx_t nz = f.diag_index(i) + 1; nz < f.row_end(i); ++nz)
+    block_gemv_sub(f.block(nz), x + static_cast<std::size_t>(f.col(nz)) * kBs,
+                   acc);
+  block_gemv(f.block(f.diag_index(i)), acc, x + static_cast<std::size_t>(i) * kBs);
+}
+
+/// Spin until the owner thread's progress counter reaches `row` — the
+/// owner publishes `row` itself after finishing it, so the wait is
+/// `counter >= row`, not strictly-greater (which would deadlock when `row`
+/// is the owner's last row).
+inline void wait_progress(const std::atomic<idx_t>& counter, idx_t row) {
+  int spins = 0;
+  while (counter.load(std::memory_order_acquire) < row) {
+    cpu_relax();
+    if (++spins >= 64) {  // oversubscribed cores: let the owner run
+      sched_yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace
+
+TrsvSchedules TrsvSchedules::build(const IluFactor& f, idx_t nthreads,
+                                   bool sparsify) {
+  TrsvSchedules s;
+  s.nthreads = nthreads;
+  const CsrGraph fwd = f.lower_deps();
+  const CsrGraph bwd = f.upper_deps_mirrored();
+  s.fwd_levels = build_level_schedule(fwd);
+  s.bwd_levels = build_level_schedule(bwd);
+  s.fwd_owner = partition_natural(f.num_rows(), nthreads);
+  s.bwd_owner = partition_natural(f.num_rows(), nthreads);
+  s.fwd_plan = build_p2p_plan(fwd, s.fwd_owner, sparsify);
+  s.bwd_plan = build_p2p_plan(bwd, s.bwd_owner, sparsify);
+  return s;
+}
+
+void trsv_serial(const IluFactor& f, std::span<const double> b,
+                 std::span<double> x) {
+  const idx_t n = f.num_rows();
+  assert(b.size() == static_cast<std::size_t>(n) * kBs);
+  assert(x.size() == b.size());
+  for (idx_t i = 0; i < n; ++i) fwd_row(f, i, b.data(), x.data());
+  for (idx_t i = n - 1; i >= 0; --i) bwd_row(f, i, x.data());
+}
+
+void trsv_levels(const IluFactor& f, const TrsvSchedules& s,
+                 std::span<const double> b, std::span<double> x) {
+  const idx_t n = f.num_rows();
+  const double* bp = b.data();
+  double* xp = x.data();
+#pragma omp parallel num_threads(s.nthreads)
+  {
+    for (idx_t l = 0; l < s.fwd_levels.nlevels; ++l) {
+      const auto rows = s.fwd_levels.level(l);
+#pragma omp for schedule(static)
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size()); ++k)
+        fwd_row(f, rows[static_cast<std::size_t>(k)], bp, xp);
+      // implicit barrier at end of omp for
+    }
+    for (idx_t l = 0; l < s.bwd_levels.nlevels; ++l) {
+      const auto rows = s.bwd_levels.level(l);
+#pragma omp for schedule(static)
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size()); ++k)
+        bwd_row(f, n - 1 - rows[static_cast<std::size_t>(k)], xp);
+    }
+  }
+}
+
+void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
+              std::span<const double> b, std::span<double> x) {
+  const idx_t n = f.num_rows();
+  const idx_t nt = s.nthreads;
+  std::vector<std::atomic<idx_t>> progress(static_cast<std::size_t>(nt));
+  for (auto& p : progress) p.store(-1, std::memory_order_relaxed);
+  const double* bp = b.data();
+  double* xp = x.data();
+
+#pragma omp parallel num_threads(nt)
+  {
+    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+    // Forward: process owned rows in ascending order.
+    for (idx_t i = 0; i < n; ++i) {
+      if (s.fwd_owner.part[static_cast<std::size_t>(i)] != t) continue;
+      for (idx_t w = s.fwd_plan.wait_ptr[i]; w < s.fwd_plan.wait_ptr[i + 1]; ++w)
+        wait_progress(progress[static_cast<std::size_t>(
+                          s.fwd_plan.wait_thread[static_cast<std::size_t>(w)])],
+                      s.fwd_plan.wait_row[static_cast<std::size_t>(w)]);
+      fwd_row(f, i, bp, xp);
+      progress[static_cast<std::size_t>(t)].store(i, std::memory_order_release);
+    }
+#pragma omp barrier
+#pragma omp single
+    {
+      for (auto& p : progress) p.store(-1, std::memory_order_relaxed);
+    }
+    // implicit barrier after single
+    // Backward in mirrored space: mirrored row mi corresponds to row n-1-mi.
+    for (idx_t mi = 0; mi < n; ++mi) {
+      if (s.bwd_owner.part[static_cast<std::size_t>(mi)] != t) continue;
+      for (idx_t w = s.bwd_plan.wait_ptr[mi]; w < s.bwd_plan.wait_ptr[mi + 1]; ++w)
+        wait_progress(progress[static_cast<std::size_t>(
+                          s.bwd_plan.wait_thread[static_cast<std::size_t>(w)])],
+                      s.bwd_plan.wait_row[static_cast<std::size_t>(w)]);
+      bwd_row(f, n - 1 - mi, xp);
+      progress[static_cast<std::size_t>(t)].store(mi, std::memory_order_release);
+    }
+  }
+}
+
+}  // namespace fun3d

@@ -1,0 +1,54 @@
+// Block sparse triangular solves x = U^{-1} L^{-1} b on ILU factors — the
+// post-optimization hotspot of the application (paper Fig. 5/7/8).
+//
+// Three executions:
+//  * serial            — the baseline recurrence (Fig. 2 of the paper);
+//  * level-scheduled   — wavefront levels with a barrier after each level;
+//  * P2P-sparsified    — per-thread in-order execution with point-to-point
+//                        waits on sparsified cross-thread dependencies
+//                        (Park et al. [26]).
+// All variants produce bitwise-identical solutions.
+//
+// The backward substitution runs in *mirrored* index space (i' = n-1-i) so
+// the lower-triangular scheduling machinery (levels, sync plans) is reused
+// unchanged.
+#pragma once
+
+#include <span>
+
+#include "graph/levels.hpp"
+#include "graph/partition.hpp"
+#include "graph/sparsify.hpp"
+#include "sparse/ilu.hpp"
+
+namespace fun3d {
+
+/// Precomputed schedules for the parallel solve variants.
+struct TrsvSchedules {
+  idx_t nthreads = 1;
+  LevelSchedule fwd_levels;  ///< forward-solve wavefronts
+  LevelSchedule bwd_levels;  ///< backward-solve wavefronts (mirrored rows)
+  Partition fwd_owner;       ///< contiguous row ownership
+  Partition bwd_owner;       ///< contiguous mirrored-row ownership
+  P2PSyncPlan fwd_plan;
+  P2PSyncPlan bwd_plan;
+
+  /// `sparsify` enables the transitive-reduction pass (P2P-Sparse);
+  /// without it the plan still collapses waits per predecessor thread.
+  static TrsvSchedules build(const IluFactor& f, idx_t nthreads,
+                             bool sparsify = true);
+};
+
+/// Sequential reference solve. b and x are 4*nrows long; aliasing allowed.
+void trsv_serial(const IluFactor& f, std::span<const double> b,
+                 std::span<double> x);
+
+/// Level-scheduled solve with `s.nthreads` OpenMP threads.
+void trsv_levels(const IluFactor& f, const TrsvSchedules& s,
+                 std::span<const double> b, std::span<double> x);
+
+/// Point-to-point synchronized solve with `s.nthreads` OpenMP threads.
+void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
+              std::span<const double> b, std::span<double> x);
+
+}  // namespace fun3d

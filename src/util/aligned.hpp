@@ -1,0 +1,57 @@
+// Cache-line and SIMD-aligned storage helpers.
+//
+// HPC kernels in this project gather/scatter through vertex and edge arrays;
+// keeping them 64-byte aligned makes vector loads cheap and keeps the cache
+// simulator's address arithmetic honest.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace fun3d {
+
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Minimal C++17/20 aligned allocator; use as
+/// `std::vector<double, AlignedAllocator<double>>`.
+template <class T, std::size_t Align = kCacheLine>
+struct AlignedAllocator {
+  using value_type = T;
+  // Non-type template parameter defeats allocator_traits' automatic rebind;
+  // spell it out.
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+};
+
+/// Aligned dynamic array — the workhorse container for field data.
+template <class T>
+using AVec = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace fun3d

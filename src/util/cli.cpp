@@ -1,0 +1,51 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace fun3d {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view a(argv[i]);
+    if (a.size() < 3 || a.substr(0, 2) != "--") {
+      std::fprintf(stderr, "cli: ignoring non-flag argument '%s'\n", argv[i]);
+      continue;
+    }
+    a.remove_prefix(2);
+    const auto eq = a.find('=');
+    if (eq != std::string_view::npos) {
+      kv_[std::string(a.substr(0, eq))] = std::string(a.substr(eq + 1));
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      kv_[std::string(a)] = argv[++i];
+    } else {
+      kv_[std::string(a)] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return kv_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : it->second;
+}
+
+long Cli::get_int(const std::string& name, long def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  auto it = kv_.find(name);
+  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  auto it = kv_.find(name);
+  if (it == kv_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace fun3d

@@ -1,0 +1,26 @@
+// Tiny flag parser shared by bench binaries and examples.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace fun3d {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& def) const;
+  [[nodiscard]] long get_int(const std::string& name, long def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace fun3d

@@ -1,0 +1,62 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fun3d {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0, sumsq = 0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+    sumsq += x * x;
+  }
+  s.sum = sum;
+  s.mean = sum / static_cast<double>(xs.size());
+  const double var =
+      std::max(0.0, sumsq / static_cast<double>(xs.size()) - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+double imbalance(std::span<const double> per_thread_work) {
+  const Summary s = summarize(per_thread_work);
+  if (s.count == 0 || s.mean == 0) return 1.0;
+  return s.max / s.mean;
+}
+
+double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+double rel_err(double a, double b, double eps) {
+  return std::abs(a - b) / std::max(std::abs(b), eps);
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs,
+                                   std::size_t nbins) {
+  std::vector<std::size_t> bins(nbins, 0);
+  if (xs.empty() || nbins == 0) return bins;
+  const Summary s = summarize(xs);
+  const double width = (s.max - s.min) / static_cast<double>(nbins);
+  for (double x : xs) {
+    std::size_t b =
+        width == 0 ? 0
+                   : static_cast<std::size_t>((x - s.min) / width);
+    if (b >= nbins) b = nbins - 1;
+    bins[b]++;
+  }
+  return bins;
+}
+
+}  // namespace fun3d

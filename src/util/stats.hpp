@@ -1,0 +1,33 @@
+// Small descriptive-statistics helpers used by mesh/partition quality
+// reports and the machine model (load imbalance, replication factors).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fun3d {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, stddev = 0, sum = 0;
+  std::size_t count = 0;
+};
+
+/// One-pass min/max/mean/stddev over a span of values.
+Summary summarize(std::span<const double> xs);
+
+/// max/mean — the classic parallel load-imbalance metric (1.0 = perfect).
+double imbalance(std::span<const double> per_thread_work);
+
+/// Geometric mean (used for speedup aggregation across kernels).
+double geomean(std::span<const double> xs);
+
+/// Relative error |a-b| / max(|b|, eps).
+double rel_err(double a, double b, double eps = 1e-300);
+
+/// Histogram with `nbins` equal-width bins over [min,max] of the data.
+std::vector<std::size_t> histogram(std::span<const double> xs,
+                                   std::size_t nbins);
+
+}  // namespace fun3d

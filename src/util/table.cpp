@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace fun3d {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  for (const auto& r : rows_) {
+    if (widths.size() < r.size()) widths.resize(r.size(), 0);
+    for (std::size_t c = 0; c < r.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::string out;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const auto& r = rows_[i];
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      std::string cell = r[c];
+      cell.resize(widths[c], ' ');
+      out += cell;
+      if (c + 1 < r.size()) out += "  ";
+    }
+    out += '\n';
+    if (i == 0) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        out.append(widths[c], '-');
+        if (c + 1 < widths.size()) out += "  ";
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::string s = to_string();
+  std::fwrite(s.data(), 1, s.size(), out);
+}
+
+}  // namespace fun3d

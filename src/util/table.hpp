@@ -1,0 +1,31 @@
+// Plain-text table printer for benchmark output.
+//
+// Every bench binary prints "paper vs measured/modelled" rows; this keeps the
+// formatting consistent and alignment-safe without iostream manipulied noise.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace fun3d {
+
+/// Column-aligned ASCII table. Add a header row, then data rows; print()
+/// right-aligns numeric-looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %.3g, ints as-is.
+  static std::string num(double v, const char* fmt = "%.4g");
+
+  void print(std::FILE* out = stdout) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fun3d

@@ -1,0 +1,3 @@
+#include "util/timer.hpp"
+
+// Header-only logic; translation unit anchors the library target.

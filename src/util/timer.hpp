@@ -1,0 +1,90 @@
+// Wall-clock timing and named timer accumulation.
+//
+// The solver attributes execution time to the paper's kernel categories
+// (flux, gradient, Jacobian, ILU, TRSV, vector ops, scatter, other); the
+// StopwatchSet here is the mechanism behind Fig. 5 / Fig. 8 style profiles.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fun3d {
+
+/// Simple monotonic wall-clock timer.
+class Timer {
+ public:
+  Timer() { reset(); }
+  void reset() { start_ = clock::now(); }
+  /// Seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates wall time under string keys; used for kernel profiles.
+class StopwatchSet {
+ public:
+  /// RAII scope: adds elapsed time to `name` on destruction.
+  class Scope {
+   public:
+    Scope(StopwatchSet& set, std::string name)
+        : set_(&set), name_(std::move(name)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { set_->add(name_, t_.seconds()); }
+
+   private:
+    StopwatchSet* set_;
+    std::string name_;
+    Timer t_;
+  };
+
+  void add(const std::string& name, double sec) { acc_[name] += sec; }
+  [[nodiscard]] Scope scoped(std::string name) {
+    return Scope(*this, std::move(name));
+  }
+  [[nodiscard]] double get(const std::string& name) const {
+    auto it = acc_.find(name);
+    return it == acc_.end() ? 0.0 : it->second;
+  }
+  [[nodiscard]] double total() const {
+    double s = 0;
+    for (auto& [k, v] : acc_) s += v;
+    return s;
+  }
+  [[nodiscard]] const std::map<std::string, double>& entries() const {
+    return acc_;
+  }
+  void clear() { acc_.clear(); }
+
+ private:
+  std::map<std::string, double> acc_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` elapsed (at least once),
+/// returning best-of-reps seconds per call. Use for microbenchmarks outside
+/// google-benchmark harnesses.
+template <class Fn>
+double time_best(Fn&& fn, int min_reps = 3, double min_seconds = 0.05) {
+  double best = 1e300;
+  double spent = 0;
+  int reps = 0;
+  while (reps < min_reps || spent < min_seconds) {
+    Timer t;
+    fn();
+    double s = t.seconds();
+    best = s < best ? s : best;
+    spent += s;
+    ++reps;
+    if (reps > 1000) break;
+  }
+  return best;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generate.hpp"
+#include "sparse/bcsr.hpp"
+
+namespace fun3d {
+namespace {
+
+CsrGraph small_graph() {
+  // 0-1, 1-2 path (no self loops; diagonal added by from_adjacency).
+  return build_csr_from_edges(
+      3, std::vector<std::pair<idx_t, idx_t>>{{0, 1}, {1, 2}});
+}
+
+TEST(Bcsr, PatternIncludesDiagonal) {
+  const Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  EXPECT_EQ(m.num_rows(), 3);
+  EXPECT_EQ(m.num_blocks(), 7u);  // 4 off-diag + 3 diag
+  for (idx_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(m.col(m.diag_index(r)), r);
+    // Columns sorted.
+    const auto cols = m.row_cols(r);
+    for (std::size_t i = 1; i < cols.size(); ++i)
+      EXPECT_LT(cols[i - 1], cols[i]);
+  }
+}
+
+TEST(Bcsr, FindLocatesEntries) {
+  const Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  EXPECT_GE(m.find(0, 1), 0);
+  EXPECT_GE(m.find(1, 0), 0);
+  EXPECT_EQ(m.find(0, 2), -1);
+}
+
+TEST(Bcsr, AddBlockAccumulates) {
+  Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  double blk[kBs2];
+  for (int i = 0; i < kBs2; ++i) blk[i] = i;
+  m.add_block(0, 1, blk);
+  m.add_block(0, 1, blk);
+  const double* b = m.block(m.find(0, 1));
+  for (int i = 0; i < kBs2; ++i) EXPECT_DOUBLE_EQ(b[i], 2.0 * i);
+}
+
+TEST(Bcsr, AddBlockOutsidePatternThrows) {
+  Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  double blk[kBs2] = {};
+  EXPECT_THROW(m.add_block(0, 2, blk), std::out_of_range);
+}
+
+TEST(Bcsr, ShiftDiagonalAddsScalarIdentity) {
+  Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  const std::vector<double> s{1.0, 2.0, 3.0};
+  m.shift_diagonal(s);
+  for (idx_t r = 0; r < 3; ++r) {
+    const double* d = m.block(m.diag_index(r));
+    for (int i = 0; i < kBs; ++i)
+      for (int j = 0; j < kBs; ++j)
+        EXPECT_DOUBLE_EQ(d[i * kBs + j],
+                         i == j ? s[static_cast<std::size_t>(r)] : 0.0);
+  }
+}
+
+TEST(Bcsr, SetZeroClears) {
+  Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  const std::vector<double> s{1, 1, 1};
+  m.shift_diagonal(s);
+  m.set_zero();
+  for (std::size_t nz = 0; nz < m.num_blocks(); ++nz)
+    for (int i = 0; i < kBs2; ++i)
+      EXPECT_EQ(m.block(static_cast<idx_t>(nz))[i], 0.0);
+}
+
+TEST(Bcsr, StructureMatchesMeshAdjacency) {
+  const TetMesh mesh = generate_box(3, 3, 3);
+  const Bcsr4 m = Bcsr4::from_adjacency(mesh.vertex_graph());
+  EXPECT_EQ(m.num_blocks(),
+            2 * mesh.edges.size() + static_cast<std::size_t>(mesh.num_vertices));
+  const CsrGraph s = m.structure();
+  EXPECT_EQ(s.num_vertices(), mesh.num_vertices);
+  EXPECT_EQ(s.num_arcs(), m.num_blocks());
+}
+
+TEST(Bcsr, StreamBytesScalesWithBlocks) {
+  const Bcsr4 m = Bcsr4::from_adjacency(small_graph());
+  EXPECT_EQ(m.stream_bytes(),
+            7u * (kBs2 * 8 + 4) + 4u * 4);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparse/blockops.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+void random_block(Rng& rng, double* a, double diag_boost = 0.0) {
+  for (int i = 0; i < kBs2; ++i) a[i] = rng.uniform(-1, 1);
+  for (int i = 0; i < kBs; ++i) a[i * kBs + i] += diag_boost;
+}
+
+TEST(BlockOps, GemvSubMatchesReference) {
+  Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    double a[kBs2], x[kBs], y[kBs], y2[kBs];
+    random_block(rng, a);
+    for (int i = 0; i < kBs; ++i) {
+      x[i] = rng.uniform(-1, 1);
+      y[i] = y2[i] = rng.uniform(-1, 1);
+    }
+    block_gemv_sub(a, x, y);
+    for (int r = 0; r < kBs; ++r) {
+      double s = y2[r];
+      for (int c = 0; c < kBs; ++c) s -= a[r * kBs + c] * x[c];
+      EXPECT_NEAR(y[r], s, 1e-14);
+    }
+  }
+}
+
+TEST(BlockOps, SimdGemvSubMatchesScalar) {
+  Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    double a[kBs2], x[kBs], y1[kBs], y2[kBs];
+    random_block(rng, a);
+    for (int i = 0; i < kBs; ++i) {
+      x[i] = rng.uniform(-1, 1);
+      y1[i] = y2[i] = rng.uniform(-1, 1);
+    }
+    block_gemv_sub(a, x, y1);
+    block_gemv_sub_simd(a, x, y2);
+    for (int i = 0; i < kBs; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+  }
+}
+
+TEST(BlockOps, GemmSubMatchesReference) {
+  Rng rng(3);
+  double a[kBs2], b[kBs2], c1[kBs2], c2[kBs2];
+  random_block(rng, a);
+  random_block(rng, b);
+  for (int i = 0; i < kBs2; ++i) c1[i] = c2[i] = rng.uniform(-1, 1);
+  block_gemm_sub(a, b, c1);
+  for (int r = 0; r < kBs; ++r)
+    for (int j = 0; j < kBs; ++j) {
+      double s = c2[r * kBs + j];
+      for (int k = 0; k < kBs; ++k) s -= a[r * kBs + k] * b[k * kBs + j];
+      EXPECT_NEAR(c1[r * kBs + j], s, 1e-13);
+    }
+}
+
+TEST(BlockOps, SimdGemmSubMatchesScalar) {
+  Rng rng(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    double a[kBs2], b[kBs2], c1[kBs2], c2[kBs2];
+    random_block(rng, a);
+    random_block(rng, b);
+    for (int i = 0; i < kBs2; ++i) c1[i] = c2[i] = rng.uniform(-1, 1);
+    block_gemm_sub(a, b, c1);
+    block_gemm_sub_simd(a, b, c2);
+    for (int i = 0; i < kBs2; ++i) EXPECT_NEAR(c1[i], c2[i], 1e-13);
+  }
+}
+
+TEST(BlockOps, InvertRecoversIdentity) {
+  Rng rng(5);
+  for (int rep = 0; rep < 30; ++rep) {
+    double a[kBs2], inv[kBs2], prod[kBs2];
+    random_block(rng, a, 4.0);  // diagonally dominant => nonsingular
+    ASSERT_TRUE(block_invert(a, inv));
+    block_gemm(a, inv, prod);
+    for (int r = 0; r < kBs; ++r)
+      for (int c = 0; c < kBs; ++c)
+        EXPECT_NEAR(prod[r * kBs + c], r == c ? 1.0 : 0.0, 1e-10);
+  }
+}
+
+TEST(BlockOps, InvertNeedsPivoting) {
+  // Zero in the (0,0) position but nonsingular: requires row swap.
+  double a[kBs2] = {0, 1, 0, 0,  //
+                    1, 0, 0, 0,  //
+                    0, 0, 1, 0,  //
+                    0, 0, 0, 1};
+  double inv[kBs2];
+  ASSERT_TRUE(block_invert(a, inv));
+  double prod[kBs2];
+  block_gemm(a, inv, prod);
+  for (int r = 0; r < kBs; ++r)
+    for (int c = 0; c < kBs; ++c)
+      EXPECT_NEAR(prod[r * kBs + c], r == c ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(BlockOps, InvertDetectsSingular) {
+  double a[kBs2] = {};  // zero matrix
+  double inv[kBs2];
+  EXPECT_FALSE(block_invert(a, inv));
+  // Rank-deficient: two equal rows.
+  double b[kBs2] = {1, 2, 3, 4, 1, 2, 3, 4, 0, 0, 1, 0, 0, 0, 0, 1};
+  EXPECT_FALSE(block_invert(b, inv));
+}
+
+TEST(BlockOps, DiffNorm) {
+  double a[kBs2] = {}, b[kBs2] = {};
+  b[0] = 3.0;
+  b[5] = 4.0;
+  EXPECT_NEAR(block_diff_norm(a, b), 5.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include "graph/coloring.hpp"
+#include "mesh/generate.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(Coloring, PathNeedsTwoColors) {
+  std::vector<std::pair<idx_t, idx_t>> es{{0, 1}, {1, 2}, {2, 3}};
+  const CsrGraph g = build_csr_from_edges(4, es);
+  const Coloring c = greedy_coloring(g);
+  EXPECT_EQ(c.ncolors, 2);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(Coloring, CompleteGraphNeedsNColors) {
+  std::vector<std::pair<idx_t, idx_t>> es;
+  for (idx_t i = 0; i < 5; ++i)
+    for (idx_t j = i + 1; j < 5; ++j) es.emplace_back(i, j);
+  const CsrGraph g = build_csr_from_edges(5, es);
+  const Coloring c = greedy_coloring(g);
+  EXPECT_EQ(c.ncolors, 5);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+}
+
+TEST(Coloring, ValidOnMeshGraph) {
+  const CsrGraph g = generate_box(6, 6, 6).vertex_graph();
+  const Coloring c = greedy_coloring(g);
+  EXPECT_TRUE(is_valid_coloring(g, c));
+  // Greedy uses at most maxdeg+1 colours.
+  idx_t maxdeg = 0;
+  for (idx_t v = 0; v < g.num_vertices(); ++v)
+    maxdeg = std::max(maxdeg, g.degree(v));
+  EXPECT_LE(c.ncolors, maxdeg + 1);
+}
+
+TEST(Coloring, DegreeOrderNotWorseMuch) {
+  const CsrGraph g = generate_box(6, 6, 6).vertex_graph();
+  const Coloring natural = greedy_coloring(g);
+  const Coloring bydeg = greedy_coloring(g, degree_descending_order(g));
+  EXPECT_TRUE(is_valid_coloring(g, bydeg));
+  EXPECT_LE(bydeg.ncolors, natural.ncolors + 2);
+}
+
+TEST(Coloring, IsValidColoringRejectsBadColorings) {
+  const CsrGraph g = build_csr_from_edges(
+      2, std::vector<std::pair<idx_t, idx_t>>{{0, 1}});
+  Coloring bad;
+  bad.ncolors = 1;
+  bad.color = {0, 0};
+  EXPECT_FALSE(is_valid_coloring(g, bad));
+}
+
+TEST(EdgeConflictGraph, PairsEdgesSharingVertices) {
+  // Triangle: all three edges pairwise conflict.
+  std::vector<std::pair<idx_t, idx_t>> edges{{0, 1}, {1, 2}, {0, 2}};
+  const CsrGraph cg = edge_conflict_graph(3, edges);
+  EXPECT_EQ(cg.num_vertices(), 3);
+  for (idx_t e = 0; e < 3; ++e) EXPECT_EQ(cg.degree(e), 2);
+  const Coloring c = greedy_coloring(cg);
+  EXPECT_EQ(c.ncolors, 3);
+}
+
+TEST(EdgeConflictGraph, DisjointEdgesDoNotConflict) {
+  std::vector<std::pair<idx_t, idx_t>> edges{{0, 1}, {2, 3}};
+  const CsrGraph cg = edge_conflict_graph(4, edges);
+  EXPECT_EQ(cg.num_arcs(), 0u);
+  EXPECT_EQ(greedy_coloring(cg).ncolors, 1);
+}
+
+}  // namespace
+}  // namespace fun3d

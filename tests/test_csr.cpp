@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+using EdgeList = std::vector<std::pair<idx_t, idx_t>>;
+
+CsrGraph path_graph(idx_t n) {
+  EdgeList es;
+  for (idx_t i = 0; i + 1 < n; ++i) es.emplace_back(i, i + 1);
+  return build_csr_from_edges(n, es);
+}
+
+CsrGraph random_graph(idx_t n, std::size_t m, unsigned seed) {
+  Rng rng(seed);
+  EdgeList es;
+  for (std::size_t k = 0; k < m; ++k) {
+    const idx_t a = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    const idx_t b = static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(n)));
+    es.emplace_back(a, b);
+  }
+  return build_csr_from_edges(n, es);
+}
+
+TEST(Csr, BuildFromEdgesBasic) {
+  const EdgeList es{{0, 1}, {1, 2}, {0, 2}};
+  const CsrGraph g = build_csr_from_edges(3, es);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_arcs(), 6u);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(is_valid_symmetric(g));
+}
+
+TEST(Csr, DuplicatesAndSelfLoopsRemoved) {
+  const EdgeList es{{0, 1}, {1, 0}, {0, 1}, {2, 2}};
+  const CsrGraph g = build_csr_from_edges(3, es);
+  EXPECT_EQ(g.num_arcs(), 2u);  // just 0<->1
+  EXPECT_EQ(g.degree(2), 0);
+  EXPECT_TRUE(is_valid_symmetric(g));
+}
+
+TEST(Csr, RandomGraphsAreValid) {
+  for (unsigned seed : {1u, 2u, 3u}) {
+    const CsrGraph g = random_graph(100, 400, seed);
+    EXPECT_TRUE(is_valid_symmetric(g));
+  }
+}
+
+TEST(Csr, BandwidthOfPath) {
+  const CsrGraph g = path_graph(10);
+  const auto info = bandwidth_info(g);
+  EXPECT_EQ(info.bandwidth, 1);
+  EXPECT_EQ(info.profile, 9u);  // each vertex except 0 reaches back one
+}
+
+TEST(Csr, PermuteGraphPreservesStructure) {
+  const CsrGraph g = random_graph(50, 150, 7);
+  std::vector<idx_t> perm(50);
+  for (idx_t i = 0; i < 50; ++i) perm[static_cast<std::size_t>(i)] = 49 - i;
+  const CsrGraph pg = permute_graph(g, perm);
+  EXPECT_TRUE(is_valid_symmetric(pg));
+  EXPECT_EQ(pg.num_arcs(), g.num_arcs());
+  // Degree multiset preserved.
+  std::vector<idx_t> d0, d1;
+  for (idx_t v = 0; v < 50; ++v) {
+    d0.push_back(g.degree(v));
+    d1.push_back(pg.degree(perm[static_cast<std::size_t>(v)]));
+  }
+  EXPECT_EQ(d0, d1);
+}
+
+TEST(Csr, PermuteIdentityIsNoop) {
+  const CsrGraph g = random_graph(30, 80, 9);
+  std::vector<idx_t> id(30);
+  for (idx_t i = 0; i < 30; ++i) id[static_cast<std::size_t>(i)] = i;
+  const CsrGraph pg = permute_graph(g, id);
+  EXPECT_EQ(pg.rowptr, g.rowptr);
+  EXPECT_EQ(pg.col, g.col);
+}
+
+TEST(Csr, ConnectedComponents) {
+  EdgeList es{{0, 1}, {1, 2}, {3, 4}};
+  const CsrGraph g = build_csr_from_edges(6, es);
+  EXPECT_EQ(connected_components(g), 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(connected_components(path_graph(10)), 1);
+}
+
+TEST(Csr, InvertPermutationRoundTrip) {
+  const std::vector<idx_t> perm{2, 0, 3, 1};
+  const auto inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<idx_t>{1, 3, 0, 2}));
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    EXPECT_EQ(perm[static_cast<std::size_t>(inv[i])], static_cast<idx_t>(i));
+}
+
+TEST(Csr, IsPermutationDetectsBadInputs) {
+  EXPECT_TRUE(is_permutation(std::vector<idx_t>{1, 0, 2}));
+  EXPECT_FALSE(is_permutation(std::vector<idx_t>{0, 0, 2}));
+  EXPECT_FALSE(is_permutation(std::vector<idx_t>{0, 3, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<idx_t>{0, -1, 1}));
+}
+
+TEST(Csr, EmptyGraph) {
+  const CsrGraph g = build_csr_from_edges(0, {});
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(is_valid_symmetric(g));
+}
+
+}  // namespace
+}  // namespace fun3d

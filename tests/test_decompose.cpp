@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "mesh/decompose.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+namespace {
+
+class DecomposeTest
+    : public ::testing::TestWithParam<std::tuple<idx_t, bool>> {};
+
+TEST_P(DecomposeTest, PartsContiguousAndConsistent) {
+  const auto [nparts, use_partitioner] = GetParam();
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  shuffle_numbering(m, 1);
+  const Decomposition d = decompose(m, nparts, use_partitioner);
+
+  EXPECT_EQ(d.nparts(), nparts);
+  EXPECT_TRUE(is_permutation(d.perm));
+  // Contiguity: part of vertex v equals the subdomain whose range holds v.
+  for (idx_t q = 0; q < nparts; ++q) {
+    const auto& sub = d.subs[static_cast<std::size_t>(q)];
+    EXPECT_EQ(sub.owner, q);
+    for (idx_t v = sub.row_begin; v < sub.row_end; ++v)
+      EXPECT_EQ(d.part.part[static_cast<std::size_t>(v)], q);
+  }
+  // Ranges tile [0, n).
+  idx_t covered = 0;
+  for (const auto& sub : d.subs) covered += sub.num_owned();
+  EXPECT_EQ(covered, m.num_vertices);
+  // Edge accounting: interior counted once, cut counted twice.
+  std::uint64_t interior = 0;
+  for (const auto& sub : d.subs) interior += sub.interior_edges;
+  EXPECT_EQ(interior + d.total_cut_edges() / 2, m.edges.size());
+  // Mesh still valid after renumbering.
+  EXPECT_LT(dual_closure_error(m), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecomposeTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8), ::testing::Bool()));
+
+TEST(Decompose, PartitionerCutsFewerEdgesThanNaturalOnShuffled) {
+  TetMesh m1 = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  TetMesh m2 = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  shuffle_numbering(m1, 4);
+  shuffle_numbering(m2, 4);
+  const Decomposition nat = decompose(m1, 8, /*use_graph_partitioner=*/false);
+  const Decomposition gp = decompose(m2, 8, /*use_graph_partitioner=*/true);
+  EXPECT_LT(gp.total_cut_edges(), nat.total_cut_edges() / 2);
+  EXPECT_LT(gp.total_ghosts(), nat.total_ghosts());
+}
+
+TEST(Decompose, SinglePartHasNoGhosts) {
+  TetMesh m = generate_box(4, 4, 4);
+  const Decomposition d = decompose(m, 1, true);
+  EXPECT_EQ(d.total_ghosts(), 0u);
+  EXPECT_EQ(d.total_cut_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace fun3d

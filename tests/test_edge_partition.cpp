@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "parallel/edge_partition.hpp"
+#include "parallel/workshare.hpp"
+
+namespace fun3d {
+namespace {
+
+TetMesh plan_mesh(unsigned seed = 1) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  shuffle_numbering(m, seed);
+  return m;
+}
+
+class EdgePlanTest
+    : public ::testing::TestWithParam<std::tuple<EdgeStrategy, idx_t>> {};
+
+TEST_P(EdgePlanTest, PlansValidateAcrossStrategiesAndThreads) {
+  const auto [strategy, nthreads] = GetParam();
+  const TetMesh m = plan_mesh();
+  const EdgeLoopPlan p = build_edge_plan(m, strategy, nthreads);
+  EXPECT_EQ(p.nthreads, nthreads);
+  EXPECT_TRUE(validate_edge_plan(m, p));
+  EXPECT_GE(p.processed_edges, p.num_edges);
+  EXPECT_GE(p.load_imbalance, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EdgePlanTest,
+    ::testing::Combine(
+        ::testing::Values(EdgeStrategy::kAtomics,
+                          EdgeStrategy::kReplicationNatural,
+                          EdgeStrategy::kReplicationPartitioned,
+                          EdgeStrategy::kColoring),
+        ::testing::Values(1, 2, 4, 8, 20)));
+
+TEST(EdgePlan, PaperReplicationOverheadShape) {
+  // Paper §V-A: natural-order vertex split at 20 threads => ~41% redundant
+  // compute; METIS-style partitioning => ~4%. The absolute partitioned
+  // overhead shrinks with subdomain volume (surface/volume), so on this
+  // test-size mesh assert the ordering and the mesh-size trend.
+  TetMesh m = plan_mesh(3);
+  const EdgeLoopPlan nat =
+      build_edge_plan(m, EdgeStrategy::kReplicationNatural, 20);
+  const EdgeLoopPlan part =
+      build_edge_plan(m, EdgeStrategy::kReplicationPartitioned, 20);
+  EXPECT_GT(nat.replication_overhead, 0.3);  // scrambled numbering hurts
+  EXPECT_LT(part.replication_overhead, nat.replication_overhead / 2.5);
+  EXPECT_LT(part.replication_overhead, 0.3);
+
+  // Trend: a larger mesh gives a smaller partitioned overhead (towards the
+  // paper's 4% at Mesh-C size).
+  TetMesh big = generate_wing_bump(preset_params(MeshPreset::kMeshC, 8.0));
+  shuffle_numbering(big, 3);
+  const EdgeLoopPlan part_big =
+      build_edge_plan(big, EdgeStrategy::kReplicationPartitioned, 20);
+  TetMesh small = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(small, 3);
+  const EdgeLoopPlan part_small =
+      build_edge_plan(small, EdgeStrategy::kReplicationPartitioned, 20);
+  EXPECT_LT(part_big.replication_overhead, part_small.replication_overhead);
+}
+
+TEST(EdgePlan, RcmImprovesNaturalReplication) {
+  // After RCM the natural-order split becomes far less wasteful — the
+  // reason the paper reorders before threading.
+  TetMesh shuffled = plan_mesh(4);
+  const EdgeLoopPlan bad =
+      build_edge_plan(shuffled, EdgeStrategy::kReplicationNatural, 8);
+  rcm_reorder(shuffled);
+  const EdgeLoopPlan good =
+      build_edge_plan(shuffled, EdgeStrategy::kReplicationNatural, 8);
+  EXPECT_LT(good.replication_overhead, bad.replication_overhead / 2);
+}
+
+TEST(EdgePlan, AtomicsHasNoReplication) {
+  const TetMesh m = plan_mesh(5);
+  const EdgeLoopPlan p = build_edge_plan(m, EdgeStrategy::kAtomics, 8);
+  EXPECT_EQ(p.replication_overhead, 0.0);
+  EXPECT_EQ(p.processed_edges, p.num_edges);
+  EXPECT_LT(p.load_imbalance, 1.01);
+}
+
+TEST(EdgePlan, ColoringCountsBarriers) {
+  const TetMesh m = plan_mesh(6);
+  const EdgeLoopPlan p = build_edge_plan(m, EdgeStrategy::kColoring, 4);
+  EXPECT_GT(p.num_barriers, 10);  // degree ~14 mesh: many colour classes
+  std::size_t total = 0;
+  for (const auto& cls : p.color_classes) total += cls.size();
+  EXPECT_EQ(total, m.edges.size());
+}
+
+TEST(EdgePlan, StrategyNames) {
+  EXPECT_STREQ(edge_strategy_name(EdgeStrategy::kAtomics), "atomics");
+  EXPECT_STREQ(edge_strategy_name(EdgeStrategy::kReplicationPartitioned),
+               "replication-metis");
+}
+
+TEST(Workshare, StaticChunksTile) {
+  idx_t covered = 0;
+  for (idx_t t = 0; t < 7; ++t) {
+    const auto [b, e] = static_chunk(100, t, 7);
+    covered += e - b;
+    EXPECT_LE(b, e);
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(Workshare, ParallelSumMatchesSerial) {
+  const double s =
+      parallel_sum(1000, 4, [](idx_t i) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(s, 999.0 * 1000.0 / 2.0);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/boundary.hpp"
+#include "core/flux_kernels.hpp"
+#include "core/gradients.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+struct FluxSetup {
+  TetMesh mesh;
+  FlowFields fields;
+  EdgeArrays edges;
+
+  explicit FluxSetup(unsigned seed, bool perturb = true)
+      : mesh(make_mesh(seed)), fields(mesh), edges(mesh) {
+    fields.set_uniform({1.0, 1.0, 0.0, 0.0});
+    if (perturb) {
+      Rng rng(seed);
+      for (auto& v : fields.q) v += rng.uniform(-0.1, 0.1);
+    }
+    const EdgeLoopPlan plan = build_edge_plan(mesh, EdgeStrategy::kAtomics, 1);
+    compute_gradients(mesh, edges, plan, fields);
+    fields.sync_soa_from_aos();
+  }
+
+  static TetMesh make_mesh(unsigned seed) {
+    TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+    shuffle_numbering(m, seed);
+    return m;
+  }
+
+  AVec<double> residual(const FluxKernelConfig& cfg, const EdgeLoopPlan& plan) {
+    AVec<double> r(static_cast<std::size_t>(fields.nv) * kNs, 0.0);
+    compute_edge_fluxes(Physics{}, edges, plan, cfg, fields,
+                        {r.data(), r.size()});
+    return r;
+  }
+};
+
+double max_diff(const AVec<double>& a, const AVec<double>& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  return d;
+}
+
+TEST(FluxKernels, InteriorFluxesTelescope) {
+  // Sum of edge-flux residual over all vertices is exactly zero: each edge
+  // adds +F to one vertex and -F to the other.
+  FluxSetup s(1);
+  FluxKernelConfig cfg;
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  const AVec<double> r = s.residual(cfg, plan);
+  double sum[kNs] = {};
+  for (idx_t v = 0; v < s.fields.nv; ++v)
+    for (int c = 0; c < kNs; ++c)
+      sum[c] += r[static_cast<std::size_t>(v) * kNs + static_cast<std::size_t>(c)];
+  for (int c = 0; c < kNs; ++c) EXPECT_NEAR(sum[c], 0.0, 1e-9);
+}
+
+TEST(FluxKernels, FreestreamPreservationOnAllFarfieldMesh) {
+  // Uniform state + closed dual volumes => residual identically zero
+  // including far-field boundary fluxes.
+  TetMesh m = generate_box(4, 3, 3);
+  shuffle_numbering(m, 5);
+  Physics ph;
+  FlowFields f(m);
+  f.set_uniform(ph.freestream);
+  EdgeArrays e(m);
+  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  compute_gradients(m, e, plan, f);
+  AVec<double> r(static_cast<std::size_t>(f.nv) * kNs, 0.0);
+  FluxKernelConfig cfg;
+  compute_edge_fluxes(ph, e, plan, cfg, f, {r.data(), r.size()});
+  add_boundary_fluxes(ph, m, f, {r.data(), r.size()});
+  for (double rv : r) EXPECT_NEAR(rv, 0.0, 1e-10);
+}
+
+TEST(FluxKernels, SoAAndAoSLayoutsAgree) {
+  FluxSetup s(2);
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig aos, soa;
+  aos.layout = VertexLayout::kAoS;
+  soa.layout = VertexLayout::kSoA;
+  EXPECT_LT(max_diff(s.residual(aos, plan), s.residual(soa, plan)), 1e-12);
+}
+
+TEST(FluxKernels, SimdMatchesScalar) {
+  FluxSetup s(3);
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig scalar, simd;
+  simd.simd = true;
+  EXPECT_LT(max_diff(s.residual(scalar, plan), s.residual(simd, plan)),
+            1e-11);
+}
+
+TEST(FluxKernels, PrefetchDoesNotChangeResults) {
+  FluxSetup s(4);
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig base, pf;
+  pf.prefetch = true;
+  EXPECT_EQ(max_diff(s.residual(base, plan), s.residual(pf, plan)), 0.0);
+  FluxKernelConfig simd_pf;
+  simd_pf.simd = true;
+  simd_pf.prefetch = true;
+  FluxKernelConfig simd;
+  simd.simd = true;
+  EXPECT_EQ(max_diff(s.residual(simd, plan), s.residual(simd_pf, plan)), 0.0);
+}
+
+TEST(FluxKernels, RusanovAndRoeDiffer) {
+  FluxSetup s(5);
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig roe, rus;
+  rus.scheme = FluxScheme::kRusanov;
+  EXPECT_GT(max_diff(s.residual(roe, plan), s.residual(rus, plan)), 1e-8);
+}
+
+TEST(FluxKernels, FirstOrderIgnoresGradients) {
+  FluxSetup s(6);
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig fo;
+  fo.second_order = false;
+  const AVec<double> r1 = s.residual(fo, plan);
+  for (auto& gv : s.fields.grad) gv *= 10.0;  // corrupt gradients
+  s.fields.sync_soa_from_aos();
+  const AVec<double> r2 = s.residual(fo, plan);
+  EXPECT_EQ(max_diff(r1, r2), 0.0);
+}
+
+class FluxStrategyTest
+    : public ::testing::TestWithParam<std::tuple<EdgeStrategy, idx_t, bool>> {
+};
+
+TEST_P(FluxStrategyTest, ThreadedStrategiesMatchSerial) {
+  const auto [strategy, nthreads, simd] = GetParam();
+  FluxSetup s(7);
+  const EdgeLoopPlan serial = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig cfg;
+  cfg.simd = simd;
+  const AVec<double> ref = s.residual(cfg, serial);
+
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, strategy, nthreads);
+  EXPECT_TRUE(validate_edge_plan(s.mesh, plan));
+  const AVec<double> r = s.residual(cfg, plan);
+  EXPECT_LT(max_diff(ref, r), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FluxStrategyTest,
+    ::testing::Combine(
+        ::testing::Values(EdgeStrategy::kAtomics,
+                          EdgeStrategy::kReplicationNatural,
+                          EdgeStrategy::kReplicationPartitioned,
+                          EdgeStrategy::kColoring),
+        ::testing::Values(2, 4), ::testing::Values(false, true)));
+
+TEST(FluxKernels, FlopCountsOrdering) {
+  FluxKernelConfig roe2, roe1, rus;
+  roe1.second_order = false;
+  rus.scheme = FluxScheme::kRusanov;
+  EXPECT_GT(flux_flops_per_edge(roe2), flux_flops_per_edge(roe1));
+  EXPECT_GT(flux_flops_per_edge(roe2), flux_flops_per_edge(rus));
+}
+
+TEST(FluxTrace, AoSIssuesFewerAccessesAndComparableTraffic) {
+  // The paper's layout claim (§V-A): AoS vertex data needs fewer loads (one
+  // vector load per vertex vs one per field) and better utilizes issue
+  // ports, giving ~20% better L1/L2 reuse per access. In the trace this
+  // shows as far fewer cache accesses for the same kernel, while DRAM
+  // traffic stays comparable (SoA has 8-vertices-per-line spatial locality
+  // working in its favour).
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  shuffle_numbering(m, 8);
+  rcm_reorder(m);
+  FlowFields f(m);
+  f.set_uniform({1, 1, 0, 0});
+  f.sync_soa_from_aos();
+  EdgeArrays e(m);
+  std::vector<idx_t> order(m.edges.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<idx_t>(i);
+
+  const std::vector<CacheLevelSpec> cache = {{32 * 1024, 8, 64},
+                                             {256 * 1024, 8, 64}};
+  FluxKernelConfig aos, soa;
+  soa.layout = VertexLayout::kSoA;
+  CacheSim sim_aos(cache), sim_soa(cache);
+  trace_flux_accesses(e, order, aos, f, sim_aos);
+  trace_flux_accesses(e, order, soa, f, sim_soa);
+  const auto accesses = [](const CacheSim& s) {
+    return s.level(0).hits() + s.level(0).misses();
+  };
+  EXPECT_LT(accesses(sim_aos), accesses(sim_soa) / 2);
+  EXPECT_LT(static_cast<double>(sim_aos.dram_bytes()),
+            1.3 * static_cast<double>(sim_soa.dram_bytes()));
+}
+
+}  // namespace
+}  // namespace fun3d

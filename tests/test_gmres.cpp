@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gmres.hpp"
+#include "mesh/generate.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+Bcsr4 random_dd(const CsrGraph& adj, unsigned seed, double dd = 8.0) {
+  Bcsr4 m = Bcsr4::from_adjacency(adj);
+  Rng rng(seed);
+  for (idx_t r = 0; r < m.num_rows(); ++r)
+    for (idx_t nz = m.row_begin(r); nz < m.row_end(r); ++nz) {
+      double* b = m.block(nz);
+      for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-0.5, 0.5);
+      if (m.col(nz) == r)
+        for (int i = 0; i < kBs; ++i) b[i * kBs + i] += dd;
+    }
+  return m;
+}
+
+TEST(Gmres, SolvesDiagonalSystemInOneIteration) {
+  const std::size_t n = 40;
+  AVec<double> b(n), x(n, 0.0);
+  Rng rng(1);
+  for (auto& bi : b) bi = rng.uniform(-1, 1);
+  const LinearOp a = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = 3.0 * in[i];
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.rtol = 1e-12;
+  const GmresResult r = gmres_solve(a, nullptr, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], b[i] / 3.0, 1e-10);
+}
+
+TEST(Gmres, SolvesBcsrSystemUnpreconditioned) {
+  const Bcsr4 a = random_dd(generate_box(3, 3, 2).vertex_graph(), 2);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> xref(n), b(n), x(n, 0.0);
+  Rng rng(3);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  spmv_serial(a, xref, b);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.rtol = 1e-10;
+  opt.max_iters = 300;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(Gmres, IluPreconditioningCutsIterations) {
+  const Bcsr4 a = random_dd(generate_box(4, 4, 3).vertex_graph(), 4, 5.0);
+  const IluFactor f = factorize_ilu(a, symbolic_ilu(a.structure(), 0));
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> xref(n), b(n);
+  Rng rng(5);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  spmv_serial(a, xref, b);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  const LinearOp pre = [&](std::span<const double> in, std::span<double> out) {
+    trsv_serial(f, in, out);
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.rtol = 1e-8;
+  opt.max_iters = 300;
+  AVec<double> x1(n, 0.0), x2(n, 0.0);
+  const GmresResult plain = gmres_solve(op, nullptr, b, x1, opt, vec);
+  const GmresResult prec = gmres_solve(op, &pre, b, x2, opt, vec);
+  EXPECT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x2[i], xref[i], 1e-5);
+}
+
+TEST(Gmres, ExactPreconditionerConvergesInOneIteration) {
+  // Dense-pattern ILU is an exact LU: preconditioned operator = identity.
+  std::vector<std::pair<idx_t, idx_t>> es;
+  for (idx_t i = 0; i < 6; ++i)
+    for (idx_t j = i + 1; j < 6; ++j) es.emplace_back(i, j);
+  const Bcsr4 a = random_dd(build_csr_from_edges(6, es), 6);
+  const IluFactor f = factorize_ilu(a, symbolic_ilu(a.structure(), 0));
+  const std::size_t n = 6 * kBs;
+  AVec<double> b(n), x(n, 0.0);
+  Rng rng(7);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  const LinearOp pre = [&](std::span<const double> in, std::span<double> out) {
+    trsv_serial(f, in, out);
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.rtol = 1e-10;
+  const GmresResult r = gmres_solve(op, &pre, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Gmres, RestartStillConverges) {
+  const Bcsr4 a = random_dd(generate_box(3, 3, 3).vertex_graph(), 8, 4.0);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> xref(n), b(n), x(n, 0.0);
+  Rng rng(9);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  spmv_serial(a, xref, b);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.restart = 5;  // force many restart cycles
+  opt.rtol = 1e-8;
+  opt.max_iters = 400;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 5);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-4);
+}
+
+TEST(Gmres, ZeroRhsConvergesImmediately) {
+  AVec<double> b(16, 0.0), x(16, 0.0);
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+  };
+  VecOps vec{1};
+  const GmresResult r = gmres_solve(op, nullptr, b, x, GmresOptions{}, vec);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Gmres, CountsReductionsInProfile) {
+  AVec<double> b(16, 1.0), x(16, 0.0);
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = 2.0 * in[i];
+  };
+  VecOps vec{1};
+  Profile prof;
+  GmresOptions opt;
+  opt.rtol = 1e-12;
+  gmres_solve(op, nullptr, b, x, opt, vec, &prof);
+  EXPECT_GT(prof.reductions, 0u);
+}
+
+}  // namespace
+}  // namespace fun3d

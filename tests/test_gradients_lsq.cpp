@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gradients.hpp"
+#include "core/gradients_lsq.hpp"
+#include "core/solver.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+namespace {
+
+void set_affine(const TetMesh& m, FlowFields& f, const double (*g)[3],
+                const double* a) {
+  for (idx_t v = 0; v < f.nv; ++v) {
+    const std::size_t vs = static_cast<std::size_t>(v);
+    for (int s = 0; s < kNs; ++s)
+      f.q[vs * kNs + static_cast<std::size_t>(s)] =
+          a[s] + g[s][0] * m.x[vs] + g[s][1] * m.y[vs] + g[s][2] * m.z[vs];
+  }
+}
+
+TEST(LsqGradients, ExactForAffineFieldsEverywhere) {
+  // Unlike midpoint Green-Gauss, the least-squares fit reproduces affine
+  // fields exactly at interior AND boundary vertices.
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, 4);
+  FlowFields f(m);
+  const double g[kNs][3] = {
+      {1.0, 2.0, -1.0}, {0.5, 0.0, 3.0}, {-2.0, 1.0, 0.0}, {0.0, -1.5, 2.5}};
+  const double a[kNs] = {1, -2, 3, 0};
+  set_affine(m, f, g, a);
+  EdgeArrays e(m);
+  const LsqGradientOperator lsq(m);
+  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  lsq.apply(e, plan, f);
+  for (idx_t v = 0; v < f.nv; ++v)
+    for (int s = 0; s < kNs; ++s)
+      for (int d = 0; d < 3; ++d)
+        EXPECT_NEAR(f.grad[static_cast<std::size_t>(v) * kGradStride +
+                           static_cast<std::size_t>(s * 3 + d)],
+                    g[s][d], 1e-9)
+            << "v=" << v << " s=" << s << " d=" << d;
+}
+
+TEST(LsqGradients, ZeroForConstantField) {
+  TetMesh m = generate_box(3, 3, 3);
+  FlowFields f(m);
+  f.set_uniform({2.0, -1.0, 0.5, 3.0});
+  EdgeArrays e(m);
+  const LsqGradientOperator lsq(m);
+  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  lsq.apply(e, plan, f);
+  for (double gv : f.grad) EXPECT_NEAR(gv, 0.0, 1e-11);
+}
+
+class LsqStrategyTest
+    : public ::testing::TestWithParam<std::tuple<EdgeStrategy, idx_t>> {};
+
+TEST_P(LsqStrategyTest, AllStrategiesMatchSerial) {
+  const auto [strategy, nthreads] = GetParam();
+  TetMesh m = generate_box(4, 3, 3);
+  shuffle_numbering(m, 5);
+  FlowFields f(m), fref(m);
+  const double g[kNs][3] = {{1, 0, 2}, {0, 1, 0}, {3, 0, 1}, {1, 1, 1}};
+  const double a[kNs] = {0, 1, 2, 3};
+  set_affine(m, f, g, a);
+  set_affine(m, fref, g, a);
+  EdgeArrays e(m);
+  const LsqGradientOperator lsq(m);
+  lsq.apply(e, build_edge_plan(m, EdgeStrategy::kAtomics, 1), fref);
+  lsq.apply(e, build_edge_plan(m, strategy, nthreads), f);
+  for (std::size_t i = 0; i < f.grad.size(); ++i)
+    EXPECT_NEAR(f.grad[i], fref.grad[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LsqStrategyTest,
+    ::testing::Combine(
+        ::testing::Values(EdgeStrategy::kAtomics,
+                          EdgeStrategy::kReplicationNatural,
+                          EdgeStrategy::kReplicationPartitioned,
+                          EdgeStrategy::kColoring),
+        ::testing::Values(2, 4)));
+
+TEST(LsqGradients, SolverConvergesWithLsqReconstruction) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, 6);
+  rcm_reorder(m);
+  SolverConfig cfg = SolverConfig::baseline();
+  cfg.gradient_method = GradientMethod::kLeastSquares;
+  cfg.ptc.max_steps = 30;
+  cfg.ptc.rtol = 1e-8;
+  FlowSolver solver(std::move(m), cfg);
+  const SolveStats st = solver.solve();
+  EXPECT_TRUE(st.converged);
+}
+
+TEST(LsqGradients, GreenGaussAndLsqAgreeInSmoothInterior) {
+  // For a smooth (quadratic) field the two gradients differ by O(h) — on a
+  // fine mesh they should be close at interior vertices.
+  TetMesh m = generate_box(8, 8, 8);
+  FlowFields fgg(m), flsq(m);
+  for (idx_t v = 0; v < m.num_vertices; ++v) {
+    const std::size_t vs = static_cast<std::size_t>(v);
+    const double q = m.x[vs] * m.x[vs] + 0.5 * m.y[vs] * m.z[vs];
+    for (int s = 0; s < kNs; ++s) {
+      fgg.q[vs * kNs + static_cast<std::size_t>(s)] = q;
+      flsq.q[vs * kNs + static_cast<std::size_t>(s)] = q;
+    }
+  }
+  EdgeArrays e(m);
+  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  compute_gradients(m, e, plan, fgg);
+  const LsqGradientOperator lsq(m);
+  lsq.apply(e, plan, flsq);
+  std::vector<char> boundary(static_cast<std::size_t>(m.num_vertices), 0);
+  for (const auto& bf : m.bfaces)
+    for (idx_t v : bf.v) boundary[static_cast<std::size_t>(v)] = 1;
+  for (idx_t v = 0; v < m.num_vertices; ++v) {
+    if (boundary[static_cast<std::size_t>(v)]) continue;
+    for (int i = 0; i < kGradStride; ++i)
+      EXPECT_NEAR(fgg.grad[static_cast<std::size_t>(v) * kGradStride +
+                           static_cast<std::size_t>(i)],
+                  flsq.grad[static_cast<std::size_t>(v) * kGradStride +
+                            static_cast<std::size_t>(i)],
+                  0.3);
+  }
+}
+
+}  // namespace
+}  // namespace fun3d

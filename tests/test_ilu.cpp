@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generate.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+Bcsr4 random_spd_like(const CsrGraph& adj, unsigned seed) {
+  // Diagonally dominant random blocks: safe to factor.
+  Bcsr4 m = Bcsr4::from_adjacency(adj);
+  Rng rng(seed);
+  for (idx_t r = 0; r < m.num_rows(); ++r) {
+    for (idx_t nz = m.row_begin(r); nz < m.row_end(r); ++nz) {
+      double* b = m.block(nz);
+      for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-0.5, 0.5);
+      if (m.col(nz) == r)
+        for (int i = 0; i < kBs; ++i) b[i * kBs + i] += 8.0;
+    }
+  }
+  return m;
+}
+
+TEST(SymbolicIlu, Ilu0PatternEqualsMatrixPattern) {
+  const CsrGraph adj = generate_box(3, 3, 3).vertex_graph();
+  const Bcsr4 m = Bcsr4::from_adjacency(adj);
+  const IluPattern p = symbolic_ilu(m.structure(), 0);
+  EXPECT_EQ(p.nnz(), m.num_blocks());
+  for (int lv : p.level) EXPECT_EQ(lv, 0);
+}
+
+TEST(SymbolicIlu, FillGrowsMonotonically) {
+  const Bcsr4 m =
+      Bcsr4::from_adjacency(generate_box(3, 3, 3).vertex_graph());
+  const IluPattern p0 = symbolic_ilu(m.structure(), 0);
+  const IluPattern p1 = symbolic_ilu(m.structure(), 1);
+  const IluPattern p2 = symbolic_ilu(m.structure(), 2);
+  EXPECT_LT(p0.nnz(), p1.nnz());
+  EXPECT_LT(p1.nnz(), p2.nnz());
+}
+
+TEST(SymbolicIlu, Ilu1FillOnChainMatrix) {
+  // Tridiagonal pattern has NO fill at any level (perfect elimination).
+  std::vector<std::pair<idx_t, idx_t>> es;
+  for (idx_t i = 0; i + 1 < 10; ++i) es.emplace_back(i, i + 1);
+  const Bcsr4 m = Bcsr4::from_adjacency(build_csr_from_edges(10, es));
+  const IluPattern p3 = symbolic_ilu(m.structure(), 3);
+  EXPECT_EQ(p3.nnz(), m.num_blocks());
+}
+
+TEST(SymbolicIlu, ArrowheadFillsIn) {
+  // Arrowhead: vertex 0 connected to all; eliminating 0 makes the rest
+  // pairwise coupled at level 1.
+  std::vector<std::pair<idx_t, idx_t>> es;
+  for (idx_t i = 1; i < 5; ++i) es.emplace_back(0, i);
+  const Bcsr4 m = Bcsr4::from_adjacency(build_csr_from_edges(5, es));
+  const IluPattern p1 = symbolic_ilu(m.structure(), 1);
+  // 4x3 new couplings among {1..4}.
+  EXPECT_EQ(p1.nnz(), m.num_blocks() + 12);
+  int max_level = 0;
+  for (int lv : p1.level) max_level = std::max(max_level, lv);
+  EXPECT_EQ(max_level, 1);
+}
+
+void dense_b(const Bcsr4& a, const std::vector<double>& x,
+             std::vector<double>& b) {
+  b.assign(x.size(), 0.0);
+  spmv_serial(a, x, b);
+}
+
+TEST(NumericIlu, FullFillEqualsExactLU) {
+  // With a complete pattern the "incomplete" LU is exact: L U x = b solves
+  // A x = b to roundoff.
+  std::vector<std::pair<idx_t, idx_t>> es;
+  for (idx_t i = 0; i < 8; ++i)
+    for (idx_t j = i + 1; j < 8; ++j) es.emplace_back(i, j);
+  const CsrGraph adj = build_csr_from_edges(8, es);
+  const Bcsr4 a = random_spd_like(adj, 3);
+  const IluPattern p = symbolic_ilu(a.structure(), 0);  // already dense
+  const IluFactor f = factorize_ilu(a, p);
+
+  const std::size_t n = 8 * kBs;
+  Rng rng(4);
+  std::vector<double> xref(n), b(n), x(n);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  dense_b(a, xref, b);
+  trsv_serial(f, b, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-9);
+}
+
+TEST(NumericIlu, CompressedAndFullBuffersIdentical) {
+  const Bcsr4 a =
+      random_spd_like(generate_box(3, 3, 3).vertex_graph(), 5);
+  const IluPattern p = symbolic_ilu(a.structure(), 1);
+  const IluFactor f1 = factorize_ilu(a, p, /*compressed=*/true, false);
+  const IluFactor f2 = factorize_ilu(a, p, /*compressed=*/false, false);
+  ASSERT_EQ(f1.num_blocks(), f2.num_blocks());
+  for (std::size_t nz = 0; nz < f1.num_blocks(); ++nz)
+    for (int i = 0; i < kBs2; ++i)
+      EXPECT_DOUBLE_EQ(f1.block(static_cast<idx_t>(nz))[i],
+                       f2.block(static_cast<idx_t>(nz))[i]);
+}
+
+TEST(NumericIlu, SimdAndScalarGemmIdentical) {
+  const Bcsr4 a =
+      random_spd_like(generate_box(3, 3, 2).vertex_graph(), 6);
+  const IluPattern p = symbolic_ilu(a.structure(), 1);
+  const IluFactor f1 = factorize_ilu(a, p, true, /*simd=*/true);
+  const IluFactor f2 = factorize_ilu(a, p, true, /*simd=*/false);
+  for (std::size_t nz = 0; nz < f1.num_blocks(); ++nz)
+    for (int i = 0; i < kBs2; ++i)
+      EXPECT_NEAR(f1.block(static_cast<idx_t>(nz))[i],
+                  f2.block(static_cast<idx_t>(nz))[i], 1e-12);
+}
+
+TEST(NumericIlu, Ilu0PreconditionerReducesResidual) {
+  // M^{-1} should be a contraction-quality approximation: ||I - M^{-1}A||
+  // applied to a random vector shrinks it substantially.
+  const Bcsr4 a =
+      random_spd_like(generate_box(4, 3, 3).vertex_graph(), 7);
+  const IluPattern p = symbolic_ilu(a.structure(), 0);
+  const IluFactor f = factorize_ilu(a, p);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  Rng rng(8);
+  std::vector<double> x(n), ax(n), minv_ax(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_serial(a, x, ax);
+  trsv_serial(f, ax, minv_ax);
+  double err = 0, norm = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    err += (minv_ax[i] - x[i]) * (minv_ax[i] - x[i]);
+    norm += x[i] * x[i];
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.2);
+}
+
+TEST(NumericIlu, DependencyGraphsAreConsistent) {
+  const Bcsr4 a =
+      random_spd_like(generate_box(3, 3, 3).vertex_graph(), 9);
+  const IluPattern p = symbolic_ilu(a.structure(), 1);
+  const IluFactor f = factorize_ilu(a, p);
+  const CsrGraph lo = f.lower_deps();
+  const CsrGraph up = f.upper_deps_mirrored();
+  const idx_t n = f.num_rows();
+  // Strictly lower triangular in their index spaces.
+  for (idx_t i = 0; i < n; ++i) {
+    for (idx_t j : lo.neighbors(i)) EXPECT_LT(j, i);
+    for (idx_t j : up.neighbors(i)) EXPECT_LT(j, i);
+  }
+  // Same total count: every off-diagonal block appears in exactly one DAG.
+  EXPECT_EQ(lo.num_arcs() + up.num_arcs(),
+            f.num_blocks() - static_cast<std::size_t>(n));
+}
+
+TEST(NumericIlu, FactorFlopsPositiveAndGrowWithFill) {
+  const Bcsr4 a =
+      random_spd_like(generate_box(3, 3, 3).vertex_graph(), 10);
+  const IluFactor f0 = factorize_ilu(a, symbolic_ilu(a.structure(), 0));
+  const IluFactor f1 = factorize_ilu(a, symbolic_ilu(a.structure(), 1));
+  EXPECT_GT(f0.factor_flops(), 0u);
+  EXPECT_GT(f1.factor_flops(), f0.factor_flops());
+  EXPECT_GT(f1.solve_flops(), f0.solve_flops());
+  EXPECT_GT(f1.solve_stream_bytes(), f0.solve_stream_bytes());
+}
+
+TEST(NumericIlu, HigherFillGivesBetterPreconditioner) {
+  // ||x - M^{-1} A x|| shrinks as the fill level grows (Table II's quality
+  // side of the parallelism/quality tradeoff).
+  const Bcsr4 a =
+      random_spd_like(generate_box(4, 4, 3).vertex_graph(), 21);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  Rng rng(22);
+  std::vector<double> x(n), ax(n), minv(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_serial(a, x, ax);
+  double prev = 1e300;
+  for (int fill = 0; fill <= 2; ++fill) {
+    const IluFactor f = factorize_ilu(a, symbolic_ilu(a.structure(), fill));
+    trsv_serial(f, ax, minv);
+    double err = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      err += (minv[i] - x[i]) * (minv[i] - x[i]);
+    err = std::sqrt(err);
+    EXPECT_LT(err, prev);
+    prev = err;
+  }
+}
+
+TEST(NumericIlu, SingularDiagonalThrows) {
+  const CsrGraph adj = build_csr_from_edges(
+      2, std::vector<std::pair<idx_t, idx_t>>{{0, 1}});
+  Bcsr4 a = Bcsr4::from_adjacency(adj);  // all-zero blocks
+  const IluPattern p = symbolic_ilu(a.structure(), 0);
+  EXPECT_THROW(factorize_ilu(a, p), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fun3d

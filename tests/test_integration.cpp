@@ -1,0 +1,123 @@
+// End-to-end integration tests across modules: solver + I/O + restart, and
+// solution agreement across the full optimization matrix.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/solver.hpp"
+#include "core/vtk_io.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+namespace {
+
+TetMesh make_case(unsigned seed) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, seed);
+  rcm_reorder(m);
+  return m;
+}
+
+TEST(Integration, CheckpointRestartResumesConvergedState) {
+  const std::string ckpt =
+      std::string(::testing::TempDir()) + "restart.ckpt";
+  double final_resid = 0;
+  // Phase 1: converge and checkpoint.
+  {
+    SolverConfig cfg = SolverConfig::baseline();
+    cfg.ptc.max_steps = 30;
+    cfg.ptc.rtol = 1e-8;
+    FlowSolver solver(make_case(1), cfg);
+    const SolveStats st = solver.solve();
+    ASSERT_TRUE(st.converged);
+    final_resid = st.residual_history.back();
+    save_checkpoint(ckpt, solver.mesh(),
+                    {solver.fields().q.data(), solver.fields().q.size()});
+  }
+  // Phase 2: a fresh solver restarted from the checkpoint is converged
+  // immediately (0 further steps) under the absolute tolerance.
+  {
+    SolverConfig cfg = SolverConfig::baseline();
+    cfg.ptc.max_steps = 30;
+    cfg.ptc.rtol = 1e-8;
+    cfg.ptc.atol = 2.0 * final_resid;
+    FlowSolver solver(make_case(1), cfg);
+    load_checkpoint(ckpt, solver.mesh(),
+                    {solver.fields().q.data(), solver.fields().q.size()});
+    const SolveStats st = solver.solve();
+    EXPECT_TRUE(st.converged);
+    EXPECT_LE(st.steps, 2);  // already at steady state
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(Integration, SolveThenWriteVtkArtifacts) {
+  SolverConfig cfg = SolverConfig::optimized(2);
+  cfg.ptc.max_steps = 20;
+  cfg.ptc.rtol = 1e-6;
+  FlowSolver solver(make_case(2), cfg);
+  ASSERT_TRUE(solver.solve().converged);
+  const std::string vol = std::string(::testing::TempDir()) + "i_vol.vtk";
+  const std::string surf = std::string(::testing::TempDir()) + "i_surf.vtk";
+  write_vtk(vol, solver.mesh(),
+            {solver.fields().q.data(), solver.fields().q.size()});
+  write_vtk_surface(surf, solver.mesh(),
+                    {solver.fields().q.data(), solver.fields().q.size()});
+  // Files exist and are non-trivial.
+  std::FILE* f = std::fopen(vol.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  EXPECT_GT(std::ftell(f), 1000);
+  std::fclose(f);
+  std::remove(vol.c_str());
+  std::remove(surf.c_str());
+}
+
+/// Every optimization combination must land on the same steady state.
+/// (Each case solves both the baseline and the variant: ctest runs
+/// parameterized cases in separate processes, so no state can be shared.)
+class CrossConfigTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrossConfigTest, AllConfigurationsAgreeOnTheSteadyState) {
+  SolverConfig cfg;
+  switch (GetParam()) {
+    case 1: cfg = SolverConfig::optimized(1); break;
+    case 2: cfg = SolverConfig::optimized(4); break;
+    case 3:
+      cfg = SolverConfig::optimized(2);
+      cfg.gradient_method = GradientMethod::kLeastSquares;
+      break;
+    case 4:
+      cfg = SolverConfig::baseline();
+      cfg.krylov = KrylovMethod::kBicgstab;
+      break;
+    default: cfg = SolverConfig::baseline(); break;
+  }
+  SolverConfig base = SolverConfig::baseline();
+  base.ptc.max_steps = cfg.ptc.max_steps = 35;
+  base.ptc.rtol = cfg.ptc.rtol = 1e-9;
+
+  FlowSolver ref_solver(make_case(3), base);
+  ASSERT_TRUE(ref_solver.solve().converged);
+  FlowSolver solver(make_case(3), cfg);
+  ASSERT_TRUE(solver.solve().converged);
+
+  double diff = 0, ref_norm = 0;
+  const AVec<double>& reference = ref_solver.fields().q;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    diff += std::pow(solver.fields().q[i] - reference[i], 2);
+    ref_norm += reference[i] * reference[i];
+  }
+  diff = std::sqrt(diff) / std::sqrt(ref_norm);
+  // LSQ gradients change the discretization slightly; the rest must agree
+  // to solver tolerance.
+  EXPECT_LT(diff, GetParam() == 3 ? 5e-2 : 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, CrossConfigTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
+}  // namespace fun3d

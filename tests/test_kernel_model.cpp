@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "machine/kernel_model.hpp"
+#include "mesh/generate.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+IluFactor mesh_factor(int fill = 1) {
+  // Large enough that per-row work dominates synchronization in the models.
+  const CsrGraph adj = generate_box(12, 10, 10).vertex_graph();
+  Bcsr4 a = Bcsr4::from_adjacency(adj);
+  Rng rng(1);
+  for (idx_t r = 0; r < a.num_rows(); ++r)
+    for (idx_t nz = a.row_begin(r); nz < a.row_end(r); ++nz) {
+      double* b = a.block(nz);
+      for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-0.5, 0.5);
+      if (a.col(nz) == r)
+        for (int i = 0; i < kBs; ++i) b[i * kBs + i] += 8.0;
+    }
+  return factorize_ilu(a, symbolic_ilu(a.structure(), fill));
+}
+
+TEST(EdgeLoopModel, PrefetchReducesTime) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  const LatencyModel lat;
+  std::vector<EdgeLoopCounts> w(10);
+  for (auto& t : w) {
+    // Realistic flux-kernel profile: ~0.3 DRAM misses and ~1 LLC hit per
+    // edge after RCM reordering.
+    t.edges = 1e6;
+    t.simd_flops = 4.8e8;
+    t.dram_bytes = 6e7;
+    t.llc_miss_lines = 3e5;
+    t.l2_miss_lines = 1e6;
+  }
+  const PhaseTime no_pf = model_edge_loop(m, lat, w, false);
+  const PhaseTime pf = model_edge_loop(m, lat, w, true);
+  EXPECT_LT(pf.seconds, no_pf.seconds);
+  // Paper's prefetch benefit is ~15%; the model should land in 3-35%.
+  const double gain = no_pf.seconds / pf.seconds;
+  EXPECT_GT(gain, 1.03);
+  EXPECT_LT(gain, 1.35);
+}
+
+TEST(EdgeLoopModel, AtomicsStrategySlower) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  const LatencyModel lat;
+  std::vector<EdgeLoopCounts> plain(10), atomics(10);
+  for (auto& t : plain) {
+    t.simd_flops = 4.8e8;
+    t.dram_bytes = 6e7;
+  }
+  for (auto& t : atomics) {
+    t.simd_flops = 4.8e8;
+    t.dram_bytes = 6e7;
+    t.atomics = 8e6;  // 8 atomic adds per edge, 1e6 edges
+  }
+  EXPECT_GT(model_edge_loop(m, lat, atomics, false).seconds,
+            1.5 * model_edge_loop(m, lat, plain, false).seconds);
+}
+
+TEST(RecurrenceModel, WorkVectorsMatchFactorTotals) {
+  const IluFactor f = mesh_factor();
+  const RecurrenceWork w = trsv_row_work(f);
+  double flops = 0;
+  for (double x : w.row_flops) flops += x;
+  EXPECT_DOUBLE_EQ(flops, static_cast<double>(f.solve_flops()));
+}
+
+TEST(RecurrenceModel, P2PBeatsLevelScheduling) {
+  // The paper's Fig. 7 ordering: P2P-sparse > level-scheduled, both > serial
+  // per-core time, with bandwidth saturation limiting total speedup.
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  const IluFactor f = mesh_factor();
+  const RecurrenceWork w = trsv_row_work(f);
+  const CsrGraph deps = f.lower_deps();
+  const LevelSchedule sched = build_level_schedule(deps);
+  const Partition owner = partition_natural(f.num_rows(), 10);
+  const P2PSyncPlan plan = build_p2p_plan(deps, owner, true);
+
+  const PhaseTime serial = model_recurrence_serial(m, w);
+  const PhaseTime levels = model_level_schedule(m, w, sched, 10);
+  const PhaseTime p2p = model_p2p(m, w, deps, owner, plan, 10);
+  EXPECT_LT(p2p.seconds, levels.seconds);
+  EXPECT_LT(p2p.seconds, serial.seconds);
+  // Speedup bounded by bandwidth saturation (~4x) plus schedule overheads.
+  EXPECT_LT(serial.seconds / p2p.seconds, 6.0);
+}
+
+TEST(RecurrenceModel, LevelSchedulingPaysBarrierPerLevel) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  const IluFactor f = mesh_factor();
+  const RecurrenceWork w = trsv_row_work(f);
+  const LevelSchedule sched = build_level_schedule(f.lower_deps());
+  const PhaseTime t = model_level_schedule(m, w, sched, 8);
+  EXPECT_NEAR(t.sync_seconds,
+              static_cast<double>(sched.nlevels) * m.barrier_seconds(8),
+              1e-12);
+}
+
+TEST(RecurrenceModel, MoreCoresNeverSlowerP2P) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  const IluFactor f = mesh_factor();
+  const RecurrenceWork w = trsv_row_work(f);
+  const CsrGraph deps = f.lower_deps();
+  double prev = 1e30;
+  for (int p : {1, 2, 4, 8}) {
+    const Partition owner = partition_natural(f.num_rows(), p);
+    const P2PSyncPlan plan = build_p2p_plan(deps, owner, true);
+    const double t = model_p2p(m, w, deps, owner, plan, p).seconds;
+    EXPECT_LT(t, prev * 1.05);
+    prev = t;
+  }
+}
+
+TEST(RecurrenceModel, IluWorkExceedsTrsvWork) {
+  const IluFactor f = mesh_factor();
+  const RecurrenceWork trsv = trsv_row_work(f);
+  const RecurrenceWork ilu = ilu_row_work(f);
+  double ft = 0, fi = 0;
+  for (double x : trsv.row_flops) ft += x;
+  for (double x : ilu.row_flops) fi += x;
+  EXPECT_GT(fi, ft);  // factorization does gemms, solve does gemvs
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/levels.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+/// Builds a lower-triangular dependency structure from explicit (row, dep)
+/// pairs. deps(i) must all be < i.
+CsrGraph deps_from_pairs(idx_t n,
+                         const std::vector<std::pair<idx_t, idx_t>>& pairs) {
+  CsrGraph g;
+  g.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [i, j] : pairs) g.rowptr[static_cast<std::size_t>(i) + 1]++;
+  for (std::size_t k = 1; k < g.rowptr.size(); ++k)
+    g.rowptr[k] += g.rowptr[k - 1];
+  g.col.resize(pairs.size());
+  std::vector<idx_t> cur(g.rowptr.begin(), g.rowptr.end() - 1);
+  for (auto [i, j] : pairs) g.col[static_cast<std::size_t>(cur[i]++)] = j;
+  for (idx_t i = 0; i < n; ++i)
+    std::sort(g.col.begin() + g.rowptr[i], g.col.begin() + g.rowptr[i + 1]);
+  return g;
+}
+
+/// Random lower-triangular DAG: each row depends on up to `maxdeps`
+/// earlier rows.
+CsrGraph random_dag(idx_t n, int maxdeps, unsigned seed) {
+  Rng rng(seed);
+  std::vector<std::pair<idx_t, idx_t>> pairs;
+  for (idx_t i = 1; i < n; ++i) {
+    const int k = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(maxdeps) + 1));
+    std::set<idx_t> ds;
+    for (int d = 0; d < k; ++d)
+      ds.insert(static_cast<idx_t>(rng.next_below(static_cast<std::uint64_t>(i))));
+    for (idx_t j : ds) pairs.emplace_back(i, j);
+  }
+  return deps_from_pairs(n, pairs);
+}
+
+TEST(Levels, ChainHasOneRowPerLevel) {
+  const CsrGraph d = deps_from_pairs(4, {{1, 0}, {2, 1}, {3, 2}});
+  const auto lv = compute_levels(d);
+  EXPECT_EQ(lv, (std::vector<idx_t>{0, 1, 2, 3}));
+  const LevelSchedule s = build_level_schedule(d);
+  EXPECT_EQ(s.nlevels, 4);
+  EXPECT_TRUE(is_valid_level_schedule(d, s));
+}
+
+TEST(Levels, IndependentRowsShareLevelZero) {
+  const CsrGraph d = deps_from_pairs(5, {});
+  const LevelSchedule s = build_level_schedule(d);
+  EXPECT_EQ(s.nlevels, 1);
+  EXPECT_EQ(s.level(0).size(), 5u);
+}
+
+TEST(Levels, DiamondDag) {
+  // 0 -> {1, 2} -> 3
+  const CsrGraph d = deps_from_pairs(4, {{1, 0}, {2, 0}, {3, 1}, {3, 2}});
+  const auto lv = compute_levels(d);
+  EXPECT_EQ(lv, (std::vector<idx_t>{0, 1, 1, 2}));
+}
+
+class RandomDagTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RandomDagTest, ScheduleValidOnRandomDags) {
+  const CsrGraph d = random_dag(200, 4, GetParam());
+  const LevelSchedule s = build_level_schedule(d);
+  EXPECT_TRUE(is_valid_level_schedule(d, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(Parallelism, ChainIsSerial) {
+  const CsrGraph d = deps_from_pairs(4, {{1, 0}, {2, 1}, {3, 2}});
+  EXPECT_NEAR(dag_parallelism(d), 1.0, 0.5);  // flops grow along the chain
+}
+
+TEST(Parallelism, IndependentRowsFullyParallel) {
+  const CsrGraph d = deps_from_pairs(8, {});
+  EXPECT_DOUBLE_EQ(dag_parallelism(d), 8.0);
+}
+
+TEST(Parallelism, UniformCostsChain) {
+  const CsrGraph d = deps_from_pairs(4, {{1, 0}, {2, 1}, {3, 2}});
+  const std::vector<double> cost{1, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(dag_parallelism(d, cost), 1.0);
+  EXPECT_DOUBLE_EQ(dag_critical_path(d, cost), 4.0);
+}
+
+TEST(Parallelism, DenserDependencyReducesParallelism) {
+  // The paper's Table II effect: more fill (denser deps) => less parallelism.
+  const CsrGraph sparse = random_dag(300, 2, 11);
+  const CsrGraph dense = random_dag(300, 8, 11);
+  const std::vector<double> unit(300, 1.0);
+  EXPECT_GT(dag_parallelism(sparse, unit), dag_parallelism(dense, unit));
+}
+
+}  // namespace
+}  // namespace fun3d

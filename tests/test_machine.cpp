@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "machine/cache_sim.hpp"
+#include "machine/machine_model.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(MachineSpec, PaperPlatformNumbers) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  EXPECT_EQ(m.cores, 10);
+  EXPECT_NEAR(m.peak_gflops(), 240.0, 1.0);  // paper: 240 Gflop/s
+  EXPECT_NEAR(m.stream_bw_gbs, 34.8, 0.1);
+  EXPECT_NEAR(m.peak_bw_gbs, 42.2, 0.1);
+}
+
+TEST(MachineSpec, BandwidthSaturatesAtFourCores) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  EXPECT_LT(m.effective_bw_gbs(1), m.effective_bw_gbs(2));
+  EXPECT_LT(m.effective_bw_gbs(2), m.effective_bw_gbs(4));
+  EXPECT_NEAR(m.effective_bw_gbs(4), m.stream_bw_gbs, 1e-9);
+  EXPECT_NEAR(m.effective_bw_gbs(10), m.stream_bw_gbs, 1e-9);
+}
+
+TEST(MachineSpec, BarrierCostGrowsWithThreads) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  EXPECT_EQ(m.barrier_seconds(1), 0.0);
+  EXPECT_LT(m.barrier_seconds(2), m.barrier_seconds(16));
+}
+
+TEST(ModelPhase, ComputeBoundScalesLinearly) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  ThreadWork w;
+  w.simd_flops = 1e9;
+  w.dram_bytes = 1e3;  // negligible
+  const PhaseTime serial = model_serial(m, w);
+  std::vector<ThreadWork> split(10);
+  for (auto& t : split) {
+    t.simd_flops = 1e8;
+    t.dram_bytes = 1e2;
+  }
+  const PhaseTime par = model_phase(m, split);
+  EXPECT_FALSE(serial.bandwidth_bound);
+  EXPECT_NEAR(serial.seconds / par.seconds, 10.0, 0.5);
+}
+
+TEST(ModelPhase, BandwidthBoundSaturates) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  ThreadWork w;
+  w.scalar_flops = 1;
+  w.dram_bytes = 1e9;
+  const PhaseTime serial = model_serial(m, w);
+  std::vector<ThreadWork> split(10);
+  for (auto& t : split) t.dram_bytes = 1e8;
+  const PhaseTime par = model_phase(m, split);
+  EXPECT_TRUE(par.bandwidth_bound);
+  // Speedup limited to stream/bw_1core = 4, not 10.
+  EXPECT_NEAR(serial.seconds / par.seconds, 4.0, 0.3);
+  EXPECT_NEAR(par.achieved_bw_gbs, m.stream_bw_gbs, 1.0);
+}
+
+TEST(ModelPhase, ImbalanceDominates) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  std::vector<ThreadWork> split(4);
+  split[0].simd_flops = 4e8;  // one hot thread
+  const PhaseTime par = model_phase(m, split);
+  ThreadWork hot;
+  hot.simd_flops = 4e8;
+  EXPECT_NEAR(par.seconds, model_serial(m, hot).seconds, 1e-9);
+}
+
+TEST(ModelPhase, AtomicsAddCost) {
+  const MachineSpec m = MachineSpec::xeon_e5_2690v2();
+  std::vector<ThreadWork> a(4), b(4);
+  for (auto& t : a) t.simd_flops = 1e8;
+  for (auto& t : b) {
+    t.simd_flops = 1e8;
+    t.contended_atomics = 1e7;
+  }
+  EXPECT_GT(model_phase(m, b).seconds, model_phase(m, a).seconds * 1.5);
+}
+
+TEST(CacheSim, SequentialStreamMissesOncePerLine) {
+  CacheSim sim({{32 * 1024, 8, 64}});
+  for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 8)
+    sim.access(addr, 8);
+  // 64KB / 64B lines = 1024 misses; 8192 accesses total.
+  EXPECT_EQ(sim.level(0).misses(), 1024u);
+  EXPECT_NEAR(sim.hit_rate(0), 7.0 / 8.0, 1e-6);
+}
+
+TEST(CacheSim, WorkingSetThatFitsHitsOnSecondPass) {
+  CacheSim sim({{32 * 1024, 8, 64}});
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64)
+      sim.access(addr, 8);
+  EXPECT_EQ(sim.level(0).misses(), 256u);  // only the first pass misses
+}
+
+TEST(CacheSim, WorkingSetLargerThanCacheThrashes) {
+  CacheSim sim({{4 * 1024, 2, 64}});
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64)
+      sim.access(addr, 8);
+  // LRU + working set 16x the cache: every access misses.
+  EXPECT_EQ(sim.level(0).misses(), 2048u);
+}
+
+TEST(CacheSim, SecondLevelCatchesL1Misses) {
+  CacheSim sim({{4 * 1024, 8, 64}, {64 * 1024, 8, 64}});
+  for (int pass = 0; pass < 2; ++pass)
+    for (std::uint64_t addr = 0; addr < 32 * 1024; addr += 64)
+      sim.access(addr, 8);
+  // Fits L2 but not L1: second pass hits in L2, DRAM traffic = 1 pass.
+  EXPECT_EQ(sim.dram_bytes(), 32u * 1024u);
+}
+
+TEST(CacheSim, StraddlingAccessTouchesTwoLines) {
+  CacheSim sim({{4 * 1024, 8, 64}});
+  sim.access(60, 8);  // crosses the 64-byte boundary
+  EXPECT_EQ(sim.level(0).misses(), 2u);
+}
+
+TEST(CacheSim, ResetClearsState) {
+  CacheSim sim({{4 * 1024, 8, 64}});
+  sim.access(0, 8);
+  sim.reset();
+  EXPECT_EQ(sim.level(0).misses(), 0u);
+  sim.access(0, 8);
+  EXPECT_EQ(sim.level(0).misses(), 1u);
+}
+
+TEST(CacheSim, RejectsEmptyHierarchy) {
+  EXPECT_THROW(CacheSim({}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fun3d

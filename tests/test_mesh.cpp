@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/stats.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(Generate, BoxCountsMatchStructuredFormulas) {
+  const idx_t nx = 4, ny = 3, nz = 2;
+  const TetMesh m = generate_box(nx, ny, nz);
+  EXPECT_EQ(m.num_vertices, (nx + 1) * (ny + 1) * (nz + 1));
+  EXPECT_EQ(m.num_tets(), static_cast<std::size_t>(nx * ny * nz) * 6);
+  // Kuhn subdivision: every cube face contributes 2 boundary triangles.
+  const std::size_t quads = 2u * (static_cast<std::size_t>(nx * ny) +
+                                  static_cast<std::size_t>(ny * nz) +
+                                  static_cast<std::size_t>(nx * nz));
+  EXPECT_EQ(m.bfaces.size(), quads * 2);
+}
+
+TEST(Generate, AllTetsPositiveVolume) {
+  const TetMesh m = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  for (const auto& t : m.tets) EXPECT_GT(tet_volume(m, t), 0.0);
+}
+
+TEST(Generate, BoxVolumeExact) {
+  const TetMesh m = generate_box(3, 4, 5, 2.0, 1.0, 3.0);
+  double v = 0;
+  for (const auto& t : m.tets) v += tet_volume(m, t);
+  EXPECT_NEAR(v, 2.0 * 1.0 * 3.0, 1e-10);
+}
+
+class DualClosureTest : public ::testing::TestWithParam<MeshPreset> {};
+
+TEST_P(DualClosureTest, ConservationIdentitiesHold) {
+  const TetMesh m = generate_wing_bump(preset_params(GetParam()));
+  // Characteristic face area for scaling the roundoff tolerance.
+  const double tol = 1e-12 * static_cast<double>(m.num_vertices);
+  EXPECT_LT(dual_closure_error(m), tol);
+  EXPECT_LT(surface_closure_error(m), tol);
+  EXPECT_LT(volume_consistency_error(m), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, DualClosureTest,
+                         ::testing::Values(MeshPreset::kTiny,
+                                           MeshPreset::kSmall));
+
+TEST(Dual, AllDualVolumesPositive) {
+  const TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  for (double v : m.dual_vol) EXPECT_GT(v, 0.0);
+}
+
+TEST(Dual, EdgeNormalPointsFromAToB) {
+  // For a structured box, the dual face of an x-aligned edge must have a
+  // positive x area component.
+  const TetMesh m = generate_box(3, 3, 3);
+  for (std::size_t e = 0; e < m.edges.size(); ++e) {
+    const auto [a, b] = m.edges[e];
+    const double dx = m.x[static_cast<std::size_t>(b)] - m.x[static_cast<std::size_t>(a)];
+    const double dy = m.y[static_cast<std::size_t>(b)] - m.y[static_cast<std::size_t>(a)];
+    const double dz = m.z[static_cast<std::size_t>(b)] - m.z[static_cast<std::size_t>(a)];
+    const double d = dx * m.dual_nx[e] + dy * m.dual_ny[e] + dz * m.dual_nz[e];
+    EXPECT_GT(d, 0.0) << "edge " << e;
+  }
+}
+
+TEST(Generate, EdgesSortedWithLowerFirst) {
+  const TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  for (std::size_t e = 0; e < m.edges.size(); ++e) {
+    EXPECT_LT(m.edges[e].first, m.edges[e].second);
+    if (e > 0) {
+      EXPECT_LT(m.edges[e - 1], m.edges[e]);
+    }
+  }
+}
+
+TEST(Generate, WingBumpHasSlipWall) {
+  const TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  std::size_t slip = 0, far = 0;
+  for (const auto& f : m.bfaces)
+    (f.tag == BcTag::kSlipWall ? slip : far)++;
+  EXPECT_GT(slip, 0u);
+  EXPECT_GT(far, slip);  // 5 far-field sides vs 1 wall
+}
+
+TEST(Generate, BoxIsAllFarField) {
+  const TetMesh m = generate_box(3, 3, 3);
+  for (const auto& f : m.bfaces) EXPECT_EQ(f.tag, BcTag::kFarField);
+}
+
+TEST(Generate, BumpRaisesWallVertices) {
+  WingBumpParams p = preset_params(MeshPreset::kSmall);
+  const TetMesh m = generate_wing_bump(p);
+  double zmax_wall = 0;
+  const idx_t wall_verts = (p.nx + 1) * (p.ny + 1);
+  for (idx_t v = 0; v < wall_verts; ++v)
+    zmax_wall = std::max(zmax_wall, m.z[static_cast<std::size_t>(v)]);
+  EXPECT_GT(zmax_wall, 0.5 * p.bump_height);
+  EXPECT_LE(zmax_wall, p.bump_height * 1.0001);
+}
+
+TEST(Stats, MatchesPaperTopologyProfile) {
+  const MeshStats s =
+      compute_mesh_stats(generate_wing_bump(preset_params(MeshPreset::kSmall)));
+  // Paper meshes: ~6.7 edges per vertex, average degree ~13.4. A structured
+  // Kuhn tet mesh gives 7 edges/vertex in the bulk; boundary lowers it.
+  EXPECT_GT(s.edges_per_vertex, 5.0);
+  EXPECT_LT(s.edges_per_vertex, 7.2);
+  EXPECT_EQ(s.degree.max, 14);
+}
+
+TEST(Presets, ScaleReducesSize) {
+  const WingBumpParams full = preset_params(MeshPreset::kMeshC, 8.0);
+  const WingBumpParams half = preset_params(MeshPreset::kMeshC, 16.0);
+  EXPECT_GT(full.nx, half.nx);
+  EXPECT_STREQ(preset_name(MeshPreset::kMeshC), "Mesh-C");
+}
+
+TEST(Presets, MeshCFullScaleMatchesPaperCounts) {
+  // Do not build it (too large for a unit test) — check the arithmetic.
+  const WingBumpParams p = preset_params(MeshPreset::kMeshC, 1.0);
+  const std::int64_t verts = static_cast<std::int64_t>(p.nx + 1) *
+                             (p.ny + 1) * (p.nz + 1);
+  EXPECT_NEAR(static_cast<double>(verts), 3.58e5, 0.1e5);
+}
+
+TEST(FindBoundary, DetectsAllFacesOnce) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const auto tris = find_boundary_triangles(m);
+  EXPECT_EQ(tris.size(), m.bfaces.size());
+}
+
+TEST(Generate, RejectsBadDims) {
+  WingBumpParams p;
+  p.nx = 0;
+  EXPECT_THROW(generate_wing_bump(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fun3d

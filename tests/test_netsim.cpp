@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mesh/generate.hpp"
+#include "netsim/cluster_sim.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(Network, AllreduceGrowsLogarithmically) {
+  const NetworkSpec net = NetworkSpec::fdr_fat_tree();
+  const double t2 = net.allreduce_seconds(2, 64);
+  const double t4 = net.allreduce_seconds(4, 64);
+  const double t256 = net.allreduce_seconds(256, 64);
+  EXPECT_GT(t4, t2);
+  // log2(256)=8 rounds vs 1 round, plus extra tree stages.
+  EXPECT_GT(t256, 6.0 * t2);
+  EXPECT_LT(t256, 20.0 * t2);
+  EXPECT_EQ(net.allreduce_seconds(1, 64), 0.0);
+}
+
+TEST(Network, P2PIsAlphaBetaLinear) {
+  const NetworkSpec net = NetworkSpec::fdr_fat_tree();
+  const double small = net.p2p_seconds(0);
+  const double big = net.p2p_seconds(6'000'000);
+  EXPECT_NEAR(small, net.alpha_us * 1e-6, 1e-12);
+  EXPECT_NEAR(big - small, 1e-3, 1e-4);  // 6 MB at 6 GB/s = 1 ms
+}
+
+class ClusterSimTest : public ::testing::Test {
+ protected:
+  ClusterSimTest() : mesh(generate_wing_bump(preset_params(MeshPreset::kSmall))) {}
+
+  ClusterConfig config(bool optimized) {
+    ClusterConfig cfg;
+    cfg.optimized = optimized;
+    cfg.ranks_per_node = 4;  // small mesh: keep ranks meaningful
+    cfg.iterations_of_ranks = [](int ranks) {
+      return 300.0 * (1.0 + 0.05 * std::log2(static_cast<double>(ranks)));
+    };
+    return cfg;
+  }
+
+  TetMesh mesh;
+};
+
+TEST_F(ClusterSimTest, CommunicationFractionGrowsWithNodes) {
+  const auto pts =
+      simulate_strong_scaling(mesh, config(true), {1, 4, 16, 64});
+  ASSERT_EQ(pts.size(), 4u);
+  for (std::size_t i = 1; i < pts.size(); ++i)
+    EXPECT_GT(pts[i].comm_fraction, pts[i - 1].comm_fraction);
+  EXPECT_LT(pts[0].comm_fraction, 0.1);
+}
+
+TEST_F(ClusterSimTest, AllreduceDominatesCommAtScale) {
+  // Paper: >90% of communication overhead is MPI_Allreduce; p2p < 5%.
+  const auto pts = simulate_strong_scaling(mesh, config(true), {64});
+  const double comm = pts[0].allreduce_seconds + pts[0].p2p_seconds;
+  EXPECT_GT(pts[0].allreduce_seconds / comm, 0.8);
+}
+
+TEST_F(ClusterSimTest, OptimizedFasterThanBaselineAtAllScales) {
+  const auto base =
+      simulate_strong_scaling(mesh, config(false), {1, 4, 16, 64});
+  const auto opt =
+      simulate_strong_scaling(mesh, config(true), {1, 4, 16, 64});
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_LT(opt[i].total_seconds, base[i].total_seconds);
+    // The gap narrows as communication dominates (paper: 16-28%).
+    if (i > 0) {
+      const double gain_prev =
+          base[i - 1].total_seconds / opt[i - 1].total_seconds;
+      const double gain_now = base[i].total_seconds / opt[i].total_seconds;
+      EXPECT_LT(gain_now, gain_prev * 1.1);
+    }
+  }
+}
+
+TEST_F(ClusterSimTest, StrongScalingSpeedsUpThenSaturates) {
+  const auto pts =
+      simulate_strong_scaling(mesh, config(true), {1, 2, 4, 8, 16});
+  EXPECT_LT(pts[1].total_seconds, pts[0].total_seconds);
+  EXPECT_LT(pts[2].total_seconds, pts[1].total_seconds);
+  // Efficiency decreases monotonically.
+  double prev_eff = 2.0;
+  for (const auto& p : pts) {
+    const double eff =
+        pts[0].total_seconds / p.total_seconds / std::max(p.nodes, 1);
+    EXPECT_LT(eff, prev_eff + 1e-9);
+    prev_eff = eff;
+  }
+}
+
+TEST_F(ClusterSimTest, HybridReducesRanksAndAllreduceCost) {
+  // 2 ranks x 8 threads vs 16 ranks x 1 thread on the same node count.
+  ClusterConfig mpi_only = config(true);
+  mpi_only.ranks_per_node = 8;
+  mpi_only.threads_per_rank = 1;
+  ClusterConfig hybrid = config(true);
+  hybrid.ranks_per_node = 2;
+  hybrid.threads_per_rank = 4;
+  const auto m = simulate_strong_scaling(mesh, mpi_only, {16});
+  const auto h = simulate_strong_scaling(mesh, hybrid, {16});
+  // Fewer ranks => cheaper collectives and fewer iterations...
+  EXPECT_LT(h[0].allreduce_seconds, m[0].allreduce_seconds);
+  // ...but the Amdahl fraction keeps hybrid compute higher per iteration
+  // (the paper's conclusion: MPI-only + opts wins pending threaded PETSc
+  // primitives).
+  EXPECT_GT(h[0].compute_seconds / h[0].iterations,
+            m[0].compute_seconds / m[0].iterations * 0.9);
+}
+
+TEST_F(ClusterSimTest, PipelinedKrylovHidesAllreduce) {
+  // The paper's future-work direction: overlapping the Allreduce with
+  // compute must strictly help, most at communication-bound scales.
+  ClusterConfig std_cfg = config(true);
+  ClusterConfig pipe_cfg = config(true);
+  pipe_cfg.pipelined_krylov = true;
+  const auto s = simulate_strong_scaling(mesh, std_cfg, {4, 64});
+  const auto p = simulate_strong_scaling(mesh, pipe_cfg, {4, 64});
+  for (std::size_t i = 0; i < s.size(); ++i)
+    EXPECT_LE(p[i].total_seconds, s[i].total_seconds);
+  const double gain_small = s[0].total_seconds / p[0].total_seconds;
+  const double gain_big = s[1].total_seconds / p[1].total_seconds;
+  EXPECT_GT(gain_big, gain_small);
+}
+
+TEST(SolverCosts, OptimizedConstantsAreFaster) {
+  const MachineSpec node = MachineSpec::stampede_node();
+  const SolverCosts base = make_solver_costs(node, 16, 1, false);
+  const SolverCosts opt = make_solver_costs(node, 16, 1, true);
+  EXPECT_LT(opt.sec_per_edge_iter, base.sec_per_edge_iter);
+}
+
+TEST(SolverCosts, HybridThreadingSpeedsEdgeWork) {
+  const MachineSpec node = MachineSpec::stampede_node();
+  const SolverCosts one = make_solver_costs(node, 2, 1, true);
+  const SolverCosts eight = make_solver_costs(node, 2, 8, true);
+  EXPECT_LT(eight.sec_per_edge_iter, one.sec_per_edge_iter / 4);
+  // Vertex work improves sublinearly (Amdahl).
+  EXPECT_GT(eight.sec_per_vertex_iter, one.sec_per_vertex_iter / 8);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "graph/partition.hpp"
+#include "mesh/generate.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(PartitionNatural, ContiguousAndBalanced) {
+  const Partition p = partition_natural(10, 3);
+  EXPECT_EQ(p.part, (std::vector<idx_t>{0, 0, 0, 0, 1, 1, 1, 2, 2, 2}));
+  const auto w = part_weights(p);
+  EXPECT_EQ(w, (std::vector<std::uint64_t>{4, 3, 3}));
+}
+
+TEST(PartitionNatural, OnePartCoversAll) {
+  const Partition p = partition_natural(5, 1);
+  for (idx_t q : p.part) EXPECT_EQ(q, 0);
+}
+
+class GraphPartitionTest : public ::testing::TestWithParam<idx_t> {};
+
+TEST_P(GraphPartitionTest, BalancedAndLowCutOnMesh) {
+  const idx_t nparts = GetParam();
+  TetMesh m = generate_box(10, 8, 8);
+  const CsrGraph g = m.vertex_graph();
+  const Partition p = partition_graph(g, nparts);
+
+  // All vertices assigned to valid parts.
+  for (idx_t q : p.part) {
+    EXPECT_GE(q, 0);
+    EXPECT_LT(q, nparts);
+  }
+  // Balance within tolerance (allow slack for refinement granularity).
+  EXPECT_LT(partition_imbalance(p), 1.25);
+  // Cut must beat the natural-order split on a spatially shuffled problem —
+  // here natural order is already good, so just check cut << total edges.
+  const std::uint64_t cut = edge_cut(g, p);
+  EXPECT_LT(cut, g.num_arcs() / 2 / 2);  // < half of all undirected edges
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, GraphPartitionTest,
+                         ::testing::Values(2, 4, 8, 16));
+
+TEST(GraphPartition, BeatsNaturalOrderAfterShuffle) {
+  // Shuffled numbering destroys the locality of natural-order splits; the
+  // graph partitioner must recover a far smaller cut (the paper's METIS
+  // vs natural-order comparison).
+  TetMesh m = generate_box(10, 10, 8);
+  const CsrGraph g = m.vertex_graph();
+  const idx_t n = g.num_vertices();
+  Partition strided;  // worst-case "natural" split: round-robin striping
+  strided.nparts = 8;
+  strided.part.resize(static_cast<std::size_t>(n));
+  for (idx_t v = 0; v < n; ++v) strided.part[static_cast<std::size_t>(v)] = v % 8;
+  const Partition good = partition_graph(g, 8);
+  EXPECT_LT(edge_cut(g, good), edge_cut(g, strided) / 4);
+}
+
+TEST(GraphPartition, RespectsVertexWeights) {
+  const CsrGraph g = generate_box(8, 8, 8).vertex_graph();
+  const idx_t n = g.num_vertices();
+  // Vertex v has weight 1 + (v < n/4 ? 3 : 0): the first quarter is heavy.
+  std::vector<idx_t> w(static_cast<std::size_t>(n), 1);
+  for (idx_t v = 0; v < n / 4; ++v) w[static_cast<std::size_t>(v)] = 4;
+  const Partition p = partition_graph(g, 4, w);
+  EXPECT_LT(partition_imbalance(p, w), 1.3);
+}
+
+TEST(GraphPartition, DeterministicForFixedSeed) {
+  const CsrGraph g = generate_box(6, 6, 6).vertex_graph();
+  const Partition a = partition_graph(g, 4);
+  const Partition b = partition_graph(g, 4);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(GraphPartition, SinglePart) {
+  const CsrGraph g = generate_box(4, 4, 4).vertex_graph();
+  const Partition p = partition_graph(g, 1);
+  EXPECT_EQ(edge_cut(g, p), 0u);
+}
+
+TEST(EdgeCut, CountsCrossingEdges) {
+  const CsrGraph g = build_csr_from_edges(
+      4, std::vector<std::pair<idx_t, idx_t>>{{0, 1}, {1, 2}, {2, 3}});
+  Partition p;
+  p.nparts = 2;
+  p.part = {0, 0, 1, 1};
+  EXPECT_EQ(edge_cut(g, p), 1u);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "graph/csr.hpp"
+#include "graph/rcm.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+/// 2D grid graph (w x h) with a random vertex relabeling — a stand-in for a
+/// badly numbered unstructured mesh.
+CsrGraph shuffled_grid(idx_t w, idx_t h, unsigned seed) {
+  Rng rng(seed);
+  std::vector<idx_t> label(static_cast<std::size_t>(w * h));
+  for (idx_t i = 0; i < w * h; ++i) label[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = label.size(); i > 1; --i)
+    std::swap(label[i - 1], label[static_cast<std::size_t>(rng.next_below(i))]);
+  std::vector<std::pair<idx_t, idx_t>> es;
+  auto at = [&](idx_t x, idx_t y) { return label[static_cast<std::size_t>(y * w + x)]; };
+  for (idx_t y = 0; y < h; ++y)
+    for (idx_t x = 0; x < w; ++x) {
+      if (x + 1 < w) es.emplace_back(at(x, y), at(x + 1, y));
+      if (y + 1 < h) es.emplace_back(at(x, y), at(x, y + 1));
+    }
+  return build_csr_from_edges(w * h, es);
+}
+
+TEST(Bfs, LevelsOnPath) {
+  std::vector<std::pair<idx_t, idx_t>> es{{0, 1}, {1, 2}, {2, 3}};
+  const CsrGraph g = build_csr_from_edges(4, es);
+  std::vector<idx_t> level;
+  const idx_t depth = bfs_levels(g, 0, level);
+  EXPECT_EQ(depth, 4);
+  EXPECT_EQ(level, (std::vector<idx_t>{0, 1, 2, 3}));
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  const CsrGraph g = build_csr_from_edges(3, std::vector<std::pair<idx_t, idx_t>>{{0, 1}});
+  std::vector<idx_t> level;
+  bfs_levels(g, 0, level);
+  EXPECT_EQ(level[2], -1);
+}
+
+TEST(Rcm, PseudoPeripheralOnPathIsEndpoint) {
+  std::vector<std::pair<idx_t, idx_t>> es;
+  for (idx_t i = 0; i < 9; ++i) es.emplace_back(i, i + 1);
+  const CsrGraph g = build_csr_from_edges(10, es);
+  const idx_t p = pseudo_peripheral_vertex(g, 5);
+  EXPECT_TRUE(p == 0 || p == 9);
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+  const CsrGraph g = shuffled_grid(12, 9, 3);
+  const auto perm = rcm_permutation(g);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+class RcmBandwidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RcmBandwidthTest, ReducesBandwidthOnShuffledGrids) {
+  const CsrGraph g = shuffled_grid(20, 15, GetParam());
+  const auto before = bandwidth_info(g);
+  const CsrGraph rg = permute_graph(g, rcm_permutation(g));
+  const auto after = bandwidth_info(rg);
+  // Grid graphs have optimal bandwidth ~min(w,h); a shuffled labeling is
+  // near n. RCM must get within a small factor of optimal.
+  EXPECT_LT(after.bandwidth, before.bandwidth / 4);
+  EXPECT_LE(after.bandwidth, 40);
+  EXPECT_LT(after.profile, before.profile);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcmBandwidthTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(Rcm, HandlesDisconnectedGraphs) {
+  std::vector<std::pair<idx_t, idx_t>> es{{0, 1}, {2, 3}, {4, 5}};
+  const CsrGraph g = build_csr_from_edges(7, es);  // vertex 6 isolated
+  const auto perm = rcm_permutation(g);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Rcm, SingleVertex) {
+  const CsrGraph g = build_csr_from_edges(1, {});
+  const auto perm = rcm_permutation(g);
+  EXPECT_EQ(perm, std::vector<idx_t>{0});
+}
+
+}  // namespace
+}  // namespace fun3d

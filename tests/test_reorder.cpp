@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/rcm.hpp"
+#include "mesh/dual.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "mesh/stats.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(Reorder, PermutationPreservesGeometry) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  const double vol_before = compute_mesh_stats(m).total_volume;
+  const std::size_t edges_before = m.edges.size();
+
+  std::vector<idx_t> perm(static_cast<std::size_t>(m.num_vertices));
+  std::iota(perm.rbegin(), perm.rend(), 0);  // reversal
+  apply_vertex_permutation(m, perm);
+
+  EXPECT_EQ(m.edges.size(), edges_before);
+  EXPECT_NEAR(compute_mesh_stats(m).total_volume, vol_before, 1e-12);
+  EXPECT_LT(dual_closure_error(m), 1e-11);
+}
+
+TEST(Reorder, ShuffleIsDeterministicPerSeed) {
+  TetMesh a = generate_box(3, 3, 3);
+  TetMesh b = generate_box(3, 3, 3);
+  const auto pa = shuffle_numbering(a, 42);
+  const auto pb = shuffle_numbering(b, 42);
+  EXPECT_EQ(pa, pb);
+  EXPECT_EQ(a.x, b.x);
+}
+
+TEST(Reorder, ShuffleDegradesRcmRestoresBandwidth) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  const idx_t bw_structured = compute_mesh_stats(m).graph_bandwidth;
+  shuffle_numbering(m, 3);
+  const idx_t bw_shuffled = compute_mesh_stats(m).graph_bandwidth;
+  rcm_reorder(m);
+  const idx_t bw_rcm = compute_mesh_stats(m).graph_bandwidth;
+  EXPECT_GT(bw_shuffled, 4 * bw_structured);
+  EXPECT_LT(bw_rcm, bw_shuffled / 4);
+  EXPECT_LT(dual_closure_error(m), 1e-10);
+}
+
+TEST(Reorder, DualVolumesPermuteWithVertices) {
+  TetMesh m = generate_box(3, 3, 3);
+  const AVec<double> before = m.dual_vol;
+  const auto perm = shuffle_numbering(m, 9);
+  for (idx_t v = 0; v < m.num_vertices; ++v)
+    EXPECT_NEAR(m.dual_vol[static_cast<std::size_t>(perm[static_cast<std::size_t>(v)])],
+                before[static_cast<std::size_t>(v)], 1e-14);
+}
+
+TEST(Reorder, RcmReturnsValidPermutation) {
+  TetMesh m = generate_box(4, 4, 4);
+  shuffle_numbering(m, 5);
+  const auto perm = rcm_reorder(m);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+}  // namespace
+}  // namespace fun3d

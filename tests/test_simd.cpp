@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "simd/vecd.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(Vec4d, LoadStoreRoundTrip) {
+  alignas(32) double in[4] = {1.5, -2.0, 3.25, 0.0};
+  double out[4] = {};
+  Vec4d::load(in).store(out);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(Vec4d, BroadcastAndLane) {
+  const Vec4d v(7.5);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v.lane(i), 7.5);
+}
+
+TEST(Vec4d, ArithmeticMatchesScalar) {
+  Rng rng(1);
+  for (int rep = 0; rep < 50; ++rep) {
+    double a[4], b[4], c[4];
+    for (int i = 0; i < 4; ++i) {
+      a[i] = rng.uniform(-10, 10);
+      b[i] = rng.uniform(-10, 10);
+      c[i] = rng.uniform(-10, 10);
+    }
+    const Vec4d va = Vec4d::load(a), vb = Vec4d::load(b), vc = Vec4d::load(c);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ((va + vb).lane(i), a[i] + b[i]);
+      EXPECT_DOUBLE_EQ((va - vb).lane(i), a[i] - b[i]);
+      EXPECT_DOUBLE_EQ((va * vb).lane(i), a[i] * b[i]);
+      EXPECT_DOUBLE_EQ((va / vb).lane(i), a[i] / b[i]);
+      EXPECT_DOUBLE_EQ(Vec4d::max(va, vb).lane(i), std::max(a[i], b[i]));
+      EXPECT_DOUBLE_EQ(Vec4d::min(va, vb).lane(i), std::min(a[i], b[i]));
+      EXPECT_DOUBLE_EQ(Vec4d::abs(va).lane(i), std::fabs(a[i]));
+      // FMA may contract; allow 1 ulp-ish slack.
+      EXPECT_NEAR(Vec4d::fma(va, vb, vc).lane(i), a[i] * b[i] + c[i],
+                  1e-12 * (1 + std::fabs(a[i] * b[i] + c[i])));
+    }
+  }
+}
+
+TEST(Vec4d, SqrtMatchesScalar) {
+  const double a[4] = {0.0, 1.0, 2.0, 100.0};
+  const Vec4d s = Vec4d::sqrt(Vec4d::load(a));
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(s.lane(i), std::sqrt(a[i]));
+}
+
+TEST(Vec4d, GatherPicksIndexedElements) {
+  AVec<double> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = 10.0 * static_cast<double>(i);
+  alignas(16) idx_t idx[4] = {3, 0, 99, 42};
+  const Vec4d g = Vec4d::gather(data.data(), idx);
+  EXPECT_EQ(g.lane(0), 30.0);
+  EXPECT_EQ(g.lane(1), 0.0);
+  EXPECT_EQ(g.lane(2), 990.0);
+  EXPECT_EQ(g.lane(3), 420.0);
+}
+
+TEST(Vec4d, DefaultIsZero) {
+  const Vec4d z;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(z.lane(i), 0.0);
+}
+
+TEST(Prefetch, IsSafeOnArbitraryAddresses) {
+  double x = 1.0;
+  prefetch_l1(&x);
+  prefetch_l2(&x);
+  prefetch_l1(nullptr);  // prefetch never faults
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fun3d

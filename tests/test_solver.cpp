@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/solver.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+namespace {
+
+TetMesh solver_mesh(unsigned seed = 1) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, seed);
+  rcm_reorder(m);
+  return m;
+}
+
+SolveStats run(SolverConfig cfg, TetMesh m) {
+  cfg.ptc.max_steps = 30;
+  cfg.ptc.rtol = 1e-8;
+  FlowSolver solver(std::move(m), cfg);
+  return solver.solve();
+}
+
+TEST(Solver, BaselineConvergesOnWingBump) {
+  const SolveStats st = run(SolverConfig::baseline(), solver_mesh());
+  EXPECT_TRUE(st.converged);
+  EXPECT_LT(st.steps, 25);
+  EXPECT_GT(st.linear_iterations, 0u);
+  // Residual history decreases overall by the requested ratio.
+  EXPECT_LT(st.residual_history.back(), 1e-7 * st.residual_history.front());
+}
+
+TEST(Solver, OptimizedMatchesBaselineSolution) {
+  TetMesh m1 = solver_mesh(2), m2 = solver_mesh(2);
+  SolverConfig base = SolverConfig::baseline();
+  SolverConfig opt = SolverConfig::optimized(4);
+  base.ptc.max_steps = opt.ptc.max_steps = 30;
+  base.ptc.rtol = opt.ptc.rtol = 1e-9;
+  FlowSolver s1(std::move(m1), base), s2(std::move(m2), opt);
+  const SolveStats st1 = s1.solve();
+  const SolveStats st2 = s2.solve();
+  EXPECT_TRUE(st1.converged);
+  EXPECT_TRUE(st2.converged);
+  // Both converge to the same steady state (physics, not roundoff, decides).
+  double diff = 0, norm = 0;
+  for (std::size_t i = 0; i < s1.fields().q.size(); ++i) {
+    diff += std::pow(s1.fields().q[i] - s2.fields().q[i], 2);
+    norm += std::pow(s1.fields().q[i], 2);
+  }
+  EXPECT_LT(std::sqrt(diff / norm), 1e-6);
+}
+
+TEST(Solver, MatrixFreeAndAssembledBothConverge) {
+  SolverConfig mf = SolverConfig::baseline();
+  SolverConfig asm_op = SolverConfig::baseline();
+  asm_op.matrix_free = false;
+  const SolveStats st_mf = run(mf, solver_mesh(3));
+  const SolveStats st_asm = run(asm_op, solver_mesh(3));
+  EXPECT_TRUE(st_mf.converged);
+  EXPECT_TRUE(st_asm.converged);
+}
+
+TEST(Solver, Ilu0NeedsMoreIterationsThanIlu1) {
+  // Paper Table II: ILU-0 offers more parallelism but slower convergence.
+  SolverConfig c0 = SolverConfig::baseline();
+  c0.fill_level = 0;
+  SolverConfig c1 = SolverConfig::baseline();
+  c1.fill_level = 1;
+  const SolveStats st0 = run(c0, solver_mesh(4));
+  const SolveStats st1 = run(c1, solver_mesh(4));
+  EXPECT_TRUE(st0.converged);
+  EXPECT_TRUE(st1.converged);
+  EXPECT_GE(st0.linear_iterations, st1.linear_iterations);
+  EXPECT_GT(st0.ilu_parallelism, st1.ilu_parallelism);
+}
+
+TEST(Solver, MoreSubdomainsDegradeConvergence) {
+  // Block-Jacobi coupling loss: the paper's +30% iterations at 256 ranks.
+  SolverConfig c1 = SolverConfig::baseline();
+  c1.subdomains = 1;
+  SolverConfig c8 = SolverConfig::baseline();
+  c8.subdomains = 8;
+  const SolveStats st1 = run(c1, solver_mesh(5));
+  const SolveStats st8 = run(c8, solver_mesh(5));
+  EXPECT_TRUE(st1.converged);
+  EXPECT_TRUE(st8.converged);
+  EXPECT_GT(st8.linear_iterations, st1.linear_iterations);
+}
+
+class SolverVariantTest : public ::testing::TestWithParam<TrsvMode> {};
+
+TEST_P(SolverVariantTest, TrsvModesAllConverge) {
+  SolverConfig cfg = SolverConfig::optimized(2);
+  cfg.trsv_mode = GetParam();
+  const SolveStats st = run(cfg, solver_mesh(6));
+  EXPECT_TRUE(st.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, SolverVariantTest,
+                         ::testing::Values(TrsvMode::kSerial,
+                                           TrsvMode::kLevels,
+                                           TrsvMode::kP2P));
+
+TEST(Solver, ProfileCoversAllKernels) {
+  TetMesh m = solver_mesh(7);
+  SolverConfig cfg = SolverConfig::baseline();
+  cfg.ptc.max_steps = 5;
+  cfg.ptc.rtol = 1e-3;
+  FlowSolver solver(std::move(m), cfg);
+  solver.solve();
+  const Profile& p = solver.profile();
+  for (const char* k : {kernel::kFlux, kernel::kGradient, kernel::kJacobian,
+                        kernel::kIlu, kernel::kTrsv, kernel::kVecOps}) {
+    EXPECT_GT(p.timers.get(k), 0.0) << k;
+  }
+  EXPECT_GT(p.residual_evals, 0u);
+  EXPECT_GT(p.reductions, 0u);
+}
+
+TEST(Solver, ResidualEvalIsDeterministic) {
+  TetMesh m = solver_mesh(8);
+  FlowSolver solver(std::move(m), SolverConfig::baseline());
+  const std::size_t n =
+      static_cast<std::size_t>(solver.fields().nv) * kNs;
+  AVec<double> q(solver.fields().q.begin(), solver.fields().q.end());
+  AVec<double> r1(n), r2(n);
+  solver.eval_residual({q.data(), n}, {r1.data(), n});
+  solver.eval_residual({q.data(), n}, {r2.data(), n});
+  EXPECT_EQ(r1, r2);
+}
+
+TEST(Solver, BicgstabKrylovConverges) {
+  SolverConfig cfg = SolverConfig::baseline();
+  cfg.krylov = KrylovMethod::kBicgstab;
+  const SolveStats st = run(cfg, solver_mesh(11));
+  EXPECT_TRUE(st.converged);
+  EXPECT_GT(st.linear_iterations, 0u);
+}
+
+TEST(Solver, RusanovSchemeConverges) {
+  SolverConfig cfg = SolverConfig::baseline();
+  cfg.scheme = FluxScheme::kRusanov;
+  cfg.flux.scheme = FluxScheme::kRusanov;
+  const SolveStats st = run(cfg, solver_mesh(9));
+  EXPECT_TRUE(st.converged);
+}
+
+TEST(Solver, FirstOrderConverges) {
+  SolverConfig cfg = SolverConfig::baseline();
+  cfg.second_order = false;
+  cfg.flux.second_order = false;
+  const SolveStats st = run(cfg, solver_mesh(10));
+  EXPECT_TRUE(st.converged);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/levels.hpp"
+#include "graph/sparsify.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+CsrGraph deps_from_pairs(idx_t n,
+                         const std::vector<std::pair<idx_t, idx_t>>& pairs) {
+  CsrGraph g;
+  g.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (auto [i, j] : pairs) g.rowptr[static_cast<std::size_t>(i) + 1]++;
+  for (std::size_t k = 1; k < g.rowptr.size(); ++k)
+    g.rowptr[k] += g.rowptr[k - 1];
+  g.col.resize(pairs.size());
+  std::vector<idx_t> cur(g.rowptr.begin(), g.rowptr.end() - 1);
+  for (auto [i, j] : pairs) g.col[static_cast<std::size_t>(cur[i]++)] = j;
+  for (idx_t i = 0; i < n; ++i)
+    std::sort(g.col.begin() + g.rowptr[i], g.col.begin() + g.rowptr[i + 1]);
+  return g;
+}
+
+CsrGraph random_dag(idx_t n, int maxdeps, unsigned seed) {
+  Rng rng(seed);
+  std::vector<std::pair<idx_t, idx_t>> pairs;
+  for (idx_t i = 1; i < n; ++i) {
+    const int k = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(maxdeps) + 1));
+    std::set<idx_t> ds;
+    for (int d = 0; d < k; ++d)
+      ds.insert(static_cast<idx_t>(
+          rng.next_below(static_cast<std::uint64_t>(i))));
+    for (idx_t j : ds) pairs.emplace_back(i, j);
+  }
+  return deps_from_pairs(n, pairs);
+}
+
+TEST(TransitiveReduce, RemovesImpliedEdge) {
+  // 2 depends on 1 and 0; 1 depends on 0 => (2,0) is redundant.
+  const CsrGraph d = deps_from_pairs(3, {{1, 0}, {2, 0}, {2, 1}});
+  const CsrGraph r = transitive_reduce(d);
+  EXPECT_EQ(r.num_arcs(), 2u);
+  EXPECT_EQ(r.degree(2), 1);
+  EXPECT_EQ(r.neighbors(2)[0], 1);
+}
+
+TEST(TransitiveReduce, KeepsEssentialEdges) {
+  const CsrGraph d = deps_from_pairs(4, {{1, 0}, {2, 1}, {3, 2}});
+  const CsrGraph r = transitive_reduce(d);
+  EXPECT_EQ(r.num_arcs(), d.num_arcs());
+}
+
+TEST(TransitiveReduce, PreservesLevelStructure) {
+  // Level (longest path) of every row must be identical after reduction —
+  // the reduced DAG admits exactly the same schedules.
+  for (unsigned seed : {1u, 2u, 3u, 4u}) {
+    const CsrGraph d = random_dag(150, 5, seed);
+    const CsrGraph r = transitive_reduce(d);
+    EXPECT_LE(r.num_arcs(), d.num_arcs());
+    EXPECT_EQ(compute_levels(d), compute_levels(r));
+  }
+}
+
+TEST(TransitiveReduce, TwoHopsCatchesDeeperRedundancy) {
+  // 3 -> 0 is implied through 3 -> 2 -> 1 -> 0 (needs 2 hops to discover
+  // from predecessor 2).
+  const CsrGraph d = deps_from_pairs(4, {{1, 0}, {2, 1}, {3, 2}, {3, 0}});
+  const CsrGraph r1 = transitive_reduce(d, 1);
+  const CsrGraph r2 = transitive_reduce(d, 2);
+  EXPECT_EQ(r2.degree(3), 1);
+  EXPECT_LE(r2.num_arcs(), r1.num_arcs());
+}
+
+class P2PPlanTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, idx_t, bool>> {};
+
+TEST_P(P2PPlanTest, PlanCoversAllDependencies) {
+  const auto [seed, nthreads, sparsify] = GetParam();
+  const CsrGraph d = random_dag(240, 5, seed);
+  const Partition owner = partition_natural(240, nthreads);
+  const P2PSyncPlan plan = build_p2p_plan(d, owner, sparsify);
+  EXPECT_TRUE(p2p_plan_covers(d, owner, plan));
+  EXPECT_LE(plan.reduced_cross_deps, plan.raw_cross_deps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, P2PPlanTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(2, 3, 4, 8),
+                       ::testing::Bool()));
+
+TEST(P2PPlan, SparsificationReducesWaits) {
+  const CsrGraph d = random_dag(400, 6, 77);
+  const Partition owner = partition_natural(400, 8);
+  const P2PSyncPlan raw = build_p2p_plan(d, owner, /*reduce=*/false);
+  const P2PSyncPlan sparse = build_p2p_plan(d, owner, /*reduce=*/true);
+  EXPECT_TRUE(p2p_plan_covers(d, owner, raw));
+  EXPECT_TRUE(p2p_plan_covers(d, owner, sparse));
+  EXPECT_LT(sparse.reduced_cross_deps, raw.reduced_cross_deps);
+}
+
+TEST(P2PPlan, SingleThreadNeedsNoWaits) {
+  const CsrGraph d = random_dag(100, 4, 5);
+  const Partition owner = partition_natural(100, 1);
+  const P2PSyncPlan plan = build_p2p_plan(d, owner);
+  EXPECT_EQ(plan.reduced_cross_deps, 0u);
+}
+
+TEST(P2PPlan, CoverageCheckDetectsMissingWaits) {
+  // Row 1 (thread 1) depends on row 0 (thread 0); an empty plan must fail.
+  const CsrGraph d = deps_from_pairs(2, {{1, 0}});
+  Partition owner;
+  owner.nparts = 2;
+  owner.part = {0, 1};
+  P2PSyncPlan empty;
+  empty.wait_ptr = {0, 0, 0};
+  EXPECT_FALSE(p2p_plan_covers(d, owner, empty));
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generate.hpp"
+#include "sparse/spmv.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+Bcsr4 random_matrix(const CsrGraph& adj, unsigned seed) {
+  Bcsr4 m = Bcsr4::from_adjacency(adj);
+  Rng rng(seed);
+  for (std::size_t nz = 0; nz < m.num_blocks(); ++nz) {
+    double* b = m.block(static_cast<idx_t>(nz));
+    for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-1, 1);
+  }
+  return m;
+}
+
+/// Dense reference product.
+void dense_spmv(const Bcsr4& m, const std::vector<double>& x,
+                std::vector<double>& y) {
+  const idx_t n = m.num_rows();
+  y.assign(static_cast<std::size_t>(n) * kBs, 0.0);
+  for (idx_t r = 0; r < n; ++r)
+    for (idx_t nz = m.row_begin(r); nz < m.row_end(r); ++nz) {
+      const double* b = m.block(nz);
+      for (int i = 0; i < kBs; ++i)
+        for (int j = 0; j < kBs; ++j)
+          y[static_cast<std::size_t>(r) * kBs + static_cast<std::size_t>(i)] +=
+              b[i * kBs + j] *
+              x[static_cast<std::size_t>(m.col(nz)) * kBs +
+                static_cast<std::size_t>(j)];
+    }
+}
+
+TEST(Spmv, MatchesDenseReference) {
+  const Bcsr4 m = random_matrix(generate_box(3, 3, 3).vertex_graph(), 1);
+  const std::size_t n = static_cast<std::size_t>(m.num_rows()) * kBs;
+  Rng rng(2);
+  std::vector<double> x(n), y(n), yref;
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_serial(m, x, y);
+  dense_spmv(m, x, yref);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+}
+
+class SpmvThreadsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpmvThreadsTest, ParallelMatchesSerial) {
+  const Bcsr4 m = random_matrix(generate_box(4, 4, 3).vertex_graph(), 3);
+  const std::size_t n = static_cast<std::size_t>(m.num_rows()) * kBs;
+  Rng rng(4);
+  std::vector<double> x(n), y1(n), y2(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_serial(m, x, y1);
+  spmv_parallel(m, x, y2, GetParam());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SpmvThreadsTest,
+                         ::testing::Values(1, 2, 4));
+
+TEST(Spmv, IdentityActsAsIdentity) {
+  Bcsr4 m = Bcsr4::from_adjacency(generate_box(2, 2, 2).vertex_graph());
+  const std::vector<double> ones(static_cast<std::size_t>(m.num_rows()), 1.0);
+  m.shift_diagonal(ones);
+  const std::size_t n = static_cast<std::size_t>(m.num_rows()) * kBs;
+  Rng rng(5);
+  std::vector<double> x(n), y(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_serial(m, x, y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], x[i]);
+}
+
+}  // namespace
+}  // namespace fun3d

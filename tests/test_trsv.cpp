@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/spmv.hpp"
+#include "sparse/trsv.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+Bcsr4 random_dd(const CsrGraph& adj, unsigned seed) {
+  Bcsr4 m = Bcsr4::from_adjacency(adj);
+  Rng rng(seed);
+  for (idx_t r = 0; r < m.num_rows(); ++r)
+    for (idx_t nz = m.row_begin(r); nz < m.row_end(r); ++nz) {
+      double* b = m.block(nz);
+      for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-0.5, 0.5);
+      if (m.col(nz) == r)
+        for (int i = 0; i < kBs; ++i) b[i * kBs + i] += 8.0;
+    }
+  return m;
+}
+
+struct TrsvFixture {
+  Bcsr4 a;
+  IluFactor f;
+  std::vector<double> b;
+  std::vector<double> x_serial;
+
+  explicit TrsvFixture(unsigned seed, int fill = 1) {
+    TetMesh m = generate_box(4, 4, 3);
+    shuffle_numbering(m, seed);  // irregular row order, like real meshes
+    a = random_dd(m.vertex_graph(), seed);
+    const IluPattern p = symbolic_ilu(a.structure(), fill);
+    f = factorize_ilu(a, p);
+    const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+    Rng rng(seed + 100);
+    b.resize(n);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    x_serial.assign(n, 0.0);
+    trsv_serial(f, b, x_serial);
+  }
+};
+
+TEST(TrsvSerial, SolvesLuExactly) {
+  // Verify L U x == b by applying the factor triangles explicitly:
+  // forward pass value y, then U x = y. Instead, use the dense-pattern
+  // route from test_ilu; here check residual smallness against A for a
+  // preconditioner-quality factor.
+  const TrsvFixture fx(1);
+  // x should approximately solve A x = b (ILU(1) on diag-dominant A).
+  std::vector<double> ax(fx.b.size());
+  spmv_serial(fx.a, fx.x_serial, ax);
+  double err = 0, norm = 0;
+  for (std::size_t i = 0; i < fx.b.size(); ++i) {
+    err += (ax[i] - fx.b[i]) * (ax[i] - fx.b[i]);
+    norm += fx.b[i] * fx.b[i];
+  }
+  EXPECT_LT(std::sqrt(err / norm), 0.15);
+}
+
+class TrsvParallelTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, idx_t, bool>> {};
+
+TEST_P(TrsvParallelTest, LevelScheduledMatchesSerial) {
+  const auto [seed, nthreads, sparsify] = GetParam();
+  const TrsvFixture fx(seed);
+  const TrsvSchedules s = TrsvSchedules::build(fx.f, nthreads, sparsify);
+  std::vector<double> x(fx.b.size(), 0.0);
+  trsv_levels(fx.f, s, fx.b, x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_DOUBLE_EQ(x[i], fx.x_serial[i]);
+}
+
+TEST_P(TrsvParallelTest, P2PMatchesSerial) {
+  const auto [seed, nthreads, sparsify] = GetParam();
+  const TrsvFixture fx(seed);
+  const TrsvSchedules s = TrsvSchedules::build(fx.f, nthreads, sparsify);
+  std::vector<double> x(fx.b.size(), 0.0);
+  trsv_p2p(fx.f, s, fx.b, x);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_DOUBLE_EQ(x[i], fx.x_serial[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrsvParallelTest,
+    ::testing::Combine(::testing::Values(1u, 2u), ::testing::Values(2, 4),
+                       ::testing::Bool()));
+
+TEST(TrsvSchedules, BuildStatsSane) {
+  const TrsvFixture fx(3);
+  const TrsvSchedules s = TrsvSchedules::build(fx.f, 4, true);
+  EXPECT_GT(s.fwd_levels.nlevels, 1);
+  EXPECT_GT(s.bwd_levels.nlevels, 1);
+  EXPECT_LE(s.fwd_plan.reduced_cross_deps, s.fwd_plan.raw_cross_deps);
+  EXPECT_TRUE(is_valid_level_schedule(fx.f.lower_deps(), s.fwd_levels));
+  EXPECT_TRUE(is_valid_level_schedule(fx.f.upper_deps_mirrored(),
+                                      s.bwd_levels));
+}
+
+TEST(TrsvSchedules, SparsificationStrictlyHelpsOnFilledFactors) {
+  const TrsvFixture fx(4, /*fill=*/2);  // denser deps => more redundancy
+  const TrsvSchedules raw = TrsvSchedules::build(fx.f, 8, false);
+  const TrsvSchedules sp = TrsvSchedules::build(fx.f, 8, true);
+  EXPECT_LT(sp.fwd_plan.reduced_cross_deps, raw.fwd_plan.reduced_cross_deps);
+}
+
+TEST(Trsv, RepeatedSolvesAreDeterministic) {
+  const TrsvFixture fx(5);
+  const TrsvSchedules s = TrsvSchedules::build(fx.f, 4, true);
+  std::vector<double> x1(fx.b.size(), 0.0), x2(fx.b.size(), 0.0);
+  trsv_p2p(fx.f, s, fx.b, x1);
+  trsv_p2p(fx.f, s, fx.b, x2);
+  EXPECT_EQ(x1, x2);
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "util/aligned.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fun3d {
+namespace {
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  for (std::size_t n : {1u, 7u, 64u, 1000u}) {
+    AVec<double> v(n, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLine, 0u);
+  }
+}
+
+TEST(Aligned, GrowsAndCopies) {
+  AVec<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Stats, Summary) {
+  const double xs[] = {1, 2, 3, 4};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+}
+
+TEST(Stats, Imbalance) {
+  const double balanced[] = {2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(imbalance(balanced), 1.0);
+  const double skewed[] = {1, 1, 1, 5};
+  EXPECT_DOUBLE_EQ(imbalance(skewed), 2.5);
+}
+
+TEST(Stats, Geomean) {
+  const double xs[] = {1, 4};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+}
+
+TEST(Stats, Histogram) {
+  const double xs[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto h = histogram(xs, 5);
+  for (auto b : h) EXPECT_EQ(b, 2u);
+}
+
+TEST(Table, FormatsAligned) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(Table, NumFormats) {
+  EXPECT_EQ(Table::num(1.5), "1.5");
+  EXPECT_EQ(Table::num(2.0, "%.1f"), "2.0");
+}
+
+TEST(Cli, ParsesFlagsBothSyntaxes) {
+  const char* argv[] = {"prog", "--a", "1", "--b=x", "--flag"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("a", 0), 1);
+  EXPECT_EQ(cli.get("b", ""), "x");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Timer, MeasuresElapsed) {
+  Timer t;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + 1;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(StopwatchSet, AccumulatesScopes) {
+  StopwatchSet s;
+  {
+    auto a = s.scoped("k");
+  }
+  {
+    auto a = s.scoped("k");
+  }
+  EXPECT_GT(s.get("k"), 0.0);
+  EXPECT_EQ(s.get("absent"), 0.0);
+  EXPECT_DOUBLE_EQ(s.total(), s.get("k"));
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/vecops.hpp"
+#include "util/aligned.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+class VecOpsTest : public ::testing::TestWithParam<int> {
+ protected:
+  VecOps ops() const { return VecOps{GetParam()}; }
+};
+
+TEST_P(VecOpsTest, DotAndNorm) {
+  const VecOps v = ops();
+  AVec<double> x(1000), y(1000);
+  Rng rng(1);
+  double ref = 0, nx = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = rng.uniform(-1, 1);
+    ref += x[i] * y[i];
+    nx += x[i] * x[i];
+  }
+  EXPECT_NEAR(v.dot(x, y), ref, 1e-10);
+  EXPECT_NEAR(v.norm2(x), std::sqrt(nx), 1e-10);
+}
+
+TEST_P(VecOpsTest, AxpyFamilies) {
+  const VecOps v = ops();
+  AVec<double> x(257), y(257), w(257);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 1.0;
+  }
+  v.waxpy(2.0, x, y, w);
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_DOUBLE_EQ(w[i], 1.0 + 2.0 * static_cast<double>(i));
+  v.axpy(-1.0, x, w);  // w = 1 + i
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_DOUBLE_EQ(w[i], 1.0 + static_cast<double>(i));
+  v.aypx(0.5, x, w);  // w = x + 0.5 w
+  for (std::size_t i = 0; i < w.size(); ++i)
+    EXPECT_DOUBLE_EQ(w[i], static_cast<double>(i) + 0.5 * (1.0 + static_cast<double>(i)));
+  v.scale(2.0, w);
+  v.set(0.0, w);
+  for (double wi : w) EXPECT_EQ(wi, 0.0);
+}
+
+TEST_P(VecOpsTest, CopyIsExact) {
+  const VecOps v = ops();
+  AVec<double> x(123), y(123, 0.0);
+  Rng rng(2);
+  for (auto& xi : x) xi = rng.uniform(-5, 5);
+  v.copy(x, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST_P(VecOpsTest, MaxpyAndMdot) {
+  const VecOps v = ops();
+  const std::size_t n = 300;
+  AVec<double> x1(n), x2(n), x3(n), y(n, 1.0);
+  Rng rng(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    x1[i] = rng.uniform(-1, 1);
+    x2[i] = rng.uniform(-1, 1);
+    x3[i] = rng.uniform(-1, 1);
+  }
+  const double a[3] = {2.0, -1.0, 0.5};
+  std::vector<std::span<const double>> xs{{x1.data(), n}, {x2.data(), n},
+                                          {x3.data(), n}};
+  AVec<double> yref(y);
+  for (std::size_t i = 0; i < n; ++i)
+    yref[i] += a[0] * x1[i] + a[1] * x2[i] + a[2] * x3[i];
+  v.maxpy(std::span<const double>(a, 3),
+          std::span<const std::span<const double>>(xs.data(), 3), y);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+
+  double dots[3];
+  v.mdot(std::span<const std::span<const double>>(xs.data(), 3), y,
+         std::span<double>(dots, 3));
+  EXPECT_NEAR(dots[0], v.dot(x1, y), 1e-12);
+}
+
+TEST_P(VecOpsTest, ReductionsAreDeterministic) {
+  const VecOps v = ops();
+  AVec<double> x(10007);
+  Rng rng(4);
+  for (auto& xi : x) xi = rng.uniform(-1, 1);
+  const double d1 = v.norm2(x);
+  const double d2 = v.norm2(x);
+  EXPECT_EQ(d1, d2);  // bitwise-identical run to run
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, VecOpsTest, ::testing::Values(1, 2, 4));
+
+TEST(VecOps, ThreadCountsAgreeWithEachOther) {
+  AVec<double> x(5000);
+  Rng rng(5);
+  for (auto& xi : x) xi = rng.uniform(-1, 1);
+  const double s1 = VecOps{1}.norm2(x);
+  const double s4 = VecOps{4}.norm2(x);
+  EXPECT_NEAR(s1, s4, 1e-12 * s1);
+}
+
+}  // namespace
+}  // namespace fun3d

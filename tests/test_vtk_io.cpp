@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/physics.hpp"
+#include "core/vtk_io.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+class TmpFile {
+ public:
+  explicit TmpFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + name) {}
+  ~TmpFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+AVec<double> random_solution(const TetMesh& m, unsigned seed) {
+  AVec<double> q(static_cast<std::size_t>(m.num_vertices) * kNs);
+  Rng rng(seed);
+  for (auto& v : q) v = rng.uniform(-1, 1);
+  return q;
+}
+
+TEST(VtkIo, VolumeFileHasExpectedStructure) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q = random_solution(m, 1);
+  TmpFile f("vol.vtk");
+  write_vtk(f.path(), m, {q.data(), q.size()});
+  const std::string s = slurp(f.path());
+  EXPECT_NE(s.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(s.find("POINTS 27 double"), std::string::npos);
+  EXPECT_NE(s.find("CELLS 48 240"), std::string::npos);  // 8 cubes x 6 tets
+  EXPECT_NE(s.find("SCALARS pressure"), std::string::npos);
+  EXPECT_NE(s.find("VECTORS velocity"), std::string::npos);
+}
+
+TEST(VtkIo, VolumeWithoutSolutionOmitsPointData) {
+  const TetMesh m = generate_box(2, 2, 2);
+  TmpFile f("vol2.vtk");
+  write_vtk(f.path(), m);
+  const std::string s = slurp(f.path());
+  EXPECT_EQ(s.find("POINT_DATA"), std::string::npos);
+}
+
+TEST(VtkIo, SurfaceFileListsBoundaryTrianglesWithTags) {
+  const TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  TmpFile f("surf.vtk");
+  write_vtk_surface(f.path(), m);
+  const std::string s = slurp(f.path());
+  EXPECT_NE(s.find("SCALARS bc_tag"), std::string::npos);
+  char expect[64];
+  std::snprintf(expect, sizeof(expect), "CELL_TYPES %zu", m.bfaces.size());
+  EXPECT_NE(s.find(expect), std::string::npos);
+}
+
+TEST(VtkIo, RejectsWrongSolutionSize) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q(3, 0.0);
+  TmpFile f("bad.vtk");
+  EXPECT_THROW(write_vtk(f.path(), m, {q.data(), q.size()}),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, RoundTripsExactly) {
+  const TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  const AVec<double> q = random_solution(m, 2);
+  TmpFile f("ckpt.bin");
+  save_checkpoint(f.path(), m, {q.data(), q.size()});
+  AVec<double> back(q.size(), 0.0);
+  load_checkpoint(f.path(), m, {back.data(), back.size()});
+  EXPECT_EQ(q, back);  // bitwise
+}
+
+TEST(Checkpoint, RejectsDifferentMesh) {
+  const TetMesh m1 = generate_box(3, 3, 3);
+  const TetMesh m2 = generate_box(3, 3, 4);
+  const AVec<double> q = random_solution(m1, 3);
+  TmpFile f("ckpt2.bin");
+  save_checkpoint(f.path(), m1, {q.data(), q.size()});
+  AVec<double> back(static_cast<std::size_t>(m2.num_vertices) * kNs, 0.0);
+  EXPECT_THROW(load_checkpoint(f.path(), m2, {back.data(), back.size()}),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsGarbageFile) {
+  const TetMesh m = generate_box(2, 2, 2);
+  TmpFile f("garbage.bin");
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out << "this is not a checkpoint at all, but long enough to read";
+  }
+  AVec<double> back(static_cast<std::size_t>(m.num_vertices) * kNs, 0.0);
+  EXPECT_THROW(load_checkpoint(f.path(), m, {back.data(), back.size()}),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  const TetMesh m = generate_box(2, 2, 2);
+  AVec<double> back(static_cast<std::size_t>(m.num_vertices) * kNs, 0.0);
+  EXPECT_THROW(
+      load_checkpoint("/nonexistent/nowhere.bin", m,
+                      {back.data(), back.size()}),
+      std::runtime_error);
+}
+
+TEST(Fingerprint, SensitiveToTopologyNotNumberingAlone) {
+  TetMesh a = generate_box(3, 3, 3);
+  const TetMesh b = generate_box(3, 3, 4);
+  EXPECT_NE(mesh_fingerprint(a), mesh_fingerprint(b));
+  const std::uint64_t before = mesh_fingerprint(a);
+  shuffle_numbering(a, 1);  // renumbering changes edge identities
+  EXPECT_NE(mesh_fingerprint(a), before);
+}
+
+}  // namespace
+}  // namespace fun3d
