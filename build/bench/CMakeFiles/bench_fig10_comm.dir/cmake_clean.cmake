@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_comm.dir/bench_fig10_comm.cpp.o"
+  "CMakeFiles/bench_fig10_comm.dir/bench_fig10_comm.cpp.o.d"
+  "bench_fig10_comm"
+  "bench_fig10_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_sparse_opts.dir/bench_fig7a_sparse_opts.cpp.o"
+  "CMakeFiles/bench_fig7a_sparse_opts.dir/bench_fig7a_sparse_opts.cpp.o.d"
+  "bench_fig7a_sparse_opts"
+  "bench_fig7a_sparse_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_sparse_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

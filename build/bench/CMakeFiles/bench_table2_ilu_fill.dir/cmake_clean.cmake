@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_ilu_fill.dir/bench_table2_ilu_fill.cpp.o"
+  "CMakeFiles/bench_table2_ilu_fill.dir/bench_table2_ilu_fill.cpp.o.d"
+  "bench_table2_ilu_fill"
+  "bench_table2_ilu_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ilu_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

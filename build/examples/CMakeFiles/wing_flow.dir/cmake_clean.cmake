@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wing_flow.dir/wing_flow.cpp.o"
+  "CMakeFiles/wing_flow.dir/wing_flow.cpp.o.d"
+  "wing_flow"
+  "wing_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wing_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bicgstab.cpp" "src/CMakeFiles/fun3d_core.dir/core/bicgstab.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/bicgstab.cpp.o.d"
+  "/root/repo/src/core/boundary.cpp" "src/CMakeFiles/fun3d_core.dir/core/boundary.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/boundary.cpp.o.d"
+  "/root/repo/src/core/fields.cpp" "src/CMakeFiles/fun3d_core.dir/core/fields.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/fields.cpp.o.d"
+  "/root/repo/src/core/flux_kernels.cpp" "src/CMakeFiles/fun3d_core.dir/core/flux_kernels.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/flux_kernels.cpp.o.d"
+  "/root/repo/src/core/gmres.cpp" "src/CMakeFiles/fun3d_core.dir/core/gmres.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/gmres.cpp.o.d"
+  "/root/repo/src/core/gradients.cpp" "src/CMakeFiles/fun3d_core.dir/core/gradients.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/gradients.cpp.o.d"
+  "/root/repo/src/core/gradients_lsq.cpp" "src/CMakeFiles/fun3d_core.dir/core/gradients_lsq.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/gradients_lsq.cpp.o.d"
+  "/root/repo/src/core/jacobian.cpp" "src/CMakeFiles/fun3d_core.dir/core/jacobian.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/jacobian.cpp.o.d"
+  "/root/repo/src/core/limiter.cpp" "src/CMakeFiles/fun3d_core.dir/core/limiter.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/limiter.cpp.o.d"
+  "/root/repo/src/core/newton.cpp" "src/CMakeFiles/fun3d_core.dir/core/newton.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/newton.cpp.o.d"
+  "/root/repo/src/core/physics.cpp" "src/CMakeFiles/fun3d_core.dir/core/physics.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/physics.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/CMakeFiles/fun3d_core.dir/core/profile.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/profile.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "src/CMakeFiles/fun3d_core.dir/core/solver.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/solver.cpp.o.d"
+  "/root/repo/src/core/vecops.cpp" "src/CMakeFiles/fun3d_core.dir/core/vecops.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/vecops.cpp.o.d"
+  "/root/repo/src/core/vtk_io.cpp" "src/CMakeFiles/fun3d_core.dir/core/vtk_io.cpp.o" "gcc" "src/CMakeFiles/fun3d_core.dir/core/vtk_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_core.dir/core/bicgstab.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/bicgstab.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/boundary.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/boundary.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/fields.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/fields.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/flux_kernels.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/flux_kernels.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/gmres.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/gmres.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/gradients.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/gradients.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/gradients_lsq.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/gradients_lsq.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/jacobian.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/jacobian.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/limiter.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/limiter.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/newton.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/newton.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/physics.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/physics.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/profile.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/profile.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/solver.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/solver.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/vecops.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/vecops.cpp.o.d"
+  "CMakeFiles/fun3d_core.dir/core/vtk_io.cpp.o"
+  "CMakeFiles/fun3d_core.dir/core/vtk_io.cpp.o.d"
+  "libfun3d_core.a"
+  "libfun3d_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/coloring.cpp" "src/CMakeFiles/fun3d_graph.dir/graph/coloring.cpp.o" "gcc" "src/CMakeFiles/fun3d_graph.dir/graph/coloring.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/fun3d_graph.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/fun3d_graph.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/levels.cpp" "src/CMakeFiles/fun3d_graph.dir/graph/levels.cpp.o" "gcc" "src/CMakeFiles/fun3d_graph.dir/graph/levels.cpp.o.d"
+  "/root/repo/src/graph/partition.cpp" "src/CMakeFiles/fun3d_graph.dir/graph/partition.cpp.o" "gcc" "src/CMakeFiles/fun3d_graph.dir/graph/partition.cpp.o.d"
+  "/root/repo/src/graph/rcm.cpp" "src/CMakeFiles/fun3d_graph.dir/graph/rcm.cpp.o" "gcc" "src/CMakeFiles/fun3d_graph.dir/graph/rcm.cpp.o.d"
+  "/root/repo/src/graph/sparsify.cpp" "src/CMakeFiles/fun3d_graph.dir/graph/sparsify.cpp.o" "gcc" "src/CMakeFiles/fun3d_graph.dir/graph/sparsify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

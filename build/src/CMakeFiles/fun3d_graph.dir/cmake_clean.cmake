@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_graph.dir/graph/coloring.cpp.o"
+  "CMakeFiles/fun3d_graph.dir/graph/coloring.cpp.o.d"
+  "CMakeFiles/fun3d_graph.dir/graph/csr.cpp.o"
+  "CMakeFiles/fun3d_graph.dir/graph/csr.cpp.o.d"
+  "CMakeFiles/fun3d_graph.dir/graph/levels.cpp.o"
+  "CMakeFiles/fun3d_graph.dir/graph/levels.cpp.o.d"
+  "CMakeFiles/fun3d_graph.dir/graph/partition.cpp.o"
+  "CMakeFiles/fun3d_graph.dir/graph/partition.cpp.o.d"
+  "CMakeFiles/fun3d_graph.dir/graph/rcm.cpp.o"
+  "CMakeFiles/fun3d_graph.dir/graph/rcm.cpp.o.d"
+  "CMakeFiles/fun3d_graph.dir/graph/sparsify.cpp.o"
+  "CMakeFiles/fun3d_graph.dir/graph/sparsify.cpp.o.d"
+  "libfun3d_graph.a"
+  "libfun3d_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

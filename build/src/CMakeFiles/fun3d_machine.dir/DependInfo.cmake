@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/cache_sim.cpp" "src/CMakeFiles/fun3d_machine.dir/machine/cache_sim.cpp.o" "gcc" "src/CMakeFiles/fun3d_machine.dir/machine/cache_sim.cpp.o.d"
+  "/root/repo/src/machine/calibrate.cpp" "src/CMakeFiles/fun3d_machine.dir/machine/calibrate.cpp.o" "gcc" "src/CMakeFiles/fun3d_machine.dir/machine/calibrate.cpp.o.d"
+  "/root/repo/src/machine/kernel_model.cpp" "src/CMakeFiles/fun3d_machine.dir/machine/kernel_model.cpp.o" "gcc" "src/CMakeFiles/fun3d_machine.dir/machine/kernel_model.cpp.o.d"
+  "/root/repo/src/machine/machine_model.cpp" "src/CMakeFiles/fun3d_machine.dir/machine/machine_model.cpp.o" "gcc" "src/CMakeFiles/fun3d_machine.dir/machine/machine_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

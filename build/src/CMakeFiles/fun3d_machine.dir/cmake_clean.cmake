@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_machine.dir/machine/cache_sim.cpp.o"
+  "CMakeFiles/fun3d_machine.dir/machine/cache_sim.cpp.o.d"
+  "CMakeFiles/fun3d_machine.dir/machine/calibrate.cpp.o"
+  "CMakeFiles/fun3d_machine.dir/machine/calibrate.cpp.o.d"
+  "CMakeFiles/fun3d_machine.dir/machine/kernel_model.cpp.o"
+  "CMakeFiles/fun3d_machine.dir/machine/kernel_model.cpp.o.d"
+  "CMakeFiles/fun3d_machine.dir/machine/machine_model.cpp.o"
+  "CMakeFiles/fun3d_machine.dir/machine/machine_model.cpp.o.d"
+  "libfun3d_machine.a"
+  "libfun3d_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/decompose.cpp" "src/CMakeFiles/fun3d_mesh.dir/mesh/decompose.cpp.o" "gcc" "src/CMakeFiles/fun3d_mesh.dir/mesh/decompose.cpp.o.d"
+  "/root/repo/src/mesh/dual.cpp" "src/CMakeFiles/fun3d_mesh.dir/mesh/dual.cpp.o" "gcc" "src/CMakeFiles/fun3d_mesh.dir/mesh/dual.cpp.o.d"
+  "/root/repo/src/mesh/generate.cpp" "src/CMakeFiles/fun3d_mesh.dir/mesh/generate.cpp.o" "gcc" "src/CMakeFiles/fun3d_mesh.dir/mesh/generate.cpp.o.d"
+  "/root/repo/src/mesh/mesh.cpp" "src/CMakeFiles/fun3d_mesh.dir/mesh/mesh.cpp.o" "gcc" "src/CMakeFiles/fun3d_mesh.dir/mesh/mesh.cpp.o.d"
+  "/root/repo/src/mesh/reorder.cpp" "src/CMakeFiles/fun3d_mesh.dir/mesh/reorder.cpp.o" "gcc" "src/CMakeFiles/fun3d_mesh.dir/mesh/reorder.cpp.o.d"
+  "/root/repo/src/mesh/stats.cpp" "src/CMakeFiles/fun3d_mesh.dir/mesh/stats.cpp.o" "gcc" "src/CMakeFiles/fun3d_mesh.dir/mesh/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

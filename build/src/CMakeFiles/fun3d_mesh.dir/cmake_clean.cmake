@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_mesh.dir/mesh/decompose.cpp.o"
+  "CMakeFiles/fun3d_mesh.dir/mesh/decompose.cpp.o.d"
+  "CMakeFiles/fun3d_mesh.dir/mesh/dual.cpp.o"
+  "CMakeFiles/fun3d_mesh.dir/mesh/dual.cpp.o.d"
+  "CMakeFiles/fun3d_mesh.dir/mesh/generate.cpp.o"
+  "CMakeFiles/fun3d_mesh.dir/mesh/generate.cpp.o.d"
+  "CMakeFiles/fun3d_mesh.dir/mesh/mesh.cpp.o"
+  "CMakeFiles/fun3d_mesh.dir/mesh/mesh.cpp.o.d"
+  "CMakeFiles/fun3d_mesh.dir/mesh/reorder.cpp.o"
+  "CMakeFiles/fun3d_mesh.dir/mesh/reorder.cpp.o.d"
+  "CMakeFiles/fun3d_mesh.dir/mesh/stats.cpp.o"
+  "CMakeFiles/fun3d_mesh.dir/mesh/stats.cpp.o.d"
+  "libfun3d_mesh.a"
+  "libfun3d_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

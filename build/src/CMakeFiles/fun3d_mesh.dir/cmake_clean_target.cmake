@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfun3d_mesh.a"
+)

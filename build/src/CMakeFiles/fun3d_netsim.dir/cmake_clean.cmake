@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_netsim.dir/netsim/cluster_sim.cpp.o"
+  "CMakeFiles/fun3d_netsim.dir/netsim/cluster_sim.cpp.o.d"
+  "CMakeFiles/fun3d_netsim.dir/netsim/network_model.cpp.o"
+  "CMakeFiles/fun3d_netsim.dir/netsim/network_model.cpp.o.d"
+  "libfun3d_netsim.a"
+  "libfun3d_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

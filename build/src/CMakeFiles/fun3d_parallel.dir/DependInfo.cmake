@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/edge_partition.cpp" "src/CMakeFiles/fun3d_parallel.dir/parallel/edge_partition.cpp.o" "gcc" "src/CMakeFiles/fun3d_parallel.dir/parallel/edge_partition.cpp.o.d"
+  "/root/repo/src/parallel/workshare.cpp" "src/CMakeFiles/fun3d_parallel.dir/parallel/workshare.cpp.o" "gcc" "src/CMakeFiles/fun3d_parallel.dir/parallel/workshare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_parallel.dir/parallel/edge_partition.cpp.o"
+  "CMakeFiles/fun3d_parallel.dir/parallel/edge_partition.cpp.o.d"
+  "CMakeFiles/fun3d_parallel.dir/parallel/workshare.cpp.o"
+  "CMakeFiles/fun3d_parallel.dir/parallel/workshare.cpp.o.d"
+  "libfun3d_parallel.a"
+  "libfun3d_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

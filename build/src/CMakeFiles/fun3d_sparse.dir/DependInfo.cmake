@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/bcsr.cpp" "src/CMakeFiles/fun3d_sparse.dir/sparse/bcsr.cpp.o" "gcc" "src/CMakeFiles/fun3d_sparse.dir/sparse/bcsr.cpp.o.d"
+  "/root/repo/src/sparse/blockops.cpp" "src/CMakeFiles/fun3d_sparse.dir/sparse/blockops.cpp.o" "gcc" "src/CMakeFiles/fun3d_sparse.dir/sparse/blockops.cpp.o.d"
+  "/root/repo/src/sparse/ilu.cpp" "src/CMakeFiles/fun3d_sparse.dir/sparse/ilu.cpp.o" "gcc" "src/CMakeFiles/fun3d_sparse.dir/sparse/ilu.cpp.o.d"
+  "/root/repo/src/sparse/spmv.cpp" "src/CMakeFiles/fun3d_sparse.dir/sparse/spmv.cpp.o" "gcc" "src/CMakeFiles/fun3d_sparse.dir/sparse/spmv.cpp.o.d"
+  "/root/repo/src/sparse/trsv.cpp" "src/CMakeFiles/fun3d_sparse.dir/sparse/trsv.cpp.o" "gcc" "src/CMakeFiles/fun3d_sparse.dir/sparse/trsv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_sparse.dir/sparse/bcsr.cpp.o"
+  "CMakeFiles/fun3d_sparse.dir/sparse/bcsr.cpp.o.d"
+  "CMakeFiles/fun3d_sparse.dir/sparse/blockops.cpp.o"
+  "CMakeFiles/fun3d_sparse.dir/sparse/blockops.cpp.o.d"
+  "CMakeFiles/fun3d_sparse.dir/sparse/ilu.cpp.o"
+  "CMakeFiles/fun3d_sparse.dir/sparse/ilu.cpp.o.d"
+  "CMakeFiles/fun3d_sparse.dir/sparse/spmv.cpp.o"
+  "CMakeFiles/fun3d_sparse.dir/sparse/spmv.cpp.o.d"
+  "CMakeFiles/fun3d_sparse.dir/sparse/trsv.cpp.o"
+  "CMakeFiles/fun3d_sparse.dir/sparse/trsv.cpp.o.d"
+  "libfun3d_sparse.a"
+  "libfun3d_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fun3d_util.dir/util/cli.cpp.o"
+  "CMakeFiles/fun3d_util.dir/util/cli.cpp.o.d"
+  "CMakeFiles/fun3d_util.dir/util/stats.cpp.o"
+  "CMakeFiles/fun3d_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/fun3d_util.dir/util/table.cpp.o"
+  "CMakeFiles/fun3d_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/fun3d_util.dir/util/timer.cpp.o"
+  "CMakeFiles/fun3d_util.dir/util/timer.cpp.o.d"
+  "libfun3d_util.a"
+  "libfun3d_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fun3d_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blockops.dir/test_blockops.cpp.o"
+  "CMakeFiles/test_blockops.dir/test_blockops.cpp.o.d"
+  "test_blockops"
+  "test_blockops.pdb"
+  "test_blockops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blockops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

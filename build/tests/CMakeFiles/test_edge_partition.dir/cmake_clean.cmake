@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_partition.dir/test_edge_partition.cpp.o"
+  "CMakeFiles/test_edge_partition.dir/test_edge_partition.cpp.o.d"
+  "test_edge_partition"
+  "test_edge_partition.pdb"
+  "test_edge_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

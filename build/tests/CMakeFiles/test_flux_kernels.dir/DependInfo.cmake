@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_flux_kernels.cpp" "tests/CMakeFiles/test_flux_kernels.dir/test_flux_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_flux_kernels.dir/test_flux_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fun3d_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/fun3d_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flux_kernels.dir/test_flux_kernels.cpp.o"
+  "CMakeFiles/test_flux_kernels.dir/test_flux_kernels.cpp.o.d"
+  "test_flux_kernels"
+  "test_flux_kernels.pdb"
+  "test_flux_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flux_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradients_lsq.dir/test_gradients_lsq.cpp.o"
+  "CMakeFiles/test_gradients_lsq.dir/test_gradients_lsq.cpp.o.d"
+  "test_gradients_lsq"
+  "test_gradients_lsq.pdb"
+  "test_gradients_lsq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradients_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ilu.dir/test_ilu.cpp.o"
+  "CMakeFiles/test_ilu.dir/test_ilu.cpp.o.d"
+  "test_ilu"
+  "test_ilu.pdb"
+  "test_ilu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ilu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_limiter.dir/test_limiter.cpp.o"
+  "CMakeFiles/test_limiter.dir/test_limiter.cpp.o.d"
+  "test_limiter"
+  "test_limiter.pdb"
+  "test_limiter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_limiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

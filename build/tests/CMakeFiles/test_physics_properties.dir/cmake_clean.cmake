@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics_properties.dir/test_physics_properties.cpp.o"
+  "CMakeFiles/test_physics_properties.dir/test_physics_properties.cpp.o.d"
+  "test_physics_properties"
+  "test_physics_properties.pdb"
+  "test_physics_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

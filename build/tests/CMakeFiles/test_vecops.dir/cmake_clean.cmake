@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vecops.dir/test_vecops.cpp.o"
+  "CMakeFiles/test_vecops.dir/test_vecops.cpp.o.d"
+  "test_vecops"
+  "test_vecops.pdb"
+  "test_vecops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vecops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vtk_io.dir/test_vtk_io.cpp.o"
+  "CMakeFiles/test_vtk_io.dir/test_vtk_io.cpp.o.d"
+  "test_vtk_io"
+  "test_vtk_io.pdb"
+  "test_vtk_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vtk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
