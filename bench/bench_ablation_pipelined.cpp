@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 1024));
 
   header("Ablation", "pipelined (communication-hiding) GMRES at scale");
+  PerfReport rep = make_report(
+      cli, "ablation_pipelined", "pipelined GMRES at scale");
+  rep.params["max_nodes"] = max_nodes;
   const TetMesh mesh = make_mesh(MeshPreset::kMeshD, scale);
   auto iters = [](int ranks) {
     return 1709.0 * (1.0 + 0.025 * std::log2(std::max(1, ranks)));
@@ -48,8 +51,19 @@ int main(int argc, char** argv) {
                       "%.0f%%"),
            Table::num(100 * ps[i].comm_fraction, "%.0f%%"),
            Table::num(100 * pp[i].comm_fraction, "%.0f%%")});
+    const std::string n = ".n" + std::to_string(ps[i].nodes);
+    rep.model["standard_seconds" + n] = ps[i].total_seconds;
+    rep.model["pipelined_seconds" + n] = pp[i].total_seconds;
   }
   t.print();
+  rep.model["standard_best_seconds"] =
+      ps[static_cast<std::size_t>(std_best)].total_seconds;
+  rep.model["pipelined_best_seconds"] =
+      pp[static_cast<std::size_t>(pipe_best)].total_seconds;
+  rep.model["standard_best_nodes"] =
+      nodes[static_cast<std::size_t>(std_best)];
+  rep.model["pipelined_best_nodes"] =
+      nodes[static_cast<std::size_t>(pipe_best)];
   std::printf(
       "\nBest time-to-solution: standard %.3fs at %d nodes vs pipelined "
       "%.3fs at %d nodes — hiding the Allreduce both lowers the floor and "
@@ -59,5 +73,5 @@ int main(int argc, char** argv) {
       nodes[static_cast<std::size_t>(std_best)],
       pp[static_cast<std::size_t>(pipe_best)].total_seconds,
       nodes[static_cast<std::size_t>(pipe_best)]);
-  return 0;
+  return write_report(cli, rep) ? 0 : 1;
 }

@@ -41,6 +41,32 @@ inline void header(const char* id, const char* what) {
   std::printf("\n=== %s: %s ===\n", id, what);
 }
 
+/// Perf-report skeleton for a bench: environment metadata plus the shared
+/// CLI parameters every bench accepts. Benches fill metrics/model/plan
+/// sections as they go and hand the report to write_report() at exit.
+inline PerfReport make_report(const Cli& cli, const char* bench_id,
+                              const char* title) {
+  PerfReport r = PerfReport::begin(bench_id, title);
+  if (cli.has("scale")) r.params["scale"] = cli.get_double("scale", 1.0);
+  return r;
+}
+
+/// Writes the report to the path given by `--json <path>` (shared by every
+/// bench; no flag means no artifact). Returns false on I/O failure, which
+/// benches surface as a nonzero exit code so CI catches broken reports.
+inline bool write_report(const Cli& cli, const PerfReport& r) {
+  const std::string path = cli.get("json", "");
+  if (path.empty()) return true;
+  std::string err;
+  if (!r.write(path, &err)) {
+    std::fprintf(stderr, "bench: failed to write perf report: %s\n",
+                 err.c_str());
+    return false;
+  }
+  std::printf("\nperf report written to %s\n", path.c_str());
+  return true;
+}
+
 /// "shape holds" annotation helper: ratio of ours to paper.
 inline std::string vs_paper(double ours, double paper) {
   char buf[64];

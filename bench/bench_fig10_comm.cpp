@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 256));
 
   header("Fig. 10", "communication decomposition vs node count");
+  PerfReport rep = make_report(
+      cli, "fig10", "communication decomposition vs node count");
+  rep.params["max_nodes"] = max_nodes;
   const TetMesh mesh = make_mesh(MeshPreset::kMeshD, scale);
   ClusterConfig cfg;
   cfg.optimized = true;
@@ -33,6 +36,11 @@ int main(int argc, char** argv) {
            "allreduce % of comm", "p2p % of comm"});
   for (const auto& p : pts) {
     const double comm = p.allreduce_seconds + p.p2p_seconds;
+    const std::string n = ".n" + std::to_string(p.nodes);
+    rep.model["compute_seconds" + n] = p.compute_seconds;
+    rep.model["allreduce_seconds" + n] = p.allreduce_seconds;
+    rep.model["p2p_seconds" + n] = p.p2p_seconds;
+    rep.model["comm_fraction" + n] = p.comm_fraction;
     t.row({Table::num(p.nodes), Table::num(p.compute_seconds, "%.3f"),
            Table::num(p.allreduce_seconds, "%.3f"),
            Table::num(p.p2p_seconds, "%.4f"),
@@ -45,5 +53,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nPaper: ~70%% comm at 256 nodes; >90%% of comm is Allreduce; p2p "
       "<5%%. Shape check the last three columns' trends.\n");
-  return 0;
+  return write_report(cli, rep) ? 0 : 1;
 }

@@ -13,12 +13,15 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 6.0);
 
   header("Fig. 5", "baseline application profile");
+  PerfReport rep = make_report(cli, "fig5", "baseline application profile");
   TetMesh m = make_mesh(MeshPreset::kMeshC, scale);
   SolverConfig cfg = SolverConfig::baseline();
   cfg.ptc.max_steps = 40;
   cfg.ptc.rtol = 1e-8;
   FlowSolver solver(std::move(m), cfg);
-  solver.solve();
+  const SolveStats st = solver.solve();
+  solver.fill_report(rep);
+  rep.metrics["wall_seconds"] = st.wall_seconds;
 
   const auto frac = solver.profile().fractions();
   const struct {
@@ -41,5 +44,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: flux is the dominant kernel; flux+TRSV+ILU+grad+jac "
       "cover ~90%%+ of execution time.\n");
-  return 0;
+  rep.metrics["top5_covered_fraction"] = covered;
+  return write_report(cli, rep) ? 0 : 1;
 }

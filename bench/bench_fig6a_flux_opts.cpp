@@ -67,6 +67,10 @@ int main(int argc, char** argv) {
   const int cores = static_cast<int>(cli.get_int("cores", 10));
 
   header("Fig. 6a", "flux kernel optimization ladder");
+  PerfReport rep =
+      make_report(cli, "fig6a", "flux kernel optimization ladder");
+  rep.params["threads"] = threads;
+  rep.params["cores"] = cores;
   TetMesh m = make_mesh(MeshPreset::kMeshC, scale);
   Physics ph;
   FlowFields f(m);
@@ -122,8 +126,13 @@ int main(int argc, char** argv) {
            Table::num(base_host / host, "%.2f"),
            Table::num(base_model / par.seconds, "%.1f"),
            Table::num(paper_step[i], "%.2f")});
+    const std::string key = "variant" + std::to_string(i);
+    rep.metrics[key + ".host_seconds"] = host;
+    rep.metrics[key + ".host_speedup"] = base_host / host;
+    rep.model[key + ".speedup_10c"] = base_model / par.seconds;
   }
   t.print();
+  rep.add_edge_plan(metis, "metis.");
   std::printf(
       "\nPaper total: 20.6x at %d threads (%d cores). Shape check: each rung "
       "improves on the previous; the modelled threaded speedup lands in the "

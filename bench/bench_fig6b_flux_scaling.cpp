@@ -23,6 +23,8 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 4.0);
 
   header("Fig. 6b", "flux scaling vs cores per threading strategy");
+  PerfReport rep = make_report(cli, "fig6b",
+                               "flux scaling vs cores per threading strategy");
   TetMesh m = make_mesh(MeshPreset::kMeshC, scale);
   const MachineSpec mach = MachineSpec::xeon_e5_2690v2();
   const LatencyModel lat;
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
         }
       }
       const PhaseTime pt = model_edge_loop(mach, lat, work, false);
+      rep.model[std::string(edge_strategy_name(s)) + ".gflops.c" +
+                std::to_string(cores)] = total_flops / pt.seconds / 1e9;
       row.push_back(Table::num(total_flops / pt.seconds / 1e9, "%.2f"));
       if (s == EdgeStrategy::kReplicationNatural)
         overhead_nat = plan.replication_overhead;
@@ -86,5 +90,7 @@ int main(int argc, char** argv) {
   std::printf(
       "Shape check: metis >= replication-natural >= atomics in absolute "
       "rate; atomics and metis scale near-linearly.\n");
-  return 0;
+  rep.add_edge_plan(nat20, "natural20.");
+  rep.add_edge_plan(metis20, "metis20.");
+  return write_report(cli, rep) ? 0 : 1;
 }

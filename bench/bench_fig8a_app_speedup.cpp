@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 6.0);
 
   header("Fig. 8a", "full application: baseline vs optimized");
+  PerfReport rep = make_report(cli, "fig8a",
+                               "full application: baseline vs optimized");
   SolverConfig base = SolverConfig::baseline();
   SolverConfig opt = SolverConfig::optimized(1);  // 1 host core available
   base.ptc.max_steps = opt.ptc.max_steps = 40;
@@ -55,6 +57,11 @@ int main(int argc, char** argv) {
       "\nmeasured single-core time to solution: baseline %.2fs, optimized "
       "%.2fs => single-core optimization gain %.2fx\n",
       stb.wall_seconds, sto.wall_seconds, stb.wall_seconds / sto.wall_seconds);
+  sb.fill_report(rep, "baseline.");
+  so.fill_report(rep, "optimized.");
+  rep.metrics["baseline.wall_seconds"] = stb.wall_seconds;
+  rep.metrics["optimized.wall_seconds"] = sto.wall_seconds;
+  rep.metrics["single_core_gain"] = stb.wall_seconds / sto.wall_seconds;
 
   // Amdahl composition over the measured *baseline* fractions, with the
   // single-core gain folded into each optimized kernel's speedup.
@@ -88,5 +95,7 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: speedup in the 5-9x band; TRSV + other dominate the "
       "optimized profile.\n");
+  rep.model["app_speedup_10c"] = app_speedup;
+  if (!write_report(cli, rep)) return 1;
   return stb.converged && sto.converged ? 0 : 1;
 }

@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 6.0);
 
   header("Fig. 8b", "kernel-wise speedups (baseline -> optimized)");
+  PerfReport rep = make_report(
+      cli, "fig8b", "kernel-wise speedups (baseline -> optimized)");
   SolverConfig base = SolverConfig::baseline();
   SolverConfig opt = SolverConfig::optimized(1);
   base.ptc.max_steps = opt.ptc.max_steps = 40;
@@ -45,15 +47,20 @@ int main(int argc, char** argv) {
     const double tb = sb.profile().timers.get(r.kernel);
     const double to = so.profile().timers.get(r.kernel);
     const double gain = to > 0 ? tb / to : 1.0;
+    rep.metrics[std::string(r.kernel) + ".single_core_gain"] = gain;
+    rep.model[std::string(r.kernel) + ".total_speedup_10c"] =
+        gain * r.thread_mult;
     t.row({r.kernel, Table::num(gain, "%.2f"),
            Table::num(gain * r.thread_mult, "%.1f"),
            Table::num(r.paper_total, "%.1f")});
   }
   t.print();
+  sb.fill_report(rep, "baseline.");
+  so.fill_report(rep, "optimized.");
   std::printf(
       "\nShape check: flux gains the most (layout+SIMD+prefetch compound "
       "with threading); TRSV the least (bandwidth-saturated).\n"
       "Note: host 1-core gains also absorb iteration-count differences "
       "between the two runs.\n");
-  return 0;
+  return write_report(cli, rep) ? 0 : 1;
 }

@@ -1,6 +1,10 @@
 // google-benchmark microbenchmarks of the core kernels — the fine-grained
 // complement to the figure/table reproduction benches: per-edge and
 // per-block costs of every kernel variant, on the host.
+//
+// Accepts the repo-wide `--json <path>` flag (stripped before
+// benchmark::Initialize sees it): per-benchmark real times land in the
+// perf report's metrics section.
 #include <benchmark/benchmark.h>
 
 #include "core/boundary.hpp"
@@ -8,9 +12,11 @@
 #include "core/gradients.hpp"
 #include "core/jacobian.hpp"
 #include "core/newton.hpp"
+#include "core/profile.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "sparse/trsv.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace fun3d {
@@ -172,7 +178,48 @@ void BM_SymbolicIlu(benchmark::State& state) {
 }
 BENCHMARK(BM_SymbolicIlu)->Arg(0)->Arg(1)->Arg(2);
 
+/// Console reporter that additionally records per-benchmark real time into
+/// a PerfReport, so `--json` works like in every table/figure bench.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(PerfReport* rep) : rep_(rep) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      rep_->metrics[run.benchmark_name() + ".real_ns"] =
+          run.GetAdjustedRealTime();
+      rep_->counters[run.benchmark_name() + ".iterations"] =
+          static_cast<std::uint64_t>(run.iterations);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  PerfReport* rep_;
+};
+
 }  // namespace
 }  // namespace fun3d
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path =
+      fun3d::Cli::extract_flag(&argc, argv, "json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  fun3d::PerfReport rep =
+      fun3d::PerfReport::begin("micro", "core kernel microbenchmarks");
+  fun3d::CapturingReporter reporter(&rep);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    std::string err;
+    if (!rep.write(json_path, &err)) {
+      std::fprintf(stderr, "bench: failed to write perf report: %s\n",
+                   err.c_str());
+      return 1;
+    }
+    std::printf("\nperf report written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

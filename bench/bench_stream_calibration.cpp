@@ -16,8 +16,16 @@ int main(int argc, char** argv) {
   const std::size_t mb = static_cast<std::size_t>(cli.get_int("mb", 64));
 
   header("calibration", "host microbenchmarks vs paper platform");
+  PerfReport rep = make_report(cli, "calibration",
+                               "host microbenchmarks vs paper platform");
+  rep.params["mb"] = static_cast<double>(mb);
   const HostCalibration c = calibrate_host(mb << 20);
   const MachineSpec paper = MachineSpec::xeon_e5_2690v2();
+  rep.metrics["stream_triad_gbs"] = c.stream_triad_gbs;
+  rep.metrics["scalar_gflops"] = c.scalar_gflops;
+  rep.metrics["simd_gflops"] = c.simd_gflops;
+  rep.model["paper_stream_gbs"] = paper.stream_bw_gbs;
+  rep.model["paper_peak_gflops"] = paper.peak_gflops();
 
   Table t({"quantity", "host (1 core)", "paper node (10 cores)"});
   t.row({"STREAM triad GB/s", Table::num(c.stream_triad_gbs, "%.1f"),
@@ -39,5 +47,5 @@ int main(int argc, char** argv) {
       "%.0f cores (bw_1core %.1f GB/s)\n",
       paper.effective_bw_gbs(10),
       paper.stream_bw_gbs / paper.bw_1core_gbs, paper.bw_1core_gbs);
-  return 0;
+  return write_report(cli, rep) ? 0 : 1;
 }

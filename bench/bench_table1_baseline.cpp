@@ -18,6 +18,10 @@ int main(int argc, char** argv) {
   const double scale_d = cli.get_double("scale-d", 4.0);
 
   header("Table I", "baseline performance profile (scaled meshes)");
+  PerfReport rep =
+      make_report(cli, "table1", "baseline performance profile");
+  rep.params["scale_c"] = scale_c;
+  rep.params["scale_d"] = scale_d;
   Table t({"mesh", "vertices", "edges", "steps", "lin iters", "time (s)",
            "paper steps", "paper iters"});
 
@@ -37,6 +41,14 @@ int main(int argc, char** argv) {
     cfg.ptc.rtol = 1e-8;
     FlowSolver solver(std::move(m), cfg);
     const SolveStats st = solver.solve();
+    const std::string prefix = std::string(preset_name(row.preset)) + ".";
+    solver.fill_report(rep, prefix);
+    rep.counters[prefix + "vertices"] =
+        static_cast<std::uint64_t>(ms.vertices);
+    rep.counters[prefix + "edges"] = static_cast<std::uint64_t>(ms.edges);
+    rep.counters[prefix + "steps"] = static_cast<std::uint64_t>(st.steps);
+    rep.counters[prefix + "converged"] = st.converged ? 1 : 0;
+    rep.metrics[prefix + "wall_seconds"] = st.wall_seconds;
     t.row({preset_name(row.preset), Table::num(ms.vertices),
            Table::num(static_cast<double>(ms.edges)), Table::num(st.steps),
            Table::num(static_cast<double>(st.linear_iterations)),
@@ -50,5 +62,5 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: steps and iterations grow with mesh size as in the "
       "paper; absolute times are for the scaled meshes on this host.\n");
-  return 0;
+  return write_report(cli, rep) ? 0 : 1;
 }

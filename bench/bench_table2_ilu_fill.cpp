@@ -88,10 +88,22 @@ int main(int argc, char** argv) {
   const double big_scale = cli.get_double("big-scale", 2.0);
 
   header("Table II", "ILU(0) vs ILU(1): parallelism / convergence tradeoff");
+  PerfReport rep = make_report(
+      cli, "table2", "ILU(0) vs ILU(1) parallelism/convergence tradeoff");
+  rep.params["big_scale"] = big_scale;
   const FillResult r0 = run_fill(scale, 0);
   const FillResult r1 = run_fill(scale, 1);
   const double p0_big = pattern_parallelism(big_scale, 0);
   const double p1_big = pattern_parallelism(big_scale, 1);
+  for (const auto& [fill, r] : {std::pair{"ilu0", &r0}, {"ilu1", &r1}}) {
+    const std::string p = std::string(fill) + ".";
+    rep.metrics[p + "dag_parallelism"] = r->parallelism;
+    rep.counters[p + "linear_iterations"] = r->iterations;
+    rep.metrics[p + "wall_seconds"] = r->seconds_1core;
+    rep.model[p + "speedup_10c"] = r->speedup_10c;
+  }
+  rep.metrics["ilu0.pattern_parallelism_big"] = p0_big;
+  rep.metrics["ilu1.pattern_parallelism_big"] = p1_big;
 
   Table t({"metric", "ILU-0", "ILU-1", "paper ILU-0", "paper ILU-1"});
   t.row({"available parallelism", Table::num(r0.parallelism, "%.0f"),
@@ -116,5 +128,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check: ILU-0 has far more DAG parallelism but needs more "
       "iterations; at 10 cores ILU-0 overtakes ILU-1.\n");
-  return 0;
+  rep.metrics["ilu0_advantage_10c"] = ratio;
+  return write_report(cli, rep) ? 0 : 1;
 }

@@ -1,14 +1,22 @@
 #include "core/profile.hpp"
 
+#include <omp.h>
+#include <unistd.h>
+
+#include <cmath>
 #include <cstdio>
+#include <ctime>
+
+#include "graph/sparsify.hpp"
+#include "parallel/edge_partition.hpp"
 
 namespace fun3d {
 
 std::map<std::string, double> Profile::fractions() const {
   std::map<std::string, double> out;
   const double total = timers.total();
-  if (total <= 0) return out;
-  for (const auto& [k, v] : timers.entries()) out[k] = v / total;
+  for (const auto& [k, v] : timers.entries())
+    out[k] = total > 0 ? v / total : 0.0;
   return out;
 }
 
@@ -35,6 +43,252 @@ std::string Profile::format(const std::string& title) const {
 void Profile::clear() {
   timers.clear();
   newton_steps = linear_iterations = residual_evals = reductions = 0;
+}
+
+PerfReport PerfReport::begin(std::string bench_id, std::string title) {
+  PerfReport r;
+  r.bench_id = std::move(bench_id);
+  r.title = std::move(title);
+
+  char host[256] = "unknown";
+  if (gethostname(host, sizeof(host) - 1) != 0) host[0] = '\0';
+  r.info["hostname"] = host;
+
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  r.info["timestamp_utc"] = stamp;
+
+#if defined(__VERSION__)
+  r.info["compiler"] = __VERSION__;
+#endif
+#if defined(NDEBUG)
+  r.info["build"] = "release";
+#else
+  r.info["build"] = "debug";
+#endif
+  r.params["omp_max_threads"] = omp_get_max_threads();
+  return r;
+}
+
+void PerfReport::add_profile(const Profile& p, const std::string& prefix) {
+  for (const auto& [k, v] : p.timers.entries()) kernel_seconds[prefix + k] = v;
+  for (const auto& [k, v] : p.fractions()) kernel_fractions[prefix + k] = v;
+  counters[prefix + "newton_steps"] = p.newton_steps;
+  counters[prefix + "linear_iterations"] = p.linear_iterations;
+  counters[prefix + "residual_evals"] = p.residual_evals;
+  counters[prefix + "reductions"] = p.reductions;
+}
+
+void PerfReport::add_edge_plan(const EdgeLoopPlan& plan,
+                               const std::string& prefix) {
+  plan_stats[prefix + "num_edges"] = static_cast<double>(plan.num_edges);
+  plan_stats[prefix + "processed_edges"] =
+      static_cast<double>(plan.processed_edges);
+  plan_stats[prefix + "replication_overhead"] = plan.replication_overhead;
+  plan_stats[prefix + "load_imbalance"] = plan.load_imbalance;
+  plan_stats[prefix + "num_barriers"] = static_cast<double>(plan.num_barriers);
+  plan_stats[prefix + "nthreads"] = static_cast<double>(plan.nthreads);
+}
+
+void PerfReport::add_p2p_plan(const P2PSyncPlan& plan,
+                              const std::string& prefix) {
+  plan_stats[prefix + "raw_cross_deps"] =
+      static_cast<double>(plan.raw_cross_deps);
+  plan_stats[prefix + "reduced_cross_deps"] =
+      static_cast<double>(plan.reduced_cross_deps);
+}
+
+namespace {
+
+Json to_json_map(const std::map<std::string, double>& m) {
+  Json j = Json::object();
+  for (const auto& [k, v] : m) j[k] = Json(v);
+  return j;
+}
+
+}  // namespace
+
+Json PerfReport::to_json() const {
+  Json j = Json::object();
+  j["schema_version"] = Json(kSchemaVersion);
+  j["bench"] = Json(bench_id);
+  j["title"] = Json(title);
+  Json ji = Json::object();
+  for (const auto& [k, v] : info) ji[k] = Json(v);
+  j["info"] = std::move(ji);
+  j["params"] = to_json_map(params);
+  Json jk = Json::object();
+  jk["seconds"] = to_json_map(kernel_seconds);
+  jk["fractions"] = to_json_map(kernel_fractions);
+  j["kernels"] = std::move(jk);
+  Json jc = Json::object();
+  for (const auto& [k, v] : counters) jc[k] = Json(v);
+  j["counters"] = std::move(jc);
+  j["plan"] = to_json_map(plan_stats);
+  j["model"] = to_json_map(model);
+  j["metrics"] = to_json_map(metrics);
+  return j;
+}
+
+bool PerfReport::write(const std::string& path, std::string* err) const {
+  return write_text_file(path, to_json().dump(2) + "\n", err);
+}
+
+namespace {
+
+/// Appends "section.key: why" style problems for non-finite leaves.
+void check_finite_section(const Json& report, const char* section,
+                          std::vector<std::string>& problems) {
+  const Json* s = report.find(section);
+  if (s == nullptr || !s->is_object()) {
+    problems.push_back(std::string("missing section '") + section + "'");
+    return;
+  }
+  for (std::size_t i = 0; i < s->size(); ++i) {
+    const Json& v = s->at(i);
+    // Non-finite doubles serialize as JSON null; both shapes are invalid.
+    if (!v.is_number() || !std::isfinite(v.as_double()))
+      problems.push_back(std::string(section) + "." + s->key_at(i) +
+                         ": not a finite number");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> validate_report(const Json& report) {
+  std::vector<std::string> problems;
+  if (!report.is_object()) {
+    problems.emplace_back("report is not a JSON object");
+    return problems;
+  }
+  const Json* ver = report.find("schema_version");
+  if (ver == nullptr || !ver->is_number())
+    problems.emplace_back("missing schema_version");
+  else if (ver->as_double() != PerfReport::kSchemaVersion)
+    problems.emplace_back("unsupported schema_version");
+  const Json* bench = report.find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->as_string().empty())
+    problems.emplace_back("missing bench id");
+  const Json* info = report.find("info");
+  if (info == nullptr || !info->is_object() ||
+      info->find("timestamp_utc") == nullptr)
+    problems.emplace_back("missing info.timestamp_utc");
+
+  check_finite_section(report, "params", problems);
+  check_finite_section(report, "plan", problems);
+  check_finite_section(report, "model", problems);
+  check_finite_section(report, "metrics", problems);
+
+  const Json* kernels = report.find("kernels");
+  if (kernels == nullptr || !kernels->is_object() ||
+      kernels->find("seconds") == nullptr ||
+      kernels->find("fractions") == nullptr) {
+    problems.emplace_back("missing kernels.seconds / kernels.fractions");
+  } else {
+    const Json& secs = *kernels->find("seconds");
+    for (std::size_t i = 0; i < secs.size(); ++i)
+      if (!secs.at(i).is_number() || !(secs.at(i).as_double() >= 0))
+        problems.push_back("kernels.seconds." + secs.key_at(i) +
+                           ": negative or non-finite");
+    const Json& fr = *kernels->find("fractions");
+    double sum = 0;
+    for (std::size_t i = 0; i < fr.size(); ++i) {
+      const double v = fr.at(i).as_double(-1);
+      if (!(v >= 0.0) || v > 1.0 + 1e-9)
+        problems.push_back("kernels.fractions." + fr.key_at(i) +
+                           ": outside [0,1]");
+      else
+        sum += v;
+    }
+    // Fractions of one profile sum to ~1 (or 0 for an unexercised one);
+    // prefixed multi-run reports sum to ~(number of runs).
+    const double frac = sum - std::floor(sum + 1e-6);
+    if (fr.size() > 0 && std::min(frac, 1.0 - frac) > 1e-6)
+      problems.emplace_back("kernels.fractions do not sum to a whole number "
+                            "of profiles");
+  }
+
+  const Json* counters = report.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    problems.emplace_back("missing section 'counters'");
+  } else {
+    for (std::size_t i = 0; i < counters->size(); ++i)
+      if (!counters->at(i).is_number() || counters->at(i).as_double(-1) < 0)
+        problems.push_back("counters." + counters->key_at(i) +
+                           ": negative or non-numeric");
+  }
+  return problems;
+}
+
+namespace {
+
+void compare_section(const Json& base, const Json& cur, const char* section,
+                     const std::string& path, bool higher_is_worse,
+                     double rel_tol, std::vector<std::string>& out) {
+  const Json* b = base.find(section);
+  if (b == nullptr) return;  // baseline has nothing to hold us to
+  const Json* c = cur.find(section);
+  char buf[64];
+  for (std::size_t i = 0; i < b->size(); ++i) {
+    const std::string key = b->key_at(i);
+    const Json& bv = b->at(i);
+    if (bv.is_object()) {  // e.g. kernels.{seconds,fractions}
+      const Json* cv = c != nullptr ? c->find(key) : nullptr;
+      if (cv == nullptr) {
+        out.push_back(path + section + "." + key + ": section disappeared");
+      } else {
+        // Only "seconds" style subsections are regressions when they grow;
+        // fractions shifting is not by itself a regression.
+        if (key == "seconds")
+          compare_section(*b, *c, key.c_str(), path + section + ".",
+                          higher_is_worse, rel_tol, out);
+      }
+      continue;
+    }
+    if (!bv.is_number()) continue;
+    const Json* cv = c != nullptr ? c->find(key) : nullptr;
+    if (cv == nullptr || !cv->is_number()) {
+      out.push_back(path + section + "." + key + ": missing from current");
+      continue;
+    }
+    // Inside metrics/model only time-like leaves are direction-comparable;
+    // speedups, rates and ratios legitimately move both ways.
+    const bool time_like =
+        higher_is_worse || key.find("seconds") != std::string::npos;
+    const double bd = bv.as_double(), cd = cv->as_double();
+    if (bd <= 0) continue;  // no meaningful relative comparison
+    const double growth = cd / bd - 1.0;
+    if (time_like && growth > rel_tol) {
+      std::snprintf(buf, sizeof(buf), ": %.4g -> %.4g (+%.0f%%)", bd, cd,
+                    100 * growth);
+      out.push_back(path + section + "." + key + buf);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> compare_reports(const Json& baseline,
+                                         const Json& current, double rel_tol) {
+  std::vector<std::string> out;
+  if (!baseline.is_object() || !current.is_object()) {
+    out.emplace_back("baseline or current report is not a JSON object");
+    return out;
+  }
+  const Json* bb = baseline.find("bench");
+  const Json* cb = current.find("bench");
+  if (bb != nullptr && cb != nullptr && bb->as_string() != cb->as_string())
+    out.push_back("bench id mismatch: '" + bb->as_string() + "' vs '" +
+                  cb->as_string() + "'");
+  // kernels.seconds: every leaf is wall time, larger is a regression.
+  compare_section(baseline, current, "kernels", "", true, rel_tol, out);
+  // metrics/model: only "seconds"-named leaves are direction-comparable.
+  compare_section(baseline, current, "metrics", "", false, rel_tol, out);
+  compare_section(baseline, current, "model", "", false, rel_tol, out);
+  return out;
 }
 
 }  // namespace fun3d

@@ -1,14 +1,20 @@
 // Kernel-level profiling of the solver: the machinery behind the paper's
-// Fig. 5 (baseline profile) and Fig. 8 (kernel-wise speedups).
+// Fig. 5 (baseline profile) and Fig. 8 (kernel-wise speedups) — plus the
+// machine-readable perf-report layer every bench emits through `--json`.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace fun3d {
+
+struct EdgeLoopPlan;
+struct P2PSyncPlan;
 
 /// Canonical kernel names used across the solver and benches.
 namespace kernel {
@@ -29,10 +35,73 @@ struct Profile {
   /// Global reductions performed (dots + norms): the netsim Allreduce count.
   std::uint64_t reductions = 0;
 
-  /// Fraction of total time per kernel (Fig. 5-style breakdown).
+  /// Fraction of total time per kernel (Fig. 5-style breakdown). A
+  /// zero-total profile yields an all-zero map (never NaN), so reports
+  /// built from an unexercised profile stay schema-stable and finite.
   [[nodiscard]] std::map<std::string, double> fractions() const;
   [[nodiscard]] std::string format(const std::string& title) const;
   void clear();
 };
+
+/// Structured, machine-readable performance report — the artifact behind
+/// every bench's `--json <path>` flag and the substrate future perf work
+/// reports through. Sections are fixed (schema-stable); keys within a
+/// section vary by bench but are deterministic for a given bench + flags.
+struct PerfReport {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string bench_id;  ///< e.g. "fig7a", "table1", "micro"
+  std::string title;     ///< human-readable one-liner
+
+  /// Run metadata strings: hostname, timestamp_utc, compiler, build, omp.
+  std::map<std::string, std::string> info;
+  /// Numeric run parameters: scale, threads, cores, fill, ...
+  std::map<std::string, double> params;
+
+  /// Per-kernel wall seconds and share of total (from a Profile).
+  std::map<std::string, double> kernel_seconds;
+  std::map<std::string, double> kernel_fractions;
+  /// Work counters: newton_steps, linear_iterations, residual_evals,
+  /// reductions, plus bench-specific counts.
+  std::map<std::string, std::uint64_t> counters;
+  /// Edge-plan / sync-plan statistics: replication_overhead,
+  /// load_imbalance, processed_edges, raw/reduced cross-thread deps.
+  std::map<std::string, double> plan_stats;
+  /// Machine-model predictions (modelled seconds, speedups, bandwidths).
+  std::map<std::string, double> model;
+  /// Bench-specific measured values (host seconds, rates, ratios).
+  std::map<std::string, double> metrics;
+
+  /// Report skeleton with environment metadata (hostname, UTC timestamp,
+  /// compiler, build type, OpenMP max threads) pre-filled.
+  static PerfReport begin(std::string bench_id, std::string title);
+
+  /// Captures timers + counters from a solver profile. `prefix` qualifies
+  /// the keys (e.g. "baseline.") when one report holds several runs.
+  void add_profile(const Profile& p, const std::string& prefix = "");
+  /// Captures replication/imbalance statistics of an edge-loop plan.
+  void add_edge_plan(const EdgeLoopPlan& plan, const std::string& prefix = "");
+  /// Captures cross-thread dependency counts of a P2P sync plan.
+  void add_p2p_plan(const P2PSyncPlan& plan, const std::string& prefix = "");
+
+  [[nodiscard]] Json to_json() const;
+  /// Serializes (pretty-printed) to `path`; false + `err` on I/O failure.
+  bool write(const std::string& path, std::string* err = nullptr) const;
+};
+
+/// Structural + sanity validation of an emitted report: required sections
+/// present, schema version supported, numbers finite and in-range, kernel
+/// fractions in [0,1] summing to <= 1 (+eps). Returns human-readable
+/// problems; empty means valid.
+std::vector<std::string> validate_report(const Json& report);
+
+/// Baseline comparison: flags time-like numeric leaves (kernels.seconds,
+/// plus metrics/model keys containing "seconds") that grew by more than
+/// `rel_tol` relative to `baseline`, and any baseline key that vanished
+/// from `current` (schema drift). Returns human-readable regressions;
+/// empty means no regression.
+std::vector<std::string> compare_reports(const Json& baseline,
+                                         const Json& current,
+                                         double rel_tol = 0.25);
 
 }  // namespace fun3d

@@ -95,6 +95,22 @@ FlowSolver::FlowSolver(TetMesh mesh, SolverConfig cfg)
 
 FlowSolver::~FlowSolver() = default;
 
+void FlowSolver::fill_report(PerfReport& report,
+                             const std::string& prefix) const {
+  report.params[prefix + "nthreads"] = cfg_.nthreads;
+  report.params[prefix + "fill_level"] = cfg_.fill_level;
+  report.params[prefix + "subdomains"] = static_cast<double>(cfg_.subdomains);
+  report.params[prefix + "trsv_mode"] = static_cast<double>(cfg_.trsv_mode);
+  report.params[prefix + "second_order"] = cfg_.second_order ? 1.0 : 0.0;
+  report.params[prefix + "matrix_free"] = cfg_.matrix_free ? 1.0 : 0.0;
+  report.add_profile(profile_, prefix);
+  report.add_edge_plan(plan_, prefix);
+  if (schedules_ != nullptr) {
+    report.add_p2p_plan(schedules_->fwd_plan, prefix + "trsv_fwd.");
+    report.add_p2p_plan(schedules_->bwd_plan, prefix + "trsv_bwd.");
+  }
+}
+
 void FlowSolver::eval_residual(std::span<const double> q,
                                std::span<double> resid) {
   const std::size_t nq = static_cast<std::size_t>(fields_.nv) * kNs;

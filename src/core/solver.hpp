@@ -91,6 +91,12 @@ class FlowSolver {
   /// Runs pseudo-transient continuation to convergence or step limit.
   SolveStats solve();
 
+  /// Captures this solver's configuration, kernel profile, edge-plan
+  /// statistics, and (when built) TRSV sync-plan statistics into a perf
+  /// report. `prefix` qualifies the keys when one report holds several
+  /// solver runs (e.g. "baseline.").
+  void fill_report(PerfReport& report, const std::string& prefix = "") const;
+
   /// Steady residual R(q) (time term excluded). `q` and `resid` are
   /// nv*4-long.
   void eval_residual(std::span<const double> q, std::span<double> resid);

@@ -48,6 +48,9 @@ void trsv_levels(const IluFactor& f, const TrsvSchedules& s,
                  std::span<const double> b, std::span<double> x);
 
 /// Point-to-point synchronized solve with `s.nthreads` OpenMP threads.
+/// If the runtime delivers a smaller team than the schedule was built for
+/// (thread limits, nested regions), falls back to the level-scheduled
+/// solve instead of deadlocking on rows owned by absent threads.
 void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
               std::span<const double> b, std::span<double> x);
 

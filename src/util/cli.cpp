@@ -42,6 +42,27 @@ double Cli::get_double(const std::string& name, double def) const {
   return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
 }
 
+std::string Cli::extract_flag(int* argc, char** argv,
+                              const std::string& name) {
+  const std::string plain = "--" + name;
+  const std::string eq = plain + "=";
+  std::string value;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a == plain && i + 1 < *argc) {
+      value = argv[++i];
+    } else if (a.substr(0, eq.size()) == eq) {
+      value = std::string(a.substr(eq.size()));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argv[w] = nullptr;
+  *argc = w;
+  return value;
+}
+
 bool Cli::get_bool(const std::string& name, bool def) const {
   auto it = kv_.find(name);
   if (it == kv_.end()) return def;

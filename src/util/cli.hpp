@@ -19,6 +19,13 @@ class Cli {
   [[nodiscard]] double get_double(const std::string& name, double def) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool def) const;
 
+  /// Removes `--name value` / `--name=value` from argv (compacting it and
+  /// decrementing *argc) and returns the value, or "" when absent. For
+  /// binaries whose remaining flags are parsed by another framework
+  /// (google-benchmark) that rejects unknown arguments.
+  static std::string extract_flag(int* argc, char** argv,
+                                  const std::string& name);
+
  private:
   std::map<std::string, std::string> kv_;
 };

@@ -1,0 +1,323 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fun3d {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; degrade to null
+    out += "null";
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string* err;
+
+  [[nodiscard]] bool fail(const char* what) {
+    if (err != nullptr && err->empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "json parse error at offset %zu: %s",
+                    pos, what);
+      *err = buf;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) break;
+        char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail("bad \\u escape");
+            unsigned cp = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = text[pos++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // Reports are ASCII; encode BMP code points as UTF-8.
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return fail("expected ':'");
+        Json v;
+        if (!parse_value(v)) return false;
+        out[key] = std::move(v);
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        Json v;
+        if (!parse_value(v)) return false;
+        out.push_back(std::move(v));
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      out = Json(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      out = Json(false);
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      out = Json();
+      return true;
+    }
+    // Number.
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return fail("unexpected token");
+    pos += static_cast<std::size_t>(end - begin);
+    out = Json(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+Json& Json::operator[](const std::string& key) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, v] : items_)
+    if (k == key) return v;
+  items_.emplace_back(key, Json());
+  return items_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : items_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::push_back(Json v) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  items_.emplace_back(std::string(), std::move(v));
+}
+
+std::size_t Json::size() const {
+  return type_ == Type::kArray || type_ == Type::kObject ? items_.size() : 0;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, num_);
+      break;
+    case Type::kString:
+      append_escaped(out, str_);
+      break;
+    case Type::kArray:
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        items_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    case Type::kObject:
+      out += '{';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        append_escaped(out, items_[i].first);
+        out += indent > 0 ? ": " : ":";
+        items_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += '}';
+      break;
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(std::string_view text, std::string* err) {
+  Parser p{text, 0, err};
+  Json out;
+  if (!p.parse_value(out)) return Json();
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    [[maybe_unused]] const bool ok = p.fail("trailing content");
+    return Json();
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* err) {
+  std::FILE* fp = std::fopen(path.c_str(), "w");
+  if (fp == nullptr) {
+    if (err != nullptr) *err = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  const std::size_t wrote = std::fwrite(text.data(), 1, text.size(), fp);
+  const bool ok = std::fclose(fp) == 0 && wrote == text.size();
+  if (!ok && err != nullptr) *err = "short write to '" + path + "'";
+  return ok;
+}
+
+bool read_text_file(const std::string& path, std::string* out,
+                    std::string* err) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) {
+    if (err != nullptr) *err = "cannot open '" + path + "'";
+    return false;
+  }
+  out->clear();
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), fp)) > 0) out->append(buf, n);
+  std::fclose(fp);
+  return true;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,104 @@
+// Minimal dependency-free JSON document model: writer + strict parser.
+//
+// Backs the machine-readable perf-report layer (core/profile.hpp): benches
+// serialize a PerfReport to a schema-stable JSON artifact, and the baseline
+// comparator parses emitted reports back. Objects preserve insertion order,
+// so a report built by the same code path always serializes byte-stably
+// (modulo the values themselves).
+//
+// Numbers are stored as doubles; integers up to 2^53 round-trip exactly and
+// serialize without a trailing ".0" when integral.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fun3d {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : type_(Type::kNumber), num_(v) {}
+  Json(long v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : type_(Type::kNumber), num_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+
+  [[nodiscard]] double as_double(double def = 0.0) const {
+    return is_number() ? num_ : def;
+  }
+  [[nodiscard]] bool as_bool(bool def = false) const {
+    return is_bool() ? bool_ : def;
+  }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  /// Object: returns the member value, inserting a null member if absent.
+  Json& operator[](const std::string& key);
+  /// Object: member lookup without insertion; nullptr when absent or not an
+  /// object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Array: appends an element (converts a null value to an array first).
+  void push_back(Json v);
+
+  /// Array/object element count; 0 for scalars.
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const Json& at(std::size_t i) const { return items_[i].second; }
+  [[nodiscard]] const std::string& key_at(std::size_t i) const {
+    return items_[i].first;
+  }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Strict recursive-descent parse. On failure returns null and, when
+  /// `err` is non-null, stores a message with the byte offset.
+  static Json parse(std::string_view text, std::string* err = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  /// Array elements (first empty) and object members, in insertion order.
+  std::vector<std::pair<std::string, Json>> items_;
+};
+
+/// Writes `text` to `path` atomically enough for reports (tmp not needed:
+/// single write + close). Returns false and fills `err` on I/O failure.
+bool write_text_file(const std::string& path, const std::string& text,
+                     std::string* err = nullptr);
+
+/// Reads the whole file; returns false and fills `err` on failure.
+bool read_text_file(const std::string& path, std::string* out,
+                    std::string* err = nullptr);
+
+}  // namespace fun3d

@@ -11,18 +11,22 @@ Summary summarize(std::span<const double> xs) {
   if (xs.empty()) return s;
   s.min = xs[0];
   s.max = xs[0];
-  double sum = 0, sumsq = 0;
+  // Welford's online recurrence: E[x^2] - mean^2 cancels catastrophically
+  // for large-mean samples (e.g. nanosecond timestamps), yielding zero or
+  // even negative variance; the centered update does not.
+  double sum = 0, mean = 0, m2 = 0, n = 0;
   for (double x : xs) {
     s.min = std::min(s.min, x);
     s.max = std::max(s.max, x);
     sum += x;
-    sumsq += x * x;
+    n += 1.0;
+    const double d = x - mean;
+    mean += d / n;
+    m2 += d * (x - mean);
   }
   s.sum = sum;
-  s.mean = sum / static_cast<double>(xs.size());
-  const double var =
-      std::max(0.0, sumsq / static_cast<double>(xs.size()) - s.mean * s.mean);
-  s.stddev = std::sqrt(var);
+  s.mean = mean;
+  s.stddev = std::sqrt(std::max(0.0, m2 / n));
   return s;
 }
 

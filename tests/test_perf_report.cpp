@@ -1,0 +1,137 @@
+// End-to-end validation of the perf-report layer (the `perf_smoke` ctest):
+// a real solve fills a PerfReport, the report serializes to JSON, parses
+// back, passes structural/sanity validation, and the baseline comparator
+// flags planted regressions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/solver.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+namespace {
+
+TetMesh solver_mesh(unsigned seed = 1) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, seed);
+  rcm_reorder(m);
+  return m;
+}
+
+/// Small real solve -> filled report, shared by the tests below.
+PerfReport smoke_report() {
+  SolverConfig cfg = SolverConfig::optimized(2);
+  cfg.ptc.max_steps = 10;
+  cfg.ptc.rtol = 1e-6;
+  FlowSolver solver(solver_mesh(), cfg);
+  const SolveStats st = solver.solve();
+  PerfReport rep = PerfReport::begin("perf_smoke", "perf-report smoke test");
+  rep.params["scale"] = 1.0;
+  solver.fill_report(rep);
+  rep.metrics["wall_seconds"] = st.wall_seconds;
+  return rep;
+}
+
+TEST(Profile, FractionsOfZeroTotalProfileAreZeroNotNaN) {
+  Profile p;
+  p.timers.add(kernel::kFlux, 0.0);
+  p.timers.add(kernel::kTrsv, 0.0);
+  const auto frac = p.fractions();
+  ASSERT_EQ(frac.size(), 2u);  // keys survive so report schemas stay stable
+  for (const auto& [k, v] : frac) {
+    EXPECT_EQ(v, 0.0) << k;
+    EXPECT_FALSE(std::isnan(v)) << k;
+  }
+  // format() must not divide by zero either.
+  const std::string s = p.format("empty");
+  EXPECT_EQ(s.find("nan"), std::string::npos);
+  EXPECT_EQ(s.find("inf"), std::string::npos);
+}
+
+TEST(PerfReport, BeginFillsRunMetadata) {
+  const PerfReport r = PerfReport::begin("x", "t");
+  EXPECT_FALSE(r.info.at("timestamp_utc").empty());
+  EXPECT_FALSE(r.info.at("hostname").empty());
+  EXPECT_GE(r.params.at("omp_max_threads"), 1.0);
+}
+
+TEST(PerfReport, SmokeSolveEmitsValidReport) {
+  const PerfReport rep = smoke_report();
+
+  // Counters from a real solve are nonzero.
+  EXPECT_GT(rep.counters.at("newton_steps"), 0u);
+  EXPECT_GT(rep.counters.at("linear_iterations"), 0u);
+  EXPECT_GT(rep.counters.at("reductions"), 0u);
+  // Kernel fractions sum to ~1.
+  double sum = 0;
+  for (const auto& [k, v] : rep.kernel_fractions) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Edge-plan stats captured (replication strategy => overhead >= 0,
+  // imbalance >= 1).
+  EXPECT_GE(rep.plan_stats.at("replication_overhead"), 0.0);
+  EXPECT_GE(rep.plan_stats.at("load_imbalance"), 1.0);
+  // P2P TRSV schedules were built for nthreads=2.
+  EXPECT_GT(rep.plan_stats.at("trsv_fwd.raw_cross_deps"), 0.0);
+
+  const std::string path =
+      testing::TempDir() + "fun3d_perf_smoke_report.json";
+  std::string err;
+  ASSERT_TRUE(rep.write(path, &err)) << err;
+
+  // Round trip: parse the artifact and validate structure + sanity bounds.
+  std::string text;
+  ASSERT_TRUE(read_text_file(path, &text, &err)) << err;
+  const Json parsed = Json::parse(text, &err);
+  ASSERT_TRUE(parsed.is_object()) << err;
+  const auto problems = validate_report(parsed);
+  EXPECT_TRUE(problems.empty())
+      << "report invalid: " << (problems.empty() ? "" : problems.front());
+  std::remove(path.c_str());
+}
+
+TEST(PerfReport, ComparatorAcceptsSelfAndFlagsPlantedRegression) {
+  const PerfReport rep = smoke_report();
+  const Json baseline = rep.to_json();
+
+  // Same report against itself: clean.
+  EXPECT_TRUE(compare_reports(baseline, baseline, 0.25).empty());
+
+  // 2x slower flux kernel: flagged.
+  PerfReport slow = rep;
+  slow.kernel_seconds["flux"] = rep.kernel_seconds.at("flux") * 2 + 1.0;
+  const auto regressions = compare_reports(baseline, slow.to_json(), 0.25);
+  ASSERT_FALSE(regressions.empty());
+  EXPECT_NE(regressions.front().find("flux"), std::string::npos);
+
+  // Schema drift (a baseline metric vanished): flagged.
+  PerfReport dropped = rep;
+  dropped.metrics.erase("wall_seconds");
+  EXPECT_FALSE(compare_reports(baseline, dropped.to_json(), 0.25).empty());
+}
+
+TEST(PerfReport, ValidatorCatchesBrokenReports) {
+  EXPECT_FALSE(validate_report(Json(1.0)).empty());
+
+  Json missing = Json::object();
+  missing["schema_version"] = Json(PerfReport::kSchemaVersion);
+  EXPECT_FALSE(validate_report(missing).empty());
+
+  // A NaN metric serializes as null and must be rejected.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.metrics["bad"] = std::nan("");
+  const Json j = Json::parse(rep.to_json().dump());
+  const auto problems = validate_report(j);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("bad"), std::string::npos);
+
+  // Out-of-range kernel fraction.
+  PerfReport rep2 = PerfReport::begin("x", "t");
+  rep2.kernel_fractions["flux"] = 1.5;
+  EXPECT_FALSE(validate_report(rep2.to_json()).empty());
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "sparse/ilu.hpp"
@@ -105,6 +107,32 @@ TEST(TrsvSchedules, SparsificationStrictlyHelpsOnFilledFactors) {
   const TrsvSchedules raw = TrsvSchedules::build(fx.f, 8, false);
   const TrsvSchedules sp = TrsvSchedules::build(fx.f, 8, true);
   EXPECT_LT(sp.fwd_plan.reduced_cross_deps, raw.fwd_plan.reduced_cross_deps);
+}
+
+// Regression: when the OpenMP runtime delivers fewer threads than the
+// schedule was built for (OMP_THREAD_LIMIT, nested parallelism, resource
+// caps), rows owned by the absent threads never execute: trsv_p2p spins
+// forever in wait_progress when a surviving thread depends on them, or
+// silently returns wrong x when it does not. Reproduced here by calling
+// trsv_p2p from inside an active parallel region with nesting disabled,
+// which caps its inner team at a single thread; the solve must complete
+// and still produce the exact serial result via the level-scheduled
+// fallback.
+TEST(TrsvP2P, CompletesWhenRuntimeCapsThreadsBelowSchedule) {
+  const TrsvFixture fx(7);
+  const TrsvSchedules s = TrsvSchedules::build(fx.f, 4, true);
+  ASSERT_GT(s.fwd_plan.raw_cross_deps, 0u);  // waits exist => would deadlock
+  const int saved_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);  // inner parallel regions get 1 thread
+  std::vector<double> x(fx.b.size(), 0.0);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    trsv_p2p(fx.f, s, fx.b, x);
+  }
+  omp_set_max_active_levels(saved_levels);
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_DOUBLE_EQ(x[i], fx.x_serial[i]);
 }
 
 TEST(Trsv, RepeatedSolvesAreDeterministic) {

@@ -6,6 +6,7 @@
 
 #include "util/aligned.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -60,6 +61,18 @@ TEST(Stats, Summary) {
   EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
 }
 
+TEST(Stats, WelfordSurvivesLargeMeanOffset) {
+  // E[x^2]-mean^2 cancels catastrophically here: with mean ~1e9 (bench
+  // timings in ns) the squared sum eats all 53 mantissa bits and the naive
+  // variance collapses to 0. The centered (Welford) recurrence keeps the
+  // spread of {1,2,3,4} regardless of offset.
+  const double offset = 1e9;
+  const double xs[] = {offset + 1, offset + 2, offset + 3, offset + 4};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, offset + 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-6);
+}
+
 TEST(Stats, EmptySummaryIsZero) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
@@ -106,6 +119,79 @@ TEST(Cli, ParsesFlagsBothSyntaxes) {
   EXPECT_TRUE(cli.get_bool("flag", false));
   EXPECT_EQ(cli.get_int("missing", 9), 9);
   EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, ExtractFlagRemovesItFromArgv) {
+  const char* raw[] = {"prog", "--benchmark_filter=Flux", "--json",
+                       "out.json", "--other", "x"};
+  char* argv[7];
+  for (int i = 0; i < 6; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[6] = nullptr;
+  int argc = 6;
+  EXPECT_EQ(Cli::extract_flag(&argc, argv, "json"), "out.json");
+  EXPECT_EQ(argc, 4);
+  EXPECT_STREQ(argv[1], "--benchmark_filter=Flux");
+  EXPECT_STREQ(argv[2], "--other");
+  EXPECT_STREQ(argv[3], "x");
+  // Absent flag: argv untouched, empty value.
+  EXPECT_EQ(Cli::extract_flag(&argc, argv, "missing"), "");
+  EXPECT_EQ(argc, 4);
+  // --name=value syntax.
+  argv[1] = const_cast<char*>("--json=a.json");
+  EXPECT_EQ(Cli::extract_flag(&argc, argv, "json"), "a.json");
+  EXPECT_EQ(argc, 3);
+}
+
+TEST(Json, BuildsAndDumpsSchemaStably) {
+  Json j = Json::object();
+  j["b"] = Json(1.5);
+  j["a"] = Json("x\"y\n");
+  j["flag"] = Json(true);
+  j["list"].push_back(Json(1));
+  j["list"].push_back(Json());
+  // Insertion order is preserved — the writer never reorders keys.
+  EXPECT_EQ(j.dump(), "{\"b\":1.5,\"a\":\"x\\\"y\\n\",\"flag\":true,"
+                      "\"list\":[1,null]}");
+  EXPECT_EQ(Json(3.0).dump(), "3");  // integral doubles stay integers
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(1.0 / 0.0).dump(), "null");
+}
+
+TEST(Json, ParseRoundTrip) {
+  Json j = Json::object();
+  j["pi"] = Json(3.25);
+  j["neg"] = Json(-1e-3);
+  j["s"] = Json("tab\there");
+  j["arr"].push_back(Json(false));
+  const std::string text = j.dump(2);
+  std::string err;
+  const Json back = Json::parse(text, &err);
+  ASSERT_TRUE(back.is_object()) << err;
+  EXPECT_DOUBLE_EQ(back.find("pi")->as_double(), 3.25);
+  EXPECT_DOUBLE_EQ(back.find("neg")->as_double(), -1e-3);
+  EXPECT_EQ(back.find("s")->as_string(), "tab\there");
+  EXPECT_EQ(back.find("arr")->size(), 1u);
+  EXPECT_FALSE(back.find("arr")->at(0).as_bool(true));
+  // Re-dump is byte-identical: parse/dump is a fixed point.
+  EXPECT_EQ(back.dump(2), text);
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  std::string err;
+  EXPECT_TRUE(Json::parse("{\"a\":}", &err).is_null());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_TRUE(Json::parse("[1,2,]", &err).is_null());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_TRUE(Json::parse("{} trailing", &err).is_null());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  EXPECT_TRUE(Json::parse("\"unterminated", &err).is_null());
+  EXPECT_FALSE(err.empty());
 }
 
 TEST(Timer, MeasuresElapsed) {
