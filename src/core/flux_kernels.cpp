@@ -3,8 +3,11 @@
 #include <cassert>
 #include <cmath>
 
-#include <omp.h>
+#ifndef NDEBUG
+#include <atomic>
+#endif
 
+#include "parallel/team.hpp"
 #include "simd/vecd.hpp"
 
 namespace fun3d {
@@ -299,9 +302,9 @@ template <VertexLayout L>
 void run_atomics(const Physics& ph, const EdgeArrays& e,
                  const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
                  const FlowFields& f, double* resid) {
-#pragma omp parallel num_threads(plan.nthreads)
-  {
-    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+  // Atomic accumulation is order-independent, so a capped team can
+  // round-robin the planned edge ranges.
+  run_team(plan.nthreads, [&](idx_t t) {
     const std::size_t begin =
         static_cast<std::size_t>(plan.edge_begin[static_cast<std::size_t>(t)]);
     const std::size_t end = static_cast<std::size_t>(
@@ -312,7 +315,7 @@ void run_atomics(const Physics& ph, const EdgeArrays& e,
       add_atomic(resid, e.a[ei], flux, +1.0);
       add_atomic(resid, e.b[ei], flux, -1.0);
     }
-  }
+  });
 }
 
 /// Owner-only writes over per-thread (replicated) edge lists.
@@ -320,9 +323,9 @@ template <VertexLayout L, bool Simd>
 void run_replicated(const Physics& ph, const EdgeArrays& e,
                     const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
                     const FlowFields& f, double* resid) {
-#pragma omp parallel num_threads(plan.nthreads)
-  {
-    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+  // Shard t writes only vertices owned by planned thread t, so shards are
+  // write-disjoint and safe to round-robin over a capped team.
+  run_team(plan.nthreads, [&](idx_t t) {
     const auto mine = plan.edges_of(t);
     const auto* owner = plan.vertex_owner.data();
     if constexpr (Simd) {
@@ -369,15 +372,21 @@ void run_replicated(const Physics& ph, const EdgeArrays& e,
         if (owner[e.b[ei]] == t) add_plain(resid, e.b[ei], flux, -1.0);
       }
     }
-  }
+  });
 }
 
 template <VertexLayout L>
 void run_colored(const Physics& ph, const EdgeArrays& e,
                  const EdgeLoopPlan& plan, const FluxKernelConfig& cfg,
                  const FlowFields& f, double* resid) {
-#pragma omp parallel num_threads(plan.nthreads)
-  {
+  // The colour loop never indexes the plan by thread id: `omp for`
+  // worksharing covers every iteration for any delivered team size, which
+  // the debug counter below asserts. run_team_workshare still records a
+  // capped team so the event is observable.
+#ifndef NDEBUG
+  std::atomic<std::uint64_t> visited{0};
+#endif
+  run_team_workshare(plan.nthreads, [&] {
     double flux[kNs];
     for (const auto& cls : plan.color_classes) {
 #pragma omp for schedule(static)
@@ -387,9 +396,16 @@ void run_colored(const Physics& ph, const EdgeArrays& e,
         edge_flux_scalar<L>(ph, f, e, ei, cfg, flux);
         add_plain(resid, e.a[ei], flux, +1.0);
         add_plain(resid, e.b[ei], flux, -1.0);
+#ifndef NDEBUG
+        visited.fetch_add(1, std::memory_order_relaxed);
+#endif
       }
     }
-  }
+  });
+#ifndef NDEBUG
+  assert(visited.load(std::memory_order_relaxed) == e.n &&
+         "colour classes must cover every edge exactly once per sweep");
+#endif
 }
 
 }  // namespace

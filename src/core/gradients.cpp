@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
-#include <omp.h>
+#include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
@@ -42,9 +42,7 @@ void compute_gradients(const TetMesh& m, const EdgeArrays& edges,
   } else {
     switch (plan.strategy) {
       case EdgeStrategy::kAtomics: {
-#pragma omp parallel num_threads(plan.nthreads)
-        {
-          const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+        run_team(plan.nthreads, [&](idx_t t) {
           double local[kGradStride];
           for (idx_t ei = plan.edge_begin[static_cast<std::size_t>(t)];
                ei < plan.edge_begin[static_cast<std::size_t>(t) + 1]; ++ei) {
@@ -64,14 +62,12 @@ void compute_gradients(const TetMesh& m, const EdgeArrays& edges,
               gb[i] -= local[i];
             }
           }
-        }
+        });
         break;
       }
       case EdgeStrategy::kReplicationNatural:
       case EdgeStrategy::kReplicationPartitioned: {
-#pragma omp parallel num_threads(plan.nthreads)
-        {
-          const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+        run_team(plan.nthreads, [&](idx_t t) {
           const auto* owner = plan.vertex_owner.data();
           for (idx_t eid : plan.edges_of(t)) {
             const std::size_t ei = static_cast<std::size_t>(eid);
@@ -84,12 +80,13 @@ void compute_gradients(const TetMesh& m, const EdgeArrays& edges,
                           ? g + static_cast<std::size_t>(vb) * kGradStride
                           : nullptr);
           }
-        }
+        });
         break;
       }
       case EdgeStrategy::kColoring: {
-#pragma omp parallel num_threads(plan.nthreads)
-        {
+        // `omp for` worksharing is team-size-agnostic; run_team_workshare
+        // only adds shortfall observability.
+        run_team_workshare(plan.nthreads, [&] {
           for (const auto& cls : plan.color_classes) {
 #pragma omp for schedule(static)
             for (std::int64_t k = 0; k < static_cast<std::int64_t>(cls.size());
@@ -101,7 +98,7 @@ void compute_gradients(const TetMesh& m, const EdgeArrays& edges,
                         g + static_cast<std::size_t>(edges.b[ei]) * kGradStride);
             }
           }
-        }
+        });
         break;
       }
     }

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include <omp.h>
+#include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
@@ -89,9 +89,7 @@ void LsqGradientOperator::apply(const EdgeArrays& edges,
   } else {
     switch (plan.strategy) {
       case EdgeStrategy::kAtomics: {
-#pragma omp parallel num_threads(plan.nthreads)
-        {
-          const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+        run_team(plan.nthreads, [&](idx_t t) {
           double local[kGradStride];
           for (idx_t ei = plan.edge_begin[static_cast<std::size_t>(t)];
                ei < plan.edge_begin[static_cast<std::size_t>(t) + 1]; ++ei) {
@@ -111,14 +109,12 @@ void LsqGradientOperator::apply(const EdgeArrays& edges,
               gb[i] += local[i];
             }
           }
-        }
+        });
         break;
       }
       case EdgeStrategy::kReplicationNatural:
       case EdgeStrategy::kReplicationPartitioned: {
-#pragma omp parallel num_threads(plan.nthreads)
-        {
-          const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+        run_team(plan.nthreads, [&](idx_t t) {
           const auto* owner = plan.vertex_owner.data();
           for (idx_t eid : plan.edges_of(t)) {
             const std::size_t ei = static_cast<std::size_t>(eid);
@@ -131,12 +127,13 @@ void LsqGradientOperator::apply(const EdgeArrays& edges,
                          ? g + static_cast<std::size_t>(vb) * kGradStride
                          : nullptr);
           }
-        }
+        });
         break;
       }
       case EdgeStrategy::kColoring: {
-#pragma omp parallel num_threads(plan.nthreads)
-        {
+        // `omp for` worksharing is team-size-agnostic; run_team_workshare
+        // only adds shortfall observability.
+        run_team_workshare(plan.nthreads, [&] {
           for (const auto& cls : plan.color_classes) {
 #pragma omp for schedule(static)
             for (std::int64_t k = 0;
@@ -148,7 +145,7 @@ void LsqGradientOperator::apply(const EdgeArrays& edges,
                        g + static_cast<std::size_t>(edges.b[ei]) * kGradStride);
             }
           }
-        }
+        });
         break;
       }
     }

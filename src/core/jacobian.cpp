@@ -1,6 +1,6 @@
 #include "core/jacobian.hpp"
 
-#include <omp.h>
+#include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
@@ -58,10 +58,9 @@ void assemble_jacobian(const Physics& ph, const EdgeArrays& edges,
   }
   // Owner-row assembly: the thread owning vertex v writes row v only; cut
   // edges are evaluated by both owning threads (replicated compute, no
-  // atomics) — same policy as the flux kernel.
-#pragma omp parallel num_threads(plan.nthreads)
-  {
-    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
+  // atomics) — same policy as the flux kernel. Shards are row-disjoint,
+  // so a capped team can round-robin them.
+  run_team(plan.nthreads, [&](idx_t t) {
     const auto* owner = plan.vertex_owner.data();
     EdgeJac j;
     for (idx_t eid : plan.edges_of(t)) {
@@ -77,7 +76,7 @@ void assemble_jacobian(const Physics& ph, const EdgeArrays& edges,
         sub_block(jac, b, b, j.dfdr);
       }
     }
-  }
+  });
 }
 
 double jacobian_flops_per_edge() {

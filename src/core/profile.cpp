@@ -9,6 +9,7 @@
 
 #include "graph/sparsify.hpp"
 #include "parallel/edge_partition.hpp"
+#include "parallel/team.hpp"
 
 namespace fun3d {
 
@@ -99,6 +100,14 @@ void PerfReport::add_p2p_plan(const P2PSyncPlan& plan,
       static_cast<double>(plan.raw_cross_deps);
   plan_stats[prefix + "reduced_cross_deps"] =
       static_cast<double>(plan.reduced_cross_deps);
+}
+
+void PerfReport::add_team_stats(const std::string& prefix) {
+  counters[prefix + "team_shortfall_events"] = team_shortfall_events();
+  counters[prefix + "team_planned_threads"] =
+      static_cast<std::uint64_t>(team_last_planned());
+  counters[prefix + "team_delivered_threads"] =
+      static_cast<std::uint64_t>(team_last_delivered());
 }
 
 namespace {
@@ -219,6 +228,36 @@ std::vector<std::string> validate_report(const Json& report) {
       if (!counters->at(i).is_number() || counters->at(i).as_double(-1) < 0)
         problems.push_back("counters." + counters->key_at(i) +
                            ": negative or non-numeric");
+    // Team-shortfall consistency: wherever a (possibly prefixed)
+    // team_shortfall_events counter appears, the planned/delivered team
+    // sizes of the latest shortfall must accompany it and tell the same
+    // story — nonzero events require planned > delivered >= 1; zero
+    // events require both sizes 0 (no shortfall ever observed).
+    const std::string kEvents = "team_shortfall_events";
+    for (std::size_t i = 0; i < counters->size(); ++i) {
+      const std::string key = counters->key_at(i);
+      if (!key.ends_with(kEvents)) continue;
+      const std::string prefix = key.substr(0, key.size() - kEvents.size());
+      const Json* planned = counters->find(prefix + "team_planned_threads");
+      const Json* delivered =
+          counters->find(prefix + "team_delivered_threads");
+      if (planned == nullptr || delivered == nullptr) {
+        problems.push_back("counters." + key +
+                           ": missing matching team_planned_threads / "
+                           "team_delivered_threads");
+        continue;
+      }
+      const double ev = counters->at(i).as_double(-1);
+      const double p = planned->as_double(-1), d = delivered->as_double(-1);
+      if (ev > 0 && !(p > d && d >= 1))
+        problems.push_back("counters." + key +
+                           ": shortfall reported but planned/delivered team "
+                           "sizes do not show planned > delivered >= 1");
+      if (ev == 0 && (p != 0 || d != 0))
+        problems.push_back("counters." + key +
+                           ": no shortfall but planned/delivered team sizes "
+                           "are nonzero");
+    }
   }
   return problems;
 }
@@ -288,6 +327,30 @@ std::vector<std::string> compare_reports(const Json& baseline,
   // metrics/model: only "seconds"-named leaves are direction-comparable.
   compare_section(baseline, current, "metrics", "", false, rel_tol, out);
   compare_section(baseline, current, "model", "", false, rel_tol, out);
+  // Team shortfall: a baseline/candidate mismatch means the two runs saw
+  // different delivered team sizes — the numbers are not comparable. This
+  // is schema-meaningful (an environment difference to investigate), not
+  // a performance regression, and the message says so.
+  const Json* bc = baseline.find("counters");
+  const Json* cc = current.find("counters");
+  if (bc != nullptr && bc->is_object() && cc != nullptr && cc->is_object()) {
+    for (std::size_t i = 0; i < bc->size(); ++i) {
+      const std::string key = bc->key_at(i);
+      if (!key.ends_with("team_shortfall_events")) continue;
+      const Json* cv = cc->find(key);
+      const double b = bc->at(i).as_double(0);
+      const double c = cv != nullptr ? cv->as_double(0) : 0.0;
+      if ((b > 0) != (c > 0)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "counters.%s: baseline %.0f vs current %.0f — capped "
+                      "OpenMP team mismatch (environment difference, not a "
+                      "perf regression)",
+                      key.c_str(), b, c);
+        out.emplace_back(buf);
+      }
+    }
+  }
   return out;
 }
 

@@ -83,6 +83,11 @@ struct PerfReport {
   void add_edge_plan(const EdgeLoopPlan& plan, const std::string& prefix = "");
   /// Captures cross-thread dependency counts of a P2P sync plan.
   void add_p2p_plan(const P2PSyncPlan& plan, const std::string& prefix = "");
+  /// Captures the process-wide team-shortfall statistics (capped OpenMP
+  /// teams detected by run_team): `team_shortfall_events` plus the
+  /// planned/delivered sizes of the latest shortfall (0/0 when none), so
+  /// a capped run is visible in the JSON rather than silent.
+  void add_team_stats(const std::string& prefix = "");
 
   [[nodiscard]] Json to_json() const;
   /// Serializes (pretty-printed) to `path`; false + `err` on I/O failure.

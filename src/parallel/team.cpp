@@ -1,0 +1,43 @@
+#include "parallel/team.hpp"
+
+#include <atomic>
+
+namespace fun3d {
+namespace {
+
+// Relaxed atomics: the counters are observability, not synchronization,
+// and note_team_shortfall can fire from concurrent solver instances.
+std::atomic<std::uint64_t> g_shortfall_events{0};
+std::atomic<idx_t> g_last_planned{0};
+std::atomic<idx_t> g_last_delivered{0};
+
+}  // namespace
+
+std::uint64_t team_shortfall_events() {
+  return g_shortfall_events.load(std::memory_order_relaxed);
+}
+
+idx_t team_last_planned() {
+  return g_last_planned.load(std::memory_order_relaxed);
+}
+
+idx_t team_last_delivered() {
+  return g_last_delivered.load(std::memory_order_relaxed);
+}
+
+void reset_team_shortfall_stats() {
+  g_shortfall_events.store(0, std::memory_order_relaxed);
+  g_last_planned.store(0, std::memory_order_relaxed);
+  g_last_delivered.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void note_team_shortfall(idx_t planned, idx_t delivered) {
+  g_shortfall_events.fetch_add(1, std::memory_order_relaxed);
+  g_last_planned.store(planned, std::memory_order_relaxed);
+  g_last_delivered.store(delivered, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace fun3d

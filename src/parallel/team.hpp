@@ -1,0 +1,134 @@
+// Team-size-robust execution of precomputed per-thread work.
+//
+// Every parallel kernel in this codebase partitions its work ahead of time
+// into `nthreads` shards (edge ranges, replicated edge lists, reduction
+// partials, TRSV row ownership) and then opens
+// `#pragma omp parallel num_threads(nthreads)`. The OpenMP runtime is free
+// to deliver FEWER threads than requested (OMP_THREAD_LIMIT, nested
+// regions with max_active_levels exhausted, cgroup CPU quotas): indexing
+// the precomputed partition by `omp_get_thread_num()` then silently skips
+// the absent threads' shards and corrupts results.
+//
+// `run_team` centralizes the fix: it opens the region, detects a
+// shortfall in-region (team size is uniform across the region, so every
+// thread agrees on the branch), and guarantees each planned shard executes
+// exactly once:
+//
+//  * kCooperative — surviving threads round-robin the planned shard ids
+//    (thread d runs shards d, d+delivered, d+2*delivered, ...). Ownership
+//    semantics are unchanged: shard t still does exactly planned-thread
+//    t's work, so owner-only writes stay conflict-free. Shards must not
+//    contain barriers or worksharing constructs, and must be correct when
+//    two different shards run concurrently on the surviving threads.
+//  * kSerial — the shards run 0..planned-1 in planned order on the
+//    calling thread, after the (useless) region has closed. For kernels
+//    where cross-shard ordering matters.
+//  * kAbort — no shard runs; the caller inspects TeamRun::completed and
+//    picks its own fallback (e.g. trsv_p2p falling back to the
+//    level-scheduled solve, whose worksharing is team-size-agnostic).
+//
+// Every detected shortfall is counted into process-wide statistics
+// (team_shortfall_events & friends) that PerfReport::add_team_stats
+// captures, so capped runs are visible in `--json` output, never silent.
+#pragma once
+
+#include <cstdint>
+
+#include <omp.h>
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+/// What run_team does when the runtime delivers fewer threads than planned.
+enum class ShortfallPolicy {
+  kCooperative,  ///< surviving threads round-robin the missing shards
+  kSerial,       ///< all shards run in planned order on the calling thread
+  kAbort,        ///< no shard runs; caller checks TeamRun::completed
+};
+
+/// Outcome of one run_team / run_team_workshare invocation.
+struct TeamRun {
+  idx_t planned = 1;    ///< team size the shards were built for
+  idx_t delivered = 1;  ///< team size the runtime actually granted
+  bool completed = true;  ///< false iff kAbort hit a shortfall
+
+  [[nodiscard]] bool shortfall() const { return delivered < planned; }
+};
+
+/// Process-wide count of parallel regions that were delivered a smaller
+/// team than planned (monotonic; reset with reset_team_shortfall_stats).
+std::uint64_t team_shortfall_events();
+/// Planned/delivered team sizes of the most recent shortfall (0 if none).
+idx_t team_last_planned();
+idx_t team_last_delivered();
+void reset_team_shortfall_stats();
+
+namespace detail {
+void note_team_shortfall(idx_t planned, idx_t delivered);
+}  // namespace detail
+
+/// Runs `shard(t)` exactly once for every planned thread id t in
+/// [0, planned), tolerating a delivered team smaller than planned (see
+/// file comment for the per-policy contract). Returns what actually
+/// happened; with kAbort the caller must check TeamRun::completed.
+template <class Fn>
+TeamRun run_team(idx_t planned, Fn&& shard,
+                 ShortfallPolicy policy = ShortfallPolicy::kCooperative) {
+  TeamRun run;
+  if (planned <= 1) {
+    shard(static_cast<idx_t>(0));
+    return run;
+  }
+  run.planned = planned;
+  idx_t delivered = planned;
+#pragma omp parallel num_threads(static_cast<int>(planned))
+  {
+    const idx_t team = static_cast<idx_t>(omp_get_num_threads());
+    if (team == planned) {
+      shard(static_cast<idx_t>(omp_get_thread_num()));
+    } else {
+      // Uniform team size: every thread takes this branch together, so a
+      // shard containing barriers is never half-entered.
+      const idx_t me = static_cast<idx_t>(omp_get_thread_num());
+      if (me == 0) delivered = team;
+      if (policy == ShortfallPolicy::kCooperative)
+        for (idx_t t = me; t < planned; t += team) shard(t);
+    }
+  }
+  run.delivered = delivered;
+  if (run.shortfall()) {
+    detail::note_team_shortfall(planned, delivered);
+    if (policy == ShortfallPolicy::kSerial)
+      for (idx_t t = 0; t < planned; ++t) shard(t);
+    run.completed = policy != ShortfallPolicy::kAbort;
+  }
+  return run;
+}
+
+/// Opens a parallel region whose body uses only team-size-agnostic
+/// constructs (`omp for`, `omp single`, barriers) and never indexes
+/// precomputed state by omp_get_thread_num() — correct for any delivered
+/// team size by construction. Exists so even the "safe" regions detect
+/// and count a capped team instead of degrading silently.
+template <class Fn>
+TeamRun run_team_workshare(idx_t planned, Fn&& body) {
+  TeamRun run;
+  if (planned <= 1) {
+    body();
+    return run;
+  }
+  run.planned = planned;
+  idx_t delivered = planned;
+#pragma omp parallel num_threads(static_cast<int>(planned))
+  {
+    if (omp_get_thread_num() == 0)
+      delivered = static_cast<idx_t>(omp_get_num_threads());
+    body();
+  }
+  run.delivered = delivered;
+  if (run.shortfall()) detail::note_team_shortfall(planned, delivered);
+  return run;
+}
+
+}  // namespace fun3d

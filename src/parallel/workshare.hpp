@@ -1,15 +1,17 @@
 // Thin OpenMP work-sharing helpers: static range splitting, parallel-for,
 // and deterministic parallel reductions used by the threaded vector
 // primitives (the "PETSc native functions" the paper identifies as the
-// Amdahl fraction of the Hybrid version).
+// Amdahl fraction of the Hybrid version). Both helpers run through
+// run_team, so a capped runtime (smaller delivered team) still executes
+// every planned chunk exactly once.
 #pragma once
 
 #include <cstdint>
 #include <utility>
-
-#include <omp.h>
+#include <vector>
 
 #include "graph/csr.hpp"
+#include "parallel/team.hpp"
 
 namespace fun3d {
 
@@ -21,30 +23,35 @@ inline std::pair<idx_t, idx_t> static_chunk(idx_t n, idx_t t, idx_t nt) {
   return {begin, begin + len};
 }
 
-/// Runs fn(t, begin, end) on every thread over a static split of [0, n).
+/// Runs fn(t, begin, end) once per planned thread over a static split of
+/// [0, n), for any delivered team size.
 template <class Fn>
 void parallel_ranges(idx_t n, int nthreads, Fn&& fn) {
-#pragma omp parallel num_threads(nthreads)
-  {
-    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
-    const auto [b, e] = static_chunk(n, t, static_cast<idx_t>(nthreads));
+  const idx_t nt = static_cast<idx_t>(nthreads);
+  run_team(nt, [&](idx_t t) {
+    const auto [b, e] = static_chunk(n, t, nt);
     fn(t, b, e);
-  }
+  });
 }
 
-/// Deterministic sum reduction: per-thread partials combined in thread
-/// order, independent of scheduling (bitwise-reproducible run to run).
+/// Deterministic sum reduction: partials are per *planned* thread and are
+/// combined in planned-thread order, so the result is bitwise-reproducible
+/// run to run and independent of the delivered team size.
 template <class Fn>
 double parallel_sum(idx_t n, int nthreads, Fn&& term) {
-  std::vector<double> partial(static_cast<std::size_t>(nthreads), 0.0);
-#pragma omp parallel num_threads(nthreads)
-  {
-    const idx_t t = static_cast<idx_t>(omp_get_thread_num());
-    const auto [b, e] = static_chunk(n, t, static_cast<idx_t>(nthreads));
+  const idx_t nt = static_cast<idx_t>(nthreads);
+  if (nt <= 1) {
+    double acc = 0;
+    for (idx_t i = 0; i < n; ++i) acc += term(i);
+    return acc;
+  }
+  std::vector<double> partial(static_cast<std::size_t>(nt), 0.0);
+  run_team(nt, [&](idx_t t) {
+    const auto [b, e] = static_chunk(n, t, nt);
     double acc = 0;
     for (idx_t i = b; i < e; ++i) acc += term(i);
     partial[static_cast<std::size_t>(t)] = acc;
-  }
+  });
   double sum = 0;
   for (double p : partial) sum += p;
   return sum;

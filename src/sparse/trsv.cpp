@@ -10,6 +10,8 @@
 #endif
 #include <sched.h>
 
+#include "parallel/team.hpp"
+
 namespace fun3d {
 namespace {
 
@@ -85,8 +87,9 @@ void trsv_levels(const IluFactor& f, const TrsvSchedules& s,
   const idx_t n = f.num_rows();
   const double* bp = b.data();
   double* xp = x.data();
-#pragma omp parallel num_threads(s.nthreads)
-  {
+  // Level scheduling uses only `omp for` worksharing — correct for any
+  // delivered team size; run_team_workshare records capped runs.
+  run_team_workshare(s.nthreads, [&] {
     for (idx_t l = 0; l < s.fwd_levels.nlevels; ++l) {
       const auto rows = s.fwd_levels.level(l);
 #pragma omp for schedule(static)
@@ -100,7 +103,7 @@ void trsv_levels(const IluFactor& f, const TrsvSchedules& s,
       for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size()); ++k)
         bwd_row(f, n - 1 - rows[static_cast<std::size_t>(k)], xp);
     }
-  }
+  });
 }
 
 void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
@@ -112,57 +115,51 @@ void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
   const double* bp = b.data();
   double* xp = x.data();
 
-  bool shortfall = false;
-#pragma omp parallel num_threads(nt)
-  {
-    // The schedule assumes exactly `nt` in-order workers. If the runtime
-    // delivers fewer (OMP_THREAD_LIMIT, nested regions, resource caps),
-    // rows owned by absent threads would never execute and every
-    // wait_progress on them would spin forever. The team size is uniform
-    // across the region, so all threads take the same branch.
-    if (static_cast<idx_t>(omp_get_num_threads()) != nt) {
-#pragma omp single
-      shortfall = true;
-    } else {
-      const idx_t t = static_cast<idx_t>(omp_get_thread_num());
-      // Forward: process owned rows in ascending order.
-      for (idx_t i = 0; i < n; ++i) {
-        if (s.fwd_owner.part[static_cast<std::size_t>(i)] != t) continue;
-        for (idx_t w = s.fwd_plan.wait_ptr[i]; w < s.fwd_plan.wait_ptr[i + 1];
-             ++w)
-          wait_progress(
-              progress[static_cast<std::size_t>(
-                  s.fwd_plan.wait_thread[static_cast<std::size_t>(w)])],
-              s.fwd_plan.wait_row[static_cast<std::size_t>(w)]);
-        fwd_row(f, i, bp, xp);
-        progress[static_cast<std::size_t>(t)].store(i,
-                                                    std::memory_order_release);
-      }
+  // The schedule assumes exactly `nt` in-order workers synchronizing
+  // through spin waits and mid-sweep barriers, so its shards can be
+  // neither round-robined nor serialized: on shortfall run_team aborts
+  // (no shard executes) and we fall back to the level-scheduled solve,
+  // whose `omp for` worksharing is correct for any delivered team size
+  // and still produces the exact serial result.
+  const TeamRun run = run_team(
+      nt,
+      [&](idx_t t) {
+        // Forward: process owned rows in ascending order.
+        for (idx_t i = 0; i < n; ++i) {
+          if (s.fwd_owner.part[static_cast<std::size_t>(i)] != t) continue;
+          for (idx_t w = s.fwd_plan.wait_ptr[i];
+               w < s.fwd_plan.wait_ptr[i + 1]; ++w)
+            wait_progress(
+                progress[static_cast<std::size_t>(
+                    s.fwd_plan.wait_thread[static_cast<std::size_t>(w)])],
+                s.fwd_plan.wait_row[static_cast<std::size_t>(w)]);
+          fwd_row(f, i, bp, xp);
+          progress[static_cast<std::size_t>(t)].store(
+              i, std::memory_order_release);
+        }
 #pragma omp barrier
 #pragma omp single
-      {
-        for (auto& p : progress) p.store(-1, std::memory_order_relaxed);
-      }
-      // implicit barrier after single
-      // Backward in mirrored space: mirrored row mi corresponds to row
-      // n-1-mi.
-      for (idx_t mi = 0; mi < n; ++mi) {
-        if (s.bwd_owner.part[static_cast<std::size_t>(mi)] != t) continue;
-        for (idx_t w = s.bwd_plan.wait_ptr[mi]; w < s.bwd_plan.wait_ptr[mi + 1];
-             ++w)
-          wait_progress(
-              progress[static_cast<std::size_t>(
-                  s.bwd_plan.wait_thread[static_cast<std::size_t>(w)])],
-              s.bwd_plan.wait_row[static_cast<std::size_t>(w)]);
-        bwd_row(f, n - 1 - mi, xp);
-        progress[static_cast<std::size_t>(t)].store(mi,
-                                                    std::memory_order_release);
-      }
-    }
-  }
-  // Level-scheduled fallback: its `omp for` worksharing is correct for any
-  // team size, so a capped runtime still produces the exact serial result.
-  if (shortfall) trsv_levels(f, s, b, x);
+        {
+          for (auto& p : progress) p.store(-1, std::memory_order_relaxed);
+        }
+        // implicit barrier after single
+        // Backward in mirrored space: mirrored row mi corresponds to row
+        // n-1-mi.
+        for (idx_t mi = 0; mi < n; ++mi) {
+          if (s.bwd_owner.part[static_cast<std::size_t>(mi)] != t) continue;
+          for (idx_t w = s.bwd_plan.wait_ptr[mi];
+               w < s.bwd_plan.wait_ptr[mi + 1]; ++w)
+            wait_progress(
+                progress[static_cast<std::size_t>(
+                    s.bwd_plan.wait_thread[static_cast<std::size_t>(w)])],
+                s.bwd_plan.wait_row[static_cast<std::size_t>(w)]);
+          bwd_row(f, n - 1 - mi, xp);
+          progress[static_cast<std::size_t>(t)].store(
+              mi, std::memory_order_release);
+        }
+      },
+      ShortfallPolicy::kAbort);
+  if (!run.completed) trsv_levels(f, s, b, x);
 }
 
 }  // namespace fun3d

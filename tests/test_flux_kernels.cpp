@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cmath>
 
 #include "core/boundary.hpp"
@@ -160,6 +162,32 @@ INSTANTIATE_TEST_SUITE_P(
                           EdgeStrategy::kReplicationPartitioned,
                           EdgeStrategy::kColoring),
         ::testing::Values(2, 4), ::testing::Values(false, true)));
+
+// Regression (ROADMAP "edge-loop thread shortfall"): a plan built for 4
+// threads executed by a runtime that only grants 1 must still process
+// every edge. Reproduced with the nested-region recipe from the trsv_p2p
+// fix; the full strategy × simd matrix lives in test_team.cpp.
+TEST_P(FluxStrategyTest, CappedTeamStillProcessesEveryEdge) {
+  const auto [strategy, nthreads, simd] = GetParam();
+  FluxSetup s(9);
+  const EdgeLoopPlan serial = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  FluxKernelConfig cfg;
+  cfg.simd = simd;
+  const AVec<double> ref = s.residual(cfg, serial);
+
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, strategy, nthreads);
+  AVec<double> r(ref.size(), 0.0);
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);  // inner parallel regions get 1 thread
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    compute_edge_fluxes(Physics{}, s.edges, plan, cfg, s.fields,
+                        {r.data(), r.size()});
+  }
+  omp_set_max_active_levels(saved);
+  EXPECT_LT(max_diff(ref, r), 1e-10);
+}
 
 TEST(FluxKernels, FlopCountsOrdering) {
   FluxKernelConfig roe2, roe1, rus;

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cmath>
 
 #include "core/gradients.hpp"
@@ -98,6 +100,37 @@ INSTANTIATE_TEST_SUITE_P(
                           EdgeStrategy::kReplicationPartitioned,
                           EdgeStrategy::kColoring),
         ::testing::Values(2, 4)));
+
+// Regression (ROADMAP "edge-loop thread shortfall"): the gradient edge
+// loops must stay correct when the runtime grants fewer threads than the
+// plan was built for (nested-region recipe; matrix in test_team.cpp).
+TEST_P(GradStrategyTest, CappedTeamStillAccumulatesEveryEdge) {
+  const auto [strategy, nthreads] = GetParam();
+  TetMesh m = generate_box(4, 4, 3);
+  shuffle_numbering(m, 3);
+  const double g[kNs][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}};
+  const double a[kNs] = {0, 0, 0, 0};
+  EdgeArrays e(m);
+
+  FlowFields fref(m);
+  set_affine(m, fref, g, a);
+  const EdgeLoopPlan serial = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  compute_gradients(m, e, serial, fref);
+
+  FlowFields f(m);
+  set_affine(m, f, g, a);
+  const EdgeLoopPlan plan = build_edge_plan(m, strategy, nthreads);
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);  // inner parallel regions get 1 thread
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    compute_gradients(m, e, plan, f);
+  }
+  omp_set_max_active_levels(saved);
+  for (std::size_t i = 0; i < f.grad.size(); ++i)
+    ASSERT_NEAR(f.grad[i], fref.grad[i], 1e-11) << "i=" << i;
+}
 
 TEST(Gradients, FlopsPerEdgePositive) {
   EXPECT_GT(gradient_flops_per_edge(), 0.0);

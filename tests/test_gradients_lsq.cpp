@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cmath>
 
 #include "core/gradients.hpp"
@@ -83,6 +85,34 @@ INSTANTIATE_TEST_SUITE_P(
                           EdgeStrategy::kReplicationPartitioned,
                           EdgeStrategy::kColoring),
         ::testing::Values(2, 4)));
+
+// Regression (ROADMAP "edge-loop thread shortfall"): the LSQ accumulation
+// loops must stay correct when the runtime grants fewer threads than the
+// plan was built for (nested-region recipe; matrix in test_team.cpp).
+TEST_P(LsqStrategyTest, CappedTeamStillAccumulatesEveryEdge) {
+  const auto [strategy, nthreads] = GetParam();
+  TetMesh m = generate_box(4, 3, 3);
+  shuffle_numbering(m, 5);
+  FlowFields f(m), fref(m);
+  const double g[kNs][3] = {{1, 0, 2}, {0, 1, 0}, {3, 0, 1}, {1, 1, 1}};
+  const double a[kNs] = {0, 1, 2, 3};
+  set_affine(m, f, g, a);
+  set_affine(m, fref, g, a);
+  EdgeArrays e(m);
+  const LsqGradientOperator lsq(m);
+  lsq.apply(e, build_edge_plan(m, EdgeStrategy::kAtomics, 1), fref);
+  const EdgeLoopPlan plan = build_edge_plan(m, strategy, nthreads);
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);  // inner parallel regions get 1 thread
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    lsq.apply(e, plan, f);
+  }
+  omp_set_max_active_levels(saved);
+  for (std::size_t i = 0; i < f.grad.size(); ++i)
+    ASSERT_NEAR(f.grad[i], fref.grad[i], 1e-11) << "i=" << i;
+}
 
 TEST(LsqGradients, SolverConvergesWithLsqReconstruction) {
   TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));

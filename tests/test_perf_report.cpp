@@ -4,12 +4,15 @@
 // flags planted regressions.
 #include <gtest/gtest.h>
 
+#include <omp.h>
+
 #include <cmath>
 #include <cstdio>
 
 #include "core/solver.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
+#include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
@@ -23,6 +26,7 @@ TetMesh solver_mesh(unsigned seed = 1) {
 
 /// Small real solve -> filled report, shared by the tests below.
 PerfReport smoke_report() {
+  reset_team_shortfall_stats();  // isolate from other tests' capped runs
   SolverConfig cfg = SolverConfig::optimized(2);
   cfg.ptc.max_steps = 10;
   cfg.ptc.rtol = 1e-6;
@@ -110,6 +114,82 @@ TEST(PerfReport, ComparatorAcceptsSelfAndFlagsPlantedRegression) {
   PerfReport dropped = rep;
   dropped.metrics.erase("wall_seconds");
   EXPECT_FALSE(compare_reports(baseline, dropped.to_json(), 0.25).empty());
+}
+
+TEST(PerfReport, TeamShortfallCountersAreCapturedAndConsistent) {
+  // An uncapped solve reports zero shortfall events with 0/0 team sizes.
+  const PerfReport rep = smoke_report();
+  ASSERT_TRUE(rep.counters.count("team_shortfall_events"));
+  ASSERT_TRUE(rep.counters.count("team_planned_threads"));
+  ASSERT_TRUE(rep.counters.count("team_delivered_threads"));
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+
+  // A capped kernel run shows up in the next report.
+  reset_team_shortfall_stats();
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    run_team(4, [](idx_t) {});
+  }
+  omp_set_max_active_levels(saved);
+  PerfReport capped = PerfReport::begin("x", "t");
+  capped.add_team_stats();
+  EXPECT_GE(capped.counters.at("team_shortfall_events"), 1u);
+  EXPECT_EQ(capped.counters.at("team_planned_threads"), 4u);
+  EXPECT_LT(capped.counters.at("team_delivered_threads"), 4u);
+  EXPECT_TRUE(validate_report(capped.to_json()).empty());
+  reset_team_shortfall_stats();
+}
+
+TEST(PerfReport, ValidatorRejectsInconsistentShortfallCounters) {
+  // Events without the team sizes: rejected.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.counters["team_shortfall_events"] = 1;
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("team_shortfall_events"),
+            std::string::npos);
+
+  // Events claiming a shortfall while planned == delivered: rejected.
+  rep.counters["team_planned_threads"] = 4;
+  rep.counters["team_delivered_threads"] = 4;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // Zero events with leftover nonzero team sizes: rejected.
+  PerfReport rep2 = PerfReport::begin("x", "t");
+  rep2.counters["team_shortfall_events"] = 0;
+  rep2.counters["team_planned_threads"] = 4;
+  rep2.counters["team_delivered_threads"] = 1;
+  EXPECT_FALSE(validate_report(rep2.to_json()).empty());
+
+  // The consistent shapes pass.
+  rep.counters["team_delivered_threads"] = 1;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+  rep2.counters["team_planned_threads"] = 0;
+  rep2.counters["team_delivered_threads"] = 0;
+  EXPECT_TRUE(validate_report(rep2.to_json()).empty());
+}
+
+TEST(PerfReport, ComparatorFlagsShortfallMismatchAsEnvironmentNotPerf) {
+  PerfReport base = PerfReport::begin("x", "t");
+  base.counters["team_shortfall_events"] = 0;
+  base.counters["team_planned_threads"] = 0;
+  base.counters["team_delivered_threads"] = 0;
+  PerfReport cur = base;
+  cur.counters["team_shortfall_events"] = 3;
+  cur.counters["team_planned_threads"] = 4;
+  cur.counters["team_delivered_threads"] = 1;
+
+  const auto flags = compare_reports(base.to_json(), cur.to_json(), 0.25);
+  ASSERT_FALSE(flags.empty());
+  EXPECT_NE(flags.front().find("team_shortfall_events"), std::string::npos);
+  EXPECT_NE(flags.front().find("not a perf regression"), std::string::npos);
+
+  // Same shortfall state on both sides: nothing to flag.
+  EXPECT_TRUE(compare_reports(base.to_json(), base.to_json(), 0.25).empty());
+  EXPECT_TRUE(compare_reports(cur.to_json(), cur.to_json(), 0.25).empty());
 }
 
 TEST(PerfReport, ValidatorCatchesBrokenReports) {

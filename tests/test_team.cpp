@@ -1,0 +1,322 @@
+// The team-robustness contract (DESIGN.md): every kernel that precomputes
+// per-thread work must be correct for ANY delivered team size <= planned.
+// These tests drive run_team/run_team_workshare directly and then re-run
+// every migrated kernel (flux strategies, gradients, LSQ gradients,
+// Jacobian assembly, workshare reductions) under a runtime that grants
+// fewer threads than the plan was built for, using the nested-region
+// recipe from the PR 1 trsv_p2p fix: an active outer region with
+// max_active_levels=1 caps every inner team at a single thread.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/flux_kernels.hpp"
+#include "core/gradients.hpp"
+#include "core/gradients_lsq.hpp"
+#include "core/jacobian.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "parallel/team.hpp"
+#include "parallel/workshare.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+/// Runs `fn` in a context where any parallel region it opens is capped at
+/// one thread: the caller sits inside an active 2-thread region and
+/// max_active_levels is exhausted.
+template <class Fn>
+void with_capped_team(Fn&& fn) {
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    fn();
+  }
+  omp_set_max_active_levels(saved);
+}
+
+// ---------------------------------------------------------------------------
+// run_team unit tests
+// ---------------------------------------------------------------------------
+
+TEST(RunTeam, FullTeamRunsEachShardExactlyOnce) {
+  constexpr idx_t kPlanned = 4;
+  std::vector<int> ran(kPlanned, 0);
+  const TeamRun run = run_team(kPlanned, [&](idx_t t) {
+#pragma omp atomic
+    ran[static_cast<std::size_t>(t)]++;
+  });
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.planned, kPlanned);
+  for (idx_t t = 0; t < kPlanned; ++t) EXPECT_EQ(ran[static_cast<std::size_t>(t)], 1);
+  if (run.delivered == kPlanned) {
+    EXPECT_FALSE(run.shortfall());
+  }
+}
+
+TEST(RunTeam, CooperativeShortfallRunsEveryShardExactlyOnce) {
+  constexpr idx_t kPlanned = 4;
+  std::vector<int> ran(kPlanned, 0);
+  TeamRun run;
+  with_capped_team([&] {
+    run = run_team(kPlanned, [&](idx_t t) {
+#pragma omp atomic
+      ran[static_cast<std::size_t>(t)]++;
+    });
+  });
+  ASSERT_TRUE(run.shortfall());  // the recipe must actually cap the team
+  EXPECT_TRUE(run.completed);
+  EXPECT_EQ(run.planned, kPlanned);
+  EXPECT_LT(run.delivered, kPlanned);
+  for (idx_t t = 0; t < kPlanned; ++t)
+    EXPECT_EQ(ran[static_cast<std::size_t>(t)], 1) << "shard " << t;
+}
+
+TEST(RunTeam, SerialPolicyRunsShardsInPlannedOrder) {
+  constexpr idx_t kPlanned = 4;
+  std::vector<idx_t> order;
+  TeamRun run;
+  with_capped_team([&] {
+    run = run_team(
+        kPlanned, [&](idx_t t) { order.push_back(t); },
+        ShortfallPolicy::kSerial);
+  });
+  ASSERT_TRUE(run.shortfall());
+  EXPECT_TRUE(run.completed);
+  // Capped to 1 delivered thread, kSerial runs 0..planned-1 in order
+  // after the region closed — no concurrent push_back.
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kPlanned));
+  for (idx_t t = 0; t < kPlanned; ++t)
+    EXPECT_EQ(order[static_cast<std::size_t>(t)], t);
+}
+
+TEST(RunTeam, AbortPolicyRunsNoShardsAndReportsIncomplete) {
+  constexpr idx_t kPlanned = 4;
+  int ran = 0;
+  TeamRun run;
+  with_capped_team([&] {
+    run = run_team(
+        kPlanned,
+        [&](idx_t) {
+#pragma omp atomic
+          ran++;
+        },
+        ShortfallPolicy::kAbort);
+  });
+  ASSERT_TRUE(run.shortfall());
+  EXPECT_FALSE(run.completed);
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(RunTeam, SingleThreadPlanRunsInline) {
+  int ran = 0;
+  const TeamRun run = run_team(1, [&](idx_t t) {
+    EXPECT_EQ(t, 0);
+    ran++;
+  });
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(run.shortfall());
+}
+
+TEST(RunTeamWorkshare, DetectsAndCountsCappedTeam) {
+  reset_team_shortfall_stats();
+  std::vector<int> visited(100, 0);
+  TeamRun run;
+  with_capped_team([&] {
+    run = run_team_workshare(4, [&] {
+#pragma omp for schedule(static)
+      for (int i = 0; i < 100; ++i) visited[static_cast<std::size_t>(i)]++;
+    });
+  });
+  ASSERT_TRUE(run.shortfall());
+  for (int v : visited) EXPECT_EQ(v, 1);  // omp for covered every iteration
+  EXPECT_GE(team_shortfall_events(), 1u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_LT(team_last_delivered(), 4);
+}
+
+TEST(TeamStats, ShortfallCountersTrackPlannedAndDelivered) {
+  reset_team_shortfall_stats();
+  EXPECT_EQ(team_shortfall_events(), 0u);
+  EXPECT_EQ(team_last_planned(), 0);
+  EXPECT_EQ(team_last_delivered(), 0);
+
+  with_capped_team([&] { run_team(3, [](idx_t) {}); });
+  EXPECT_EQ(team_shortfall_events(), 1u);
+  EXPECT_EQ(team_last_planned(), 3);
+  EXPECT_GE(team_last_delivered(), 1);
+  EXPECT_LT(team_last_delivered(), 3);
+
+  reset_team_shortfall_stats();
+  EXPECT_EQ(team_shortfall_events(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// workshare helpers under shortfall (satellite: deterministic reduction)
+// ---------------------------------------------------------------------------
+
+TEST(Workshare, ParallelRangesCoversAllItemsUnderShortfall) {
+  constexpr idx_t kN = 1237;
+  std::vector<int> hits(kN, 0);
+  with_capped_team([&] {
+    parallel_ranges(kN, 4, [&](idx_t, idx_t b, idx_t e) {
+      for (idx_t i = b; i < e; ++i)
+#pragma omp atomic
+        hits[static_cast<std::size_t>(i)]++;
+    });
+  });
+  for (idx_t i = 0; i < kN; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << "item " << i;
+}
+
+TEST(Workshare, ParallelSumBitwiseReproducibleUnderShortfall) {
+  // Terms chosen so that any re-association of the partial sums changes
+  // the rounding: magnitudes spanning ~16 decimal digits.
+  constexpr idx_t kN = 10000;
+  std::vector<double> terms(kN);
+  Rng rng(11);
+  for (auto& v : terms) v = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-8.0, 8.0));
+  auto term = [&](idx_t i) { return terms[static_cast<std::size_t>(i)]; };
+
+  const double full = parallel_sum(kN, 4, term);
+  double capped = 0;
+  with_capped_team([&] { capped = parallel_sum(kN, 4, term); });
+  // Partials are per *planned* thread and combined in planned order, so
+  // the capped run reproduces the full-team result bit for bit.
+  EXPECT_EQ(full, capped);
+
+  // And the reduction is complete: planned-order partials over the
+  // 4-chunk split match the same summation done by hand.
+  double expect = 0;
+  for (idx_t t = 0; t < 4; ++t) {
+    const auto [b, e] = static_chunk(kN, t, 4);
+    double acc = 0;
+    for (idx_t i = b; i < e; ++i) acc += term(i);
+    expect += acc;
+  }
+  EXPECT_EQ(full, expect);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel shortfall matrix: flux (all strategies), gradients, LSQ
+// gradients, Jacobian — capped team vs serial reference.
+// ---------------------------------------------------------------------------
+
+struct KernelSetup {
+  TetMesh mesh;
+  FlowFields fields;
+  EdgeArrays edges;
+
+  explicit KernelSetup(unsigned seed)
+      : mesh(make_mesh(seed)), fields(mesh), edges(mesh) {
+    fields.set_uniform({1.0, 1.0, 0.0, 0.0});
+    Rng rng(seed);
+    for (auto& v : fields.q) v += rng.uniform(-0.1, 0.1);
+    const EdgeLoopPlan plan = build_edge_plan(mesh, EdgeStrategy::kAtomics, 1);
+    compute_gradients(mesh, edges, plan, fields);
+    fields.sync_soa_from_aos();
+  }
+
+  static TetMesh make_mesh(unsigned seed) {
+    TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+    shuffle_numbering(m, seed);
+    return m;
+  }
+};
+
+double max_diff(const AVec<double>& a, const AVec<double>& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::fabs(a[i] - b[i]));
+  return d;
+}
+
+class KernelShortfallTest : public ::testing::TestWithParam<EdgeStrategy> {};
+
+TEST_P(KernelShortfallTest, FluxResidualMatchesSerialUnderCappedTeam) {
+  const EdgeStrategy strategy = GetParam();
+  KernelSetup s(21);
+  FluxKernelConfig cfg;
+  const EdgeLoopPlan serial = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  AVec<double> ref(static_cast<std::size_t>(s.fields.nv) * kNs, 0.0);
+  compute_edge_fluxes(Physics{}, s.edges, serial, cfg, s.fields,
+                      {ref.data(), ref.size()});
+
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, strategy, 4);
+  reset_team_shortfall_stats();
+  AVec<double> r(ref.size(), 0.0);
+  with_capped_team([&] {
+    compute_edge_fluxes(Physics{}, s.edges, plan, cfg, s.fields,
+                        {r.data(), r.size()});
+  });
+  EXPECT_GE(team_shortfall_events(), 1u);  // the capped run was recorded
+  EXPECT_LT(max_diff(ref, r), 1e-10);
+}
+
+TEST_P(KernelShortfallTest, GradientsMatchSerialUnderCappedTeam) {
+  const EdgeStrategy strategy = GetParam();
+  KernelSetup s(22);
+  KernelSetup ref(22);
+  const EdgeLoopPlan serial = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  compute_gradients(ref.mesh, ref.edges, serial, ref.fields);
+
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, strategy, 4);
+  with_capped_team(
+      [&] { compute_gradients(s.mesh, s.edges, plan, s.fields); });
+  for (std::size_t i = 0; i < s.fields.grad.size(); ++i)
+    ASSERT_NEAR(s.fields.grad[i], ref.fields.grad[i], 1e-11) << "i=" << i;
+}
+
+TEST_P(KernelShortfallTest, LsqGradientsMatchSerialUnderCappedTeam) {
+  const EdgeStrategy strategy = GetParam();
+  KernelSetup s(23);
+  KernelSetup ref(23);
+  const LsqGradientOperator lsq(s.mesh);
+  const EdgeLoopPlan serial = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  lsq.apply(ref.edges, serial, ref.fields);
+
+  const EdgeLoopPlan plan = build_edge_plan(s.mesh, strategy, 4);
+  with_capped_team([&] { lsq.apply(s.edges, plan, s.fields); });
+  for (std::size_t i = 0; i < s.fields.grad.size(); ++i)
+    ASSERT_NEAR(s.fields.grad[i], ref.fields.grad[i], 1e-11) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelShortfallTest,
+    ::testing::Values(EdgeStrategy::kAtomics, EdgeStrategy::kReplicationNatural,
+                      EdgeStrategy::kReplicationPartitioned,
+                      EdgeStrategy::kColoring));
+
+TEST(JacobianShortfall, OwnerRowAssemblyMatchesSerialBitwise) {
+  KernelSetup s(24);
+  Bcsr4 ref = make_jacobian_matrix(s.mesh);
+  const EdgeLoopPlan serial = build_edge_plan(s.mesh, EdgeStrategy::kAtomics, 1);
+  assemble_jacobian(Physics{}, s.edges, serial, s.fields, FluxScheme::kRoe,
+                    ref);
+
+  Bcsr4 jac = make_jacobian_matrix(s.mesh);
+  const EdgeLoopPlan plan =
+      build_edge_plan(s.mesh, EdgeStrategy::kReplicationPartitioned, 4);
+  with_capped_team([&] {
+    assemble_jacobian(Physics{}, s.edges, plan, s.fields, FluxScheme::kRoe,
+                      jac);
+  });
+  // Per row, the owner shard adds edge contributions in the same ascending
+  // edge order as the serial loop: bitwise equality, not just closeness.
+  ASSERT_EQ(jac.num_blocks(), ref.num_blocks());
+  for (idx_t nz = 0; nz < static_cast<idx_t>(ref.num_blocks()); ++nz) {
+    const double* a = ref.block(nz);
+    const double* b = jac.block(nz);
+    for (int i = 0; i < kBs2; ++i)
+      ASSERT_EQ(a[i], b[i]) << "block " << nz << " entry " << i;
+  }
+}
+
+}  // namespace
+}  // namespace fun3d

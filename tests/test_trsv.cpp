@@ -4,6 +4,7 @@
 
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
+#include "parallel/team.hpp"
 #include "sparse/ilu.hpp"
 #include "sparse/spmv.hpp"
 #include "sparse/trsv.hpp"
@@ -122,6 +123,7 @@ TEST(TrsvP2P, CompletesWhenRuntimeCapsThreadsBelowSchedule) {
   const TrsvFixture fx(7);
   const TrsvSchedules s = TrsvSchedules::build(fx.f, 4, true);
   ASSERT_GT(s.fwd_plan.raw_cross_deps, 0u);  // waits exist => would deadlock
+  reset_team_shortfall_stats();
   const int saved_levels = omp_get_max_active_levels();
   omp_set_max_active_levels(1);  // inner parallel regions get 1 thread
   std::vector<double> x(fx.b.size(), 0.0);
@@ -133,6 +135,11 @@ TEST(TrsvP2P, CompletesWhenRuntimeCapsThreadsBelowSchedule) {
   omp_set_max_active_levels(saved_levels);
   for (std::size_t i = 0; i < x.size(); ++i)
     EXPECT_DOUBLE_EQ(x[i], fx.x_serial[i]);
+  // The capped run is observable, never silent: the aborted p2p region
+  // and its level-scheduled fallback each record a shortfall event.
+  EXPECT_GE(team_shortfall_events(), 2u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_LT(team_last_delivered(), 4);
 }
 
 TEST(Trsv, RepeatedSolvesAreDeterministic) {
