@@ -9,11 +9,15 @@
 #include <cstdio>
 #include <string>
 
+#include "core/boundary.hpp"
+#include "core/jacobian.hpp"
+#include "core/newton.hpp"
 #include "core/solver.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "mesh/stats.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -37,6 +41,28 @@ inline TetMesh make_mesh(MeshPreset preset, double scale,
   return m;
 }
 
+/// Assembles the solver's actual preconditioner matrix at freestream plus
+/// small noise, CFL-50 pseudo-time shift included — the matrix the ILU
+/// benches factorize so measured times match what a Newton step pays.
+inline Bcsr4 make_solver_jacobian(const TetMesh& m, const Physics& ph) {
+  FlowFields f(m);
+  f.set_uniform(ph.freestream);
+  Rng rng(3);
+  for (auto& q : f.q) q += rng.uniform(-0.05, 0.05);
+  EdgeArrays e(m);
+  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
+  Bcsr4 jac = make_jacobian_matrix(m);
+  assemble_jacobian(ph, e, plan, f, FluxScheme::kRoe, jac);
+  add_boundary_jacobian(ph, m, f, jac);
+  AVec<double> lam(static_cast<std::size_t>(m.num_vertices));
+  compute_wavespeed_sums(ph, m, e, f, {lam.data(), lam.size()});
+  AVec<double> shift(lam.size());
+  compute_dt_shift({lam.data(), lam.size()}, 50.0,
+                   {shift.data(), shift.size()});
+  jac.shift_diagonal({shift.data(), shift.size()});
+  return jac;
+}
+
 inline void header(const char* id, const char* what) {
   std::printf("\n=== %s: %s ===\n", id, what);
 }
@@ -51,8 +77,24 @@ inline PerfReport make_report(const Cli& cli, const char* bench_id,
   return r;
 }
 
+/// Parses the shared `--ilu-mode serial|levels|p2p` knob; returns `def`
+/// when absent, and warns (keeping `def`) on an unknown value.
+inline IluMode parse_ilu_mode(const Cli& cli, IluMode def) {
+  const std::string s = cli.get("ilu-mode", "");
+  if (s.empty()) return def;
+  if (s == "serial") return IluMode::kSerial;
+  if (s == "levels") return IluMode::kLevels;
+  if (s == "p2p") return IluMode::kP2P;
+  std::fprintf(stderr,
+               "bench: unknown --ilu-mode '%s' (want serial|levels|p2p)\n",
+               s.c_str());
+  return def;
+}
+
 /// Writes the report to the path given by `--json <path>` (shared by every
-/// bench; no flag means no artifact). Returns false on I/O failure, which
+/// bench; no flag means no artifact), then round-trips the artifact
+/// through validate_report so a bench can never ship a structurally
+/// broken report. Returns false on I/O or validation failure, which
 /// benches surface as a nonzero exit code so CI catches broken reports.
 inline bool write_report(const Cli& cli, const PerfReport& r) {
   const std::string path = cli.get("json", "");
@@ -61,6 +103,18 @@ inline bool write_report(const Cli& cli, const PerfReport& r) {
   if (!r.write(path, &err)) {
     std::fprintf(stderr, "bench: failed to write perf report: %s\n",
                  err.c_str());
+    return false;
+  }
+  std::string text;
+  if (!read_text_file(path, &text, &err)) {
+    std::fprintf(stderr, "bench: failed to re-read perf report: %s\n",
+                 err.c_str());
+    return false;
+  }
+  const auto problems = validate_report(Json::parse(text, &err));
+  if (!problems.empty()) {
+    for (const auto& p : problems)
+      std::fprintf(stderr, "bench: perf report invalid: %s\n", p.c_str());
     return false;
   }
   std::printf("\nperf report written to %s\n", path.c_str());

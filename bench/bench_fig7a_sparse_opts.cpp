@@ -8,6 +8,8 @@
 // modelled (level-scheduled vs P2P-sparsified) on the paper machine.
 #include "bench_common.hpp"
 
+#include <omp.h>
+
 #include "core/boundary.hpp"
 #include "core/jacobian.hpp"
 #include "core/newton.hpp"
@@ -17,29 +19,6 @@
 
 using namespace fun3d;
 using namespace fun3d::bench;
-
-namespace {
-
-/// Assembles the solver's actual preconditioner matrix at freestream+noise.
-Bcsr4 solver_jacobian(const TetMesh& m, const Physics& ph) {
-  FlowFields f(m);
-  f.set_uniform(ph.freestream);
-  Rng rng(3);
-  for (auto& q : f.q) q += rng.uniform(-0.05, 0.05);
-  EdgeArrays e(m);
-  const EdgeLoopPlan plan = build_edge_plan(m, EdgeStrategy::kAtomics, 1);
-  Bcsr4 jac = make_jacobian_matrix(m);
-  assemble_jacobian(ph, e, plan, f, FluxScheme::kRoe, jac);
-  add_boundary_jacobian(ph, m, f, jac);
-  AVec<double> lam(static_cast<std::size_t>(m.num_vertices));
-  compute_wavespeed_sums(ph, m, e, f, {lam.data(), lam.size()});
-  AVec<double> shift(lam.size());
-  compute_dt_shift({lam.data(), lam.size()}, 50.0, {shift.data(), shift.size()});
-  jac.shift_diagonal({shift.data(), shift.size()});
-  return jac;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
@@ -52,7 +31,7 @@ int main(int argc, char** argv) {
   rep.params["fill"] = fill;
   TetMesh m = make_mesh(MeshPreset::kMeshC, scale);
   const Physics ph;
-  const Bcsr4 jac = solver_jacobian(m, ph);
+  const Bcsr4 jac = make_solver_jacobian(m, ph);
   const IluPattern pattern = symbolic_ilu(jac.structure(), fill);
 
   // --- single-core measured effects (host) -------------------------------
@@ -66,6 +45,25 @@ int main(int argc, char** argv) {
       "host ILU numeric factorization: full-buffer %.4fs, compressed %.4fs "
       "(%.2fx), +SIMD blocks %.4fs (%.2fx)\n",
       t_full, t_compressed, t_full / t_compressed, t_simd, t_full / t_simd);
+
+  // --- parallel numeric factorization measured on the host ---------------
+  const int threads =
+      static_cast<int>(cli.get_int("threads", omp_get_max_threads()));
+  const IluSchedules sched_f = IluSchedules::build(pattern, threads, true);
+  const double t_levels = time_best(
+      [&] { factorize_ilu_levels(jac, pattern, sched_f); });
+  const double t_p2p = time_best(
+      [&] { factorize_ilu_p2p(jac, pattern, sched_f); });
+  std::printf(
+      "host parallel factorization (%d threads): level-scheduled %.4fs "
+      "(%.2fx vs serial+SIMD), p2p-sparsified %.4fs (%.2fx)\n",
+      threads, t_levels, t_simd / t_levels, t_p2p, t_simd / t_p2p);
+  rep.params["threads"] = threads;
+  rep.metrics["ilu.levels_seconds"] = t_levels;
+  rep.metrics["ilu.p2p_seconds"] = t_p2p;
+  rep.metrics["ilu.levels_speedup"] = t_simd / t_levels;
+  rep.metrics["ilu.p2p_speedup"] = t_simd / t_p2p;
+  rep.add_factor_schedule(sched_f);
 
   const IluFactor f = factorize_ilu(jac, pattern);
   const std::size_t n = static_cast<std::size_t>(f.num_rows()) * kBs;

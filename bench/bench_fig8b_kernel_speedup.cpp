@@ -15,12 +15,15 @@ using namespace fun3d::bench;
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 6.0);
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
 
   header("Fig. 8b", "kernel-wise speedups (baseline -> optimized)");
   PerfReport rep = make_report(
       cli, "fig8b", "kernel-wise speedups (baseline -> optimized)");
+  rep.params["threads"] = threads;
   SolverConfig base = SolverConfig::baseline();
-  SolverConfig opt = SolverConfig::optimized(1);
+  SolverConfig opt = SolverConfig::optimized(threads);
+  opt.ilu_mode = parse_ilu_mode(cli, opt.ilu_mode);
   base.ptc.max_steps = opt.ptc.max_steps = 40;
   base.ptc.rtol = opt.ptc.rtol = 1e-8;
 

@@ -14,6 +14,8 @@
 // threading multipliers, which differ by fill level via the DAG structure.
 #include "bench_common.hpp"
 
+#include <omp.h>
+
 #include "core/jacobian.hpp"
 #include "machine/kernel_model.hpp"
 #include "sparse/trsv.hpp"
@@ -29,6 +31,32 @@ struct FillResult {
   double seconds_1core = 0;
   double speedup_10c = 0;
 };
+
+/// Measured numeric-factorization times on the host: serial vs the two
+/// parallel schedules, on the real solver Jacobian at this fill level.
+struct FactorTimes {
+  double serial = 0;
+  double levels = 0;
+  double p2p = 0;
+};
+
+FactorTimes measure_factor(double scale, int fill, int threads,
+                           PerfReport& rep, const std::string& prefix) {
+  TetMesh m = make_mesh(MeshPreset::kMeshC, scale, /*report=*/false);
+  const Physics ph;
+  const Bcsr4 jac = make_solver_jacobian(m, ph);
+  const IluPattern pattern = symbolic_ilu(jac.structure(), fill);
+  const IluSchedules sched = IluSchedules::build(pattern, threads, true);
+  FactorTimes t;
+  t.serial = time_best([&] { factorize_ilu(jac, pattern); });
+  t.levels = time_best([&] { factorize_ilu_levels(jac, pattern, sched); });
+  t.p2p = time_best([&] { factorize_ilu_p2p(jac, pattern, sched); });
+  rep.metrics[prefix + "factor_serial_seconds"] = t.serial;
+  rep.metrics[prefix + "factor_levels_seconds"] = t.levels;
+  rep.metrics[prefix + "factor_p2p_seconds"] = t.p2p;
+  rep.add_factor_schedule(sched, prefix);
+  return t;
+}
 
 FillResult run_fill(double scale, int fill) {
   FillResult r;
@@ -93,6 +121,11 @@ int main(int argc, char** argv) {
   rep.params["big_scale"] = big_scale;
   const FillResult r0 = run_fill(scale, 0);
   const FillResult r1 = run_fill(scale, 1);
+  const int threads =
+      static_cast<int>(cli.get_int("threads", omp_get_max_threads()));
+  rep.params["threads"] = threads;
+  const FactorTimes f0 = measure_factor(scale, 0, threads, rep, "ilu0.");
+  const FactorTimes f1 = measure_factor(scale, 1, threads, rep, "ilu1.");
   const double p0_big = pattern_parallelism(big_scale, 0);
   const double p1_big = pattern_parallelism(big_scale, 1);
   for (const auto& [fill, r] : {std::pair{"ilu0", &r0}, {"ilu1", &r1}}) {
@@ -117,6 +150,12 @@ int main(int argc, char** argv) {
          Table::num(r1.seconds_1core, "%.2f"), "430", "282"});
   t.row({"modelled 10-core speedup", Table::num(r0.speedup_10c, "%.1f"),
          Table::num(r1.speedup_10c, "%.1f"), "6.9", "3.5"});
+  t.row({"measured factor speedup (levels)",
+         Table::num(f0.serial / f0.levels, "%.2f"),
+         Table::num(f1.serial / f1.levels, "%.2f"), "", ""});
+  t.row({"measured factor speedup (p2p)",
+         Table::num(f0.serial / f0.p2p, "%.2f"),
+         Table::num(f1.serial / f1.p2p, "%.2f"), "", ""});
   const double ratio =
       (r0.seconds_1core / r0.speedup_10c) > 0
           ? (r1.seconds_1core / r1.speedup_10c) /

@@ -74,6 +74,7 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
     g[0] = beta;
 
     int j = 0;
+    bool breakdown = false;
     for (; j < m && res.iterations < opt.max_iters; ++j) {
       ++res.iterations;
       // w = M^{-1} A v_j
@@ -91,9 +92,16 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
         const double hj1 = vec.norm2(mtmp);
         if (profile != nullptr) profile->reductions++;
         h[static_cast<std::size_t>((j + 1) * m + j)] = hj1;
-        if (hj1 > 0) {
+        breakdown = !(hj1 > 0);
+        if (!breakdown) {
           vec.copy(mtmp, v[static_cast<std::size_t>(j) + 1]);
           vec.scale(1.0 / hj1, v[static_cast<std::size_t>(j) + 1]);
+        } else {
+          // Happy breakdown: A v_j is already in the span of v_0..v_j. The
+          // next basis vector would otherwise keep garbage from the
+          // previous restart cycle; zero it and stop expanding the space
+          // after this column's rotations/update below.
+          vec.set(0.0, v[static_cast<std::size_t>(j) + 1]);
         }
       }
       // Apply stored Givens rotations to the new column, then form a new one.
@@ -119,7 +127,7 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
       }
       res.relative_residual =
           std::fabs(g[static_cast<std::size_t>(j) + 1]) / beta0;
-      if (res.relative_residual <= opt.rtol) {
+      if (breakdown || res.relative_residual <= opt.rtol) {
         ++j;
         break;
       }

@@ -10,6 +10,7 @@
 #include "graph/sparsify.hpp"
 #include "parallel/edge_partition.hpp"
 #include "parallel/team.hpp"
+#include "sparse/ilu.hpp"
 
 namespace fun3d {
 
@@ -102,6 +103,18 @@ void PerfReport::add_p2p_plan(const P2PSyncPlan& plan,
       static_cast<double>(plan.reduced_cross_deps);
 }
 
+void PerfReport::add_factor_schedule(const IluSchedules& s,
+                                     const std::string& prefix) {
+  const std::string p = prefix + "ilu_factor.";
+  plan_stats[p + "nthreads"] = static_cast<double>(s.nthreads);
+  plan_stats[p + "nlevels"] = static_cast<double>(s.levels.nlevels);
+  plan_stats[p + "critical_path"] = s.critical_path;
+  plan_stats[p + "waits"] =
+      s.plan.wait_ptr.empty() ? 0.0
+                              : static_cast<double>(s.plan.wait_ptr.back());
+  add_p2p_plan(s.plan, p);
+}
+
 void PerfReport::add_team_stats(const std::string& prefix) {
   counters[prefix + "team_shortfall_events"] = team_shortfall_events();
   counters[prefix + "team_planned_threads"] =
@@ -190,6 +203,28 @@ std::vector<std::string> validate_report(const Json& report) {
   check_finite_section(report, "plan", problems);
   check_finite_section(report, "model", problems);
   check_finite_section(report, "metrics", problems);
+
+  // Sync-plan consistency: sparsification only removes waits, so wherever
+  // a (possibly prefixed) reduced_cross_deps appears, the matching raw
+  // count must accompany it and dominate it.
+  const Json* plan = report.find("plan");
+  if (plan != nullptr && plan->is_object()) {
+    const std::string kReduced = "reduced_cross_deps";
+    for (std::size_t i = 0; i < plan->size(); ++i) {
+      const std::string key = plan->key_at(i);
+      if (!key.ends_with(kReduced)) continue;
+      const std::string prefix = key.substr(0, key.size() - kReduced.size());
+      const Json* raw = plan->find(prefix + "raw_cross_deps");
+      if (raw == nullptr) {
+        problems.push_back("plan." + key +
+                           ": missing matching raw_cross_deps");
+        continue;
+      }
+      if (plan->at(i).as_double(-1) > raw->as_double(-1))
+        problems.push_back("plan." + key +
+                           ": reduced_cross_deps exceeds raw_cross_deps");
+    }
+  }
 
   const Json* kernels = report.find("kernels");
   if (kernels == nullptr || !kernels->is_object() ||

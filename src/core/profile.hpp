@@ -15,6 +15,7 @@ namespace fun3d {
 
 struct EdgeLoopPlan;
 struct P2PSyncPlan;
+struct IluSchedules;
 
 /// Canonical kernel names used across the solver and benches.
 namespace kernel {
@@ -83,6 +84,10 @@ struct PerfReport {
   void add_edge_plan(const EdgeLoopPlan& plan, const std::string& prefix = "");
   /// Captures cross-thread dependency counts of a P2P sync plan.
   void add_p2p_plan(const P2PSyncPlan& plan, const std::string& prefix = "");
+  /// Captures the parallel-factorization schedule statistics (level count,
+  /// DAG critical path, p2p wait counts) under `<prefix>ilu_factor.*`.
+  void add_factor_schedule(const IluSchedules& s,
+                           const std::string& prefix = "");
   /// Captures the process-wide team-shortfall statistics (capped OpenMP
   /// teams detected by run_team): `team_shortfall_events` plus the
   /// planned/delivered sizes of the latest shortfall (0/0 when none), so

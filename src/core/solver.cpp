@@ -65,6 +65,7 @@ SolverConfig SolverConfig::optimized(int nthreads) {
   c.strategy = EdgeStrategy::kReplicationPartitioned;
   c.nthreads = nthreads;
   c.trsv_mode = nthreads > 1 ? TrsvMode::kP2P : TrsvMode::kSerial;
+  c.ilu_mode = nthreads > 1 ? IluMode::kP2P : IluMode::kSerial;
   c.compressed_ilu_buffer = true;
   c.simd_ilu = true;
   c.threaded_vecops = true;
@@ -85,6 +86,10 @@ FlowSolver::FlowSolver(TetMesh mesh, SolverConfig cfg)
           ? block_diagonal_pattern(jac_.structure(), cfg_.subdomains)
           : jac_.structure();
   pattern_ = symbolic_ilu(adj, cfg_.fill_level);
+  if (cfg_.ilu_mode != IluMode::kSerial) {
+    ilu_schedules_ = std::make_unique<IluSchedules>(IluSchedules::build(
+        pattern_, std::max<idx_t>(1, cfg_.nthreads), cfg_.sparsify_p2p));
+  }
   dt_shift_.assign(static_cast<std::size_t>(mesh_.num_vertices), 0.0);
   wavespeed_.assign(static_cast<std::size_t>(mesh_.num_vertices), 0.0);
   if (cfg_.gradient_method == GradientMethod::kLeastSquares)
@@ -101,6 +106,7 @@ void FlowSolver::fill_report(PerfReport& report,
   report.params[prefix + "fill_level"] = cfg_.fill_level;
   report.params[prefix + "subdomains"] = static_cast<double>(cfg_.subdomains);
   report.params[prefix + "trsv_mode"] = static_cast<double>(cfg_.trsv_mode);
+  report.params[prefix + "ilu_mode"] = static_cast<double>(cfg_.ilu_mode);
   report.params[prefix + "second_order"] = cfg_.second_order ? 1.0 : 0.0;
   report.params[prefix + "matrix_free"] = cfg_.matrix_free ? 1.0 : 0.0;
   report.add_profile(profile_, prefix);
@@ -110,6 +116,8 @@ void FlowSolver::fill_report(PerfReport& report,
     report.add_p2p_plan(schedules_->fwd_plan, prefix + "trsv_fwd.");
     report.add_p2p_plan(schedules_->bwd_plan, prefix + "trsv_bwd.");
   }
+  if (ilu_schedules_ != nullptr)
+    report.add_factor_schedule(*ilu_schedules_, prefix);
 }
 
 void FlowSolver::eval_residual(std::span<const double> q,
@@ -143,8 +151,21 @@ void FlowSolver::eval_residual(std::span<const double> q,
 
 void FlowSolver::factor_preconditioner() {
   auto s = profile_.timers.scoped(kernel::kIlu);
-  factor_ = std::make_unique<IluFactor>(factorize_ilu(
-      jac_, pattern_, cfg_.compressed_ilu_buffer, cfg_.simd_ilu));
+  switch (cfg_.ilu_mode) {
+    case IluMode::kSerial:
+      factor_ = std::make_unique<IluFactor>(factorize_ilu(
+          jac_, pattern_, cfg_.compressed_ilu_buffer, cfg_.simd_ilu));
+      break;
+    case IluMode::kLevels:
+      factor_ = std::make_unique<IluFactor>(
+          factorize_ilu_levels(jac_, pattern_, *ilu_schedules_,
+                               cfg_.simd_ilu));
+      break;
+    case IluMode::kP2P:
+      factor_ = std::make_unique<IluFactor>(factorize_ilu_p2p(
+          jac_, pattern_, *ilu_schedules_, cfg_.simd_ilu));
+      break;
+  }
   if (schedules_ == nullptr && cfg_.trsv_mode != TrsvMode::kSerial) {
     schedules_ = std::make_unique<TrsvSchedules>(TrsvSchedules::build(
         *factor_, std::max<idx_t>(1, cfg_.nthreads), cfg_.sparsify_p2p));

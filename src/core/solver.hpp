@@ -27,6 +27,11 @@ namespace fun3d {
 
 enum class TrsvMode { kSerial, kLevels, kP2P };
 
+/// Parallelization strategy for the numeric ILU(k) factorization. Same
+/// menu as TrsvMode: level-scheduled wavefronts or p2p-sparsified sweeps
+/// over the static symbolic pattern's L-part DAG.
+enum class IluMode { kSerial, kLevels, kP2P };
+
 /// Gradient reconstruction method: Green-Gauss (midpoint rule, interior-
 /// exact) or unweighted least squares (affine-exact everywhere; what FUN3D
 /// itself uses for MUSCL).
@@ -47,6 +52,7 @@ struct SolverConfig {
   EdgeStrategy strategy = EdgeStrategy::kReplicationPartitioned;
   int nthreads = 1;
   TrsvMode trsv_mode = TrsvMode::kSerial;
+  IluMode ilu_mode = IluMode::kSerial;
   bool sparsify_p2p = true;
   bool compressed_ilu_buffer = true;
   bool simd_ilu = true;
@@ -108,6 +114,11 @@ class FlowSolver {
   [[nodiscard]] Profile& profile() { return profile_; }
   [[nodiscard]] const SolverConfig& config() const { return cfg_; }
   [[nodiscard]] const EdgeLoopPlan& edge_plan() const { return plan_; }
+  /// Factorization schedules (null when ilu_mode == kSerial). Built once
+  /// in the constructor — the symbolic pattern never changes.
+  [[nodiscard]] const IluSchedules* ilu_schedules() const {
+    return ilu_schedules_.get();
+  }
 
  private:
   void factor_preconditioner();
@@ -127,6 +138,7 @@ class FlowSolver {
   IluPattern pattern_;
   std::unique_ptr<IluFactor> factor_;
   std::unique_ptr<TrsvSchedules> schedules_;
+  std::unique_ptr<IluSchedules> ilu_schedules_;
   AVec<double> dt_shift_;
   AVec<double> wavespeed_;
 };

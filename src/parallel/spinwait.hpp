@@ -1,0 +1,40 @@
+// Spin-wait primitive shared by the point-to-point scheduled sparse
+// recurrences (TRSV sweeps, parallel ILU numeric factorization): each
+// thread processes its owned rows in ascending index order and publishes a
+// monotone per-thread progress counter; consumers spin until the owning
+// thread has passed the row they depend on.
+#pragma once
+
+#include <atomic>
+
+#include <sched.h>
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "graph/csr.hpp"
+
+namespace fun3d {
+
+inline void cpu_relax() {
+#if defined(__x86_64__)
+  _mm_pause();
+#endif
+}
+
+/// Spin until the owner thread's progress counter reaches `row` — the
+/// owner publishes `row` itself after finishing it, so the wait is
+/// `counter >= row`, not strictly-greater (which would deadlock when `row`
+/// is the owner's last row).
+inline void wait_progress(const std::atomic<idx_t>& counter, idx_t row) {
+  int spins = 0;
+  while (counter.load(std::memory_order_acquire) < row) {
+    cpu_relax();
+    if (++spins >= 64) {  // oversubscribed cores: let the owner run
+      sched_yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace fun3d

@@ -1,8 +1,12 @@
 #include "sparse/ilu.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <stdexcept>
+
+#include "parallel/spinwait.hpp"
+#include "parallel/team.hpp"
 
 namespace fun3d {
 
@@ -94,6 +98,36 @@ IluPattern symbolic_ilu(const CsrGraph& pattern_with_diag, int fill_level) {
                      flev[static_cast<std::size_t>(i)].end());
   }
   return out;
+}
+
+CsrGraph ilu_lower_deps(const IluPattern& pattern) {
+  const idx_t n = pattern.rows.num_vertices();
+  CsrGraph d;
+  d.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t i = 0; i < n; ++i) {
+    idx_t count = 0;
+    for (idx_t c : pattern.rows.neighbors(i))
+      if (c < i) ++count;
+    d.rowptr[static_cast<std::size_t>(i) + 1] =
+        d.rowptr[static_cast<std::size_t>(i)] + count;
+  }
+  d.col.reserve(static_cast<std::size_t>(d.rowptr.back()));
+  for (idx_t i = 0; i < n; ++i)
+    for (idx_t c : pattern.rows.neighbors(i))
+      if (c < i) d.col.push_back(c);
+  return d;
+}
+
+IluSchedules IluSchedules::build(const IluPattern& pattern, idx_t nthreads,
+                                 bool sparsify) {
+  IluSchedules s;
+  s.nthreads = std::max<idx_t>(1, nthreads);
+  const CsrGraph deps = ilu_lower_deps(pattern);
+  s.levels = build_level_schedule(deps);
+  s.owner = partition_natural(pattern.rows.num_vertices(), s.nthreads);
+  s.plan = build_p2p_plan(deps, s.owner, sparsify);
+  s.critical_path = dag_critical_path(deps);
+  return s;
 }
 
 CsrGraph IluFactor::lower_deps() const {
@@ -261,6 +295,194 @@ IluFactor factorize_ilu(const Bcsr4& a, const IluPattern& pattern,
       for (idx_t s = 0; s < rlen; ++s)
         pos_of_col[static_cast<std::size_t>(cols[s])] = 0;
   }
+  f.factor_flops_ = flops;
+  return f;
+}
+
+namespace {
+
+using GemmSubFn = void (*)(const double* a, const double* b, double* c);
+
+/// Locates the diagonal entry of every row of the pattern (throws when a
+/// row has none — the factor stores the inverted diagonal there).
+void find_diagonals(const std::vector<idx_t>& rowptr,
+                    const std::vector<idx_t>& col, idx_t n,
+                    std::vector<idx_t>& diag) {
+  diag.resize(static_cast<std::size_t>(n));
+  for (idx_t i = 0; i < n; ++i) {
+    bool found = false;
+    for (idx_t nz = rowptr[static_cast<std::size_t>(i)];
+         nz < rowptr[static_cast<std::size_t>(i) + 1]; ++nz) {
+      if (col[static_cast<std::size_t>(nz)] == i) {
+        diag[static_cast<std::size_t>(i)] = nz;
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("factorize_ilu: missing diagonal");
+  }
+}
+
+/// Factors row i into `val` with a compressed temporary row buffer: the
+/// exact arithmetic sequence of the serial compressed path in
+/// factorize_ilu, so any schedule honouring the L-pattern dependencies
+/// yields a bitwise-identical factor. Pre: every pattern predecessor k < i
+/// is complete in `val` (and that completion happens-before this call).
+/// Returns false on a singular diagonal block — the caller must NOT throw
+/// inside a parallel region; it records the failure, keeps going (later
+/// rows read garbage, which is harmless since the factor is discarded),
+/// and rethrows after the region closes.
+bool factor_row(const Bcsr4& a, const std::vector<idx_t>& rowptr,
+                const std::vector<idx_t>& col, const std::vector<idx_t>& diag,
+                double* val, idx_t i, AVec<double>& cbuf, GemmSubFn gemm_sub,
+                std::uint64_t& flops) {
+  const idx_t rb = rowptr[static_cast<std::size_t>(i)];
+  const idx_t re = rowptr[static_cast<std::size_t>(i) + 1];
+  const idx_t rlen = re - rb;
+  const std::span<const idx_t> cols(col.data() + rb,
+                                    static_cast<std::size_t>(rlen));
+  cbuf.assign(static_cast<std::size_t>(rlen) * kBs2, 0.0);
+  double* row = cbuf.data();
+
+  auto slot = [&](idx_t c) -> double* {
+    const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+    if (it == cols.end() || *it != c) return nullptr;
+    return row + static_cast<std::size_t>(it - cols.begin()) * kBs2;
+  };
+  auto block = [&](idx_t nz) {
+    return val + static_cast<std::size_t>(nz) * kBs2;
+  };
+
+  for (idx_t anz = a.row_begin(i); anz < a.row_end(i); ++anz) {
+    double* dst = slot(a.col(anz));
+    if (dst == nullptr) continue;
+    std::copy(a.block(anz), a.block(anz) + kBs2, dst);
+  }
+
+  for (idx_t s = 0; s < rlen && cols[s] < i; ++s) {
+    const idx_t k = cols[s];
+    double* lik = slot(k);
+    double tmp[kBs2];
+    block_gemm(lik, block(diag[static_cast<std::size_t>(k)]), tmp);
+    std::copy(tmp, tmp + kBs2, lik);
+    flops += 2 * kBs * kBs2;
+    for (idx_t knz = diag[static_cast<std::size_t>(k)] + 1;
+         knz < rowptr[static_cast<std::size_t>(k) + 1]; ++knz) {
+      double* dst = slot(col[static_cast<std::size_t>(knz)]);
+      if (dst == nullptr) continue;  // dropped fill
+      gemm_sub(lik, block(knz), dst);
+      flops += 2 * kBs * kBs2;
+    }
+  }
+
+  for (idx_t s = 0; s < rlen; ++s)
+    std::copy(row + static_cast<std::size_t>(s) * kBs2,
+              row + static_cast<std::size_t>(s + 1) * kBs2,
+              val + static_cast<std::size_t>(rb + s) * kBs2);
+  double inv[kBs2];
+  double* dblk = block(diag[static_cast<std::size_t>(i)]);
+  const bool ok = block_invert(dblk, inv);
+  if (ok) std::copy(inv, inv + kBs2, dblk);
+  flops += 2 * kBs * kBs2;  // inversion cost, same order as one gemm
+  return ok;
+}
+
+}  // namespace
+
+IluFactor factorize_ilu_levels(const Bcsr4& a, const IluPattern& pattern,
+                               const IluSchedules& s, bool simd) {
+  const idx_t n = a.num_rows();
+  if (pattern.rows.num_vertices() != n)
+    throw std::invalid_argument("factorize_ilu: pattern/matrix size mismatch");
+  IluFactor f;
+  f.rowptr_ = pattern.rows.rowptr;
+  f.col_ = pattern.rows.col;
+  find_diagonals(f.rowptr_, f.col_, n, f.diag_);
+  f.val_.assign(f.col_.size() * kBs2, 0.0);
+  const GemmSubFn gemm_sub = simd ? block_gemm_sub_simd : block_gemm_sub;
+
+  std::atomic<std::uint64_t> total_flops{0};
+  std::atomic<bool> singular{false};
+  // Worksharing-only body: the `omp for` barrier after each wavefront both
+  // orders level l before l+1 and makes the finished rows visible, for any
+  // delivered team size.
+  run_team_workshare(s.nthreads, [&] {
+    AVec<double> cbuf;  // per-thread compressed row buffer
+    std::uint64_t my_flops = 0;
+    for (idx_t l = 0; l < s.levels.nlevels; ++l) {
+      const auto rows = s.levels.level(l);
+#pragma omp for schedule(static)
+      for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size());
+           ++k) {
+        if (!factor_row(a, f.rowptr_, f.col_, f.diag_, f.val_.data(),
+                        rows[static_cast<std::size_t>(k)], cbuf, gemm_sub,
+                        my_flops))
+          singular.store(true, std::memory_order_relaxed);
+      }
+    }
+    total_flops.fetch_add(my_flops, std::memory_order_relaxed);
+  });
+  if (singular.load(std::memory_order_relaxed))
+    throw std::runtime_error("factorize_ilu: singular diagonal block");
+  f.factor_flops_ = total_flops.load(std::memory_order_relaxed);
+  return f;
+}
+
+IluFactor factorize_ilu_p2p(const Bcsr4& a, const IluPattern& pattern,
+                            const IluSchedules& s, bool simd) {
+  const idx_t n = a.num_rows();
+  if (pattern.rows.num_vertices() != n)
+    throw std::invalid_argument("factorize_ilu: pattern/matrix size mismatch");
+  const idx_t nt = s.nthreads;
+  if (nt <= 1) return factorize_ilu(a, pattern, /*compressed_buffer=*/true,
+                                    simd);
+  IluFactor f;
+  f.rowptr_ = pattern.rows.rowptr;
+  f.col_ = pattern.rows.col;
+  find_diagonals(f.rowptr_, f.col_, n, f.diag_);
+  f.val_.assign(f.col_.size() * kBs2, 0.0);
+  const GemmSubFn gemm_sub = simd ? block_gemm_sub_simd : block_gemm_sub;
+
+  std::vector<std::atomic<idx_t>> progress(static_cast<std::size_t>(nt));
+  for (auto& p : progress) p.store(-1, std::memory_order_relaxed);
+  std::vector<std::uint64_t> thread_flops(static_cast<std::size_t>(nt), 0);
+  std::atomic<bool> singular{false};
+
+  // The schedule assumes exactly `nt` in-order workers synchronizing
+  // through spin waits, so its shards can be neither round-robined nor
+  // serialized: on shortfall run_team aborts (no shard executes) and we
+  // fall back to the serial factorization, which needs no schedule and
+  // still produces the exact same factor.
+  const TeamRun run = run_team(
+      nt,
+      [&](idx_t t) {
+        AVec<double> cbuf;  // per-planned-thread compressed row buffer
+        std::uint64_t my_flops = 0;
+        for (idx_t i = 0; i < n; ++i) {
+          if (s.owner.part[static_cast<std::size_t>(i)] != t) continue;
+          for (idx_t w = s.plan.wait_ptr[static_cast<std::size_t>(i)];
+               w < s.plan.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w)
+            wait_progress(
+                progress[static_cast<std::size_t>(
+                    s.plan.wait_thread[static_cast<std::size_t>(w)])],
+                s.plan.wait_row[static_cast<std::size_t>(w)]);
+          if (!factor_row(a, f.rowptr_, f.col_, f.diag_, f.val_.data(), i,
+                          cbuf, gemm_sub, my_flops))
+            singular.store(true, std::memory_order_relaxed);
+          // Publish even after a singular row so waiters never deadlock;
+          // the factor is discarded by the rethrow below anyway.
+          progress[static_cast<std::size_t>(t)].store(
+              i, std::memory_order_release);
+        }
+        thread_flops[static_cast<std::size_t>(t)] = my_flops;
+      },
+      ShortfallPolicy::kAbort);
+  if (!run.completed)
+    return factorize_ilu(a, pattern, /*compressed_buffer=*/true, simd);
+  if (singular.load(std::memory_order_relaxed))
+    throw std::runtime_error("factorize_ilu: singular diagonal block");
+  std::uint64_t flops = 0;
+  for (const std::uint64_t v : thread_flops) flops += v;
   f.factor_flops_ = flops;
   return f;
 }

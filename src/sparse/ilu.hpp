@@ -8,12 +8,21 @@
 //  * the numeric phase supports a full-length temporary row buffer (the
 //    textbook formulation) and the paper's §V-B "compressed temporary
 //    buffer" that maps the static access pattern to a short buffer;
+//  * the numeric phase itself parallelizes with the same two strategies as
+//    the triangular solves (level-scheduled wavefronts and P2P-sparsified
+//    row ownership): the dependency DAG of the IKJ elimination is exactly
+//    the L-part of the *symbolic* pattern, which is fixed after
+//    `symbolic_ilu`, so the schedules are built once and reused across
+//    Newton steps;
 //  * per-factorization flop/byte counters feed the machine model.
 #pragma once
 
 #include <cstdint>
 
 #include "graph/csr.hpp"
+#include "graph/levels.hpp"
+#include "graph/partition.hpp"
+#include "graph/sparsify.hpp"
 #include "sparse/bcsr.hpp"
 
 namespace fun3d {
@@ -32,6 +41,28 @@ struct IluPattern {
 /// Symbolic ILU(k): level-of-fill fill-in over the (diagonal-included)
 /// adjacency pattern of A.
 IluPattern symbolic_ilu(const CsrGraph& pattern_with_diag, int fill_level);
+
+/// Dependency DAG of the numeric factorization: predecessors of row i are
+/// the L-part columns of the symbolic pattern. Identical to
+/// `IluFactor::lower_deps()` (the factor copies the pattern verbatim), but
+/// computable before any numeric factor exists.
+CsrGraph ilu_lower_deps(const IluPattern& pattern);
+
+/// Precomputed schedules for the parallel numeric factorization. Because
+/// the pattern is static, these are Newton-step-invariant: build once (the
+/// FlowSolver constructor does) and reuse for every refactorization.
+struct IluSchedules {
+  idx_t nthreads = 1;
+  LevelSchedule levels;  ///< wavefronts of the pattern's L-part DAG
+  Partition owner;       ///< contiguous row ownership (natural order)
+  P2PSyncPlan plan;      ///< sparsified cross-thread waits
+  double critical_path = 0;  ///< cost of the longest dependency chain
+
+  /// `sparsify` enables the transitive-reduction pass on the p2p plan;
+  /// without it the plan still collapses waits per predecessor thread.
+  static IluSchedules build(const IluPattern& pattern, idx_t nthreads,
+                            bool sparsify = true);
+};
 
 /// Numeric factor: L (unit diagonal, not stored), U, and inverted diagonal
 /// blocks stored in-place at the diagonal position.
@@ -70,6 +101,10 @@ class IluFactor {
 
  private:
   friend IluFactor factorize_ilu(const Bcsr4&, const IluPattern&, bool, bool);
+  friend IluFactor factorize_ilu_levels(const Bcsr4&, const IluPattern&,
+                                        const IluSchedules&, bool);
+  friend IluFactor factorize_ilu_p2p(const Bcsr4&, const IluPattern&,
+                                     const IluSchedules&, bool);
   std::vector<idx_t> rowptr_;
   std::vector<idx_t> col_;
   std::vector<idx_t> diag_;
@@ -82,5 +117,22 @@ class IluFactor {
 /// within-block vectorized gemm. All variants produce identical factors.
 IluFactor factorize_ilu(const Bcsr4& a, const IluPattern& pattern,
                         bool compressed_buffer = true, bool simd = true);
+
+/// Level-scheduled parallel numeric ILU: rows of each wavefront of
+/// `s.levels` factor concurrently (`omp for`), with a barrier per level.
+/// Per-row arithmetic is the compressed-buffer serial sequence, so the
+/// factor is bitwise-identical to `factorize_ilu`. Worksharing-only body:
+/// correct for any delivered team size (capped OpenMP teams included).
+IluFactor factorize_ilu_levels(const Bcsr4& a, const IluPattern& pattern,
+                               const IluSchedules& s, bool simd = true);
+
+/// Point-to-point synchronized parallel numeric ILU: each planned thread
+/// factors its owned rows in ascending order with its own compressed row
+/// buffer, spin-waiting on the sparsified cross-thread dependencies of
+/// `s.plan`. Bitwise-identical to `factorize_ilu`. If the runtime delivers
+/// a smaller team than the schedule was built for, falls back to the
+/// serial factorization instead of deadlocking on absent owners.
+IluFactor factorize_ilu_p2p(const Bcsr4& a, const IluPattern& pattern,
+                            const IluSchedules& s, bool simd = true);
 
 }  // namespace fun3d

@@ -5,21 +5,12 @@
 #include <cassert>
 
 #include <omp.h>
-#if defined(__x86_64__)
-#include <immintrin.h>
-#endif
-#include <sched.h>
 
+#include "parallel/spinwait.hpp"
 #include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
-
-inline void cpu_relax() {
-#if defined(__x86_64__)
-  _mm_pause();
-#endif
-}
 
 /// Forward-substitute one row: x_i = b_i - sum_{j<i} L_ij x_j.
 inline void fwd_row(const IluFactor& f, idx_t i, const double* b, double* x) {
@@ -39,21 +30,6 @@ inline void bwd_row(const IluFactor& f, idx_t i, double* x) {
     block_gemv_sub(f.block(nz), x + static_cast<std::size_t>(f.col(nz)) * kBs,
                    acc);
   block_gemv(f.block(f.diag_index(i)), acc, x + static_cast<std::size_t>(i) * kBs);
-}
-
-/// Spin until the owner thread's progress counter reaches `row` — the
-/// owner publishes `row` itself after finishing it, so the wait is
-/// `counter >= row`, not strictly-greater (which would deadlock when `row`
-/// is the owner's last row).
-inline void wait_progress(const std::atomic<idx_t>& counter, idx_t row) {
-  int spins = 0;
-  while (counter.load(std::memory_order_acquire) < row) {
-    cpu_relax();
-    if (++spins >= 64) {  // oversubscribed cores: let the owner run
-      sched_yield();
-      spins = 0;
-    }
-  }
 }
 
 }  // namespace

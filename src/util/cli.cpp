@@ -5,6 +5,17 @@
 #include <string_view>
 
 namespace fun3d {
+namespace {
+
+/// True when the whole token parses as a number — so `--shift -1.5` is a
+/// flag with a (negative) value, not two flags.
+bool looks_numeric(const char* s) {
+  char* end = nullptr;
+  std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
 
 Cli::Cli(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -17,7 +28,8 @@ Cli::Cli(int argc, char** argv) {
     const auto eq = a.find('=');
     if (eq != std::string_view::npos) {
       kv_[std::string(a.substr(0, eq))] = std::string(a.substr(eq + 1));
-    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+    } else if (i + 1 < argc &&
+               (argv[i + 1][0] != '-' || looks_numeric(argv[i + 1]))) {
       kv_[std::string(a)] = argv[++i];
     } else {
       kv_[std::string(a)] = "true";  // bare boolean flag
@@ -34,12 +46,24 @@ std::string Cli::get(const std::string& name, const std::string& def) const {
 
 long Cli::get_int(const std::string& name, long def) const {
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtol(it->second.c_str(), nullptr, 10);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0')
+    std::fprintf(stderr, "cli: --%s: trailing garbage in '%s' (using %ld)\n",
+                 name.c_str(), it->second.c_str(), v);
+  return v;
 }
 
 double Cli::get_double(const std::string& name, double def) const {
   auto it = kv_.find(name);
-  return it == kv_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  if (it == kv_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0')
+    std::fprintf(stderr, "cli: --%s: trailing garbage in '%s' (using %g)\n",
+                 name.c_str(), it->second.c_str(), v);
+  return v;
 }
 
 std::string Cli::extract_flag(int* argc, char** argv,
@@ -50,8 +74,17 @@ std::string Cli::extract_flag(int* argc, char** argv,
   int w = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string_view a(argv[i]);
-    if (a == plain && i + 1 < *argc) {
-      value = argv[++i];
+    if (a == plain) {
+      if (i + 1 < *argc) {
+        value = argv[++i];
+      } else {
+        // Trailing valueless flag: consume it anyway so the downstream
+        // parser never sees it, and say why nothing will happen.
+        std::fprintf(stderr,
+                     "cli: --%s requires a value but is the last argument; "
+                     "flag ignored\n",
+                     name.c_str());
+      }
     } else if (a.substr(0, eq.size()) == eq) {
       value = std::string(a.substr(eq.size()));
     } else {

@@ -133,6 +133,62 @@ TEST(Gmres, RestartStillConverges) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-4);
 }
 
+// Regression: on happy breakdown (hj1 == 0) the solver used to leave
+// v[j+1] holding stale data (zeros on the first cycle, garbage from the
+// previous restart cycle afterwards) and kept orthogonalizing against it,
+// producing all-zero Hessenberg columns and NaN in the back-substitution.
+// Both operators below are rank-deficient in Krylov space — the basis is
+// exhausted after 1 (resp. 2) vectors with an *exactly* zero remainder
+// (unit-basis b keeps every dot product and norm exact in floating point).
+// rtol = -1 makes the relative-residual exit unreachable, so only the
+// breakdown path can terminate the Arnoldi loop.
+TEST(Gmres, HappyBreakdownAtFirstColumnYieldsExactSolution) {
+  const std::size_t n = 16;
+  AVec<double> b(n, 0.0), x(n, 0.0);
+  b[3] = 1.0;  // beta == 1 exactly => v0 == b and A v0 - h00 v0 == 0
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.restart = 4;
+  opt.max_iters = 8;
+  opt.rtol = -1.0;
+  opt.atol = 0.0;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_FALSE(std::isnan(x[i])) << i;
+    EXPECT_EQ(x[i], b[i]) << i;  // exact, not just close
+  }
+}
+
+TEST(Gmres, HappyBreakdownMidCycleYieldsExactSolution) {
+  // Swap operator: A e3 = e5, A e5 = e3, identity elsewhere. With b = e3
+  // the Krylov space is span{e3, e5}; the j = 1 Arnoldi step leaves an
+  // exactly zero vector mid-cycle. Solution of A x = b is x = e5.
+  const std::size_t n = 16;
+  AVec<double> b(n, 0.0), x(n, 0.0);
+  b[3] = 1.0;
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+    out[3] = in[5];
+    out[5] = in[3];
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.restart = 4;
+  opt.max_iters = 8;
+  opt.rtol = -1.0;
+  opt.atol = 0.0;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_FALSE(std::isnan(x[i])) << i;
+    EXPECT_EQ(x[i], i == 5 ? 1.0 : 0.0) << i;
+  }
+}
+
 TEST(Gmres, ZeroRhsConvergesImmediately) {
   AVec<double> b(16, 0.0), x(16, 0.0);
   const LinearOp op = [](std::span<const double> in, std::span<double> out) {

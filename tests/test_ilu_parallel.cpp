@@ -1,0 +1,208 @@
+// Parallel numeric ILU(k) factorization: the level-scheduled and
+// p2p-sparsified variants must produce factors bitwise-identical to the
+// serial `factorize_ilu` for every fill level, thread count, and subdomain
+// pattern — the schedules only reorder row completions across threads,
+// never the per-row arithmetic.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <cstring>
+
+#include "graph/levels.hpp"
+#include "graph/sparsify.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "parallel/team.hpp"
+#include "sparse/ilu.hpp"
+#include "util/rng.hpp"
+
+namespace fun3d {
+namespace {
+
+Bcsr4 random_dd(const CsrGraph& adj, unsigned seed) {
+  Bcsr4 m = Bcsr4::from_adjacency(adj);
+  Rng rng(seed);
+  for (idx_t r = 0; r < m.num_rows(); ++r)
+    for (idx_t nz = m.row_begin(r); nz < m.row_end(r); ++nz) {
+      double* b = m.block(nz);
+      for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-0.5, 0.5);
+      if (m.col(nz) == r)
+        for (int i = 0; i < kBs; ++i) b[i * kBs + i] += 8.0;
+    }
+  return m;
+}
+
+CsrGraph mesh_adjacency(unsigned seed) {
+  TetMesh m = generate_box(4, 4, 3);
+  shuffle_numbering(m, seed);  // irregular row order, like real meshes
+  return m.vertex_graph();
+}
+
+/// Restriction of an adjacency to `nsub` contiguous diagonal blocks — the
+/// block-Jacobi sparsity the solver factorizes when subdomains > 1.
+CsrGraph block_diagonal(const CsrGraph& adj, idx_t nsub) {
+  const idx_t n = adj.num_vertices();
+  auto block_of = [&](idx_t v) {
+    return std::min<idx_t>(
+        static_cast<idx_t>(static_cast<std::int64_t>(v) * nsub / n),
+        nsub - 1);
+  };
+  CsrGraph out;
+  out.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (idx_t v = 0; v < n; ++v) {
+    idx_t count = 0;
+    for (idx_t u : adj.neighbors(v))
+      if (block_of(u) == block_of(v)) ++count;
+    out.rowptr[static_cast<std::size_t>(v) + 1] =
+        out.rowptr[static_cast<std::size_t>(v)] + count;
+  }
+  out.col.reserve(static_cast<std::size_t>(out.rowptr.back()));
+  for (idx_t v = 0; v < n; ++v)
+    for (idx_t u : adj.neighbors(v))
+      if (block_of(u) == block_of(v)) out.col.push_back(u);
+  return out;
+}
+
+void expect_factors_identical(const IluFactor& a, const IluFactor& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_blocks(), b.num_blocks());
+  for (idx_t r = 0; r < a.num_rows(); ++r) {
+    ASSERT_EQ(a.row_begin(r), b.row_begin(r));
+    ASSERT_EQ(a.row_end(r), b.row_end(r));
+    ASSERT_EQ(a.diag_index(r), b.diag_index(r));
+  }
+  for (idx_t nz = 0; nz < static_cast<idx_t>(a.num_blocks()); ++nz)
+    ASSERT_EQ(a.col(nz), b.col(nz));
+  // Bitwise: memcmp over the whole value array, no tolerance.
+  EXPECT_EQ(std::memcmp(a.block(0), b.block(0),
+                        a.num_blocks() * kBs2 * sizeof(double)),
+            0);
+  EXPECT_EQ(a.factor_flops(), b.factor_flops());
+}
+
+class IluParallelTest
+    : public ::testing::TestWithParam<std::tuple<int, idx_t>> {};
+
+TEST_P(IluParallelTest, LevelsAndP2PMatchSerialBitwise) {
+  const auto [fill, nthreads] = GetParam();
+  const CsrGraph adj = mesh_adjacency(12345u + static_cast<unsigned>(fill));
+  const Bcsr4 a = random_dd(adj, 7u + static_cast<unsigned>(fill));
+  const IluPattern p = symbolic_ilu(adj, fill);
+  const IluSchedules s = IluSchedules::build(p, nthreads);
+  const IluFactor serial = factorize_ilu(a, p);
+  expect_factors_identical(serial, factorize_ilu_levels(a, p, s));
+  expect_factors_identical(serial, factorize_ilu_p2p(a, p, s));
+}
+
+// ThreadSanitizer instruments every atomic access in the p2p spin waits,
+// slowing them by an order of magnitude; the oversubscribed tail of the
+// thread ladder then takes minutes per case on small hosts. Race coverage
+// needs concurrent threads, not the full ladder, so cap the sweep there.
+#if defined(__SANITIZE_THREAD__)
+#define FUN3D_TEST_UNDER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define FUN3D_TEST_UNDER_TSAN 1
+#endif
+#endif
+
+#ifdef FUN3D_TEST_UNDER_TSAN
+constexpr idx_t kSweepThreadsEnd = 3;  // threads 1..2 under TSan
+#else
+constexpr idx_t kSweepThreadsEnd = 9;  // threads 1..8
+#endif
+
+INSTANTIATE_TEST_SUITE_P(
+    FillByThreads, IluParallelTest,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range<idx_t>(1, kSweepThreadsEnd)));
+
+TEST(IluParallel, BlockJacobiPatternsMatchSerialBitwise) {
+  const CsrGraph adj = mesh_adjacency(99);
+  const Bcsr4 a = random_dd(adj, 31);
+  for (const idx_t nsub : {2, 3, 5}) {
+    const IluPattern p = symbolic_ilu(block_diagonal(adj, nsub), 1);
+    const IluSchedules s = IluSchedules::build(p, 4);
+    const IluFactor serial = factorize_ilu(a, p);
+    expect_factors_identical(serial, factorize_ilu_levels(a, p, s));
+    expect_factors_identical(serial, factorize_ilu_p2p(a, p, s));
+  }
+}
+
+TEST(IluSchedules, BuildStatsSane) {
+  const CsrGraph adj = mesh_adjacency(3);
+  const IluPattern p = symbolic_ilu(adj, 1);
+  const IluSchedules s = IluSchedules::build(p, 4);
+  EXPECT_EQ(s.nthreads, 4);
+  EXPECT_GT(s.levels.nlevels, 1);
+  EXPECT_GT(s.critical_path, 0.0);
+  const CsrGraph deps = ilu_lower_deps(p);
+  EXPECT_TRUE(is_valid_level_schedule(deps, s.levels));
+  EXPECT_TRUE(p2p_plan_covers(deps, s.owner, s.plan));
+  EXPECT_LE(s.plan.reduced_cross_deps, s.plan.raw_cross_deps);
+}
+
+TEST(IluSchedules, DependencyDagMatchesFactor) {
+  const CsrGraph adj = mesh_adjacency(5);
+  const Bcsr4 a = random_dd(adj, 5);
+  const IluPattern p = symbolic_ilu(adj, 2);
+  const IluFactor f = factorize_ilu(a, p);
+  const CsrGraph from_pattern = ilu_lower_deps(p);
+  const CsrGraph from_factor = f.lower_deps();
+  EXPECT_EQ(from_pattern.rowptr, from_factor.rowptr);
+  EXPECT_EQ(from_pattern.col, from_factor.col);
+}
+
+TEST(IluParallel, SingularDiagonalThrowsFromBothVariants) {
+  CsrGraph adj;
+  adj.rowptr = {0, 2, 4};
+  adj.col = {0, 1, 0, 1};
+  const Bcsr4 a = Bcsr4::from_adjacency(adj);  // all-zero blocks
+  const IluPattern p = symbolic_ilu(adj, 0);
+  const IluSchedules s = IluSchedules::build(p, 2);
+  EXPECT_THROW(factorize_ilu_levels(a, p, s), std::runtime_error);
+  EXPECT_THROW(factorize_ilu_p2p(a, p, s), std::runtime_error);
+}
+
+// Regression companion to TrsvP2P.CompletesWhenRuntimeCapsThreadsBelowSchedule:
+// when the OpenMP runtime delivers fewer threads than the p2p schedule was
+// built for, rows owned by absent threads would never factor and waiters
+// would spin forever. Reproduced by factoring from inside an active
+// parallel region with nesting disabled (inner teams capped at 1 thread);
+// the call must fall back to the serial factorization and still produce
+// the bitwise-identical factor, recording a shortfall event.
+TEST(IluP2P, CompletesWhenRuntimeCapsThreadsBelowSchedule) {
+  const CsrGraph adj = mesh_adjacency(7);
+  const Bcsr4 a = random_dd(adj, 7);
+  const IluPattern p = symbolic_ilu(adj, 1);
+  const IluSchedules s = IluSchedules::build(p, 4);
+  ASSERT_GT(s.plan.raw_cross_deps, 0u);  // waits exist => would deadlock
+  const IluFactor serial = factorize_ilu(a, p);
+  reset_team_shortfall_stats();
+  const int saved_levels = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);  // inner parallel regions get 1 thread
+  IluFactor capped;
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    capped = factorize_ilu_p2p(a, p, s);
+  }
+  omp_set_max_active_levels(saved_levels);
+  expect_factors_identical(serial, capped);
+  EXPECT_GE(team_shortfall_events(), 1u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_LT(team_last_delivered(), 4);
+}
+
+TEST(IluParallel, RepeatedFactorizationsAreDeterministic) {
+  const CsrGraph adj = mesh_adjacency(11);
+  const Bcsr4 a = random_dd(adj, 11);
+  const IluPattern p = symbolic_ilu(adj, 1);
+  const IluSchedules s = IluSchedules::build(p, 4);
+  expect_factors_identical(factorize_ilu_p2p(a, p, s),
+                           factorize_ilu_p2p(a, p, s));
+}
+
+}  // namespace
+}  // namespace fun3d

@@ -79,6 +79,16 @@ TEST(PerfReport, SmokeSolveEmitsValidReport) {
   EXPECT_GE(rep.plan_stats.at("load_imbalance"), 1.0);
   // P2P TRSV schedules were built for nthreads=2.
   EXPECT_GT(rep.plan_stats.at("trsv_fwd.raw_cross_deps"), 0.0);
+  // optimized(2) also builds parallel-factorization schedules; their stats
+  // land under ilu_factor.* and must be internally consistent.
+  EXPECT_EQ(rep.plan_stats.at("ilu_factor.nthreads"), 2.0);
+  EXPECT_GT(rep.plan_stats.at("ilu_factor.nlevels"), 1.0);
+  EXPECT_GT(rep.plan_stats.at("ilu_factor.critical_path"), 0.0);
+  EXPECT_GE(rep.plan_stats.at("ilu_factor.waits"), 0.0);
+  EXPECT_LE(rep.plan_stats.at("ilu_factor.reduced_cross_deps"),
+            rep.plan_stats.at("ilu_factor.raw_cross_deps"));
+  EXPECT_EQ(rep.params.at("ilu_mode"),
+            static_cast<double>(IluMode::kP2P));
 
   const std::string path =
       testing::TempDir() + "fun3d_perf_smoke_report.json";
@@ -190,6 +200,25 @@ TEST(PerfReport, ComparatorFlagsShortfallMismatchAsEnvironmentNotPerf) {
   // Same shortfall state on both sides: nothing to flag.
   EXPECT_TRUE(compare_reports(base.to_json(), base.to_json(), 0.25).empty());
   EXPECT_TRUE(compare_reports(cur.to_json(), cur.to_json(), 0.25).empty());
+}
+
+TEST(PerfReport, ValidatorRejectsInconsistentCrossDepCounts) {
+  // Sparsification can only remove waits: reduced > raw is a broken plan.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.plan_stats["ilu_factor.raw_cross_deps"] = 5;
+  rep.plan_stats["ilu_factor.reduced_cross_deps"] = 9;
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("reduced_cross_deps"), std::string::npos);
+
+  // A reduced count with no matching raw count is schema drift.
+  PerfReport orphan = PerfReport::begin("x", "t");
+  orphan.plan_stats["trsv_fwd.reduced_cross_deps"] = 3;
+  EXPECT_FALSE(validate_report(orphan.to_json()).empty());
+
+  // The consistent shape passes.
+  rep.plan_stats["ilu_factor.reduced_cross_deps"] = 5;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
 }
 
 TEST(PerfReport, ValidatorCatchesBrokenReports) {

@@ -121,6 +121,48 @@ TEST(Cli, ParsesFlagsBothSyntaxes) {
   EXPECT_FALSE(cli.has("missing"));
 }
 
+TEST(Cli, ParsesNegativeNumericValues) {
+  // Regression: `--shift -1.5` used to store shift=true and drop -1.5.
+  const char* argv[] = {"prog", "--shift", "-1.5",  "--n",    "-3",
+                        "--up",  "--mode", "serial"};
+  Cli cli(8, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("shift", 0.0), -1.5);
+  EXPECT_EQ(cli.get_int("n", 0), -3);
+  // A following --flag is still a flag, not a value.
+  EXPECT_TRUE(cli.get_bool("up", false));
+  EXPECT_EQ(cli.get("mode", ""), "serial");
+}
+
+TEST(Cli, NumericGettersWarnOnTrailingGarbage) {
+  const char* argv[] = {"prog", "--a", "12abc", "--b", "1.5x", "--c", "7"};
+  Cli cli(7, const_cast<char**>(argv));
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(cli.get_int("a", 0), 12);  // parsed prefix still returned
+  EXPECT_DOUBLE_EQ(cli.get_double("b", 0.0), 1.5);
+  EXPECT_EQ(cli.get_int("c", 0), 7);  // clean value: no warning
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("--a"), std::string::npos);
+  EXPECT_NE(err.find("--b"), std::string::npos);
+  EXPECT_EQ(err.find("--c"), std::string::npos);
+}
+
+TEST(Cli, ExtractFlagConsumesTrailingValuelessFlag) {
+  // Regression: `bench --json` as the last argument used to stay in argv
+  // (breaking downstream parsers) and silently produce no report.
+  const char* raw[] = {"prog", "--other", "--json"};
+  char* argv[4];
+  for (int i = 0; i < 3; ++i) argv[i] = const_cast<char*>(raw[i]);
+  argv[3] = nullptr;
+  int argc = 3;
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(Cli::extract_flag(&argc, argv, "json"), "");
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(argc, 2);  // flag consumed, not passed through
+  EXPECT_STREQ(argv[1], "--other");
+  EXPECT_NE(err.find("--json"), std::string::npos);
+  EXPECT_NE(err.find("last argument"), std::string::npos);
+}
+
 TEST(Cli, ExtractFlagRemovesItFromArgv) {
   const char* raw[] = {"prog", "--benchmark_filter=Flux", "--json",
                        "out.json", "--other", "x"};
