@@ -61,6 +61,7 @@ ReorderResult evaluate(TetMesh m) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 2.5);
 
   header("Ablation", "RCM reordering (paper §V-A locality optimization)");

@@ -16,6 +16,9 @@
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "mesh/stats.hpp"
+#include "trace/analysis.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -91,14 +94,47 @@ inline IluMode parse_ilu_mode(const Cli& cli, IluMode def) {
   return def;
 }
 
+/// Enables event tracing when the bench was invoked with `--trace <path>`
+/// (shared by every bench, like `--json`). Call before the timed work;
+/// finish_trace() — called automatically by write_report() — exports the
+/// Chrome-trace artifact and folds the timeline analysis into the report.
+inline void begin_trace(const Cli& cli) {
+  if (cli.has("trace")) trace::enable();
+}
+
+/// If tracing is active: stops it, writes the Chrome trace-event JSON to
+/// the `--trace` path, prints the timeline summary, and folds the analysis
+/// (wait fractions, measured critical paths, top blocking dependencies)
+/// into `r` so validate_report / compare_reports see it. Returns false on
+/// export I/O failure.
+inline bool finish_trace(const Cli& cli, PerfReport& r) {
+  const std::string path = cli.get("trace", "");
+  if (path.empty() || !trace::enabled()) return true;
+  trace::disable();
+  const std::vector<trace::ThreadTrace> threads = trace::collect();
+  std::string err;
+  if (!trace::write_chrome_trace(path, threads, &err)) {
+    std::fprintf(stderr, "bench: failed to write trace: %s\n", err.c_str());
+    return false;
+  }
+  const trace::TimelineAnalysis a = trace::TimelineAnalysis::compute(threads);
+  std::printf("%s", a.format().c_str());
+  std::printf("trace written to %s\n", path.c_str());
+  r.add_trace_analysis(a);
+  return true;
+}
+
 /// Writes the report to the path given by `--json <path>` (shared by every
 /// bench; no flag means no artifact), then round-trips the artifact
 /// through validate_report so a bench can never ship a structurally
 /// broken report. Returns false on I/O or validation failure, which
 /// benches surface as a nonzero exit code so CI catches broken reports.
-inline bool write_report(const Cli& cli, const PerfReport& r) {
+/// Also finalizes an active `--trace` session first, so the trace metrics
+/// land in the artifact.
+inline bool write_report(const Cli& cli, PerfReport& r) {
+  const bool trace_ok = finish_trace(cli, r);
   const std::string path = cli.get("json", "");
-  if (path.empty()) return true;
+  if (path.empty()) return trace_ok;
   std::string err;
   if (!r.write(path, &err)) {
     std::fprintf(stderr, "bench: failed to write perf report: %s\n",
@@ -118,7 +154,7 @@ inline bool write_report(const Cli& cli, const PerfReport& r) {
     return false;
   }
   std::printf("\nperf report written to %s\n", path.c_str());
-  return true;
+  return trace_ok;
 }
 
 /// "shape holds" annotation helper: ratio of ours to paper.

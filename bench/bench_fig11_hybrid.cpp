@@ -17,6 +17,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 3.0);
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 256));
   const double growth = cli.get_double("iter-growth", 0.025);

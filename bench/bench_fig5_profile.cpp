@@ -10,6 +10,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 6.0);
 
   header("Fig. 5", "baseline application profile");

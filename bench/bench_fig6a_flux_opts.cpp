@@ -62,6 +62,7 @@ EdgeLoopCounts simulate_thread(const EdgeArrays& e, const FlowFields& f,
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 4.0);
   const int threads = static_cast<int>(cli.get_int("threads", 20));
   const int cores = static_cast<int>(cli.get_int("cores", 10));
@@ -138,5 +139,5 @@ int main(int argc, char** argv) {
       "improves on the previous; the modelled threaded speedup lands in the "
       "10-25x band.\n",
       threads, cores);
-  return 0;
+  return write_report(cli, rep) ? 0 : 1;
 }

@@ -22,6 +22,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 4.0);
   const int fill = static_cast<int>(cli.get_int("fill", 1));
 

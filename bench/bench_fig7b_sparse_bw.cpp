@@ -20,6 +20,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 4.0);
 
   header("Fig. 7b", "achieved bandwidth vs cores, level vs P2P");

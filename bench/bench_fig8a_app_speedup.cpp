@@ -33,6 +33,7 @@ double kernel_speedup_10c(const std::string& k) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 6.0);
 
   header("Fig. 8a", "full application: baseline vs optimized");

@@ -14,6 +14,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 6.0);
   const int threads = static_cast<int>(cli.get_int("threads", 1));
 

@@ -62,6 +62,7 @@ std::function<double(int)> measure_iteration_growth(double* c_out) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 3.0);
   const int max_nodes = static_cast<int>(cli.get_int("max-nodes", 256));
 

@@ -2,9 +2,10 @@
 // complement to the figure/table reproduction benches: per-edge and
 // per-block costs of every kernel variant, on the host.
 //
-// Accepts the repo-wide `--json <path>` flag (stripped before
-// benchmark::Initialize sees it): per-benchmark real times land in the
-// perf report's metrics section.
+// Accepts the repo-wide `--json <path>` and `--trace <path>` flags
+// (stripped before benchmark::Initialize sees them): per-benchmark real
+// times land in the perf report's metrics section; the trace flag exports
+// a Chrome trace-event timeline of the benchmarked kernels.
 #include <benchmark/benchmark.h>
 
 #include "core/boundary.hpp"
@@ -16,6 +17,9 @@
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "sparse/trsv.hpp"
+#include "trace/analysis.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -205,13 +209,29 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   const std::string json_path =
       fun3d::Cli::extract_flag(&argc, argv, "json");
+  const std::string trace_path =
+      fun3d::Cli::extract_flag(&argc, argv, "trace");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!trace_path.empty()) fun3d::trace::enable();
   fun3d::PerfReport rep =
       fun3d::PerfReport::begin("micro", "core kernel microbenchmarks");
   fun3d::CapturingReporter reporter(&rep);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    fun3d::trace::disable();
+    const auto threads = fun3d::trace::collect();
+    std::string err;
+    if (!fun3d::trace::write_chrome_trace(trace_path, threads, &err)) {
+      std::fprintf(stderr, "bench: failed to write trace: %s\n", err.c_str());
+      return 1;
+    }
+    const auto analysis = fun3d::trace::TimelineAnalysis::compute(threads);
+    std::printf("%s", analysis.format().c_str());
+    std::printf("trace written to %s\n", trace_path.c_str());
+    rep.add_trace_analysis(analysis);
+  }
   if (!json_path.empty()) {
     std::string err;
     if (!rep.write(json_path, &err)) {

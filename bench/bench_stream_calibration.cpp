@@ -13,6 +13,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const std::size_t mb = static_cast<std::size_t>(cli.get_int("mb", 64));
 
   header("calibration", "host microbenchmarks vs paper platform");

@@ -14,6 +14,7 @@ using namespace fun3d::bench;
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale_c = cli.get_double("scale-c", 6.0);
   const double scale_d = cli.get_double("scale-d", 4.0);
 

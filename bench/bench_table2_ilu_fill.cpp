@@ -112,6 +112,7 @@ double pattern_parallelism(double scale, int fill) {
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
+  begin_trace(cli);
   const double scale = cli.get_double("scale", 6.0);
   const double big_scale = cli.get_double("big-scale", 2.0);
 

@@ -1,10 +1,13 @@
 // Quickstart: generate a mesh, solve the flow, inspect the result.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --trace quickstart.trace.json
 //
 // Builds the wing-bump validation case at a small size, runs the optimized
 // pseudo-transient Newton-Krylov-Schwarz solver to steady state, and prints
-// convergence history plus the kernel profile.
+// convergence history plus the kernel profile. With `--trace <path>` it
+// additionally records a per-thread event timeline and exports it as
+// Chrome trace-event JSON — open it at ui.perfetto.dev.
 #include <cstdio>
 
 #include "core/solver.hpp"
@@ -12,10 +15,75 @@
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "mesh/stats.hpp"
+#include "trace/analysis.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+#include "util/cli.hpp"
 
 using namespace fun3d;
 
-int main() {
+namespace {
+
+/// Re-reads the exported trace through the strict JSON parser and checks
+/// the properties a useful timeline must have: spans from at least two
+/// threads and at least one attributed spin-wait. Keeps the quickstart
+/// honest as a smoke test of the whole tracing path.
+bool self_check_trace(const std::string& path) {
+  std::string text, err;
+  if (!read_text_file(path, &text, &err)) {
+    std::fprintf(stderr, "trace self-check: cannot re-read %s: %s\n",
+                 path.c_str(), err.c_str());
+    return false;
+  }
+  const Json doc = Json::parse(text, &err);
+  if (!err.empty() || !doc.is_object()) {
+    std::fprintf(stderr, "trace self-check: invalid JSON: %s\n", err.c_str());
+    return false;
+  }
+  const Json* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array() || events->size() == 0) {
+    std::fprintf(stderr, "trace self-check: no traceEvents\n");
+    return false;
+  }
+  std::vector<double> span_tids;
+  bool has_wait = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const Json* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string() != "X") continue;
+    const Json* name = e.find("name");
+    if (name != nullptr && name->is_string() &&
+        name->as_string() == "spin_wait")
+      has_wait = true;
+    const Json* tid = e.find("tid");
+    if (tid == nullptr) continue;
+    const double t = tid->as_double(-1);
+    bool seen = false;
+    for (const double s : span_tids) seen = seen || s == t;
+    if (!seen) span_tids.push_back(t);
+  }
+  if (span_tids.size() < 2) {
+    std::fprintf(stderr,
+                 "trace self-check: spans from %zu thread(s), want >= 2\n",
+                 span_tids.size());
+    return false;
+  }
+  if (!has_wait) {
+    std::fprintf(stderr, "trace self-check: no spin-wait events recorded\n");
+    return false;
+  }
+  std::printf("trace self-check: %zu events, spans from %zu threads, "
+              "spin-waits present\n",
+              events->size(), span_tids.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string trace_path = cli.get("trace", "");
+  if (!trace_path.empty()) trace::enable();
   // 1. Mesh: the synthetic swept-wing-bump channel (ONERA-M6 stand-in).
   TetMesh mesh = generate_wing_bump(preset_params(MeshPreset::kSmall));
   shuffle_numbering(mesh, 42);  // mimic raw unstructured-generator numbering
@@ -39,6 +107,22 @@ int main() {
   for (std::size_t i = 0; i < stats.residual_history.size(); ++i)
     std::printf("  step %2zu  |R| = %.3e\n", i, stats.residual_history[i]);
   std::printf("\n%s", solver.profile().format("kernel profile").c_str());
+
+  // 3b. Export + self-check the event timeline when --trace was given.
+  if (!trace_path.empty()) {
+    trace::disable();
+    const std::vector<trace::ThreadTrace> threads = trace::collect();
+    std::string err;
+    if (!trace::write_chrome_trace(trace_path, threads, &err)) {
+      std::fprintf(stderr, "failed to write trace: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("\n%s",
+                trace::TimelineAnalysis::compute(threads).format().c_str());
+    std::printf("trace written to %s (open at ui.perfetto.dev)\n",
+                trace_path.c_str());
+    if (!self_check_trace(trace_path)) return 1;
+  }
 
   // 4. Sample the solution: pressure extrema over the wall.
   const FlowFields& f = solver.fields();

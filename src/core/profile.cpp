@@ -11,6 +11,7 @@
 #include "parallel/edge_partition.hpp"
 #include "parallel/team.hpp"
 #include "sparse/ilu.hpp"
+#include "trace/analysis.hpp"
 
 namespace fun3d {
 
@@ -109,6 +110,7 @@ void PerfReport::add_factor_schedule(const IluSchedules& s,
   plan_stats[p + "nthreads"] = static_cast<double>(s.nthreads);
   plan_stats[p + "nlevels"] = static_cast<double>(s.levels.nlevels);
   plan_stats[p + "critical_path"] = s.critical_path;
+  plan_stats[p + "parallelism"] = s.parallelism;
   plan_stats[p + "waits"] =
       s.plan.wait_ptr.empty() ? 0.0
                               : static_cast<double>(s.plan.wait_ptr.back());
@@ -121,6 +123,55 @@ void PerfReport::add_team_stats(const std::string& prefix) {
       static_cast<std::uint64_t>(team_last_planned());
   counters[prefix + "team_delivered_threads"] =
       static_cast<std::uint64_t>(team_last_delivered());
+}
+
+void PerfReport::add_trace_analysis(const trace::TimelineAnalysis& a,
+                                    const std::string& prefix) {
+  const std::string p = prefix + "trace.";
+  counters[p + "events"] = a.total_events;
+  counters[p + "dropped_events"] = a.dropped_events;
+  counters[p + "shortfalls"] = a.shortfalls;
+  counters[p + "threads"] = a.threads.size();
+  metrics[p + "total_seconds"] = a.total_seconds;
+
+  double span = 0, wait = 0;
+  std::uint64_t spin_waits = 0;
+  for (const auto& t : a.threads) {
+    span += t.span_seconds;
+    wait += t.wait_seconds;
+    spin_waits += t.spin_waits;
+  }
+  counters[p + "spin_waits"] = spin_waits;
+  metrics[p + "wait_fraction"] = span > 0 ? wait / span : 0.0;
+
+  for (const auto& k : a.kernels) {
+    const std::string kp = p + k.name + ".";
+    metrics[kp + "span_seconds"] = k.span_seconds;
+    metrics[kp + "wall_seconds"] = k.wall_seconds;
+    metrics[kp + "wait_fraction"] = k.wait_fraction();
+    metrics[kp + "measured_critical_path_seconds"] =
+        k.measured_critical_path_seconds;
+    metrics[kp + "max_shard_busy_seconds"] = k.max_shard_busy_seconds;
+    metrics[kp + "effective_parallelism"] = k.effective_parallelism();
+    counters[kp + "spans"] = k.spans;
+    counters[kp + "waits"] = k.waits;
+  }
+
+  // The top blocking dependencies are identified by data-dependent
+  // (kernel, owner, row) tuples; a string keeps the numeric schema stable.
+  if (!a.top_blocking.empty()) {
+    std::string s;
+    char buf[160];
+    for (const auto& d : a.top_blocking) {
+      std::snprintf(buf, sizeof(buf), "%s%s owner=%lld row=%lld %.3gs x%llu",
+                    s.empty() ? "" : "; ", d.kernel.c_str(),
+                    static_cast<long long>(d.owner),
+                    static_cast<long long>(d.row), d.seconds,
+                    static_cast<unsigned long long>(d.count));
+      s += buf;
+    }
+    info[p + "top_blocking"] = s;
+  }
 }
 
 namespace {
@@ -294,6 +345,64 @@ std::vector<std::string> validate_report(const Json& report) {
                            "are nonzero");
     }
   }
+
+  // Measured-timeline consistency (emitted by add_trace_analysis). For
+  // every per-kernel trace block the realized critical path is sandwiched:
+  //   max_shard_busy_seconds <= measured_critical_path_seconds
+  //                          <= wall_seconds,
+  // wait fractions live in [0,1], and — the cross-check against the
+  // schedule's prediction — the realized parallelism busy/critical-path of
+  // the ILU factorization kernels cannot exceed the dependency DAG's
+  // parallelism bound (plan.*ilu_factor.parallelism) by more than timing
+  // noise allows.
+  const Json* metrics = report.find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    constexpr double kRel = 1e-3;   // clock-granularity slack
+    constexpr double kAbs = 1e-6;   // seconds
+    const std::string kCp = "measured_critical_path_seconds";
+    double max_dag_parallelism = 0;
+    if (plan != nullptr && plan->is_object())
+      for (std::size_t i = 0; i < plan->size(); ++i)
+        if (plan->key_at(i).ends_with("ilu_factor.parallelism"))
+          max_dag_parallelism =
+              std::max(max_dag_parallelism, plan->at(i).as_double(0));
+    for (std::size_t i = 0; i < metrics->size(); ++i) {
+      const std::string key = metrics->key_at(i);
+      if (key.ends_with("wait_fraction")) {
+        const double v = metrics->at(i).as_double(-1);
+        if (!(v >= 0.0) || v > 1.0 + 1e-9)
+          problems.push_back("metrics." + key + ": outside [0,1]");
+      }
+      if (!key.ends_with(kCp)) continue;
+      const std::string base = key.substr(0, key.size() - kCp.size());
+      const double cp = metrics->at(i).as_double(-1);
+      const Json* wall = metrics->find(base + "wall_seconds");
+      const Json* shard = metrics->find(base + "max_shard_busy_seconds");
+      if (wall == nullptr || shard == nullptr) {
+        problems.push_back("metrics." + key +
+                           ": missing matching wall_seconds / "
+                           "max_shard_busy_seconds");
+        continue;
+      }
+      const double w = wall->as_double(-1), sh = shard->as_double(-1);
+      if (cp > w * (1 + kRel) + kAbs)
+        problems.push_back("metrics." + key +
+                           ": measured critical path exceeds wall time");
+      if (sh > cp * (1 + kRel) + kAbs)
+        problems.push_back("metrics." + base + "max_shard_busy_seconds" +
+                           ": busiest shard exceeds measured critical path");
+      // DAG cross-check, only for the kernels a factor schedule predicts.
+      if (max_dag_parallelism > 0 &&
+          base.find("ilu_factor_") != std::string::npos) {
+        const Json* ep = metrics->find(base + "effective_parallelism");
+        if (ep != nullptr &&
+            ep->as_double(0) > max_dag_parallelism * 1.25 + 0.5)
+          problems.push_back(
+              "metrics." + base + "effective_parallelism" +
+              ": exceeds the schedule's DAG parallelism bound");
+      }
+    }
+  }
   return problems;
 }
 
@@ -381,6 +490,29 @@ std::vector<std::string> compare_reports(const Json& baseline,
                       "counters.%s: baseline %.0f vs current %.0f — capped "
                       "OpenMP team mismatch (environment difference, not a "
                       "perf regression)",
+                      key.c_str(), b, c);
+        out.emplace_back(buf);
+      }
+    }
+  }
+  // Synchronization regressions: a trace wait fraction that grew both
+  // materially (absolute +0.10) and relatively (rel_tol) means threads now
+  // stall meaningfully longer in that kernel's p2p waits — a scheduling or
+  // sharing regression even if the wall time hides it.
+  const Json* bm = baseline.find("metrics");
+  const Json* cm = current.find("metrics");
+  if (bm != nullptr && bm->is_object() && cm != nullptr && cm->is_object()) {
+    for (std::size_t i = 0; i < bm->size(); ++i) {
+      const std::string key = bm->key_at(i);
+      if (!key.ends_with("wait_fraction")) continue;
+      const Json* cv = cm->find(key);
+      if (cv == nullptr || !cv->is_number()) continue;
+      const double b = bm->at(i).as_double(0), c = cv->as_double(0);
+      if (c > b + 0.10 && c > b * (1.0 + rel_tol)) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "metrics.%s: %.3f -> %.3f — synchronization wait "
+                      "fraction regressed",
                       key.c_str(), b, c);
         out.emplace_back(buf);
       }

@@ -16,6 +16,9 @@ namespace fun3d {
 struct EdgeLoopPlan;
 struct P2PSyncPlan;
 struct IluSchedules;
+namespace trace {
+struct TimelineAnalysis;
+}  // namespace trace
 
 /// Canonical kernel names used across the solver and benches.
 namespace kernel {
@@ -93,6 +96,16 @@ struct PerfReport {
   /// planned/delivered sizes of the latest shortfall (0/0 when none), so
   /// a capped run is visible in the JSON rather than silent.
   void add_team_stats(const std::string& prefix = "");
+  /// Folds a timeline analysis (trace/analysis.hpp) into the report under
+  /// `<prefix>trace.*`: overall and per-kernel wait fractions, measured
+  /// critical paths and effective parallelism (metrics), event/drop/
+  /// shortfall counts (counters), and the top blocking p2p dependencies
+  /// (info, as a human-readable string — their identity is data-dependent,
+  /// so they stay out of the numeric schema). validate_report cross-checks
+  /// the measured critical-path invariants; compare_reports flags
+  /// wait-fraction growth as a synchronization regression.
+  void add_trace_analysis(const trace::TimelineAnalysis& a,
+                          const std::string& prefix = "");
 
   [[nodiscard]] Json to_json() const;
   /// Serializes (pretty-printed) to `path`; false + `err` on I/O failure.

@@ -9,6 +9,7 @@
 #include "core/jacobian.hpp"
 #include "graph/levels.hpp"
 #include "sparse/spmv.hpp"
+#include "trace/trace.hpp"
 
 namespace fun3d {
 namespace {
@@ -132,6 +133,7 @@ void FlowSolver::eval_residual(std::span<const double> q,
   }
   if (cfg_.second_order) {
     auto s = profile_.timers.scoped(kernel::kGradient);
+    trace::TraceSpan span("gradient");
     if (lsq_ != nullptr) {
       lsq_->apply(edges_, plan_, fields_);
     } else {
@@ -142,6 +144,7 @@ void FlowSolver::eval_residual(std::span<const double> q,
   std::fill(resid.begin(), resid.end(), 0.0);
   {
     auto s = profile_.timers.scoped(kernel::kFlux);
+    trace::TraceSpan span("flux");
     compute_edge_fluxes(cfg_.physics, edges_, plan_, cfg_.flux, fields_,
                         resid);
     add_boundary_fluxes(cfg_.physics, mesh_, fields_, resid);
@@ -151,6 +154,7 @@ void FlowSolver::eval_residual(std::span<const double> q,
 
 void FlowSolver::factor_preconditioner() {
   auto s = profile_.timers.scoped(kernel::kIlu);
+  trace::TraceSpan span("ilu_factor_phase");
   switch (cfg_.ilu_mode) {
     case IluMode::kSerial:
       factor_ = std::make_unique<IluFactor>(factorize_ilu(
@@ -175,6 +179,7 @@ void FlowSolver::factor_preconditioner() {
 void FlowSolver::apply_preconditioner(std::span<const double> in,
                                       std::span<double> out) {
   auto s = profile_.timers.scoped(kernel::kTrsv);
+  trace::TraceSpan span("trsv_phase");
   switch (cfg_.trsv_mode) {
     case TrsvMode::kSerial:
       trsv_serial(*factor_, in, out);
@@ -219,6 +224,7 @@ SolveStats FlowSolver::solve() {
     // First-order Jacobian + boundary + time term.
     {
       auto s = profile_.timers.scoped(kernel::kJacobian);
+      trace::TraceSpan span("jacobian");
       assemble_jacobian(cfg_.physics, edges_, plan_, fields_, cfg_.scheme,
                         jac_);
       add_boundary_jacobian(cfg_.physics, mesh_, fields_, jac_);
@@ -260,6 +266,7 @@ SolveStats FlowSolver::solve() {
     };
     int lin_iters = 0;
     if (cfg_.krylov == KrylovMethod::kBicgstab) {
+      trace::TraceSpan span("bicgstab");
       BicgstabOptions bopt;
       bopt.rtol = cfg_.gmres.rtol;
       bopt.atol = cfg_.gmres.atol;
@@ -269,6 +276,7 @@ SolveStats FlowSolver::solve() {
                          {du.data(), nq}, bopt, vec_, &profile_);
       lin_iters = bres.iterations;
     } else {
+      trace::TraceSpan span("gmres");
       const GmresResult gres =
           gmres_solve(apply_a, &precond, {rhs.data(), nq}, {du.data(), nq},
                       cfg_.gmres, vec_, &profile_);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 
 #include <sched.h>
 #if defined(__x86_64__)
@@ -19,8 +20,23 @@ namespace fun3d {
 inline void cpu_relax() {
 #if defined(__x86_64__)
   _mm_pause();
+#elif defined(__aarch64__)
+  // The AArch64 hint for spin loops: yields pipeline resources to the
+  // sibling hardware thread, the polite analogue of x86 PAUSE.
+  asm volatile("yield");
 #endif
 }
+
+/// Spins executed before conceding the core with sched_yield(). Shared
+/// with the trace spin-counters (trace::spin_wait records spins/yields
+/// against this threshold), so instrumentation and behaviour cannot drift.
+inline constexpr int kSpinsBeforeYield = 64;
+
+/// Spin/yield counts of one wait, as recorded by the instrumented path.
+struct WaitStats {
+  std::uint32_t spins = 0;
+  std::uint32_t yields = 0;
+};
 
 /// Spin until the owner thread's progress counter reaches `row` — the
 /// owner publishes `row` itself after finishing it, so the wait is
@@ -30,11 +46,31 @@ inline void wait_progress(const std::atomic<idx_t>& counter, idx_t row) {
   int spins = 0;
   while (counter.load(std::memory_order_acquire) < row) {
     cpu_relax();
-    if (++spins >= 64) {  // oversubscribed cores: let the owner run
+    if (++spins >= kSpinsBeforeYield) {  // oversubscribed: let the owner run
       sched_yield();
       spins = 0;
     }
   }
+}
+
+/// wait_progress with spin/yield accounting, for the traced kernels. Same
+/// wait loop and yield threshold; callers pick this variant only when
+/// tracing is enabled, so the untraced path stays byte-for-byte the
+/// uncounted loop above.
+inline WaitStats wait_progress_counted(const std::atomic<idx_t>& counter,
+                                       idx_t row) {
+  WaitStats st;
+  int spins = 0;
+  while (counter.load(std::memory_order_acquire) < row) {
+    cpu_relax();
+    ++st.spins;
+    if (++spins >= kSpinsBeforeYield) {
+      sched_yield();
+      ++st.yields;
+      spins = 0;
+    }
+  }
+  return st;
 }
 
 }  // namespace fun3d

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "trace/trace.hpp"
+
 namespace fun3d {
 namespace {
 
@@ -37,6 +39,9 @@ void note_team_shortfall(idx_t planned, idx_t delivered) {
   g_shortfall_events.fetch_add(1, std::memory_order_relaxed);
   g_last_planned.store(planned, std::memory_order_relaxed);
   g_last_delivered.store(delivered, std::memory_order_relaxed);
+  // Every shortfall is also a timeline event: capped runs must be visible
+  // in a trace, not just in the aggregate counters.
+  trace::shortfall(planned, delivered);
 }
 
 }  // namespace detail

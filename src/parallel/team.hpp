@@ -37,6 +37,7 @@
 #include <omp.h>
 
 #include "graph/csr.hpp"
+#include "trace/trace.hpp"
 
 namespace fun3d {
 
@@ -72,11 +73,18 @@ void note_team_shortfall(idx_t planned, idx_t delivered);
 /// [0, planned), tolerating a delivered team smaller than planned (see
 /// file comment for the per-policy contract). Returns what actually
 /// happened; with kAbort the caller must check TeamRun::completed.
+///
+/// `label` names the per-shard trace spans (trace.hpp) so kernels are
+/// distinguishable on a timeline; pass a string literal. Shards record one
+/// span per planned id, carrying that id, which is what the timeline
+/// analysis keys its critical-path chains on.
 template <class Fn>
 TeamRun run_team(idx_t planned, Fn&& shard,
-                 ShortfallPolicy policy = ShortfallPolicy::kCooperative) {
+                 ShortfallPolicy policy = ShortfallPolicy::kCooperative,
+                 const char* label = "team") {
   TeamRun run;
   if (planned <= 1) {
+    trace::TraceSpan span(label, 0);
     shard(static_cast<idx_t>(0));
     return run;
   }
@@ -86,21 +94,29 @@ TeamRun run_team(idx_t planned, Fn&& shard,
   {
     const idx_t team = static_cast<idx_t>(omp_get_num_threads());
     if (team == planned) {
-      shard(static_cast<idx_t>(omp_get_thread_num()));
+      const idx_t me = static_cast<idx_t>(omp_get_thread_num());
+      trace::TraceSpan span(label, me);
+      shard(me);
     } else {
       // Uniform team size: every thread takes this branch together, so a
       // shard containing barriers is never half-entered.
       const idx_t me = static_cast<idx_t>(omp_get_thread_num());
       if (me == 0) delivered = team;
       if (policy == ShortfallPolicy::kCooperative)
-        for (idx_t t = me; t < planned; t += team) shard(t);
+        for (idx_t t = me; t < planned; t += team) {
+          trace::TraceSpan span(label, t);
+          shard(t);
+        }
     }
   }
   run.delivered = delivered;
   if (run.shortfall()) {
     detail::note_team_shortfall(planned, delivered);
     if (policy == ShortfallPolicy::kSerial)
-      for (idx_t t = 0; t < planned; ++t) shard(t);
+      for (idx_t t = 0; t < planned; ++t) {
+        trace::TraceSpan span(label, t);
+        shard(t);
+      }
     run.completed = policy != ShortfallPolicy::kAbort;
   }
   return run;
@@ -112,9 +128,11 @@ TeamRun run_team(idx_t planned, Fn&& shard,
 /// team size by construction. Exists so even the "safe" regions detect
 /// and count a capped team instead of degrading silently.
 template <class Fn>
-TeamRun run_team_workshare(idx_t planned, Fn&& body) {
+TeamRun run_team_workshare(idx_t planned, Fn&& body,
+                           const char* label = "team") {
   TeamRun run;
   if (planned <= 1) {
+    trace::TraceSpan span(label, 0);
     body();
     return run;
   }
@@ -124,6 +142,8 @@ TeamRun run_team_workshare(idx_t planned, Fn&& body) {
   {
     if (omp_get_thread_num() == 0)
       delivered = static_cast<idx_t>(omp_get_num_threads());
+    trace::TraceSpan span(label,
+                          static_cast<idx_t>(omp_get_thread_num()));
     body();
   }
   run.delivered = delivered;

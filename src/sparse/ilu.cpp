@@ -7,6 +7,7 @@
 
 #include "parallel/spinwait.hpp"
 #include "parallel/team.hpp"
+#include "trace/trace.hpp"
 
 namespace fun3d {
 
@@ -127,6 +128,7 @@ IluSchedules IluSchedules::build(const IluPattern& pattern, idx_t nthreads,
   s.owner = partition_natural(pattern.rows.num_vertices(), s.nthreads);
   s.plan = build_p2p_plan(deps, s.owner, sparsify);
   s.critical_path = dag_critical_path(deps);
+  s.parallelism = dag_parallelism(deps);
   return s;
 }
 
@@ -406,22 +408,27 @@ IluFactor factorize_ilu_levels(const Bcsr4& a, const IluPattern& pattern,
   // Worksharing-only body: the `omp for` barrier after each wavefront both
   // orders level l before l+1 and makes the finished rows visible, for any
   // delivered team size.
-  run_team_workshare(s.nthreads, [&] {
-    AVec<double> cbuf;  // per-thread compressed row buffer
-    std::uint64_t my_flops = 0;
-    for (idx_t l = 0; l < s.levels.nlevels; ++l) {
-      const auto rows = s.levels.level(l);
+  run_team_workshare(
+      s.nthreads,
+      [&] {
+        AVec<double> cbuf;  // per-thread compressed row buffer
+        std::uint64_t my_flops = 0;
+        for (idx_t l = 0; l < s.levels.nlevels; ++l) {
+          const auto rows = s.levels.level(l);
+          if (omp_get_thread_num() == 0)
+            trace::wavefront("ilu_factor", l, static_cast<idx_t>(rows.size()));
 #pragma omp for schedule(static)
-      for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size());
-           ++k) {
-        if (!factor_row(a, f.rowptr_, f.col_, f.diag_, f.val_.data(),
-                        rows[static_cast<std::size_t>(k)], cbuf, gemm_sub,
-                        my_flops))
-          singular.store(true, std::memory_order_relaxed);
-      }
-    }
-    total_flops.fetch_add(my_flops, std::memory_order_relaxed);
-  });
+          for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size());
+               ++k) {
+            if (!factor_row(a, f.rowptr_, f.col_, f.diag_, f.val_.data(),
+                            rows[static_cast<std::size_t>(k)], cbuf, gemm_sub,
+                            my_flops))
+              singular.store(true, std::memory_order_relaxed);
+          }
+        }
+        total_flops.fetch_add(my_flops, std::memory_order_relaxed);
+      },
+      "ilu_factor_levels");
   if (singular.load(std::memory_order_relaxed))
     throw std::runtime_error("factorize_ilu: singular diagonal block");
   f.factor_flops_ = total_flops.load(std::memory_order_relaxed);
@@ -453,6 +460,7 @@ IluFactor factorize_ilu_p2p(const Bcsr4& a, const IluPattern& pattern,
   // serialized: on shortfall run_team aborts (no shard executes) and we
   // fall back to the serial factorization, which needs no schedule and
   // still produces the exact same factor.
+  const bool tracing = trace::enabled();  // hoisted out of the row loop
   const TeamRun run = run_team(
       nt,
       [&](idx_t t) {
@@ -461,11 +469,19 @@ IluFactor factorize_ilu_p2p(const Bcsr4& a, const IluPattern& pattern,
         for (idx_t i = 0; i < n; ++i) {
           if (s.owner.part[static_cast<std::size_t>(i)] != t) continue;
           for (idx_t w = s.plan.wait_ptr[static_cast<std::size_t>(i)];
-               w < s.plan.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w)
-            wait_progress(
-                progress[static_cast<std::size_t>(
-                    s.plan.wait_thread[static_cast<std::size_t>(w)])],
-                s.plan.wait_row[static_cast<std::size_t>(w)]);
+               w < s.plan.wait_ptr[static_cast<std::size_t>(i) + 1]; ++w) {
+            const idx_t owner =
+                s.plan.wait_thread[static_cast<std::size_t>(w)];
+            const idx_t row = s.plan.wait_row[static_cast<std::size_t>(w)];
+            if (!tracing) {
+              wait_progress(progress[static_cast<std::size_t>(owner)], row);
+            } else {
+              const std::int64_t t0 = trace::now_ns();
+              const WaitStats ws = wait_progress_counted(
+                  progress[static_cast<std::size_t>(owner)], row);
+              trace::spin_wait(owner, row, ws.spins, ws.yields, t0);
+            }
+          }
           if (!factor_row(a, f.rowptr_, f.col_, f.diag_, f.val_.data(), i,
                           cbuf, gemm_sub, my_flops))
             singular.store(true, std::memory_order_relaxed);
@@ -476,7 +492,7 @@ IluFactor factorize_ilu_p2p(const Bcsr4& a, const IluPattern& pattern,
         }
         thread_flops[static_cast<std::size_t>(t)] = my_flops;
       },
-      ShortfallPolicy::kAbort);
+      ShortfallPolicy::kAbort, "ilu_factor_p2p");
   if (!run.completed)
     return factorize_ilu(a, pattern, /*compressed_buffer=*/true, simd);
   if (singular.load(std::memory_order_relaxed))

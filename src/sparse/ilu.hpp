@@ -57,6 +57,7 @@ struct IluSchedules {
   Partition owner;       ///< contiguous row ownership (natural order)
   P2PSyncPlan plan;      ///< sparsified cross-thread waits
   double critical_path = 0;  ///< cost of the longest dependency chain
+  double parallelism = 1;    ///< total cost / critical_path (DAG bound)
 
   /// `sparsify` enables the transitive-reduction pass on the p2p plan;
   /// without it the plan still collapses waits per predecessor thread.

@@ -8,9 +8,25 @@
 
 #include "parallel/spinwait.hpp"
 #include "parallel/team.hpp"
+#include "trace/trace.hpp"
 
 namespace fun3d {
 namespace {
+
+/// Instrumented-or-plain wait: the untraced path is exactly wait_progress;
+/// the traced path counts spins/yields and records a spin-wait event
+/// attributing the stall to (owner thread, row). `tracing` is hoisted out
+/// of the row loop by the callers so the disabled cost is one branch.
+inline void wait_dep(bool tracing, const std::atomic<idx_t>& counter,
+                     idx_t owner, idx_t row) {
+  if (!tracing) {
+    wait_progress(counter, row);
+    return;
+  }
+  const std::int64_t t0 = trace::now_ns();
+  const WaitStats ws = wait_progress_counted(counter, row);
+  trace::spin_wait(owner, row, ws.spins, ws.yields, t0);
+}
 
 /// Forward-substitute one row: x_i = b_i - sum_{j<i} L_ij x_j.
 inline void fwd_row(const IluFactor& f, idx_t i, const double* b, double* x) {
@@ -65,21 +81,30 @@ void trsv_levels(const IluFactor& f, const TrsvSchedules& s,
   double* xp = x.data();
   // Level scheduling uses only `omp for` worksharing — correct for any
   // delivered team size; run_team_workshare records capped runs.
-  run_team_workshare(s.nthreads, [&] {
-    for (idx_t l = 0; l < s.fwd_levels.nlevels; ++l) {
-      const auto rows = s.fwd_levels.level(l);
+  run_team_workshare(
+      s.nthreads,
+      [&] {
+        for (idx_t l = 0; l < s.fwd_levels.nlevels; ++l) {
+          const auto rows = s.fwd_levels.level(l);
+          if (omp_get_thread_num() == 0)
+            trace::wavefront("trsv_fwd", l, static_cast<idx_t>(rows.size()));
 #pragma omp for schedule(static)
-      for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size()); ++k)
-        fwd_row(f, rows[static_cast<std::size_t>(k)], bp, xp);
-      // implicit barrier at end of omp for
-    }
-    for (idx_t l = 0; l < s.bwd_levels.nlevels; ++l) {
-      const auto rows = s.bwd_levels.level(l);
+          for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size());
+               ++k)
+            fwd_row(f, rows[static_cast<std::size_t>(k)], bp, xp);
+          // implicit barrier at end of omp for
+        }
+        for (idx_t l = 0; l < s.bwd_levels.nlevels; ++l) {
+          const auto rows = s.bwd_levels.level(l);
+          if (omp_get_thread_num() == 0)
+            trace::wavefront("trsv_bwd", l, static_cast<idx_t>(rows.size()));
 #pragma omp for schedule(static)
-      for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size()); ++k)
-        bwd_row(f, n - 1 - rows[static_cast<std::size_t>(k)], xp);
-    }
-  });
+          for (std::int64_t k = 0; k < static_cast<std::int64_t>(rows.size());
+               ++k)
+            bwd_row(f, n - 1 - rows[static_cast<std::size_t>(k)], xp);
+        }
+      },
+      "trsv_levels");
 }
 
 void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
@@ -97,6 +122,7 @@ void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
   // (no shard executes) and we fall back to the level-scheduled solve,
   // whose `omp for` worksharing is correct for any delivered team size
   // and still produces the exact serial result.
+  const bool tracing = trace::enabled();  // hoisted out of the row loops
   const TeamRun run = run_team(
       nt,
       [&](idx_t t) {
@@ -104,11 +130,13 @@ void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
         for (idx_t i = 0; i < n; ++i) {
           if (s.fwd_owner.part[static_cast<std::size_t>(i)] != t) continue;
           for (idx_t w = s.fwd_plan.wait_ptr[i];
-               w < s.fwd_plan.wait_ptr[i + 1]; ++w)
-            wait_progress(
-                progress[static_cast<std::size_t>(
-                    s.fwd_plan.wait_thread[static_cast<std::size_t>(w)])],
-                s.fwd_plan.wait_row[static_cast<std::size_t>(w)]);
+               w < s.fwd_plan.wait_ptr[i + 1]; ++w) {
+            const idx_t owner =
+                s.fwd_plan.wait_thread[static_cast<std::size_t>(w)];
+            const idx_t row = s.fwd_plan.wait_row[static_cast<std::size_t>(w)];
+            wait_dep(tracing, progress[static_cast<std::size_t>(owner)], owner,
+                     row);
+          }
           fwd_row(f, i, bp, xp);
           progress[static_cast<std::size_t>(t)].store(
               i, std::memory_order_release);
@@ -124,17 +152,19 @@ void trsv_p2p(const IluFactor& f, const TrsvSchedules& s,
         for (idx_t mi = 0; mi < n; ++mi) {
           if (s.bwd_owner.part[static_cast<std::size_t>(mi)] != t) continue;
           for (idx_t w = s.bwd_plan.wait_ptr[mi];
-               w < s.bwd_plan.wait_ptr[mi + 1]; ++w)
-            wait_progress(
-                progress[static_cast<std::size_t>(
-                    s.bwd_plan.wait_thread[static_cast<std::size_t>(w)])],
-                s.bwd_plan.wait_row[static_cast<std::size_t>(w)]);
+               w < s.bwd_plan.wait_ptr[mi + 1]; ++w) {
+            const idx_t owner =
+                s.bwd_plan.wait_thread[static_cast<std::size_t>(w)];
+            const idx_t row = s.bwd_plan.wait_row[static_cast<std::size_t>(w)];
+            wait_dep(tracing, progress[static_cast<std::size_t>(owner)], owner,
+                     row);
+          }
           bwd_row(f, n - 1 - mi, xp);
           progress[static_cast<std::size_t>(t)].store(
               mi, std::memory_order_release);
         }
       },
-      ShortfallPolicy::kAbort);
+      ShortfallPolicy::kAbort, "trsv_p2p");
   if (!run.completed) trsv_levels(f, s, b, x);
 }
 

@@ -1,0 +1,359 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace fun3d::trace {
+namespace {
+
+double sec(std::uint64_t ns) { return static_cast<double>(ns) / 1e9; }
+
+struct WaitRec {
+  int tid = 0;
+  std::uint64_t t0 = 0, t1 = 0;
+  std::int64_t owner = 0, row = 0;
+  int span = -1;  ///< index into the global span list; -1 = unattributed
+};
+
+struct SpanRec {
+  int tid = 0;
+  std::int64_t arg = -1;  ///< planned thread id for team shards
+  std::uint64_t t0 = 0, t1 = 0;
+  const char* name = nullptr;
+  double wait_seconds = 0;         ///< attributed waits
+  std::vector<int> waits;          ///< indices into the wait list
+};
+
+/// Union length of possibly-overlapping intervals, in seconds.
+double union_seconds(std::vector<std::pair<std::uint64_t, std::uint64_t>> iv) {
+  if (iv.empty()) return 0;
+  std::sort(iv.begin(), iv.end());
+  double total = 0;
+  std::uint64_t lo = iv[0].first, hi = iv[0].second;
+  for (const auto& [a, b] : iv) {
+    if (a > hi) {
+      total += sec(hi - lo);
+      lo = a;
+      hi = b;
+    } else if (b > hi) {
+      hi = b;
+    }
+  }
+  return total + sec(hi - lo);
+}
+
+/// Measured critical path of one episode (spans of one kernel invocation,
+/// with their attributed waits): each span accumulates its busy time; a
+/// wait splices in the owner shard's chain at the moment it resolved.
+double episode_critical_path(const std::vector<SpanRec*>& spans,
+                             const std::vector<WaitRec>& all_waits) {
+  std::vector<double> chain(spans.size(), 0);
+  std::vector<std::uint64_t> cursor(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) cursor[i] = spans[i]->t0;
+  // All waits of the episode, ordered by resolution time.
+  std::vector<std::pair<const WaitRec*, std::size_t>> waits;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    for (int w : spans[i]->waits) waits.emplace_back(&all_waits[static_cast<std::size_t>(w)], i);
+  std::sort(waits.begin(), waits.end(),
+            [](const auto& a, const auto& b) { return a.first->t1 < b.first->t1; });
+
+  auto owner_span = [&](std::int64_t owner, std::uint64_t at) -> std::size_t {
+    // Latest-started span of the owner's planned id that had begun by `at`.
+    std::size_t best = spans.size();
+    for (std::size_t i = 0; i < spans.size(); ++i)
+      if (spans[i]->arg == owner && spans[i]->t0 <= at &&
+          (best == spans.size() || spans[i]->t0 > spans[best]->t0))
+        best = i;
+    return best;
+  };
+
+  for (const auto& [w, s] : waits) {
+    if (w->t0 > cursor[s]) chain[s] += sec(w->t0 - cursor[s]);
+    const std::size_t o = owner_span(w->owner, w->t1);
+    if (o < spans.size() && o != s) {
+      // Owner's chain extended by its busy time since its last event (it
+      // published the row we waited for, so it was running until ~t1).
+      const std::uint64_t oend = std::min(w->t1, spans[o]->t1);
+      const double oc =
+          chain[o] + (oend > cursor[o] ? sec(oend - cursor[o]) : 0.0);
+      chain[s] = std::max(chain[s], oc);
+    }
+    cursor[s] = w->t1;
+  }
+  double cp = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i]->t1 > cursor[i]) chain[i] += sec(spans[i]->t1 - cursor[i]);
+    cp = std::max(cp, chain[i]);
+  }
+  return cp;
+}
+
+}  // namespace
+
+TimelineAnalysis TimelineAnalysis::compute(
+    const std::vector<ThreadTrace>& threads, std::size_t top_k) {
+  TimelineAnalysis a;
+  std::vector<SpanRec> spans;
+  std::vector<WaitRec> waits;
+  std::uint64_t tmin = UINT64_MAX, tmax = 0;
+
+  for (const ThreadTrace& t : threads) {
+    ThreadSummary ts;
+    ts.tid = t.tid;
+    ts.events = t.events.size();
+    ts.dropped = t.dropped;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> iv;
+    for (const Event& e : t.events) {
+      tmin = std::min(tmin, e.t0_ns);
+      tmax = std::max(tmax, e.t1_ns);
+      switch (e.kind) {
+        case EventKind::kSpan: {
+          SpanRec s;
+          s.tid = t.tid;
+          s.arg = e.a0;
+          s.t0 = e.t0_ns;
+          s.t1 = e.t1_ns;
+          s.name = e.name;
+          spans.push_back(s);
+          iv.emplace_back(e.t0_ns, e.t1_ns);
+          break;
+        }
+        case EventKind::kSpinWait: {
+          WaitRec w;
+          w.tid = t.tid;
+          w.t0 = e.t0_ns;
+          w.t1 = e.t1_ns;
+          w.owner = e.a0;
+          w.row = e.a1;
+          waits.push_back(w);
+          ts.wait_seconds += sec(e.t1_ns - e.t0_ns);
+          ts.spin_waits++;
+          break;
+        }
+        case EventKind::kShortfall:
+          a.shortfalls++;
+          break;
+        case EventKind::kWavefront:
+          break;
+      }
+    }
+    ts.span_seconds = union_seconds(std::move(iv));
+    a.total_events += ts.events;
+    a.dropped_events += ts.dropped;
+    a.threads.push_back(ts);
+  }
+  if (tmax > tmin) a.total_seconds = sec(tmax - tmin);
+
+  // Attribute each wait to the innermost enclosing span on its thread:
+  // the containing span with the latest start (RAII spans nest properly
+  // per thread, so that is the innermost).
+  std::vector<int> by_t0(spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) by_t0[i] = static_cast<int>(i);
+  std::sort(by_t0.begin(), by_t0.end(), [&](int x, int y) {
+    return spans[static_cast<std::size_t>(x)].t0 <
+           spans[static_cast<std::size_t>(y)].t0;
+  });
+  for (std::size_t wi = 0; wi < waits.size(); ++wi) {
+    WaitRec& w = waits[wi];
+    // Last span (by t0) starting at or before the wait...
+    auto it = std::upper_bound(
+        by_t0.begin(), by_t0.end(), w.t0, [&](std::uint64_t v, int sidx) {
+          return v < spans[static_cast<std::size_t>(sidx)].t0;
+        });
+    // ...then walk back to the first one on the same thread containing it.
+    while (it != by_t0.begin()) {
+      --it;
+      SpanRec& s = spans[static_cast<std::size_t>(*it)];
+      if (s.tid == w.tid && s.t0 <= w.t0 && w.t1 <= s.t1) {
+        w.span = *it;
+        s.wait_seconds += sec(w.t1 - w.t0);
+        s.waits.push_back(static_cast<int>(wi));
+        break;
+      }
+    }
+  }
+
+  // Kernel summaries + per-kernel episodes.
+  std::map<std::string, std::vector<int>> by_name;
+  for (std::size_t i = 0; i < spans.size(); ++i)
+    by_name[spans[i].name != nullptr ? spans[i].name : "?"].push_back(
+        static_cast<int>(i));
+  for (auto& [name, idxs] : by_name) {
+    KernelSummary k;
+    k.name = name;
+    std::sort(idxs.begin(), idxs.end(), [&](int x, int y) {
+      return spans[static_cast<std::size_t>(x)].t0 <
+             spans[static_cast<std::size_t>(y)].t0;
+    });
+    // Cluster into episodes: spans overlapping in time = one invocation.
+    std::vector<SpanRec*> episode;
+    std::uint64_t ep_end = 0;
+    auto flush = [&]() {
+      if (episode.empty()) return;
+      std::uint64_t lo = UINT64_MAX, hi = 0;
+      std::map<std::int64_t, double> shard_busy;  // keyed by planned id
+      int live = 0;
+      for (SpanRec* s : episode) {
+        lo = std::min(lo, s->t0);
+        hi = std::max(hi, s->t1);
+        const double busy = sec(s->t1 - s->t0) - s->wait_seconds;
+        shard_busy[s->arg] += busy > 0 ? busy : 0.0;
+        ++live;
+      }
+      k.wall_seconds += sec(hi - lo);
+      double mb = 0;
+      for (const auto& [id, b] : shard_busy) mb = std::max(mb, b);
+      k.max_shard_busy_seconds += mb;
+      k.max_concurrency = std::max(k.max_concurrency, live);
+      // The chain measurement only means something for a multi-span
+      // episode; a single span's critical path is the span itself.
+      k.measured_critical_path_seconds +=
+          episode.size() > 1
+              ? std::min(episode_critical_path(episode, waits), sec(hi - lo))
+              : (sec(hi - lo) - episode[0]->wait_seconds);
+      episode.clear();
+    };
+    for (int si : idxs) {
+      SpanRec& s = spans[static_cast<std::size_t>(si)];
+      if (!episode.empty() && s.t0 > ep_end) flush();
+      episode.push_back(&s);
+      ep_end = std::max(ep_end, s.t1);
+      k.spans++;
+      k.span_seconds += sec(s.t1 - s.t0);
+      k.wait_seconds += s.wait_seconds;
+      k.waits += s.waits.size();
+    }
+    flush();
+    a.kernels.push_back(std::move(k));
+  }
+
+  // Top blocking dependencies: aggregate waits by (kernel, owner, row).
+  std::map<std::tuple<std::string, std::int64_t, std::int64_t>,
+           std::pair<double, std::uint64_t>>
+      agg;
+  for (const WaitRec& w : waits) {
+    const std::string kernel =
+        w.span >= 0 && spans[static_cast<std::size_t>(w.span)].name != nullptr
+            ? spans[static_cast<std::size_t>(w.span)].name
+            : "?";
+    auto& [s, c] = agg[{kernel, w.owner, w.row}];
+    s += sec(w.t1 - w.t0);
+    c++;
+  }
+  for (const auto& [key, val] : agg) {
+    BlockingDep d;
+    d.kernel = std::get<0>(key);
+    d.owner = std::get<1>(key);
+    d.row = std::get<2>(key);
+    d.seconds = val.first;
+    d.count = val.second;
+    a.top_blocking.push_back(std::move(d));
+  }
+  std::sort(a.top_blocking.begin(), a.top_blocking.end(),
+            [](const BlockingDep& x, const BlockingDep& y) {
+              return x.seconds > y.seconds;
+            });
+  if (a.top_blocking.size() > top_k) a.top_blocking.resize(top_k);
+  return a;
+}
+
+const KernelSummary* TimelineAnalysis::kernel(const std::string& name) const {
+  for (const KernelSummary& k : kernels)
+    if (k.name == name) return &k;
+  return nullptr;
+}
+
+Json TimelineAnalysis::to_json() const {
+  Json j = Json::object();
+  j["total_seconds"] = Json(total_seconds);
+  j["total_events"] = Json(total_events);
+  j["dropped_events"] = Json(dropped_events);
+  j["shortfalls"] = Json(shortfalls);
+  Json jt = Json::array();
+  for (const ThreadSummary& t : threads) {
+    Json e = Json::object();
+    e["tid"] = Json(t.tid);
+    e["span_seconds"] = Json(t.span_seconds);
+    e["busy_seconds"] = Json(t.busy_seconds());
+    e["wait_seconds"] = Json(t.wait_seconds);
+    e["wait_fraction"] = Json(t.wait_fraction());
+    e["spin_waits"] = Json(t.spin_waits);
+    e["dropped"] = Json(t.dropped);
+    jt.push_back(std::move(e));
+  }
+  j["threads"] = std::move(jt);
+  Json jk = Json::array();
+  for (const KernelSummary& k : kernels) {
+    Json e = Json::object();
+    e["name"] = Json(k.name);
+    e["spans"] = Json(k.spans);
+    e["span_seconds"] = Json(k.span_seconds);
+    e["wait_seconds"] = Json(k.wait_seconds);
+    e["wait_fraction"] = Json(k.wait_fraction());
+    e["wall_seconds"] = Json(k.wall_seconds);
+    e["measured_critical_path_seconds"] = Json(k.measured_critical_path_seconds);
+    e["max_shard_busy_seconds"] = Json(k.max_shard_busy_seconds);
+    e["effective_parallelism"] = Json(k.effective_parallelism());
+    e["max_concurrency"] = Json(k.max_concurrency);
+    jk.push_back(std::move(e));
+  }
+  j["kernels"] = std::move(jk);
+  Json jb = Json::array();
+  for (const BlockingDep& d : top_blocking) {
+    Json e = Json::object();
+    e["kernel"] = Json(d.kernel);
+    e["owner"] = Json(static_cast<double>(d.owner));
+    e["row"] = Json(static_cast<double>(d.row));
+    e["seconds"] = Json(d.seconds);
+    e["count"] = Json(d.count);
+    jb.push_back(std::move(e));
+  }
+  j["top_blocking"] = std::move(jb);
+  return j;
+}
+
+std::string TimelineAnalysis::format() const {
+  std::string out = "trace timeline analysis:\n";
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "  %.4fs traced, %llu events (%llu dropped), %llu team "
+                "shortfalls\n",
+                total_seconds, static_cast<unsigned long long>(total_events),
+                static_cast<unsigned long long>(dropped_events),
+                static_cast<unsigned long long>(shortfalls));
+  out += buf;
+  for (const ThreadSummary& t : threads) {
+    std::snprintf(buf, sizeof(buf),
+                  "  thread %3d: busy %8.4fs  wait %8.4fs  (%5.1f%% waiting, "
+                  "%llu spin-waits)\n",
+                  t.tid, t.busy_seconds(), t.wait_seconds,
+                  100.0 * t.wait_fraction(),
+                  static_cast<unsigned long long>(t.spin_waits));
+    out += buf;
+  }
+  for (const KernelSummary& k : kernels) {
+    if (k.waits == 0 && k.max_concurrency <= 1) continue;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  kernel %-18s wall %8.4fs  wait %5.1f%%  crit-path %8.4fs  "
+        "eff-par %.2f\n",
+        k.name.c_str(), k.wall_seconds, 100.0 * k.wait_fraction(),
+        k.measured_critical_path_seconds, k.effective_parallelism());
+    out += buf;
+  }
+  for (std::size_t i = 0; i < top_blocking.size(); ++i) {
+    const BlockingDep& d = top_blocking[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  blocking dep #%zu: %s waits on thread %lld past row %lld "
+                  "— %.4fs over %llu waits\n",
+                  i + 1, d.kernel.c_str(), static_cast<long long>(d.owner),
+                  static_cast<long long>(d.row), d.seconds,
+                  static_cast<unsigned long long>(d.count));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace fun3d::trace

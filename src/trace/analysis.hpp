@@ -1,0 +1,100 @@
+// Timeline analysis of a collected trace: per-thread busy/wait fractions,
+// per-kernel wait attribution, top blocking p2p dependencies, and the
+// MEASURED critical path through the p2p dependency waits.
+//
+// The measured critical path is computed per "episode" (one overlapping
+// group of same-named spans = one kernel invocation): every span carries a
+// busy chain; a spin-wait on (owner, row) splices the owner's chain into
+// the waiter's at the moment the wait resolved. The longest resulting
+// chain is the realized critical path — what actually bounded the
+// invocation, as opposed to IluSchedules::critical_path, which is the
+// DAG's prediction. Invariants (validated in validate_report):
+//   max_shard_busy_seconds <= measured_critical_path_seconds <= wall_seconds
+// and the effective parallelism busy/critical-path cannot exceed the
+// schedule's predicted DAG parallelism (modulo timing noise).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/json.hpp"
+
+namespace fun3d::trace {
+
+struct ThreadSummary {
+  int tid = 0;
+  double span_seconds = 0;  ///< union of this thread's span intervals
+  double wait_seconds = 0;  ///< total time in recorded spin-waits
+  std::uint64_t events = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t spin_waits = 0;
+
+  [[nodiscard]] double busy_seconds() const {
+    return span_seconds > wait_seconds ? span_seconds - wait_seconds : 0.0;
+  }
+  [[nodiscard]] double wait_fraction() const {
+    return span_seconds > 0 ? wait_seconds / span_seconds : 0.0;
+  }
+};
+
+/// Aggregate over every span sharing one name (a kernel / phase label).
+struct KernelSummary {
+  std::string name;
+  std::uint64_t spans = 0;
+  std::uint64_t waits = 0;  ///< spin-waits attributed to these spans
+  double span_seconds = 0;  ///< sum of span durations
+  double wait_seconds = 0;  ///< sum of attributed wait durations
+  double wall_seconds = 0;  ///< sum of episode windows (first t0 to last t1)
+  double measured_critical_path_seconds = 0;  ///< sum of episode chains
+  double max_shard_busy_seconds = 0;  ///< sum of per-episode busiest shard
+  int max_concurrency = 1;  ///< most spans of this name overlapping in time
+
+  [[nodiscard]] double busy_seconds() const {
+    return span_seconds > wait_seconds ? span_seconds - wait_seconds : 0.0;
+  }
+  [[nodiscard]] double wait_fraction() const {
+    return span_seconds > 0 ? wait_seconds / span_seconds : 0.0;
+  }
+  /// busy / measured critical path: the parallelism the timeline actually
+  /// realized. Bounded above by the schedule's DAG parallelism.
+  [[nodiscard]] double effective_parallelism() const {
+    return measured_critical_path_seconds > 0
+               ? busy_seconds() / measured_critical_path_seconds
+               : 1.0;
+  }
+};
+
+/// One aggregated blocking dependency: total time threads spent waiting on
+/// `owner` to pass `row` inside spans named `kernel`.
+struct BlockingDep {
+  std::string kernel;
+  std::int64_t owner = 0;
+  std::int64_t row = 0;
+  double seconds = 0;
+  std::uint64_t count = 0;
+};
+
+struct TimelineAnalysis {
+  double total_seconds = 0;  ///< span of the whole trace (first..last event)
+  std::uint64_t total_events = 0;
+  std::uint64_t dropped_events = 0;
+  std::uint64_t shortfalls = 0;
+  std::vector<ThreadSummary> threads;
+  std::vector<KernelSummary> kernels;      ///< sorted by name
+  std::vector<BlockingDep> top_blocking;   ///< sorted by seconds, descending
+
+  /// Analyzes a collected trace. `top_k` caps top_blocking.
+  static TimelineAnalysis compute(const std::vector<ThreadTrace>& threads,
+                                  std::size_t top_k = 8);
+
+  [[nodiscard]] const KernelSummary* kernel(const std::string& name) const;
+
+  [[nodiscard]] Json to_json() const;
+  /// Human-readable console summary (per-thread fractions, per-kernel wait
+  /// shares, top blocking dependencies).
+  [[nodiscard]] std::string format() const;
+};
+
+}  // namespace fun3d::trace

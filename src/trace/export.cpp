@@ -1,0 +1,85 @@
+#include "trace/export.hpp"
+
+namespace fun3d::trace {
+namespace {
+
+/// ns -> Chrome's microsecond timestamps (fractional us preserved).
+double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+Json event_json(int tid, const Event& e) {
+  Json j = Json::object();
+  j["name"] = Json(e.name != nullptr ? e.name : "?");
+  j["pid"] = Json(0);
+  j["tid"] = Json(tid);
+  j["ts"] = Json(us(e.t0_ns));
+  Json args = Json::object();
+  switch (e.kind) {
+    case EventKind::kSpan:
+      j["cat"] = Json("span");
+      j["ph"] = Json("X");
+      j["dur"] = Json(us(e.t1_ns - e.t0_ns));
+      if (e.a0 >= 0) args["planned_thread"] = Json(static_cast<double>(e.a0));
+      break;
+    case EventKind::kSpinWait:
+      j["cat"] = Json("wait");
+      j["ph"] = Json("X");
+      j["dur"] = Json(us(e.t1_ns - e.t0_ns));
+      args["owner_thread"] = Json(static_cast<double>(e.a0));
+      args["row"] = Json(static_cast<double>(e.a1));
+      args["spins"] = Json(static_cast<double>(e.a2));
+      args["yields"] = Json(static_cast<double>(e.a3));
+      break;
+    case EventKind::kShortfall:
+      j["cat"] = Json("team");
+      j["ph"] = Json("i");
+      j["s"] = Json("t");  // thread-scoped instant
+      args["planned"] = Json(static_cast<double>(e.a0));
+      args["delivered"] = Json(static_cast<double>(e.a1));
+      break;
+    case EventKind::kWavefront:
+      j["cat"] = Json("wavefront");
+      j["ph"] = Json("i");
+      j["s"] = Json("t");
+      args["level"] = Json(static_cast<double>(e.a0));
+      args["rows"] = Json(static_cast<double>(e.a1));
+      break;
+  }
+  if (args.size() > 0) j["args"] = std::move(args);
+  return j;
+}
+
+}  // namespace
+
+Json chrome_trace_json(const std::vector<ThreadTrace>& threads) {
+  Json doc = Json::object();
+  Json events = Json::array();
+  for (const ThreadTrace& t : threads) {
+    // Name the track so Perfetto shows recorder slots, not bare numbers.
+    Json meta = Json::object();
+    meta["name"] = Json("thread_name");
+    meta["ph"] = Json("M");
+    meta["pid"] = Json(0);
+    meta["tid"] = Json(t.tid);
+    Json margs = Json::object();
+    margs["name"] = Json("trace-slot-" + std::to_string(t.tid));
+    meta["args"] = std::move(margs);
+    events.push_back(std::move(meta));
+    for (const Event& e : t.events) events.push_back(event_json(t.tid, e));
+  }
+  doc["traceEvents"] = std::move(events);
+  doc["displayTimeUnit"] = Json("ms");
+  Json other = Json::object();
+  std::uint64_t dropped = 0;
+  for (const ThreadTrace& t : threads) dropped += t.dropped;
+  other["dropped_events"] = Json(dropped);
+  doc["otherData"] = std::move(other);
+  return doc;
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ThreadTrace>& threads,
+                        std::string* err) {
+  return write_text_file(path, chrome_trace_json(threads).dump() + "\n", err);
+}
+
+}  // namespace fun3d::trace

@@ -1,0 +1,28 @@
+// Chrome trace-event export of a collected trace.
+//
+// The emitted JSON is the Trace Event Format's "JSON object" flavour:
+// {"traceEvents": [...], "displayTimeUnit": "ms"} — loadable directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Spans and spin-waits
+// become complete ("ph":"X") events with microsecond timestamps; shortfall
+// and wavefront markers become thread-scoped instants ("ph":"i").
+// Built on src/util/json, so the artifact round-trips through the same
+// strict parser that validates perf reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/json.hpp"
+
+namespace fun3d::trace {
+
+/// Builds the Chrome trace-event document for the collected threads.
+[[nodiscard]] Json chrome_trace_json(const std::vector<ThreadTrace>& threads);
+
+/// Serializes chrome_trace_json() to `path`. False + `err` on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ThreadTrace>& threads,
+                        std::string* err = nullptr);
+
+}  // namespace fun3d::trace

@@ -1,0 +1,161 @@
+#include "trace/trace.hpp"
+
+#include <chrono>
+#include <cstddef>
+
+namespace fun3d::trace {
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// One thread's ring. Each slot is written by exactly one thread (assigned
+/// through a thread_local on first record), so recording needs no locks;
+/// the alignment keeps neighbouring cursors off each other's cache line —
+/// false sharing there would be a measurement artifact in the very waits
+/// we are trying to observe.
+struct alignas(64) ThreadBuf {
+  Event* ring = nullptr;
+  std::size_t cap = 0;
+  /// Total events ever written; head = count % cap. Single writer (the
+  /// slot's thread); the release store publishes the ring contents so
+  /// collect()'s acquire load is correctly ordered on its own, not only
+  /// through the caller's OpenMP join.
+  std::atomic<std::uint64_t> count{0};
+};
+
+constexpr int kMaxThreads = 256;
+
+ThreadBuf g_bufs[kMaxThreads];
+std::atomic<int> g_next_slot{0};
+std::size_t g_events_per_thread = TraceConfig{}.events_per_thread;
+std::chrono::steady_clock::time_point g_epoch;
+
+constexpr int kUnassigned = -1;
+constexpr int kExhausted = -2;  // > kMaxThreads recorders: drop, don't share
+thread_local int tls_slot = kUnassigned;
+
+int thread_slot() {
+  if (tls_slot == kUnassigned) {
+    const int s = g_next_slot.fetch_add(1, std::memory_order_relaxed);
+    tls_slot = s < kMaxThreads ? s : kExhausted;
+  }
+  return tls_slot;
+}
+
+}  // namespace
+
+void record(const Event& e) {
+  const int s = thread_slot();
+  if (s < 0) return;
+  ThreadBuf& b = g_bufs[s];
+  if (b.ring == nullptr) {
+    // First event of a thread beyond the preallocated set: one-time
+    // allocation, still single-writer (this slot belongs to this thread).
+    b.cap = g_events_per_thread;
+    b.ring = new Event[b.cap];
+    b.count.store(0, std::memory_order_relaxed);
+  }
+  const std::uint64_t n = b.count.load(std::memory_order_relaxed);
+  b.ring[n % b.cap] = e;
+  b.count.store(n + 1, std::memory_order_release);
+}
+
+}  // namespace detail
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::g_epoch)
+          .count());
+}
+
+void enable(const TraceConfig& cfg) {
+  using namespace detail;
+  g_enabled.store(false, std::memory_order_relaxed);
+  reset();
+  g_events_per_thread = cfg.events_per_thread > 0 ? cfg.events_per_thread : 1;
+  const std::size_t prealloc =
+      cfg.prealloc_threads < kMaxThreads ? cfg.prealloc_threads : kMaxThreads;
+  for (std::size_t s = 0; s < prealloc; ++s) {
+    g_bufs[s].cap = g_events_per_thread;
+    g_bufs[s].ring = new Event[g_events_per_thread];
+    g_bufs[s].count.store(0, std::memory_order_relaxed);
+  }
+  g_epoch = std::chrono::steady_clock::now();
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() { detail::g_enabled.store(false, std::memory_order_relaxed); }
+
+void reset() {
+  using namespace detail;
+  for (auto& b : g_bufs) {
+    delete[] b.ring;
+    b.ring = nullptr;
+    b.cap = 0;
+    b.count.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<ThreadTrace> collect() {
+  using namespace detail;
+  std::vector<ThreadTrace> out;
+  for (int s = 0; s < kMaxThreads; ++s) {
+    const ThreadBuf& b = g_bufs[s];
+    // The acquire pairs with record()'s release store: every ring slot
+    // written before the loaded count is visible here.
+    const std::uint64_t cnt = b.count.load(std::memory_order_acquire);
+    if (b.ring == nullptr || cnt == 0) continue;
+    ThreadTrace t;
+    t.tid = s;
+    const std::uint64_t kept = cnt < b.cap ? cnt : b.cap;
+    t.dropped = cnt - kept;
+    t.events.reserve(static_cast<std::size_t>(kept));
+    // Oldest retained event sits at count % cap once the ring has wrapped.
+    const std::uint64_t start = cnt < b.cap ? 0 : cnt % b.cap;
+    for (std::uint64_t i = 0; i < kept; ++i)
+      t.events.push_back(b.ring[(start + i) % b.cap]);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void spin_wait(std::int64_t owner, std::int64_t row, std::int64_t spins,
+               std::int64_t yields, std::uint64_t t0_ns) {
+  Event e;
+  e.kind = EventKind::kSpinWait;
+  e.name = "spin_wait";
+  e.t0_ns = t0_ns;
+  e.t1_ns = now_ns();
+  e.a0 = owner;
+  e.a1 = row;
+  e.a2 = spins;
+  e.a3 = yields;
+  detail::record(e);
+}
+
+void shortfall(std::int64_t planned, std::int64_t delivered) {
+  if (!enabled()) return;
+  Event e;
+  e.kind = EventKind::kShortfall;
+  e.name = "team_shortfall";
+  e.t0_ns = e.t1_ns = now_ns();
+  e.a0 = planned;
+  e.a1 = delivered;
+  detail::record(e);
+}
+
+void wavefront(const char* name, std::int64_t level, std::int64_t rows) {
+  if (!enabled()) return;
+  Event e;
+  e.kind = EventKind::kWavefront;
+  e.name = name;
+  e.t0_ns = e.t1_ns = now_ns();
+  e.a0 = level;
+  e.a1 = rows;
+  detail::record(e);
+}
+
+}  // namespace fun3d::trace

@@ -1,0 +1,144 @@
+// Per-thread event tracing: the timeline instrument behind `--trace`.
+//
+// The aggregate PerfReport (counts, totals, means) cannot show the paper's
+// central shared-memory claims — that p2p sparsification converts global
+// barrier waits into a few cross-thread dependencies (§V), and that hybrid
+// tradeoffs hinge on *where* threads stall. Those are timeline phenomena.
+// This recorder captures them with a contract tight enough to leave
+// enabled in benches:
+//
+//  * disabled cost: ONE relaxed atomic load per span/instant site (the
+//    hot kernels additionally hoist that load out of their row loops, so
+//    the per-wait cost is a register test). No allocation, no clock read.
+//  * enabled cost: one steady_clock read per span endpoint / instant and
+//    a 64-byte store into a preallocated, cache-line-padded, per-thread
+//    ring buffer. No locks, no sharing between recording threads.
+//  * overflow: the ring keeps the NEWEST events (drops-oldest); the drop
+//    count is preserved and surfaced, never silent.
+//
+// Collection contract: `collect()` (and `disable()` + `collect()`) may only
+// be called while no traced parallel region is active — joining an OpenMP
+// region happens-before the caller's next statement, which makes the
+// buffers safely readable without synchronization in the recorder itself.
+//
+// Event taxonomy (see DESIGN.md §7):
+//  * kSpan      — an RAII interval: solver phase, kernel, or team shard.
+//  * kSpinWait  — one p2p dependency wait: owner thread, row, spin/yield
+//                 counts, duration. Payload mirrors P2PSyncPlan waits.
+//  * kShortfall — a TeamExecutor planned-vs-delivered team shortfall.
+//  * kWavefront — a level-scheduled wavefront boundary (level, row count).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace fun3d::trace {
+
+enum class EventKind : std::uint8_t { kSpan, kSpinWait, kShortfall, kWavefront };
+
+/// One recorded event. `name` must be a string with static storage
+/// duration (kernel labels are literals); only the pointer is stored.
+struct Event {
+  EventKind kind = EventKind::kSpan;
+  const char* name = nullptr;
+  std::uint64_t t0_ns = 0;  ///< start, ns since the enable() epoch
+  std::uint64_t t1_ns = 0;  ///< end; == t0_ns for point instants
+  /// Kind-specific payload:
+  ///  kSpan:      a0 = planned thread id of a team shard (-1 otherwise)
+  ///  kSpinWait:  a0 = owner thread, a1 = row, a2 = spins, a3 = yields
+  ///  kShortfall: a0 = planned team size, a1 = delivered team size
+  ///  kWavefront: a0 = level index, a1 = rows in the level
+  std::int64_t a0 = -1, a1 = 0, a2 = 0, a3 = 0;
+};
+
+struct TraceConfig {
+  /// Ring capacity per thread, in events (64 B each). Overflow keeps the
+  /// newest events and counts the dropped ones.
+  std::size_t events_per_thread = 1u << 14;
+  /// Thread slots preallocated at enable(); threads beyond this pay a
+  /// one-time allocation on their first recorded event.
+  std::size_t prealloc_threads = 16;
+};
+
+namespace detail {
+/// The single runtime on/off branch. Relaxed: observability, not
+/// synchronization — a span that straddles enable/disable is dropped.
+extern std::atomic<bool> g_enabled;
+void record(const Event& e);
+}  // namespace detail
+
+/// Nanoseconds since the enable() epoch (steady clock).
+std::uint64_t now_ns();
+
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// (Re)starts tracing: resets the epoch, (re)allocates the per-thread
+/// rings, clears previous events. Not thread-safe against active recording.
+void enable(const TraceConfig& cfg = {});
+
+/// Stops tracing. Events already recorded stay available to collect().
+void disable();
+
+/// Drops all recorded events and releases the buffers (tracing must be
+/// disabled first).
+void reset();
+
+/// All events one thread recorded, oldest retained first.
+struct ThreadTrace {
+  int tid = 0;  ///< recorder slot index (stable for the thread's lifetime)
+  std::uint64_t dropped = 0;  ///< events overwritten by ring overflow
+  std::vector<Event> events;
+};
+
+/// Snapshot of every thread's retained events (empty slots omitted),
+/// ordered by slot. See the collection contract in the file comment.
+[[nodiscard]] std::vector<ThreadTrace> collect();
+
+/// RAII span: records one kSpan event on destruction covering the scope's
+/// lifetime. When tracing is disabled at construction the destructor is a
+/// null-pointer test — no clock read, no allocation.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t arg = -1) {
+    if (detail::g_enabled.load(std::memory_order_relaxed)) {
+      name_ = name;
+      arg_ = arg;
+      t0_ = now_ns();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (name_ == nullptr || !enabled()) return;  // disabled mid-span: drop
+    Event e;
+    e.kind = EventKind::kSpan;
+    e.name = name_;
+    e.t0_ns = t0_;
+    e.t1_ns = now_ns();
+    e.a0 = arg_;
+    detail::record(e);
+  }
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+  std::int64_t arg_ = -1;
+};
+
+/// Records one p2p dependency wait that started at `t0_ns` (from now_ns())
+/// on `owner`'s progress past `row`. Call only when enabled() — hot kernels
+/// hoist the check.
+void spin_wait(std::int64_t owner, std::int64_t row, std::int64_t spins,
+               std::int64_t yields, std::uint64_t t0_ns);
+
+/// Records a TeamExecutor shortfall (checks enabled() itself; cold path).
+void shortfall(std::int64_t planned, std::int64_t delivered);
+
+/// Records a wavefront boundary of a level-scheduled kernel (call from one
+/// thread per level; checks enabled() itself).
+void wavefront(const char* name, std::int64_t level, std::int64_t rows);
+
+}  // namespace fun3d::trace

@@ -221,6 +221,82 @@ TEST(PerfReport, ValidatorRejectsInconsistentCrossDepCounts) {
   EXPECT_TRUE(validate_report(rep.to_json()).empty());
 }
 
+TEST(PerfReport, ValidatorRejectsBrokenTraceTimelineInvariants) {
+  // The measured-timeline sandwich: shard busy <= critical path <= wall.
+  // A report violating either side is corrupt instrumentation, not noise.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.metrics["trace.k.wall_seconds"] = 1.0;
+  rep.metrics["trace.k.max_shard_busy_seconds"] = 0.6;
+  rep.metrics["trace.k.measured_critical_path_seconds"] = 2.0;  // > wall
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("exceeds wall time"), std::string::npos);
+
+  rep.metrics["trace.k.measured_critical_path_seconds"] = 0.8;
+  rep.metrics["trace.k.max_shard_busy_seconds"] = 0.9;  // > critical path
+  problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("exceeds measured critical path"),
+            std::string::npos);
+
+  // A critical path with no wall/shard siblings is schema drift.
+  PerfReport orphan = PerfReport::begin("x", "t");
+  orphan.metrics["trace.k.measured_critical_path_seconds"] = 0.5;
+  EXPECT_FALSE(validate_report(orphan.to_json()).empty());
+
+  // Wait fractions are fractions.
+  PerfReport frac = PerfReport::begin("x", "t");
+  frac.metrics["trace.k.wait_fraction"] = 1.5;
+  EXPECT_FALSE(validate_report(frac.to_json()).empty());
+
+  // The consistent shape passes.
+  rep.metrics["trace.k.max_shard_busy_seconds"] = 0.6;
+  rep.metrics["trace.k.wait_fraction"] = 0.25;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+}
+
+TEST(PerfReport, ValidatorCrossChecksMeasuredParallelismAgainstSchedule) {
+  // The timeline cannot realize more parallelism than the factorization
+  // DAG admits: busy/critical-path above plan.ilu_factor.parallelism
+  // (modulo generous timing slack) means the trace and the schedule
+  // disagree about the same dependency structure.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.plan_stats["ilu_factor.parallelism"] = 2.0;
+  rep.metrics["trace.ilu_factor_p2p.wall_seconds"] = 1.0;
+  rep.metrics["trace.ilu_factor_p2p.max_shard_busy_seconds"] = 0.5;
+  rep.metrics["trace.ilu_factor_p2p.measured_critical_path_seconds"] = 0.5;
+  rep.metrics["trace.ilu_factor_p2p.effective_parallelism"] = 8.0;
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("DAG parallelism bound"),
+            std::string::npos);
+
+  // Within the bound (2.0 * 1.25 + 0.5 = 3.0): passes.
+  rep.metrics["trace.ilu_factor_p2p.effective_parallelism"] = 1.9;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+}
+
+TEST(PerfReport, ComparatorFlagsWaitFractionRegression) {
+  PerfReport base = PerfReport::begin("x", "t");
+  base.metrics["trace.trsv_p2p.wait_fraction"] = 0.05;
+  PerfReport cur = base;
+
+  // Needs both material absolute growth (+0.10) and relative growth:
+  // 0.05 -> 0.12 stays quiet, 0.05 -> 0.30 is a sync regression.
+  cur.metrics["trace.trsv_p2p.wait_fraction"] = 0.12;
+  EXPECT_TRUE(compare_reports(base.to_json(), cur.to_json(), 0.25).empty());
+
+  cur.metrics["trace.trsv_p2p.wait_fraction"] = 0.30;
+  const auto flags = compare_reports(base.to_json(), cur.to_json(), 0.25);
+  ASSERT_FALSE(flags.empty());
+  EXPECT_NE(flags.front().find("synchronization wait fraction regressed"),
+            std::string::npos);
+  EXPECT_NE(flags.front().find("trsv_p2p"), std::string::npos);
+
+  // Self-comparison stays clean.
+  EXPECT_TRUE(compare_reports(cur.to_json(), cur.to_json(), 0.25).empty());
+}
+
 TEST(PerfReport, ValidatorCatchesBrokenReports) {
   EXPECT_FALSE(validate_report(Json(1.0)).empty());
 

@@ -1,0 +1,390 @@
+// The tracing contract (DESIGN.md §7): recording is per-thread and
+// lock-free, overflow keeps the newest events and counts the drops,
+// disabled mode allocates nothing, the Chrome-trace export round-trips
+// through the repo's own strict JSON parser, team shortfalls surface as
+// trace events under a capped OpenMP runtime, and the timeline analysis
+// honours the measured-critical-path invariants against the real p2p
+// kernels' schedules.
+#include <gtest/gtest.h>
+
+#include <omp.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+#include "parallel/spinwait.hpp"
+#include "parallel/team.hpp"
+#include "sparse/ilu.hpp"
+#include "sparse/trsv.hpp"
+#include "trace/analysis.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter, for the disabled-mode zero-allocation test.
+// Counts every operator-new in the process; tests snapshot a window.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fun3d {
+namespace {
+
+/// Runs `fn` where any parallel region it opens is capped at one thread
+/// (same recipe as test_team.cpp): deterministic shortfall anywhere.
+template <class Fn>
+void with_capped_team(Fn&& fn) {
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    fn();
+  }
+  omp_set_max_active_levels(saved);
+}
+
+/// RAII: tracing is global state; every test leaves it disabled + empty.
+struct TraceGuard {
+  ~TraceGuard() {
+    trace::disable();
+    trace::reset();
+  }
+};
+
+Bcsr4 random_dd(const CsrGraph& adj, unsigned seed) {
+  Bcsr4 m = Bcsr4::from_adjacency(adj);
+  Rng rng(seed);
+  for (idx_t r = 0; r < m.num_rows(); ++r)
+    for (idx_t nz = m.row_begin(r); nz < m.row_end(r); ++nz) {
+      double* b = m.block(nz);
+      for (int i = 0; i < kBs2; ++i) b[i] = rng.uniform(-0.5, 0.5);
+      if (m.col(nz) == r)
+        for (int i = 0; i < kBs; ++i) b[i * kBs + i] += 8.0;
+    }
+  return m;
+}
+
+CsrGraph mesh_adjacency(unsigned seed) {
+  TetMesh m = generate_box(4, 4, 3);
+  shuffle_numbering(m, seed);
+  return m.vertex_graph();
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, RingOverflowKeepsNewestAndCountsDrops) {
+  TraceGuard guard;
+  trace::TraceConfig cfg;
+  cfg.events_per_thread = 8;
+  trace::enable(cfg);
+  for (int i = 0; i < 20; ++i) trace::TraceSpan span("ring", i);
+  trace::disable();
+
+  const auto threads = trace::collect();
+  const trace::ThreadTrace* mine = nullptr;
+  for (const auto& t : threads)
+    if (!t.events.empty() && t.events[0].name != nullptr &&
+        std::strcmp(t.events[0].name, "ring") == 0)
+      mine = &t;
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine->events.size(), 8u);
+  EXPECT_EQ(mine->dropped, 12u);
+  // Drops-oldest: the retained window is the newest 8, oldest first.
+  for (std::size_t i = 0; i < mine->events.size(); ++i) {
+    EXPECT_EQ(mine->events[i].a0, static_cast<std::int64_t>(12 + i));
+    EXPECT_EQ(mine->events[i].kind, trace::EventKind::kSpan);
+  }
+}
+
+TEST(TraceRecorder, DisabledModeRecordsNothingAndAllocatesNothing) {
+  TraceGuard guard;
+  trace::disable();
+  trace::reset();
+
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    trace::TraceSpan span("noop", i);
+    trace::wavefront("noop", i, 1);
+    trace::shortfall(4, 2);
+  }
+  const std::uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "disabled tracing must not allocate";
+  EXPECT_TRUE(trace::collect().empty());
+}
+
+TEST(TraceRecorder, DisabledSpanCostIsNegligible) {
+  // The contract is ONE relaxed load per disabled site. An absolute bound
+  // with orders-of-magnitude slack guards against accidentally adding a
+  // clock read or allocation to the disabled path without turning this
+  // into a flaky micro-benchmark: 200k disabled spans in under 100ms is
+  // ~500ns per span, ~100x the expected cost.
+  TraceGuard guard;
+  trace::disable();
+  Timer t;
+  for (int i = 0; i < 200000; ++i) trace::TraceSpan span("cost", i);
+  EXPECT_LT(t.seconds(), 0.1);
+}
+
+TEST(TraceRecorder, EnableResetsPreviousEvents) {
+  TraceGuard guard;
+  trace::enable();
+  { trace::TraceSpan span("first"); }
+  trace::disable();
+  trace::enable();
+  { trace::TraceSpan span("second"); }
+  trace::disable();
+  const auto threads = trace::collect();
+  std::size_t first = 0, second = 0;
+  for (const auto& t : threads)
+    for (const auto& e : t.events) {
+      if (std::strcmp(e.name, "first") == 0) ++first;
+      if (std::strcmp(e.name, "second") == 0) ++second;
+    }
+  EXPECT_EQ(first, 0u);
+  EXPECT_EQ(second, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace export round-trip through src/util/json
+// ---------------------------------------------------------------------------
+
+TEST(TraceExport, ChromeTraceRoundTripsThroughStrictParser) {
+  TraceGuard guard;
+  trace::enable();
+  { trace::TraceSpan span("kernel_a", 0); }
+  trace::spin_wait(/*owner=*/1, /*row=*/42, /*spins=*/100, /*yields=*/3,
+                   trace::now_ns());
+  trace::wavefront("wf", 2, 17);
+  trace::disable();
+  const auto threads = trace::collect();
+  ASSERT_FALSE(threads.empty());
+
+  const std::string path = testing::TempDir() + "fun3d_trace_roundtrip.json";
+  std::string err;
+  ASSERT_TRUE(trace::write_chrome_trace(path, threads, &err)) << err;
+  std::string text;
+  ASSERT_TRUE(read_text_file(path, &text, &err)) << err;
+  const Json doc = Json::parse(text, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(doc.is_object());
+
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_span = false, saw_wait = false, saw_wavefront = false,
+       saw_meta = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    const std::string name = e.find("name")->as_string();
+    const std::string ph = e.find("ph")->as_string();
+    if (name == "kernel_a" && ph == "X") {
+      saw_span = true;
+      EXPECT_GE(e.find("dur")->as_double(-1), 0.0);
+      EXPECT_EQ(e.find("args")->find("planned_thread")->as_double(-1), 0.0);
+    }
+    if (name == "spin_wait" && ph == "X") {
+      saw_wait = true;
+      const Json* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("owner_thread")->as_double(-1), 1.0);
+      EXPECT_EQ(args->find("row")->as_double(-1), 42.0);
+      EXPECT_EQ(args->find("spins")->as_double(-1), 100.0);
+      EXPECT_EQ(args->find("yields")->as_double(-1), 3.0);
+    }
+    if (name == "wf" && ph == "i") {
+      saw_wavefront = true;
+      EXPECT_EQ(e.find("s")->as_string(), "t");
+      EXPECT_EQ(e.find("args")->find("level")->as_double(-1), 2.0);
+      EXPECT_EQ(e.find("args")->find("rows")->as_double(-1), 17.0);
+    }
+    if (ph == "M" && name == "thread_name") saw_meta = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_wait);
+  EXPECT_TRUE(saw_wavefront);
+  EXPECT_TRUE(saw_meta);
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->as_double(-1), 0.0);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Shortfall events under a capped OpenMP runtime (the `shortfall` label
+// runs this whole binary under OMP_THREAD_LIMIT caps as well)
+// ---------------------------------------------------------------------------
+
+TEST(TraceShortfall, CappedTeamEmitsShortfallEvent) {
+  TraceGuard guard;
+  reset_team_shortfall_stats();
+  trace::enable();
+  std::vector<int> ran(4, 0);
+  with_capped_team([&] {
+    run_team(4, [&](idx_t t) {
+#pragma omp atomic
+      ran[static_cast<std::size_t>(t)]++;
+    });
+  });
+  trace::disable();
+  for (int r : ran) EXPECT_EQ(r, 1);  // cooperative completion unaffected
+
+  bool saw = false;
+  for (const auto& t : trace::collect())
+    for (const auto& e : t.events)
+      if (e.kind == trace::EventKind::kShortfall) {
+        saw = true;
+        EXPECT_EQ(e.a0, 4);          // planned
+        EXPECT_LT(e.a1, 4);          // delivered
+        EXPECT_GE(e.a1, 1);
+      }
+  EXPECT_TRUE(saw) << "capped run_team must leave a shortfall trace event";
+  reset_team_shortfall_stats();
+}
+
+// ---------------------------------------------------------------------------
+// Timeline analysis: deterministic synthetic timeline
+// ---------------------------------------------------------------------------
+
+TEST(TraceAnalysis, SyntheticWaitSplicesOwnerChainIntoCriticalPath) {
+  // Thread 0 runs shard 0 for [0,100]ns; thread 1 runs shard 1 for
+  // [0,150]ns and spends [10,60]ns waiting on shard 0's row 5.
+  std::vector<trace::ThreadTrace> threads(2);
+  threads[0].tid = 0;
+  threads[1].tid = 1;
+  trace::Event s0;
+  s0.kind = trace::EventKind::kSpan;
+  s0.name = "k";
+  s0.t0_ns = 0;
+  s0.t1_ns = 100;
+  s0.a0 = 0;
+  trace::Event w;
+  w.kind = trace::EventKind::kSpinWait;
+  w.name = "spin_wait";
+  w.t0_ns = 10;
+  w.t1_ns = 60;
+  w.a0 = 0;  // owner shard
+  w.a1 = 5;  // row
+  trace::Event s1 = s0;
+  s1.t1_ns = 150;
+  s1.a0 = 1;
+  threads[0].events = {s0};
+  threads[1].events = {w, s1};
+
+  const trace::TimelineAnalysis a = trace::TimelineAnalysis::compute(threads);
+  ASSERT_EQ(a.threads.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.threads[0].span_seconds, 100e-9);
+  EXPECT_DOUBLE_EQ(a.threads[0].wait_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(a.threads[1].span_seconds, 150e-9);
+  EXPECT_DOUBLE_EQ(a.threads[1].wait_seconds, 50e-9);
+  EXPECT_EQ(a.threads[1].spin_waits, 1u);
+
+  const trace::KernelSummary* k = a.kernel("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->spans, 2u);
+  EXPECT_EQ(k->waits, 1u);  // attributed to the enclosing thread-1 span
+  EXPECT_DOUBLE_EQ(k->wall_seconds, 150e-9);
+  EXPECT_DOUBLE_EQ(k->wait_seconds, 50e-9);
+  EXPECT_DOUBLE_EQ(k->max_shard_busy_seconds, 100e-9);
+  // Chain: shard 1 runs 10ns, splices shard 0's 60ns chain at the wait's
+  // resolution, then runs 90ns more -> 150ns, the realized bound.
+  EXPECT_DOUBLE_EQ(k->measured_critical_path_seconds, 150e-9);
+  EXPECT_EQ(k->max_concurrency, 2);
+  EXPECT_NEAR(k->effective_parallelism(), 200.0 / 150.0, 1e-12);
+
+  ASSERT_EQ(a.top_blocking.size(), 1u);
+  EXPECT_EQ(a.top_blocking[0].kernel, "k");
+  EXPECT_EQ(a.top_blocking[0].owner, 0);
+  EXPECT_EQ(a.top_blocking[0].row, 5);
+  EXPECT_DOUBLE_EQ(a.top_blocking[0].seconds, 50e-9);
+  EXPECT_EQ(a.top_blocking[0].count, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline analysis against the real p2p kernels
+// ---------------------------------------------------------------------------
+
+TEST(TraceAnalysis, P2PKernelsSatisfyCriticalPathInvariants) {
+  TraceGuard guard;
+  const CsrGraph adj = mesh_adjacency(12345);
+  const Bcsr4 a = random_dd(adj, 7);
+  const IluPattern p = symbolic_ilu(adj, 1);
+  const idx_t nt = 2;
+  const IluSchedules is = IluSchedules::build(p, nt);
+  const IluFactor serial = factorize_ilu(a, p);
+  const TrsvSchedules ts = TrsvSchedules::build(serial, nt, true);
+  AVec<double> b(static_cast<std::size_t>(serial.num_rows()) * kBs, 1.0);
+  AVec<double> x(b.size(), 0.0), xs(b.size(), 0.0);
+  trsv_serial(serial, {b.data(), b.size()}, {xs.data(), xs.size()});
+
+  trace::enable();
+  const IluFactor traced = factorize_ilu_p2p(a, p, is);
+  trsv_p2p(serial, ts, {b.data(), b.size()}, {x.data(), x.size()});
+  trace::disable();
+
+  // Tracing must not perturb results: identical factor and solve.
+  ASSERT_EQ(traced.num_blocks(), serial.num_blocks());
+  EXPECT_EQ(std::memcmp(traced.block(0), serial.block(0),
+                        serial.num_blocks() * kBs2 * sizeof(double)),
+            0);
+  for (std::size_t i = 0; i < x.size(); ++i) ASSERT_EQ(x[i], xs[i]);
+
+  const trace::TimelineAnalysis an =
+      trace::TimelineAnalysis::compute(trace::collect());
+  if (an.shortfalls > 0) GTEST_SKIP() << "runtime capped the team";
+
+  // Every spin-wait the plans schedule is recorded exactly once.
+  std::uint64_t ilu_waits = 0, trsv_waits = 0;
+  const trace::KernelSummary* ik = an.kernel("ilu_factor_p2p");
+  const trace::KernelSummary* tk = an.kernel("trsv_p2p");
+  ASSERT_NE(ik, nullptr);
+  ASSERT_NE(tk, nullptr);
+  ilu_waits = ik->waits;
+  trsv_waits = tk->waits;
+  EXPECT_EQ(ilu_waits, static_cast<std::uint64_t>(is.plan.wait_ptr.back()));
+  EXPECT_EQ(trsv_waits,
+            static_cast<std::uint64_t>(ts.fwd_plan.wait_ptr.back() +
+                                       ts.bwd_plan.wait_ptr.back()));
+
+  constexpr double kAbs = 1e-6;  // clock-granularity slack, seconds
+  for (const trace::KernelSummary* k : {ik, tk}) {
+    EXPECT_EQ(k->spans, static_cast<std::uint64_t>(nt)) << k->name;
+    EXPECT_LE(k->max_shard_busy_seconds,
+              k->measured_critical_path_seconds + kAbs)
+        << k->name;
+    EXPECT_LE(k->measured_critical_path_seconds, k->wall_seconds + kAbs)
+        << k->name;
+    EXPECT_GE(k->wait_fraction(), 0.0) << k->name;
+    EXPECT_LE(k->wait_fraction(), 1.0) << k->name;
+    // Realized parallelism cannot beat the delivered team size, and for
+    // the factorization it cannot beat the DAG's own bound.
+    EXPECT_LE(k->effective_parallelism(), static_cast<double>(nt) + 0.5)
+        << k->name;
+  }
+  EXPECT_LE(ik->effective_parallelism(), is.parallelism * 1.25 + 0.5);
+  EXPECT_GT(is.parallelism, 1.0);  // a real mesh DAG has concurrency
+}
+
+}  // namespace
+}  // namespace fun3d
