@@ -14,8 +14,10 @@
 #include "core/jacobian.hpp"
 #include "core/newton.hpp"
 #include "core/profile.hpp"
+#include "core/vecops.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
+#include "sparse/spmv.hpp"
 #include "sparse/trsv.hpp"
 #include "trace/analysis.hpp"
 #include "trace/export.hpp"
@@ -174,6 +176,126 @@ void BM_TrsvSerial(benchmark::State& state) {
 }
 BENCHMARK(BM_TrsvSerial);
 
+void BM_SpmvSerial(benchmark::State& state) {
+  auto& ff = factors();
+  const std::size_t n = static_cast<std::size_t>(ff.jac.num_rows()) * kBs;
+  AVec<double> x(n), y(n, 0.0);
+  Rng rng(7);
+  for (auto& xi : x) xi = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    spmv_serial(ff.jac, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ff.jac.stream_bytes()));
+}
+BENCHMARK(BM_SpmvSerial);
+
+void BM_SpmvParallelSimd(benchmark::State& state) {
+  auto& ff = factors();
+  const std::size_t n = static_cast<std::size_t>(ff.jac.num_rows()) * kBs;
+  AVec<double> x(n), y(n, 0.0);
+  Rng rng(7);
+  for (auto& xi : x) xi = rng.uniform(-1, 1);
+  const int nthreads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    spmv_parallel(ff.jac, x, y, nthreads);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ff.jac.stream_bytes()));
+}
+BENCHMARK(BM_SpmvParallelSimd)->Arg(1)->Arg(2)->Arg(4);
+
+/// Krylov vector operands sized like the solver's linear systems.
+struct VecFixture {
+  static constexpr std::size_t kK = 8;  ///< basis vectors (restart prefix)
+  std::size_t n = 0;
+  std::vector<AVec<double>> basis;
+  std::vector<std::span<const double>> spans;
+  AVec<double> w0, w;
+
+  VecFixture() {
+    n = static_cast<std::size_t>(fixture().mesh.num_vertices) * kNs;
+    Rng rng(11);
+    basis.resize(kK);
+    for (auto& b : basis) {
+      b.resize(n);
+      for (auto& bi : b) bi = rng.uniform(-1, 1);
+    }
+    for (auto& b : basis) spans.emplace_back(b.data(), n);
+    w0.resize(n);
+    for (auto& wi : w0) wi = rng.uniform(-1, 1);
+    w.resize(n);
+  }
+};
+
+VecFixture& vecfix() {
+  static VecFixture f;
+  return f;
+}
+
+void BM_MdotUnfused(benchmark::State& state) {
+  auto& vf = vecfix();
+  const VecOps vec{static_cast<int>(state.range(0))};
+  double out[VecFixture::kK];
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < VecFixture::kK; ++k)
+      out[k] = vec.dot(vf.spans[k], vf.w0);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(16 * vf.n * VecFixture::kK));
+}
+BENCHMARK(BM_MdotUnfused)->Arg(1)->Arg(4);
+
+void BM_MdotFused(benchmark::State& state) {
+  auto& vf = vecfix();
+  const VecOps vec{static_cast<int>(state.range(0))};
+  double out[VecFixture::kK];
+  for (auto _ : state) {
+    vec.mdot(std::span<const std::span<const double>>(vf.spans.data(),
+                                                      VecFixture::kK),
+             vf.w0, std::span<double>(out, VecFixture::kK));
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(8 * vf.n * (VecFixture::kK + 1)));
+}
+BENCHMARK(BM_MdotFused)->Arg(1)->Arg(4);
+
+void BM_MgsColumnUnfused(benchmark::State& state) {
+  auto& vf = vecfix();
+  const VecOps vec{static_cast<int>(state.range(0))};
+  double h[VecFixture::kK + 1];
+  for (auto _ : state) {
+    vec.copy(vf.w0, vf.w);
+    for (std::size_t i = 0; i < VecFixture::kK; ++i) {
+      h[i] = vec.dot(vf.spans[i], vf.w);
+      vec.axpy(-h[i], vf.spans[i], vf.w);
+    }
+    h[VecFixture::kK] = vec.norm2(vf.w);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_MgsColumnUnfused)->Arg(1)->Arg(4);
+
+void BM_MgsColumnFused(benchmark::State& state) {
+  auto& vf = vecfix();
+  const VecOps vec{static_cast<int>(state.range(0))};
+  double h[VecFixture::kK + 1];
+  for (auto _ : state) {
+    vec.copy(vf.w0, vf.w);
+    vec.orthogonalize(std::span<const std::span<const double>>(
+                          vf.spans.data(), VecFixture::kK),
+                      vf.w, std::span<double>(h, VecFixture::kK + 1));
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_MgsColumnFused)->Arg(1)->Arg(4);
+
 void BM_SymbolicIlu(benchmark::State& state) {
   auto& ff = factors();
   const int fill = static_cast<int>(state.range(0));
@@ -217,8 +339,14 @@ int main(int argc, char** argv) {
   fun3d::PerfReport rep =
       fun3d::PerfReport::begin("micro", "core kernel microbenchmarks");
   fun3d::CapturingReporter reporter(&rep);
+  fun3d::reset_vecops_stats();
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  // Fused-kernel accounting for the run: with uncapped teams every MGS
+  // column streams its basis exactly once, so
+  // metrics["vecops.basis_sweeps_per_column"] reads 1.0.
+  rep.add_vecops_stats();
+  rep.add_team_stats();
   if (!trace_path.empty()) {
     fun3d::trace::disable();
     const auto threads = fun3d::trace::collect();

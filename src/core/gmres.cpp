@@ -30,7 +30,8 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
   const int m = opt.restart;
   GmresResult res;
 
-  // Krylov basis (m+1 vectors) + Hessenberg (column-major, (m+1) x m).
+  // Krylov basis (m+1 vectors) + Hessenberg (row-major, (m+1) x m:
+  // entry (i, j) lives at h[i*m + j]).
   std::vector<AVec<double>> v(static_cast<std::size_t>(m) + 1);
   for (auto& vi : v) vi.resize(n);
   std::vector<double> h(static_cast<std::size_t>((m + 1) * m), 0.0);
@@ -80,17 +81,25 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
       // w = M^{-1} A v_j
       apply_a(v[static_cast<std::size_t>(j)], tmp);
       apply_m(precond, vec, tmp, mtmp);
-      // Modified Gram-Schmidt.
+      // Modified Gram-Schmidt: one fused column (basis streamed once).
       {
         auto s = timed(kernel::kVecOps);
-        for (int i = 0; i <= j; ++i) {
-          const double hij = vec.dot(v[static_cast<std::size_t>(i)], mtmp);
-          if (profile != nullptr) profile->reductions++;
-          h[static_cast<std::size_t>(i * m + j)] = hij;
-          vec.axpy(-hij, v[static_cast<std::size_t>(i)], mtmp);
-        }
-        const double hj1 = vec.norm2(mtmp);
-        if (profile != nullptr) profile->reductions++;
+        std::vector<std::span<const double>> basis;
+        basis.reserve(static_cast<std::size_t>(j) + 1);
+        for (int i = 0; i <= j; ++i)
+          basis.emplace_back(v[static_cast<std::size_t>(i)].data(), n);
+        std::vector<double> hcol(static_cast<std::size_t>(j) + 2);
+        const double hj1 = vec.orthogonalize(
+            std::span<const std::span<const double>>(basis.data(),
+                                                     basis.size()),
+            mtmp, std::span<double>(hcol.data(), hcol.size()));
+        // The j+1 basis dots are sequentially dependent and the trailing
+        // norm is one more: j+2 global reductions. `reductions` counts
+        // reductions actually performed — a fused mdot batch is one.
+        if (profile != nullptr) profile->reductions += j + 2;
+        for (int i = 0; i <= j; ++i)
+          h[static_cast<std::size_t>(i * m + j)] =
+              hcol[static_cast<std::size_t>(i)];
         h[static_cast<std::size_t>((j + 1) * m + j)] = hj1;
         breakdown = !(hj1 > 0);
         if (!breakdown) {

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "parallel/team.hpp"
+#include "parallel/workshare.hpp"
 
 namespace fun3d {
 namespace {
@@ -128,15 +129,20 @@ void compute_gradients(const TetMesh& m, const EdgeArrays& edges,
       }
     }
   }
-  // Scale by inverse dual volume.
+  // Scale by inverse dual volume. Vertex-owned writes, barrier-free:
+  // parallel_ranges keeps the loop shortfall-robust and traced.
   const double* vol = m.dual_vol.data();
-#pragma omp parallel for schedule(static) num_threads(plan.nthreads)
-  for (std::int64_t v = 0; v < static_cast<std::int64_t>(nv); ++v) {
-    const double inv = 1.0 / vol[v];
-    for (int i = 0; i < kGradStride; ++i)
-      g[static_cast<std::size_t>(v) * kGradStride +
-        static_cast<std::size_t>(i)] *= inv;
-  }
+  parallel_ranges(
+      static_cast<idx_t>(nv), plan.nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t v = b; v < e; ++v) {
+          const double inv = 1.0 / vol[v];
+          for (int i = 0; i < kGradStride; ++i)
+            g[static_cast<std::size_t>(v) * kGradStride +
+              static_cast<std::size_t>(i)] *= inv;
+        }
+      },
+      "gradients");
 }
 
 double gradient_flops_per_edge() {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "parallel/team.hpp"
+#include "parallel/workshare.hpp"
 
 namespace fun3d {
 namespace {
@@ -151,19 +152,24 @@ void LsqGradientOperator::apply(const EdgeArrays& edges,
     }
   }
 
-  // Phase 2: grad_s(v) = (A^T A)^{-1} rhs_s(v) — independent per vertex.
-#pragma omp parallel for schedule(static) num_threads(plan.nthreads)
-  for (std::int64_t v = 0; v < static_cast<std::int64_t>(nv); ++v) {
-    const double* n = inv_.data() + static_cast<std::size_t>(v) * 6;
-    for (int s = 0; s < kNs; ++s) {
-      double* r = g + static_cast<std::size_t>(v) * kGradStride +
-                  static_cast<std::size_t>(s * 3);
-      const double x = r[0], y = r[1], z = r[2];
-      r[0] = n[0] * x + n[1] * y + n[2] * z;
-      r[1] = n[1] * x + n[3] * y + n[4] * z;
-      r[2] = n[2] * x + n[4] * y + n[5] * z;
-    }
-  }
+  // Phase 2: grad_s(v) = (A^T A)^{-1} rhs_s(v) — independent per vertex,
+  // so the loop rides parallel_ranges for shortfall counting and tracing.
+  parallel_ranges(
+      static_cast<idx_t>(nv), plan.nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t v = b; v < e; ++v) {
+          const double* n = inv_.data() + static_cast<std::size_t>(v) * 6;
+          for (int s = 0; s < kNs; ++s) {
+            double* r = g + static_cast<std::size_t>(v) * kGradStride +
+                        static_cast<std::size_t>(s * 3);
+            const double x = r[0], y = r[1], z = r[2];
+            r[0] = n[0] * x + n[1] * y + n[2] * z;
+            r[1] = n[1] * x + n[3] * y + n[4] * z;
+            r[2] = n[2] * x + n[4] * y + n[5] * z;
+          }
+        }
+      },
+      "gradients_lsq");
 }
 
 double lsq_gradient_flops_per_edge() {

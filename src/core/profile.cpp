@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <ctime>
 
+#include "core/vecops.hpp"
 #include "graph/sparsify.hpp"
 #include "parallel/edge_partition.hpp"
 #include "parallel/team.hpp"
@@ -123,6 +124,37 @@ void PerfReport::add_team_stats(const std::string& prefix) {
       static_cast<std::uint64_t>(team_last_planned());
   counters[prefix + "team_delivered_threads"] =
       static_cast<std::uint64_t>(team_last_delivered());
+}
+
+void PerfReport::add_vecops_stats(const std::string& prefix) {
+  const VecOpsStats s = vecops_stats();
+  const std::string p = prefix + "vecops.";
+  counters[p + "mdot_batches"] = s.mdot_batches;
+  counters[p + "mdot_components"] = s.mdot_components;
+  counters[p + "orthogonalize_calls"] = s.orthogonalize_calls;
+  counters[p + "orthogonalize_vectors"] = s.orthogonalize_vectors;
+  counters[p + "orthogonalize_fallbacks"] = s.orthogonalize_fallbacks;
+  counters[p + "fused_sweeps"] = s.fused_sweeps;
+  counters[p + "unfused_sweeps"] = s.unfused_sweeps;
+  metrics[p + "sweeps_saved"] =
+      s.unfused_sweeps >= s.fused_sweeps
+          ? static_cast<double>(s.unfused_sweeps - s.fused_sweeps)
+          : 0.0;
+  metrics[p + "fused_bytes"] = static_cast<double>(s.fused_bytes);
+  metrics[p + "unfused_bytes"] = static_cast<double>(s.unfused_bytes);
+  metrics[p + "bytes_saved_fraction"] =
+      s.unfused_bytes > 0
+          ? 1.0 - static_cast<double>(s.fused_bytes) /
+                      static_cast<double>(s.unfused_bytes)
+          : 0.0;
+  // A fused MGS column streams its basis once; a capped-team fallback
+  // column streams each basis vector twice (dot + axpy).
+  metrics[p + "basis_sweeps_per_column"] =
+      s.orthogonalize_calls > 0
+          ? static_cast<double>(s.orthogonalize_calls +
+                                s.orthogonalize_fallbacks) /
+                static_cast<double>(s.orthogonalize_calls)
+          : 0.0;
 }
 
 void PerfReport::add_trace_analysis(const trace::TimelineAnalysis& a,
@@ -343,6 +375,24 @@ std::vector<std::string> validate_report(const Json& report) {
         problems.push_back("counters." + key +
                            ": no shortfall but planned/delivered team sizes "
                            "are nonzero");
+    }
+    // Fused vector-kernel consistency: fusion only removes sweeps, so
+    // wherever a (possibly prefixed) vecops.fused_sweeps counter appears,
+    // the matching unfused count must accompany it and dominate it.
+    const std::string kFused = "vecops.fused_sweeps";
+    for (std::size_t i = 0; i < counters->size(); ++i) {
+      const std::string key = counters->key_at(i);
+      if (!key.ends_with(kFused)) continue;
+      const std::string prefix = key.substr(0, key.size() - kFused.size());
+      const Json* unfused = counters->find(prefix + "vecops.unfused_sweeps");
+      if (unfused == nullptr) {
+        problems.push_back("counters." + key +
+                           ": missing matching vecops.unfused_sweeps");
+        continue;
+      }
+      if (counters->at(i).as_double(-1) > unfused->as_double(-1))
+        problems.push_back("counters." + key +
+                           ": fused_sweeps exceeds unfused_sweeps");
     }
   }
 

@@ -96,6 +96,13 @@ struct PerfReport {
   /// planned/delivered sizes of the latest shortfall (0/0 when none), so
   /// a capped run is visible in the JSON rather than silent.
   void add_team_stats(const std::string& prefix = "");
+  /// Captures the process-wide fused vector-kernel statistics (vecops.hpp)
+  /// under `<prefix>vecops.*`: counters for mdot batches/components,
+  /// fused orthogonalization calls and capped-team fallbacks, and
+  /// fused-vs-unfused sweep counts; metrics for the memory sweeps and
+  /// estimated bytes the fusion saved plus `basis_sweeps_per_column`
+  /// (1.0 when every MGS column streamed its basis exactly once).
+  void add_vecops_stats(const std::string& prefix = "");
   /// Folds a timeline analysis (trace/analysis.hpp) into the report under
   /// `<prefix>trace.*`: overall and per-kernel wait fractions, measured
   /// critical paths and effective parallelism (metrics), event/drop/

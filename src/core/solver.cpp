@@ -113,6 +113,7 @@ void FlowSolver::fill_report(PerfReport& report,
   report.add_profile(profile_, prefix);
   report.add_edge_plan(plan_, prefix);
   report.add_team_stats(prefix);
+  report.add_vecops_stats(prefix);
   if (schedules_ != nullptr) {
     report.add_p2p_plan(schedules_->fwd_plan, prefix + "trsv_fwd.");
     report.add_p2p_plan(schedules_->bwd_plan, prefix + "trsv_bwd.");

@@ -1,25 +1,96 @@
 #include "core/vecops.hpp"
 
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
+#include <vector>
 
 #include "graph/csr.hpp"
+#include "parallel/team.hpp"
 #include "parallel/workshare.hpp"
 
 namespace fun3d {
+namespace {
+
+// Process-wide fused-kernel statistics (relaxed: observability counters,
+// mirroring the team-shortfall stats in parallel/team.cpp).
+std::atomic<std::uint64_t> g_mdot_batches{0};
+std::atomic<std::uint64_t> g_mdot_components{0};
+std::atomic<std::uint64_t> g_orth_calls{0};
+std::atomic<std::uint64_t> g_orth_vectors{0};
+std::atomic<std::uint64_t> g_orth_fallbacks{0};
+std::atomic<std::uint64_t> g_fused_sweeps{0};
+std::atomic<std::uint64_t> g_unfused_sweeps{0};
+std::atomic<std::uint64_t> g_fused_bytes{0};
+std::atomic<std::uint64_t> g_unfused_bytes{0};
+
+void note_fusion(std::uint64_t fused_sweeps, std::uint64_t unfused_sweeps,
+                 std::uint64_t fused_bytes, std::uint64_t unfused_bytes) {
+  g_fused_sweeps.fetch_add(fused_sweeps, std::memory_order_relaxed);
+  g_unfused_sweeps.fetch_add(unfused_sweeps, std::memory_order_relaxed);
+  g_fused_bytes.fetch_add(fused_bytes, std::memory_order_relaxed);
+  g_unfused_bytes.fetch_add(unfused_bytes, std::memory_order_relaxed);
+}
+
+// Chunk-level primitives of the fused kernels. Their loop bodies repeat
+// the unfused kernels' expressions verbatim (`acc += x[i]*y[i]`,
+// `y[i] += a*x[i]`), so the compiler applies the same FP contraction to
+// both paths and fused results stay bitwise-equal to unfused ones.
+
+inline double chunk_dot(const double* x, const double* y, idx_t b, idx_t e) {
+  double acc = 0;
+  for (idx_t i = b; i < e; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+inline void chunk_axpy(double a, const double* x, double* y, idx_t b,
+                       idx_t e) {
+  for (idx_t i = b; i < e; ++i) y[i] += a * x[i];
+}
+
+}  // namespace
+
+VecOpsStats vecops_stats() {
+  VecOpsStats s;
+  s.mdot_batches = g_mdot_batches.load(std::memory_order_relaxed);
+  s.mdot_components = g_mdot_components.load(std::memory_order_relaxed);
+  s.orthogonalize_calls = g_orth_calls.load(std::memory_order_relaxed);
+  s.orthogonalize_vectors = g_orth_vectors.load(std::memory_order_relaxed);
+  s.orthogonalize_fallbacks = g_orth_fallbacks.load(std::memory_order_relaxed);
+  s.fused_sweeps = g_fused_sweeps.load(std::memory_order_relaxed);
+  s.unfused_sweeps = g_unfused_sweeps.load(std::memory_order_relaxed);
+  s.fused_bytes = g_fused_bytes.load(std::memory_order_relaxed);
+  s.unfused_bytes = g_unfused_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_vecops_stats() {
+  g_mdot_batches.store(0, std::memory_order_relaxed);
+  g_mdot_components.store(0, std::memory_order_relaxed);
+  g_orth_calls.store(0, std::memory_order_relaxed);
+  g_orth_vectors.store(0, std::memory_order_relaxed);
+  g_orth_fallbacks.store(0, std::memory_order_relaxed);
+  g_fused_sweeps.store(0, std::memory_order_relaxed);
+  g_unfused_sweeps.store(0, std::memory_order_relaxed);
+  g_fused_bytes.store(0, std::memory_order_relaxed);
+  g_unfused_bytes.store(0, std::memory_order_relaxed);
+}
 
 double VecOps::dot(std::span<const double> x, std::span<const double> y) const {
   assert(x.size() == y.size());
   const double* xp = x.data();
   const double* yp = y.data();
-  return parallel_sum(static_cast<idx_t>(x.size()), nthreads,
-                      [&](idx_t i) { return xp[i] * yp[i]; });
+  return parallel_sum(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t i) { return xp[i] * yp[i]; }, "vecops");
 }
 
 double VecOps::norm2(std::span<const double> x) const {
   const double* xp = x.data();
-  return std::sqrt(parallel_sum(static_cast<idx_t>(x.size()), nthreads,
-                                [&](idx_t i) { return xp[i] * xp[i]; }));
+  return std::sqrt(parallel_sum(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t i) { return xp[i] * xp[i]; }, "vecops"));
 }
 
 void VecOps::axpy(double a, std::span<const double> x,
@@ -27,10 +98,12 @@ void VecOps::axpy(double a, std::span<const double> x,
   assert(x.size() == y.size());
   const double* xp = x.data();
   double* yp = y.data();
-  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (idx_t i = b; i < e; ++i) yp[i] += a * xp[i];
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t i = b; i < e; ++i) yp[i] += a * xp[i];
+      },
+      "vecops");
 }
 
 void VecOps::aypx(double a, std::span<const double> x,
@@ -38,10 +111,12 @@ void VecOps::aypx(double a, std::span<const double> x,
   assert(x.size() == y.size());
   const double* xp = x.data();
   double* yp = y.data();
-  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (idx_t i = b; i < e; ++i) yp[i] = xp[i] + a * yp[i];
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t i = b; i < e; ++i) yp[i] = xp[i] + a * yp[i];
+      },
+      "vecops");
 }
 
 void VecOps::waxpy(double a, std::span<const double> x,
@@ -50,36 +125,44 @@ void VecOps::waxpy(double a, std::span<const double> x,
   const double* xp = x.data();
   const double* yp = y.data();
   double* wp = w.data();
-  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (idx_t i = b; i < e; ++i) wp[i] = yp[i] + a * xp[i];
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t i = b; i < e; ++i) wp[i] = yp[i] + a * xp[i];
+      },
+      "vecops");
 }
 
 void VecOps::scale(double a, std::span<double> x) const {
   double* xp = x.data();
-  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (idx_t i = b; i < e; ++i) xp[i] *= a;
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t i = b; i < e; ++i) xp[i] *= a;
+      },
+      "vecops");
 }
 
 void VecOps::copy(std::span<const double> x, std::span<double> y) const {
   assert(x.size() == y.size());
   const double* xp = x.data();
   double* yp = y.data();
-  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (idx_t i = b; i < e; ++i) yp[i] = xp[i];
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t i = b; i < e; ++i) yp[i] = xp[i];
+      },
+      "vecops");
 }
 
 void VecOps::set(double a, std::span<double> x) const {
   double* xp = x.data();
-  parallel_ranges(static_cast<idx_t>(x.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (idx_t i = b; i < e; ++i) xp[i] = a;
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(x.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t i = b; i < e; ++i) xp[i] = a;
+      },
+      "vecops");
 }
 
 void VecOps::maxpy(std::span<const double> a,
@@ -87,20 +170,174 @@ void VecOps::maxpy(std::span<const double> a,
                    std::span<double> y) const {
   assert(a.size() == xs.size());
   double* yp = y.data();
-  parallel_ranges(static_cast<idx_t>(y.size()), nthreads,
-                  [&](idx_t, idx_t b, idx_t e) {
-                    for (std::size_t k = 0; k < xs.size(); ++k) {
-                      const double ak = a[k];
-                      const double* xp = xs[k].data();
-                      for (idx_t i = b; i < e; ++i) yp[i] += ak * xp[i];
-                    }
-                  });
+  parallel_ranges(
+      static_cast<idx_t>(y.size()), nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (std::size_t k = 0; k < xs.size(); ++k) {
+          const double ak = a[k];
+          const double* xp = xs[k].data();
+          for (idx_t i = b; i < e; ++i) yp[i] += ak * xp[i];
+        }
+      },
+      "vecops");
 }
 
 void VecOps::mdot(std::span<const std::span<const double>> xs,
                   std::span<const double> y, std::span<double> out) const {
   assert(out.size() == xs.size());
-  for (std::size_t k = 0; k < xs.size(); ++k) out[k] = dot(xs[k], y);
+  const std::size_t k = xs.size();
+  if (k == 0) return;
+  const idx_t n = static_cast<idx_t>(y.size());
+  const double* yp = y.data();
+  g_mdot_batches.fetch_add(1, std::memory_order_relaxed);
+  g_mdot_components.fetch_add(k, std::memory_order_relaxed);
+  note_fusion(1, k, 8ull * static_cast<std::uint64_t>(n) * (k + 1),
+              16ull * static_cast<std::uint64_t>(n) * k);
+
+  // One sweep: for each element, accumulate all k products — y is
+  // streamed once for the whole batch. Per component the additions happen
+  // in the same ascending-i order as an independent dot(), and partials
+  // are per *planned* thread combined in planned order, so out[k] is
+  // bitwise-equal to k independent dot() calls at any thread count.
+  const idx_t nt = static_cast<idx_t>(nthreads);
+  if (nt <= 1) {
+    std::vector<double> acc(k, 0.0);
+    for (idx_t i = 0; i < n; ++i)
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc[kk] += xs[kk].data()[i] * yp[i];
+    for (std::size_t kk = 0; kk < k; ++kk) out[kk] = acc[kk];
+    return;
+  }
+  std::vector<double> partial(static_cast<std::size_t>(nt) * k, 0.0);
+  parallel_ranges(
+      n, nthreads,
+      [&](idx_t t, idx_t b, idx_t e) {
+        double* acc = partial.data() + static_cast<std::size_t>(t) * k;
+        for (idx_t i = b; i < e; ++i)
+          for (std::size_t kk = 0; kk < k; ++kk)
+            acc[kk] += xs[kk].data()[i] * yp[i];
+      },
+      "vecops_mdot");
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    double sum = 0;
+    for (idx_t t = 0; t < nt; ++t)
+      sum += partial[static_cast<std::size_t>(t) * k + kk];
+    out[kk] = sum;
+  }
+}
+
+double VecOps::dot_axpy(double a, std::span<const double> x,
+                        std::span<const double> xn,
+                        std::span<double> w) const {
+  assert(x.size() == w.size() && xn.size() == w.size());
+  const idx_t n = static_cast<idx_t>(w.size());
+  const double* xp = x.data();
+  const double* xnp = xn.data();
+  double* wp = w.data();
+  note_fusion(1, 2, 32ull * static_cast<std::uint64_t>(n),
+              40ull * static_cast<std::uint64_t>(n));
+
+  const idx_t nt = static_cast<idx_t>(nthreads);
+  if (nt <= 1) {
+    chunk_axpy(a, xp, wp, 0, n);
+    return chunk_dot(xnp, wp, 0, n);
+  }
+  // The axpy and dot sub-loops run back to back on the same chunk inside
+  // one region, so the chunk of w is loaded from DRAM once; the combine
+  // order matches parallel_sum, keeping the result bitwise-equal to
+  // axpy() followed by dot().
+  std::vector<double> partial(static_cast<std::size_t>(nt), 0.0);
+  parallel_ranges(
+      n, nthreads,
+      [&](idx_t t, idx_t b, idx_t e) {
+        chunk_axpy(a, xp, wp, b, e);
+        partial[static_cast<std::size_t>(t)] = chunk_dot(xnp, wp, b, e);
+      },
+      "vecops_mdot");
+  double sum = 0;
+  for (double p : partial) sum += p;
+  return sum;
+}
+
+double VecOps::orthogonalize(std::span<const std::span<const double>> basis,
+                             std::span<double> w, std::span<double> h) const {
+  const std::size_t k = basis.size();
+  assert(h.size() == k + 1);
+  const idx_t n = static_cast<idx_t>(w.size());
+  double* wp = w.data();
+  g_orth_calls.fetch_add(1, std::memory_order_relaxed);
+  g_orth_vectors.fetch_add(k, std::memory_order_relaxed);
+  // Unfused column cost: k dots (2 streams each) + k axpys (3 streams
+  // each) + 1 norm — versus one fused region whose per-thread chunks keep
+  // w and the just-dotted v_i cache-resident across the barriers: the
+  // basis is loaded from DRAM once, w twice (in + out).
+  note_fusion(1, 2 * k + 1,
+              8ull * static_cast<std::uint64_t>(n) * (k + 2),
+              8ull * static_cast<std::uint64_t>(n) * (5 * k + 1));
+
+  if (k == 0) {
+    h[0] = norm2(w);
+    return h[0];
+  }
+  const idx_t nt = static_cast<idx_t>(nthreads);
+  if (nt <= 1) {
+    for (std::size_t i = 0; i < k; ++i) {
+      h[i] = chunk_dot(basis[i].data(), wp, 0, n);
+      chunk_axpy(-h[i], basis[i].data(), wp, 0, n);
+    }
+    h[k] = std::sqrt(chunk_dot(wp, wp, 0, n));
+    return h[k];
+  }
+
+  // Single barrier-synchronized region: shard t owns the static chunk
+  // [b, e). Step i publishes per-planned-thread partials of
+  // dot(v_i, w), thread 0 combines them in planned order (bitwise the
+  // parallel_sum order), then every shard applies w -= h[i] v_i to its
+  // chunk and immediately forms the next dot partial. Shards contain
+  // barriers, so a capped team cannot run them cooperatively: the region
+  // aborts (kAbort) and the whole column falls back to the unfused —
+  // bitwise-identical — dot/axpy/norm2 sequence below.
+  std::vector<double> partial(static_cast<std::size_t>(nt), 0.0);
+  const TeamRun run = run_team(
+      nt,
+      [&](idx_t t) {
+        const auto [b, e] = static_chunk(n, t, nt);
+        partial[static_cast<std::size_t>(t)] =
+            chunk_dot(basis[0].data(), wp, b, e);
+        for (std::size_t i = 0; i < k; ++i) {
+#pragma omp barrier
+          if (t == 0) {
+            double sum = 0;
+            for (idx_t tt = 0; tt < nt; ++tt)
+              sum += partial[static_cast<std::size_t>(tt)];
+            h[i] = sum;
+          }
+#pragma omp barrier
+          chunk_axpy(-h[i], basis[i].data(), wp, b, e);
+          partial[static_cast<std::size_t>(t)] =
+              i + 1 < k ? chunk_dot(basis[i + 1].data(), wp, b, e)
+                        : chunk_dot(wp, wp, b, e);
+        }
+      },
+      ShortfallPolicy::kAbort, "vecops_mgs");
+  if (run.completed) {
+    double sum = 0;
+    for (idx_t tt = 0; tt < nt; ++tt)
+      sum += partial[static_cast<std::size_t>(tt)];
+    h[k] = std::sqrt(sum);
+    return h[k];
+  }
+
+  // Capped team: unfused fallback. dot/axpy/norm2 are themselves
+  // shortfall-robust and deterministic, so this reproduces the fused
+  // result bit for bit.
+  g_orth_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < k; ++i) {
+    h[i] = dot(basis[i], w);
+    axpy(-h[i], basis[i], w);
+  }
+  h[k] = norm2(w);
+  return h[k];
 }
 
 }  // namespace fun3d

@@ -5,11 +5,42 @@
 //
 // All reductions are deterministic: per-thread partials combined in thread
 // order, so results are independent of scheduling.
+//
+// The multi-vector operations (mdot, dot_axpy, orthogonalize) are *fused*
+// bandwidth kernels: they open one TeamExecutor region and stream the
+// operand vectors once instead of once per component, while keeping every
+// per-element operation and every partial-combine order identical to the
+// unfused dot/axpy/norm2 sequence — so the fused paths are bitwise-equal
+// to their unfused references at every thread count, and the fusion is a
+// pure memory-traffic optimization. Process-wide VecOpsStats counters make
+// the saved sweeps observable (PerfReport::add_vecops_stats).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 namespace fun3d {
+
+/// Process-wide counters of the fused vector kernels (monotonic, like the
+/// team-shortfall stats; reset with reset_vecops_stats). "Sweep" counts
+/// one parallel kernel launch that streams its operands end to end; the
+/// *_unfused_sweeps numbers are what the same work would have cost as
+/// independent dot/axpy/norm2 calls, so `unfused - fused` is the number of
+/// full-vector memory sweeps the fusion eliminated.
+struct VecOpsStats {
+  std::uint64_t mdot_batches = 0;     ///< fused mdot calls
+  std::uint64_t mdot_components = 0;  ///< dots folded into those batches
+  std::uint64_t orthogonalize_calls = 0;    ///< fused MGS columns
+  std::uint64_t orthogonalize_vectors = 0;  ///< basis vectors across calls
+  std::uint64_t orthogonalize_fallbacks = 0;  ///< capped-team unfused runs
+  std::uint64_t fused_sweeps = 0;    ///< kernel launches actually performed
+  std::uint64_t unfused_sweeps = 0;  ///< launches the unfused path needs
+  std::uint64_t fused_bytes = 0;     ///< est. bytes streamed, fused
+  std::uint64_t unfused_bytes = 0;   ///< est. bytes streamed, unfused
+};
+
+[[nodiscard]] VecOpsStats vecops_stats();
+void reset_vecops_stats();
 
 struct VecOps {
   int nthreads = 1;
@@ -31,9 +62,29 @@ struct VecOps {
   void maxpy(std::span<const double> a,
              std::span<const std::span<const double>> xs,
              std::span<double> y) const;
-  /// out[i] = dot(x[i], y)  (VecMDot)
+  /// out[i] = dot(x[i], y)  (VecMDot): one fused sweep — y is streamed
+  /// once for the whole batch — bitwise-identical to xs.size() independent
+  /// dot() calls. Counts as ONE reduction batch (Profile::reductions).
   void mdot(std::span<const std::span<const double>> xs,
             std::span<const double> y, std::span<double> out) const;
+  /// Fused update-then-dot: w += a*x, then returns dot(xn, w) on the
+  /// updated w — one sweep of w instead of two. Bitwise-identical to
+  /// axpy(a, x, w) followed by dot(xn, w) at the same thread count.
+  [[nodiscard]] double dot_axpy(double a, std::span<const double> x,
+                                std::span<const double> xn,
+                                std::span<double> w) const;
+  /// One fused modified-Gram-Schmidt column: for each basis vector v_i in
+  /// order, h[i] = dot(v_i, w) against the progressively updated w, then
+  /// w -= h[i] * v_i; finally h[basis.size()] = norm2(w) (also returned).
+  /// Runs as a SINGLE TeamExecutor region (barrier-separated reduction
+  /// steps), so each per-thread chunk of v_i and w is loaded from DRAM
+  /// once per column — versus 2(j+1)+1 full-vector sweeps unfused. On a
+  /// capped team the region aborts and the call falls back to the unfused
+  /// dot/axpy/norm2 sequence; both paths are bitwise-identical. `h` must
+  /// have basis.size()+1 entries. The basis dots are sequentially
+  /// dependent, so the call performs basis.size()+1 global reductions.
+  double orthogonalize(std::span<const std::span<const double>> basis,
+                       std::span<double> w, std::span<double> h) const;
 };
 
 }  // namespace fun3d

@@ -93,21 +93,20 @@ TeamRun run_team(idx_t planned, Fn&& shard,
 #pragma omp parallel num_threads(static_cast<int>(planned))
   {
     const idx_t team = static_cast<idx_t>(omp_get_num_threads());
-    if (team == planned) {
-      const idx_t me = static_cast<idx_t>(omp_get_thread_num());
-      trace::TraceSpan span(label, me);
-      shard(me);
-    } else {
-      // Uniform team size: every thread takes this branch together, so a
-      // shard containing barriers is never half-entered.
-      const idx_t me = static_cast<idx_t>(omp_get_thread_num());
-      if (me == 0) delivered = team;
-      if (policy == ShortfallPolicy::kCooperative)
-        for (idx_t t = me; t < planned; t += team) {
-          trace::TraceSpan span(label, t);
-          shard(t);
-        }
-    }
+    const idx_t me = static_cast<idx_t>(omp_get_thread_num());
+    if (me == 0) delivered = team;
+    // ONE code path for the full team and the cooperative round-robin: at
+    // full strength the loop degenerates to the single iteration t == me.
+    // Keeping a single inlined copy of the shard is what makes capped runs
+    // bitwise-identical to full-team runs — two separately inlined copies
+    // are free to contract floating-point mul+add differently. Team size
+    // is uniform across the region, so every thread agrees on the branch
+    // and a barrier-carrying shard (full team only) is never half-entered.
+    if (team == planned || policy == ShortfallPolicy::kCooperative)
+      for (idx_t t = me; t < planned; t += team) {
+        trace::TraceSpan span(label, t);
+        shard(t);
+      }
   }
   run.delivered = delivered;
   if (run.shortfall()) {

@@ -24,21 +24,27 @@ inline std::pair<idx_t, idx_t> static_chunk(idx_t n, idx_t t, idx_t nt) {
 }
 
 /// Runs fn(t, begin, end) once per planned thread over a static split of
-/// [0, n), for any delivered team size.
+/// [0, n), for any delivered team size. `label` names the per-shard trace
+/// spans (pass a string literal; see run_team).
 template <class Fn>
-void parallel_ranges(idx_t n, int nthreads, Fn&& fn) {
+void parallel_ranges(idx_t n, int nthreads, Fn&& fn,
+                     const char* label = "team") {
   const idx_t nt = static_cast<idx_t>(nthreads);
-  run_team(nt, [&](idx_t t) {
-    const auto [b, e] = static_chunk(n, t, nt);
-    fn(t, b, e);
-  });
+  run_team(
+      nt,
+      [&](idx_t t) {
+        const auto [b, e] = static_chunk(n, t, nt);
+        fn(t, b, e);
+      },
+      ShortfallPolicy::kCooperative, label);
 }
 
 /// Deterministic sum reduction: partials are per *planned* thread and are
 /// combined in planned-thread order, so the result is bitwise-reproducible
 /// run to run and independent of the delivered team size.
 template <class Fn>
-double parallel_sum(idx_t n, int nthreads, Fn&& term) {
+double parallel_sum(idx_t n, int nthreads, Fn&& term,
+                    const char* label = "team") {
   const idx_t nt = static_cast<idx_t>(nthreads);
   if (nt <= 1) {
     double acc = 0;
@@ -46,12 +52,15 @@ double parallel_sum(idx_t n, int nthreads, Fn&& term) {
     return acc;
   }
   std::vector<double> partial(static_cast<std::size_t>(nt), 0.0);
-  run_team(nt, [&](idx_t t) {
-    const auto [b, e] = static_chunk(n, t, nt);
-    double acc = 0;
-    for (idx_t i = b; i < e; ++i) acc += term(i);
-    partial[static_cast<std::size_t>(t)] = acc;
-  });
+  run_team(
+      nt,
+      [&](idx_t t) {
+        const auto [b, e] = static_chunk(n, t, nt);
+        double acc = 0;
+        for (idx_t i = b; i < e; ++i) acc += term(i);
+        partial[static_cast<std::size_t>(t)] = acc;
+      },
+      ShortfallPolicy::kCooperative, label);
   double sum = 0;
   for (double p : partial) sum += p;
   return sum;

@@ -1,6 +1,13 @@
+// This translation unit is compiled with -ffp-contract=off (see
+// src/CMakeLists.txt): the scalar reference must not contract mul+add into
+// FMA, because the SIMD microkernel uses explicit multiply-then-add and the
+// two paths are required to be bitwise-identical.
 #include "sparse/spmv.hpp"
 
 #include <cassert>
+
+#include "parallel/workshare.hpp"
+#include "simd/vecd.hpp"
 
 namespace fun3d {
 namespace {
@@ -14,6 +21,36 @@ inline void row_product(const Bcsr4& a, idx_t r, const double* x, double* y) {
       for (int j = 0; j < kBs; ++j) acc[i] += blk[i * kBs + j] * xj[j];
   }
   for (int i = 0; i < kBs; ++i) y[r * kBs + i] = acc[i];
+}
+
+// Lane indices of block column j: lane i reads blk[i*kBs + j].
+alignas(16) constexpr idx_t kColIdx[kBs][kBs] = {
+    {0, 4, 8, 12}, {1, 5, 9, 13}, {2, 6, 10, 14}, {3, 7, 11, 15}};
+
+// SIMD 4x4 block microkernel: one Vec4d accumulator whose lanes are the
+// block rows i, so lane i performs exactly the scalar acc[i] chain — same
+// (nz, j) order, explicit mul+add — and the result matches row_product bit
+// for bit. The column gather is the transpose access blk[{j,4+j,8+j,12+j}].
+inline void row_product_simd(const Bcsr4& a, idx_t r, const double* x,
+                             double* y) {
+  const idx_t nnz = a.num_blocks();
+  Vec4d acc;
+  for (idx_t nz = a.row_begin(r); nz < a.row_end(r); ++nz) {
+    const double* blk = a.block(nz);
+    const double* xj = x + static_cast<std::size_t>(a.col(nz)) * kBs;
+    if (nz + 1 < nnz) {
+      // Next 4x4 block (two cache lines) and its x column. Blocks are
+      // stored contiguously, so this also warms the first block of the
+      // next row at a row boundary.
+      const double* nblk = a.block(nz + 1);
+      prefetch_l1(nblk);
+      prefetch_l1(nblk + 8);
+      prefetch_l1(x + static_cast<std::size_t>(a.col(nz + 1)) * kBs);
+    }
+    for (int j = 0; j < kBs; ++j)
+      acc = acc + Vec4d::gather(blk, kColIdx[j]) * Vec4d(xj[j]);
+  }
+  acc.store(y + static_cast<std::size_t>(r) * kBs);
 }
 
 }  // namespace
@@ -31,8 +68,12 @@ void spmv_parallel(const Bcsr4& a, std::span<const double> x,
   assert(x.size() == static_cast<std::size_t>(n) * kBs && y.size() == x.size());
   const double* xp = x.data();
   double* yp = y.data();
-#pragma omp parallel for schedule(static) num_threads(nthreads)
-  for (idx_t r = 0; r < n; ++r) row_product(a, r, xp, yp);
+  parallel_ranges(
+      n, nthreads,
+      [&](idx_t, idx_t b, idx_t e) {
+        for (idx_t r = b; r < e; ++r) row_product_simd(a, r, xp, yp);
+      },
+      "spmv");
 }
 
 }  // namespace fun3d

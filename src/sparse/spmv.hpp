@@ -13,7 +13,11 @@ namespace fun3d {
 void spmv_serial(const Bcsr4& a, std::span<const double> x,
                  std::span<double> y);
 
-/// OpenMP row-parallel SpMV (no write conflicts: each thread owns rows).
+/// Row-parallel SpMV over the TeamExecutor (shortfall-robust, traced as
+/// "spmv" spans) with a SIMD 4x4 block microkernel: lanes span the block
+/// rows, so each lane reproduces the serial accumulation order and the
+/// result is bitwise-identical to spmv_serial at every thread count. No
+/// write conflicts: each planned shard owns a contiguous row range.
 void spmv_parallel(const Bcsr4& a, std::span<const double> x,
                    std::span<double> y, int nthreads);
 

@@ -213,5 +213,23 @@ TEST(Gmres, CountsReductionsInProfile) {
   EXPECT_GT(prof.reductions, 0u);
 }
 
+TEST(Gmres, ReductionCountIsPerGlobalReductionNotPerSweep) {
+  // A = 2I converges in one column: 1 residual norm + (j+2 = 2) for the
+  // fused MGS column — its dots are sequentially dependent, so fusing the
+  // sweeps does not change the number of global reductions performed.
+  AVec<double> b(16, 1.0), x(16, 0.0);
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = 2.0 * in[i];
+  };
+  VecOps vec{1};
+  Profile prof;
+  GmresOptions opt;
+  opt.rtol = 1e-12;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec, &prof);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 1);
+  EXPECT_EQ(prof.reductions, 3u);
+}
+
 }  // namespace
 }  // namespace fun3d

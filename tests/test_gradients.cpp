@@ -7,6 +7,7 @@
 #include "core/gradients.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
+#include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
@@ -130,6 +131,42 @@ TEST_P(GradStrategyTest, CappedTeamStillAccumulatesEveryEdge) {
   omp_set_max_active_levels(saved);
   for (std::size_t i = 0; i < f.grad.size(); ++i)
     ASSERT_NEAR(f.grad[i], fref.grad[i], 1e-11) << "i=" << i;
+}
+
+// The inverse-dual-volume node loop rides parallel_ranges: a capped team
+// must be counted as a shortfall and produce bitwise-identical gradients
+// (replication edge loops are deterministic; the node loop is elementwise).
+TEST(GradientsShortfall, CappedTeamBitwiseIdenticalAndCounted) {
+  TetMesh m = generate_box(4, 4, 3);
+  shuffle_numbering(m, 3);
+  const double g[kNs][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}, {1, 1, 1}};
+  const double a[kNs] = {0, 0, 0, 0};
+  EdgeArrays e(m);
+  const EdgeLoopPlan plan =
+      build_edge_plan(m, EdgeStrategy::kReplicationNatural, 4);
+
+  FlowFields fref(m);
+  set_affine(m, fref, g, a);
+  compute_gradients(m, e, plan, fref);
+
+  FlowFields f(m);
+  set_affine(m, f, g, a);
+  reset_team_shortfall_stats();
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    compute_gradients(m, e, plan, f);
+  }
+  omp_set_max_active_levels(saved);
+
+  EXPECT_GT(team_shortfall_events(), 0u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_EQ(team_last_delivered(), 1);
+  for (std::size_t i = 0; i < f.grad.size(); ++i)
+    ASSERT_EQ(f.grad[i], fref.grad[i]) << "i=" << i;
+  reset_team_shortfall_stats();
 }
 
 TEST(Gradients, FlopsPerEdgePositive) {

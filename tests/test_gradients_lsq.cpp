@@ -9,6 +9,7 @@
 #include "core/solver.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
+#include "parallel/team.hpp"
 
 namespace fun3d {
 namespace {
@@ -112,6 +113,41 @@ TEST_P(LsqStrategyTest, CappedTeamStillAccumulatesEveryEdge) {
   omp_set_max_active_levels(saved);
   for (std::size_t i = 0; i < f.grad.size(); ++i)
     ASSERT_NEAR(f.grad[i], fref.grad[i], 1e-11) << "i=" << i;
+}
+
+// The per-vertex (A^T A)^{-1} solve loop rides parallel_ranges: a capped
+// team must be counted as a shortfall and produce bitwise-identical
+// gradients (replication edge loop + elementwise vertex solve).
+TEST(LsqShortfall, CappedTeamBitwiseIdenticalAndCounted) {
+  TetMesh m = generate_box(4, 3, 3);
+  shuffle_numbering(m, 5);
+  FlowFields f(m), fref(m);
+  const double g[kNs][3] = {{1, 0, 2}, {0, 1, 0}, {3, 0, 1}, {1, 1, 1}};
+  const double a[kNs] = {0, 1, 2, 3};
+  set_affine(m, f, g, a);
+  set_affine(m, fref, g, a);
+  EdgeArrays e(m);
+  const LsqGradientOperator lsq(m);
+  const EdgeLoopPlan plan =
+      build_edge_plan(m, EdgeStrategy::kReplicationNatural, 4);
+  lsq.apply(e, plan, fref);
+
+  reset_team_shortfall_stats();
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    lsq.apply(e, plan, f);
+  }
+  omp_set_max_active_levels(saved);
+
+  EXPECT_GT(team_shortfall_events(), 0u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_EQ(team_last_delivered(), 1);
+  for (std::size_t i = 0; i < f.grad.size(); ++i)
+    ASSERT_EQ(f.grad[i], fref.grad[i]) << "i=" << i;
+  reset_team_shortfall_stats();
 }
 
 TEST(LsqGradients, SolverConvergesWithLsqReconstruction) {

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/solver.hpp"
+#include "core/vecops.hpp"
 #include "mesh/generate.hpp"
 #include "mesh/reorder.hpp"
 #include "parallel/team.hpp"
@@ -151,6 +152,39 @@ TEST(PerfReport, TeamShortfallCountersAreCapturedAndConsistent) {
   EXPECT_LT(capped.counters.at("team_delivered_threads"), 4u);
   EXPECT_TRUE(validate_report(capped.to_json()).empty());
   reset_team_shortfall_stats();
+}
+
+TEST(PerfReport, VecopsStatsAreCapturedAndConsistent) {
+  // A real solve runs the fused GMRES orthogonalization: the vecops.*
+  // keys land in the report and pass validation.
+  reset_vecops_stats();
+  const PerfReport rep = smoke_report();
+  ASSERT_TRUE(rep.counters.count("vecops.orthogonalize_calls"));
+  EXPECT_GT(rep.counters.at("vecops.orthogonalize_calls"), 0u);
+  EXPECT_EQ(rep.counters.at("vecops.orthogonalize_fallbacks"), 0u);
+  EXPECT_LE(rep.counters.at("vecops.fused_sweeps"),
+            rep.counters.at("vecops.unfused_sweeps"));
+  EXPECT_EQ(rep.metrics.at("vecops.basis_sweeps_per_column"), 1.0);
+  EXPECT_GT(rep.metrics.at("vecops.sweeps_saved"), 0.0);
+  EXPECT_GT(rep.metrics.at("vecops.bytes_saved_fraction"), 0.0);
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+}
+
+TEST(PerfReport, ValidatorRejectsInconsistentVecopsCounters) {
+  // fused_sweeps without the matching unfused count: rejected.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.counters["vecops.fused_sweeps"] = 5;
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("vecops"), std::string::npos);
+
+  // Fusion claiming to ADD sweeps: rejected.
+  rep.counters["vecops.unfused_sweeps"] = 4;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // The consistent shape passes.
+  rep.counters["vecops.unfused_sweeps"] = 9;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
 }
 
 TEST(PerfReport, ValidatorRejectsInconsistentShortfallCounters) {

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include "mesh/generate.hpp"
+#include "parallel/team.hpp"
 #include "sparse/spmv.hpp"
 #include "util/rng.hpp"
 
@@ -55,11 +57,38 @@ TEST_P(SpmvThreadsTest, ParallelMatchesSerial) {
   for (auto& v : x) v = rng.uniform(-1, 1);
   spmv_serial(m, x, y1);
   spmv_parallel(m, x, y2, GetParam());
-  for (std::size_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+  // The SIMD microkernel keeps each lane on the serial accumulation order,
+  // and spmv.cpp is built with -ffp-contract=off: bitwise identity.
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(y1[i], y2[i]);
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, SpmvThreadsTest,
                          ::testing::Values(1, 2, 4));
+
+TEST(SpmvShortfall, CappedTeamBitwiseIdenticalAndCounted) {
+  const Bcsr4 m = random_matrix(generate_box(4, 3, 3).vertex_graph(), 6);
+  const std::size_t n = static_cast<std::size_t>(m.num_rows()) * kBs;
+  Rng rng(7);
+  std::vector<double> x(n), yref(n), ycap(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_serial(m, x, yref);
+
+  reset_team_shortfall_stats();
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    spmv_parallel(m, x, ycap, 4);  // nested: delivered team is capped at 1
+  }
+  omp_set_max_active_levels(saved);
+
+  EXPECT_GT(team_shortfall_events(), 0u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_EQ(team_last_delivered(), 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(yref[i], ycap[i]);
+  reset_team_shortfall_stats();
+}
 
 TEST(Spmv, IdentityActsAsIdentity) {
   Bcsr4 m = Bcsr4::from_adjacency(generate_box(2, 2, 2).vertex_graph());

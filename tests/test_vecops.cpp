@@ -1,13 +1,51 @@
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/vecops.hpp"
+#include "parallel/team.hpp"
 #include "util/aligned.hpp"
 #include "util/rng.hpp"
 
 namespace fun3d {
 namespace {
+
+/// Runs fn() inside a nested region whose inner teams are capped at one
+/// thread — the environment where run_team detects a shortfall.
+template <class Fn>
+void with_capped_team(Fn&& fn) {
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    fn();
+  }
+  omp_set_max_active_levels(saved);
+}
+
+/// Deterministic multi-vector problem: k basis vectors + target w.
+struct MgsProblem {
+  std::vector<AVec<double>> basis;
+  std::vector<std::span<const double>> spans;
+  AVec<double> w;
+
+  MgsProblem(std::size_t k, std::size_t n, unsigned seed) : w(n) {
+    Rng rng(seed);
+    basis.resize(k);
+    for (auto& b : basis) {
+      b.resize(n);
+      for (auto& bi : b) bi = rng.uniform(-1, 1);
+    }
+    for (auto& b : basis) spans.emplace_back(b.data(), n);
+    for (auto& wi : w) wi = rng.uniform(-1, 1);
+  }
+  [[nodiscard]] std::span<const std::span<const double>> basis_span() const {
+    return {spans.data(), spans.size()};
+  }
+};
 
 class VecOpsTest : public ::testing::TestWithParam<int> {
  protected:
@@ -95,7 +133,118 @@ TEST_P(VecOpsTest, ReductionsAreDeterministic) {
   EXPECT_EQ(d1, d2);  // bitwise-identical run to run
 }
 
+TEST_P(VecOpsTest, FusedMdotBitwiseEqualsIndependentDots) {
+  const VecOps v = ops();
+  const std::size_t k = 5, n = 1237;
+  const MgsProblem p(k, n, 21);
+  double fused[5];
+  v.mdot(p.basis_span(), p.w, std::span<double>(fused, k));
+  for (std::size_t i = 0; i < k; ++i) {
+    const double ref = v.dot(p.spans[i], p.w);
+    EXPECT_EQ(fused[i], ref) << "component " << i;  // bitwise
+  }
+}
+
+TEST_P(VecOpsTest, FusedMdotCountsOneBatch) {
+  const VecOps v = ops();
+  const MgsProblem p(3, 100, 22);
+  double out[3];
+  const VecOpsStats before = vecops_stats();
+  v.mdot(p.basis_span(), p.w, std::span<double>(out, 3));
+  const VecOpsStats after = vecops_stats();
+  EXPECT_EQ(after.mdot_batches, before.mdot_batches + 1);
+  EXPECT_EQ(after.mdot_components, before.mdot_components + 3);
+  EXPECT_EQ(after.fused_sweeps, before.fused_sweeps + 1);
+  EXPECT_EQ(after.unfused_sweeps, before.unfused_sweeps + 3);
+  EXPECT_GT(after.fused_bytes, before.fused_bytes);
+  EXPECT_LT(after.fused_bytes - before.fused_bytes,
+            after.unfused_bytes - before.unfused_bytes);
+}
+
+TEST_P(VecOpsTest, DotAxpyBitwiseEqualsAxpyThenDot) {
+  const VecOps v = ops();
+  const std::size_t n = 999;
+  const MgsProblem p(2, n, 23);
+  AVec<double> w_ref(p.w), w_fused(p.w);
+  v.axpy(-0.75, p.spans[0], w_ref);
+  const double ref = v.dot(p.spans[1], w_ref);
+  const double fused = v.dot_axpy(-0.75, p.spans[0], p.spans[1], w_fused);
+  EXPECT_EQ(fused, ref);
+  EXPECT_EQ(w_ref, w_fused);
+}
+
+TEST_P(VecOpsTest, OrthogonalizeBitwiseEqualsUnfusedMgs) {
+  const VecOps v = ops();
+  const std::size_t k = 6, n = 2003;
+  const MgsProblem p(k, n, 24);
+  // Unfused reference: the dot/axpy/norm2 sequence GMRES used to run.
+  AVec<double> w_ref(p.w);
+  std::vector<double> h_ref(k + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    h_ref[i] = v.dot(p.spans[i], w_ref);
+    v.axpy(-h_ref[i], p.spans[i], w_ref);
+  }
+  h_ref[k] = v.norm2(w_ref);
+
+  AVec<double> w_fused(p.w);
+  std::vector<double> h_fused(k + 1, 0.0);
+  const double hk = v.orthogonalize(p.basis_span(), w_fused,
+                                    std::span<double>(h_fused));
+  EXPECT_EQ(hk, h_ref[k]);
+  for (std::size_t i = 0; i <= k; ++i)
+    EXPECT_EQ(h_fused[i], h_ref[i]) << "h[" << i << "]";
+  EXPECT_EQ(w_ref, w_fused);
+}
+
+TEST_P(VecOpsTest, OrthogonalizeEmptyBasisIsNorm) {
+  const VecOps v = ops();
+  const MgsProblem p(1, 511, 25);
+  AVec<double> w(p.w);
+  double h[1];
+  const double hk = v.orthogonalize({}, w, std::span<double>(h, 1));
+  EXPECT_EQ(hk, v.norm2(p.w));
+  EXPECT_EQ(w, p.w);  // untouched
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, VecOpsTest, ::testing::Values(1, 2, 4));
+
+TEST(VecOpsShortfall, FusedKernelsBitwiseIdenticalUnderCappedTeam) {
+  const VecOps v{4};
+  const std::size_t k = 4, n = 1501;
+  const MgsProblem p(k, n, 31);
+
+  // Uncapped references.
+  double mdot_ref[4];
+  v.mdot(p.basis_span(), p.w, std::span<double>(mdot_ref, k));
+  AVec<double> w_ref(p.w);
+  std::vector<double> h_ref(k + 1);
+  const double hk_ref =
+      v.orthogonalize(p.basis_span(), w_ref, std::span<double>(h_ref));
+
+  reset_team_shortfall_stats();
+  const VecOpsStats before = vecops_stats();
+  double mdot_cap[4];
+  AVec<double> w_cap(p.w);
+  std::vector<double> h_cap(k + 1);
+  double hk_cap = 0;
+  with_capped_team([&] {
+    v.mdot(p.basis_span(), p.w, std::span<double>(mdot_cap, k));
+    hk_cap = v.orthogonalize(p.basis_span(), w_cap, std::span<double>(h_cap));
+  });
+  const VecOpsStats after = vecops_stats();
+
+  // The capped runs are counted, never silent...
+  EXPECT_GT(team_shortfall_events(), 0u);
+  EXPECT_EQ(team_last_planned(), 4);
+  EXPECT_EQ(team_last_delivered(), 1);
+  EXPECT_EQ(after.orthogonalize_fallbacks, before.orthogonalize_fallbacks + 1);
+  // ...and bitwise-identical to the uncapped results.
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(mdot_cap[i], mdot_ref[i]);
+  EXPECT_EQ(hk_cap, hk_ref);
+  for (std::size_t i = 0; i <= k; ++i) EXPECT_EQ(h_cap[i], h_ref[i]);
+  EXPECT_EQ(w_cap, w_ref);
+  reset_team_shortfall_stats();
+}
 
 TEST(VecOps, ThreadCountsAgreeWithEachOther) {
   AVec<double> x(5000);

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Team-contract lint (DESIGN.md §5): every OpenMP parallel region in the
+# tree must be opened by the executor layer in src/parallel/ (run_team,
+# run_team_workshare, parallel_ranges, parallel_sum). A raw
+# `num_threads(...)` anywhere else bypasses shortfall detection and the
+# single-code-path bitwise guarantee, so it fails CI.
+#
+# Usage: tools/lint_num_threads.sh [repo-root]   (default: script's parent)
+set -eu
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+
+offenders=$(grep -rn "num_threads(" "$root/src" \
+  --include='*.cpp' --include='*.hpp' -l |
+  grep -v "^$root/src/parallel/" || true)
+
+if [ -n "$offenders" ]; then
+  echo "FAIL: raw num_threads( outside src/parallel/ — route these through"
+  echo "run_team / run_team_workshare / parallel_ranges (DESIGN.md §5):"
+  grep -rn "num_threads(" $offenders
+  exit 1
+fi
+
+echo "OK: no raw num_threads( sites in src/ outside src/parallel/"
