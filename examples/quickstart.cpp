@@ -2,14 +2,31 @@
 //
 //   $ ./build/examples/quickstart
 //   $ ./build/examples/quickstart --trace quickstart.trace.json
+//   $ ./build/examples/quickstart --checkpoint-every 5   # periodic ckpts
+//   $ ./build/examples/quickstart --restart              # resume from one
 //
 // Builds the wing-bump validation case at a small size, runs the optimized
 // pseudo-transient Newton-Krylov-Schwarz solver to steady state, and prints
 // convergence history plus the kernel profile. With `--trace <path>` it
 // additionally records a per-thread event timeline and exports it as
 // Chrome trace-event JSON — open it at ui.perfetto.dev.
+//
+// Resilience controls (DESIGN.md §8):
+//   --checkpoint <path>       checkpoint file (default quickstart.ckpt)
+//   --checkpoint-every <n>    atomic checkpoint every n accepted steps
+//   --restart                 resume from --checkpoint (bitwise-identical
+//                             continuation of the interrupted run)
+//   --max-steps <n>           pseudo-transient step budget (default 40)
+//   --json <path>             write a validated PerfReport (resilience.*)
+// Fault injection (deterministic; exercises the recovery paths):
+//   --inject-nan-step <k>     poison one residual entry with NaN at step k
+//   --inject-update-nan-step <k>   poison the Newton update instead
+//   --inject-breakdown-step <k>    flag the linear solve as broken down
+//   --inject-crash-step <k>   raise SIGKILL at the top of step k
+//   --inject-repeat <n>       poisoned attempts per step (-1 = all)
 #include <cstdio>
 
+#include "core/profile.hpp"
 #include "core/solver.hpp"
 #include "core/vtk_io.hpp"
 #include "mesh/generate.hpp"
@@ -84,6 +101,8 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::string trace_path = cli.get("trace", "");
   if (!trace_path.empty()) trace::enable();
+  const std::string ckpt_path = cli.get("checkpoint", "quickstart.ckpt");
+  const std::string json_path = cli.get("json", "");
   // 1. Mesh: the synthetic swept-wing-bump channel (ONERA-M6 stand-in).
   TetMesh mesh = generate_wing_bump(preset_params(MeshPreset::kSmall));
   shuffle_numbering(mesh, 42);  // mimic raw unstructured-generator numbering
@@ -91,11 +110,30 @@ int main(int argc, char** argv) {
   std::printf("%s\n",
               format_mesh_stats(compute_mesh_stats(mesh), "mesh").c_str());
 
-  // 2. Solver: all shared-memory optimizations on.
+  // 2. Solver: all shared-memory optimizations on. The resilience knobs
+  // (DESIGN.md §8) are surfaced as flags so CI can crash/restart this
+  // binary and tests can force the rejection paths deterministically.
   SolverConfig cfg = SolverConfig::optimized(/*nthreads=*/2);
-  cfg.ptc.max_steps = 40;
+  cfg.ptc.max_steps = static_cast<int>(cli.get_int("max-steps", 40));
   cfg.ptc.rtol = 1e-8;
+  cfg.resilience.checkpoint_every =
+      static_cast<int>(cli.get_int("checkpoint-every", 0));
+  cfg.resilience.checkpoint_path = ckpt_path;
+  FaultPlan& fault = cfg.resilience.fault;
+  fault.nan_residual_step =
+      static_cast<int>(cli.get_int("inject-nan-step", -1));
+  fault.nan_update_step =
+      static_cast<int>(cli.get_int("inject-update-nan-step", -1));
+  fault.breakdown_step =
+      static_cast<int>(cli.get_int("inject-breakdown-step", -1));
+  fault.crash_step = static_cast<int>(cli.get_int("inject-crash-step", -1));
+  fault.repeat = static_cast<int>(cli.get_int("inject-repeat", 1));
   FlowSolver solver(std::move(mesh), cfg);
+  if (cli.get_bool("restart", false)) {
+    const CheckpointMeta meta = solver.restore_checkpoint(ckpt_path);
+    std::printf("restarted from %s: step %llu, CFL %.6g\n", ckpt_path.c_str(),
+                static_cast<unsigned long long>(meta.step), meta.cfl);
+  }
 
   // 3. Solve and report.
   const SolveStats stats = solver.solve();
@@ -103,6 +141,19 @@ int main(int argc, char** argv) {
               stats.converged ? "yes" : "NO", stats.steps,
               static_cast<unsigned long long>(stats.linear_iterations),
               stats.wall_seconds);
+  const ResilienceStats& rs = stats.resilience;
+  if (rs.rejected_steps > 0 || rs.injected_faults > 0 ||
+      rs.checkpoints_written > 0) {
+    std::printf("resilience: %llu rejected, %llu retries, %llu backoffs, "
+                "%llu checkpoints, %llu injected faults\n",
+                static_cast<unsigned long long>(rs.rejected_steps),
+                static_cast<unsigned long long>(rs.retries),
+                static_cast<unsigned long long>(rs.backoffs),
+                static_cast<unsigned long long>(rs.checkpoints_written),
+                static_cast<unsigned long long>(rs.injected_faults));
+  }
+  if (stats.failure != SolveFailure::kNone)
+    std::printf("failure: %s\n", stats.failure_detail.c_str());
   std::printf("residual history:\n");
   for (std::size_t i = 0; i < stats.residual_history.size(); ++i)
     std::printf("  step %2zu  |R| = %.3e\n", i, stats.residual_history[i]);
@@ -135,15 +186,42 @@ int main(int argc, char** argv) {
   std::printf("\npressure range: [%.4f, %.4f] (freestream %.1f)\n", pmin,
               pmax, cfg.physics.freestream[0]);
 
-  // 5. Persist: ParaView-readable VTK + a binary restart checkpoint.
+  // 5. Persist: ParaView-readable VTK + a binary restart checkpoint whose
+  // meta (step, CFL, reference residual) makes it a resumable — and, for
+  // CI's crash-recovery check, byte-comparable — record of the final state.
   write_vtk("quickstart_volume.vtk", solver.mesh(),
             {f.q.data(), f.q.size()});
   write_vtk_surface("quickstart_surface.vtk", solver.mesh(),
                     {f.q.data(), f.q.size()});
-  save_checkpoint("quickstart.ckpt", solver.mesh(),
-                  {f.q.data(), f.q.size()});
-  std::printf(
-      "wrote quickstart_volume.vtk, quickstart_surface.vtk, "
-      "quickstart.ckpt\n");
+  const CheckpointMeta final_meta{static_cast<std::uint64_t>(stats.steps),
+                                  stats.final_cfl, stats.reference_residual};
+  save_checkpoint(ckpt_path, solver.mesh(), {f.q.data(), f.q.size()},
+                  &final_meta);
+  std::printf("wrote quickstart_volume.vtk, quickstart_surface.vtk, %s\n",
+              ckpt_path.c_str());
+
+  // 6. Emit + self-validate the machine-readable perf report on --json.
+  if (!json_path.empty()) {
+    PerfReport report = PerfReport::begin(
+        "quickstart", "wing-bump quickstart with step control");
+    report.params["max_steps"] = static_cast<double>(cfg.ptc.max_steps);
+    report.counters["steps"] = static_cast<std::uint64_t>(stats.steps);
+    report.counters["converged"] = stats.converged ? 1 : 0;
+    report.metrics["final_cfl"] = stats.final_cfl;
+    solver.fill_report(report);
+    const std::vector<std::string> problems =
+        validate_report(report.to_json());
+    for (const std::string& p : problems)
+      std::fprintf(stderr, "report validation: %s\n", p.c_str());
+    std::string err;
+    if (!report.write(json_path, &err)) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("perf report written to %s (validated: %s)\n",
+                json_path.c_str(), problems.empty() ? "ok" : "INVALID");
+    if (!problems.empty()) return 1;
+  }
   return stats.converged ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace fun3d {
 
@@ -40,9 +41,19 @@ void compute_dt_shift(std::span<const double> wavespeed_sum, double cfl,
 
 double ser_update(double cfl, double r_prev, double r_now,
                   const PtcOptions& opt) {
-  double factor = r_now > 0 ? r_prev / r_now : opt.cfl_growth_max;
+  // A non-finite norm means the step blew up; without the guard NaN fails
+  // the `r_now > 0` test and falls into the growth branch, raising CFL
+  // exactly when it must shrink. Back off to the 0.1 floor instead. An
+  // exact zero r_now is full convergence — growth_max is correct there.
+  double factor;
+  if (!std::isfinite(r_now) || !std::isfinite(r_prev))
+    factor = 0.1;
+  else
+    factor = r_now > 0 ? r_prev / r_now : opt.cfl_growth_max;
   factor = std::clamp(factor, 0.1, opt.cfl_growth_max);
-  return std::clamp(cfl * factor, opt.cfl0, opt.cfl_max);
+  // The lower clamp must not snap a resilience-backed-off CFL (< cfl0)
+  // straight back up to cfl0; from below it may only grow by `factor`.
+  return std::clamp(cfl * factor, std::min(cfl, opt.cfl0), opt.cfl_max);
 }
 
 }  // namespace fun3d

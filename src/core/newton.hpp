@@ -34,7 +34,10 @@ void compute_wavespeed_sums(const Physics& ph, const TetMesh& m,
 void compute_dt_shift(std::span<const double> wavespeed_sum, double cfl,
                       std::span<double> shift);
 
-/// SER update: cfl * ||R_prev|| / ||R_now||, clamped.
+/// SER update: cfl * ||R_prev|| / ||R_now||, clamped to [0.1, growth_max]
+/// per step and [min(cfl, cfl0), cfl_max] overall. Non-finite norms take
+/// the 0.1 backoff branch (never growth); a CFL the resilience layer
+/// pushed below cfl0 recovers gradually instead of snapping back up.
 double ser_update(double cfl, double r_prev, double r_now,
                   const PtcOptions& opt);
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <ctime>
 
+#include "core/resilience.hpp"
 #include "core/vecops.hpp"
 #include "graph/sparsify.hpp"
 #include "parallel/edge_partition.hpp"
@@ -157,12 +158,29 @@ void PerfReport::add_vecops_stats(const std::string& prefix) {
           : 0.0;
 }
 
+void PerfReport::add_resilience_stats(const ResilienceStats& s,
+                                      const std::string& prefix) {
+  const std::string p = prefix + "resilience.";
+  counters[p + "rejected_steps"] = s.rejected_steps;
+  counters[p + "retries"] = s.retries;
+  counters[p + "backoffs"] = s.backoffs;
+  counters[p + "nonfinite_update_rejects"] = s.nonfinite_update_rejects;
+  counters[p + "nonfinite_residual_rejects"] = s.nonfinite_residual_rejects;
+  counters[p + "breakdown_rejects"] = s.breakdown_rejects;
+  counters[p + "stall_rejects"] = s.stall_rejects;
+  counters[p + "growth_rejects"] = s.growth_rejects;
+  counters[p + "linear_nonconverged"] = s.linear_nonconverged;
+  counters[p + "checkpoints_written"] = s.checkpoints_written;
+  counters[p + "injected_faults"] = s.injected_faults;
+}
+
 void PerfReport::add_trace_analysis(const trace::TimelineAnalysis& a,
                                     const std::string& prefix) {
   const std::string p = prefix + "trace.";
   counters[p + "events"] = a.total_events;
   counters[p + "dropped_events"] = a.dropped_events;
   counters[p + "shortfalls"] = a.shortfalls;
+  counters[p + "resilience_instants"] = a.resilience_instants;
   counters[p + "threads"] = a.threads.size();
   metrics[p + "total_seconds"] = a.total_seconds;
 
@@ -393,6 +411,43 @@ std::vector<std::string> validate_report(const Json& report) {
       if (counters->at(i).as_double(-1) > unfused->as_double(-1))
         problems.push_back("counters." + key +
                            ": fused_sweeps exceeds unfused_sweeps");
+    }
+    // Step-rejection consistency (add_resilience_stats): wherever a
+    // (possibly prefixed) resilience.rejected_steps counter appears, the
+    // per-reason reject counters must accompany it and sum to it, and
+    // neither retries nor effective backoffs can exceed the rejections
+    // that caused them.
+    const std::string kRejected = "resilience.rejected_steps";
+    for (std::size_t i = 0; i < counters->size(); ++i) {
+      const std::string key = counters->key_at(i);
+      if (!key.ends_with(kRejected)) continue;
+      const std::string prefix = key.substr(0, key.size() - kRejected.size());
+      static constexpr const char* kReasons[] = {
+          "nonfinite_update_rejects", "nonfinite_residual_rejects",
+          "breakdown_rejects", "stall_rejects", "growth_rejects"};
+      double reason_sum = 0;
+      bool complete = true;
+      for (const char* reason : kReasons) {
+        const Json* c = counters->find(prefix + "resilience." + reason);
+        if (c == nullptr) {
+          problems.push_back("counters." + key +
+                             ": missing matching resilience." + reason);
+          complete = false;
+          continue;
+        }
+        reason_sum += c->as_double(0);
+      }
+      const double rejected = counters->at(i).as_double(-1);
+      if (complete && reason_sum != rejected)
+        problems.push_back("counters." + key +
+                           ": per-reason reject counters do not sum to "
+                           "rejected_steps");
+      for (const char* dep : {"retries", "backoffs"}) {
+        const Json* c = counters->find(prefix + "resilience." + dep);
+        if (c != nullptr && c->as_double(0) > rejected)
+          problems.push_back("counters." + prefix + "resilience." + dep +
+                             ": exceeds rejected_steps");
+      }
     }
   }
 

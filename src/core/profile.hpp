@@ -16,6 +16,7 @@ namespace fun3d {
 struct EdgeLoopPlan;
 struct P2PSyncPlan;
 struct IluSchedules;
+struct ResilienceStats;
 namespace trace {
 struct TimelineAnalysis;
 }  // namespace trace
@@ -103,6 +104,15 @@ struct PerfReport {
   /// estimated bytes the fusion saved plus `basis_sweeps_per_column`
   /// (1.0 when every MGS column streamed its basis exactly once).
   void add_vecops_stats(const std::string& prefix = "");
+  /// Captures the solver's recovery observability (core/resilience.hpp)
+  /// under `<prefix>resilience.*` counters: rejected steps with their
+  /// per-reason breakdown, retries and effective CFL backoffs, linear
+  /// solves that hit their iteration cap, checkpoints written, and faults
+  /// the deterministic injector fired. validate_report cross-checks that
+  /// the reason counters sum to rejected_steps and that retries/backoffs
+  /// never exceed it.
+  void add_resilience_stats(const ResilienceStats& s,
+                            const std::string& prefix = "");
   /// Folds a timeline analysis (trace/analysis.hpp) into the report under
   /// `<prefix>trace.*`: overall and per-kernel wait fractions, measured
   /// critical paths and effective parallelism (metrics), event/drop/

@@ -1,0 +1,63 @@
+#include "core/resilience.hpp"
+
+#include <cmath>
+
+namespace fun3d {
+
+const char* to_string(StepVerdict v) {
+  switch (v) {
+    case StepVerdict::kAccept:
+      return "accept";
+    case StepVerdict::kRejectNonFiniteUpdate:
+      return "non-finite update";
+    case StepVerdict::kRejectBreakdown:
+      return "linear-solver breakdown";
+    case StepVerdict::kRejectLinearStall:
+      return "linear-solver stall";
+    case StepVerdict::kRejectNonFiniteResidual:
+      return "non-finite residual norm";
+    case StepVerdict::kRejectResidualGrowth:
+      return "residual growth";
+  }
+  return "?";
+}
+
+bool all_finite(std::span<const double> v) {
+  for (const double x : v)
+    if (!std::isfinite(x)) return false;
+  return true;
+}
+
+StepVerdict check_update_health(std::span<const double> du,
+                                const LinearOutcome& lin,
+                                const ResilienceOptions& opt) {
+  if (!all_finite(du)) return StepVerdict::kRejectNonFiniteUpdate;
+  if (lin.breakdown) return StepVerdict::kRejectBreakdown;
+  if (!lin.converged && !(lin.relative_residual < opt.linear_stall_rel))
+    return StepVerdict::kRejectLinearStall;
+  return StepVerdict::kAccept;
+}
+
+StepVerdict check_residual_health(double r_prev, double r_new,
+                                  const ResilienceOptions& opt) {
+  if (!std::isfinite(r_new)) return StepVerdict::kRejectNonFiniteResidual;
+  // A non-finite previous norm cannot anchor a growth test; the non-finite
+  // residual was already rejected when it first appeared.
+  if (std::isfinite(r_prev) && r_new > opt.growth_reject * r_prev)
+    return StepVerdict::kRejectResidualGrowth;
+  return StepVerdict::kAccept;
+}
+
+std::size_t fault_target_index(unsigned seed, int step, std::size_t n) {
+  if (n == 0) return 0;
+  // splitmix64 over the (seed, step) pair.
+  std::uint64_t z = (static_cast<std::uint64_t>(seed) << 32) ^
+                    static_cast<std::uint64_t>(static_cast<unsigned>(step));
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<std::size_t>(z % n);
+}
+
+}  // namespace fun3d

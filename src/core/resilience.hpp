@@ -1,0 +1,132 @@
+// Solver resilience layer (DESIGN.md §8): the policy that stops the Newton
+// driver from silently accepting failed steps.
+//
+// The pseudo-transient continuation loop of FlowSolver::solve() used to
+// apply every Krylov correction unconditionally: a NaN in the update or the
+// residual marched a poisoned state to max_steps, a BiCGSTAB breakdown was
+// dropped on the floor, and SER *grew* the CFL on a NaN residual (NaN fails
+// the `r_now > 0` test). This header defines the contract that replaces
+// that behavior:
+//
+//  * per-step health checks — a cheap verdict before the update is applied
+//    (non-finite du, Krylov breakdown, linear stall) and after the new
+//    residual is known (non-finite norm, catastrophic growth);
+//  * step rejection — a rejected step rolls the state back to the last
+//    accepted iterate, backs the CFL off, and retries; bounded retries,
+//    then a graceful abort with a diagnosable failure reason in SolveStats;
+//  * deterministic fault injection — seeded NaN poisoning of the residual
+//    or the update, forced Krylov breakdown, and a simulated crash-at-step
+//    (SIGKILL), so every recovery path is exercisable in tests and CI.
+//
+// Periodic atomic checkpointing (write-temp + fsync + rename) lives in
+// vtk_io; ResilienceOptions only carries its cadence and path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace fun3d {
+
+/// Outcome of one linear (Krylov) solve, unified across GMRES and
+/// BiCGSTAB so the step-health check is method-agnostic.
+struct LinearOutcome {
+  int iterations = 0;
+  double relative_residual = 1.0;
+  bool converged = false;
+  bool breakdown = false;  ///< BiCGSTAB rho/omega underflow (GMRES's happy
+                           ///< breakdown is an exact solve, not a failure)
+};
+
+/// Health verdict on one Newton step, ordered by when it is detectable:
+/// the first three are pre-application (the state is untouched, no
+/// rollback needed), the last two need the trial residual.
+enum class StepVerdict {
+  kAccept = 0,
+  kRejectNonFiniteUpdate,    ///< du contains NaN/Inf
+  kRejectBreakdown,          ///< Krylov breakdown (du unusable)
+  kRejectLinearStall,        ///< linear solve made no progress at all
+  kRejectNonFiniteResidual,  ///< ||R(u + du)|| is NaN/Inf
+  kRejectResidualGrowth,     ///< ||R|| grew beyond growth_reject
+};
+
+[[nodiscard]] const char* to_string(StepVerdict v);
+
+/// Deterministic fault-injection plan. All targets default off (-1); a
+/// fault fires when the Newton loop reaches the named step. `repeat`
+/// bounds how many retry attempts at that step are poisoned: 1 means the
+/// first attempt only (the retry is clean and recovery succeeds), -1 means
+/// every attempt (drives the retry budget to exhaustion).
+struct FaultPlan {
+  int nan_residual_step = -1;  ///< poison one residual entry with NaN
+  int nan_update_step = -1;    ///< poison one du entry with NaN
+  int breakdown_step = -1;     ///< flag the linear solve as broken down
+  int crash_step = -1;         ///< raise SIGKILL at the top of this step
+  int repeat = 1;
+  unsigned seed = 0x5eedu;     ///< selects the poisoned vector entry
+};
+
+/// Step-control policy of the Newton driver. Health checks are on by
+/// default: a healthy run never trips them (no NaN, no breakdown, and the
+/// growth gate only fires on catastrophic — 1000x — residual blowup).
+struct ResilienceOptions {
+  bool enabled = true;         ///< false = legacy accept-everything driver
+  double growth_reject = 1e3;  ///< reject when r_new > growth_reject*r_prev
+  /// A linear solve that neither converged nor reduced the preconditioned
+  /// residual below this relative level produced an unusable correction.
+  double linear_stall_rel = 1.0;
+  int max_retries = 4;         ///< retries per step before aborting
+  double cfl_backoff = 0.25;   ///< CFL multiplier on rejection
+  double cfl_floor = 1e-2;     ///< backoff never pushes CFL below this
+  /// Atomic checkpoint cadence inside the Newton loop: every
+  /// `checkpoint_every` accepted steps a restartable snapshot (state +
+  /// step/CFL/reference-residual) is written to `checkpoint_path`.
+  /// 0 = off.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
+  FaultPlan fault;
+};
+
+/// Recovery observability, surfaced per solve in SolveStats and as the
+/// `resilience.*` PerfReport keys (validated cross-checks: the per-reason
+/// reject counters sum to rejected_steps; retries and backoffs never
+/// exceed it).
+struct ResilienceStats {
+  std::uint64_t rejected_steps = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t backoffs = 0;  ///< rejections where the CFL actually shrank
+  std::uint64_t nonfinite_update_rejects = 0;
+  std::uint64_t nonfinite_residual_rejects = 0;
+  std::uint64_t breakdown_rejects = 0;
+  std::uint64_t stall_rejects = 0;
+  std::uint64_t growth_rejects = 0;
+  /// Linear solves that hit their iteration cap without reaching tolerance
+  /// (observability only — an inexact Newton step can still use them).
+  std::uint64_t linear_nonconverged = 0;
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t injected_faults = 0;
+};
+
+/// True when every entry is finite (no NaN/Inf). One serial sweep.
+[[nodiscard]] bool all_finite(std::span<const double> v);
+
+/// Pre-application health check: the update vector and the linear solve's
+/// outcome, before du touches the state. kAccept or one of the first
+/// three rejection verdicts.
+[[nodiscard]] StepVerdict check_update_health(std::span<const double> du,
+                                              const LinearOutcome& lin,
+                                              const ResilienceOptions& opt);
+
+/// Post-application health check on the trial residual norm. A non-finite
+/// r_new always rejects; growth beyond opt.growth_reject relative to the
+/// last accepted norm rejects.
+[[nodiscard]] StepVerdict check_residual_health(double r_prev, double r_new,
+                                                const ResilienceOptions& opt);
+
+/// The vector entry the NaN injectors poison at `step`: a splitmix64 hash
+/// of (seed, step) mod n — deterministic across runs and thread counts.
+[[nodiscard]] std::size_t fault_target_index(unsigned seed, int step,
+                                             std::size_t n);
+
+}  // namespace fun3d

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/bicgstab.hpp"
@@ -21,6 +22,8 @@
 #include "core/gradients_lsq.hpp"
 #include "core/newton.hpp"
 #include "core/profile.hpp"
+#include "core/resilience.hpp"
+#include "core/vtk_io.hpp"
 #include "sparse/trsv.hpp"
 
 namespace fun3d {
@@ -67,6 +70,9 @@ struct SolverConfig {
   KrylovMethod krylov = KrylovMethod::kGmres;
   GmresOptions gmres;
   PtcOptions ptc;
+  /// Step-control policy: health checks + rejection/backoff/retry,
+  /// periodic atomic checkpointing, fault injection (DESIGN.md §8).
+  ResilienceOptions resilience;
 
   /// Out-of-the-box single-thread build (paper baseline): SoA vertex data,
   /// no SIMD, no prefetch, full-length ILU buffer, serial TRSV.
@@ -75,15 +81,32 @@ struct SolverConfig {
   static SolverConfig optimized(int nthreads);
 };
 
+/// Why a solve gave up before converging (beyond simply running out of
+/// steps): kStepRetriesExhausted means one step was rejected by the health
+/// checks more than resilience.max_retries times in a row — the state left
+/// in the fields is the last ACCEPTED iterate, not the poisoned trial.
+enum class SolveFailure { kNone = 0, kStepRetriesExhausted };
+
 struct SolveStats {
   bool converged = false;
   int steps = 0;
   std::uint64_t linear_iterations = 0;
   double wall_seconds = 0;
   double final_cfl = 0;
+  /// Reference residual the relative convergence test divided by (the
+  /// initial ||R||, or the restored checkpoint's). Stored in checkpoint
+  /// meta so a restart reproduces the same convergence decisions.
+  double reference_residual = 0;
   std::vector<double> residual_history;  ///< ||R|| after each step
   /// Flop-weighted DAG parallelism of the ILU factor (paper Table II).
   double ilu_parallelism = 0;
+  /// Diagnosable failure reason + human-readable detail (empty on
+  /// success), e.g. "step 7 rejected 5x: non-finite residual norm".
+  SolveFailure failure = SolveFailure::kNone;
+  std::string failure_detail;
+  /// Recovery observability for this solve (also in the PerfReport via
+  /// fill_report as the `resilience.*` counters).
+  ResilienceStats resilience;
 };
 
 class FlowSolver {
@@ -96,6 +119,14 @@ class FlowSolver {
 
   /// Runs pseudo-transient continuation to convergence or step limit.
   SolveStats solve();
+
+  /// Loads a checkpoint written by solve()'s periodic checkpointing (or
+  /// save_checkpoint with meta) into the fields and arms the next solve()
+  /// to continue from it: same step count, CFL, and reference residual —
+  /// the resumed run is bitwise-identical to the uninterrupted one. A
+  /// legacy checkpoint without meta restarts as a fresh solve from the
+  /// stored state. Returns the restored meta. Throws like load_checkpoint.
+  CheckpointMeta restore_checkpoint(const std::string& path);
 
   /// Captures this solver's configuration, kernel profile, edge-plan
   /// statistics, and (when built) TRSV sync-plan statistics into a perf
@@ -141,6 +172,8 @@ class FlowSolver {
   std::unique_ptr<IluSchedules> ilu_schedules_;
   AVec<double> dt_shift_;
   AVec<double> wavespeed_;
+  ResilienceStats resil_;  ///< last solve's recovery counters
+  std::optional<CheckpointMeta> restart_;  ///< armed by restore_checkpoint
 };
 
 }  // namespace fun3d

@@ -1,6 +1,9 @@
 #include "core/vtk_io.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <stdexcept>
 
@@ -108,22 +111,62 @@ std::uint64_t mesh_fingerprint(const TetMesh& m) {
 
 namespace {
 constexpr std::uint64_t kCheckpointMagic = 0x46554e3344434b50ull;  // FUN3DCKP
+// Trailing solver-state block (step/CFL/r0). Old readers stop after the
+// solution payload and never see it; old files simply end without it.
+constexpr std::uint64_t kMetaMagic = 0x46554e33444d4554ull;  // FUN3DMET
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  static_assert(sizeof(b) == sizeof(v));
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
 }
 
+double bits_double(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
 void save_checkpoint(const std::string& path, const TetMesh& m,
-                     std::span<const double> q) {
+                     std::span<const double> q, const CheckpointMeta* meta) {
   if (q.size() != static_cast<std::size_t>(m.num_vertices) * kNs)
     throw std::invalid_argument("save_checkpoint: q size mismatch");
-  File f = open_or_throw(path, "wb");
-  const std::uint64_t header[3] = {kCheckpointMagic, mesh_fingerprint(m),
-                                   q.size()};
-  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1 ||
-      std::fwrite(q.data(), sizeof(double), q.size(), f.get()) != q.size())
-    throw std::runtime_error("save_checkpoint: short write to " + path);
+  // Atomic replace: write everything to a sibling temp file, force it to
+  // disk, then rename over the destination. A crash at any point leaves
+  // either the old complete checkpoint or the new complete one — never a
+  // half-written file under `path`.
+  const std::string tmp = path + ".tmp";
+  try {
+    File f = open_or_throw(tmp, "wb");
+    const std::uint64_t header[3] = {kCheckpointMagic, mesh_fingerprint(m),
+                                     q.size()};
+    bool ok =
+        std::fwrite(header, sizeof(header), 1, f.get()) == 1 &&
+        std::fwrite(q.data(), sizeof(double), q.size(), f.get()) == q.size();
+    if (ok && meta != nullptr) {
+      const std::uint64_t block[4] = {kMetaMagic, meta->step,
+                                      double_bits(meta->cfl),
+                                      double_bits(meta->r0)};
+      ok = std::fwrite(block, sizeof(block), 1, f.get()) == 1;
+    }
+    if (!ok || std::fflush(f.get()) != 0 || fsync(fileno(f.get())) != 0)
+      throw std::runtime_error("save_checkpoint: short write to " + tmp);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("save_checkpoint: cannot rename " + tmp +
+                             " to " + path);
+  }
 }
 
 void load_checkpoint(const std::string& path, const TetMesh& m,
-                     std::span<double> q) {
+                     std::span<double> q, CheckpointMeta* meta) {
   File f = open_or_throw(path, "rb");
   std::uint64_t header[3];
   if (std::fread(header, sizeof(header), 1, f.get()) != 1)
@@ -137,6 +180,16 @@ void load_checkpoint(const std::string& path, const TetMesh& m,
     throw std::runtime_error("load_checkpoint: solution size mismatch");
   if (std::fread(q.data(), sizeof(double), q.size(), f.get()) != q.size())
     throw std::runtime_error("load_checkpoint: truncated data");
+  if (meta != nullptr) {
+    *meta = CheckpointMeta{};
+    std::uint64_t block[4];
+    if (std::fread(block, sizeof(block), 1, f.get()) == 1 &&
+        block[0] == kMetaMagic) {
+      meta->step = block[1];
+      meta->cfl = bits_double(block[2]);
+      meta->r0 = bits_double(block[3]);
+    }
+  }
 }
 
 }  // namespace fun3d

@@ -20,15 +20,34 @@ void write_vtk(const std::string& path, const TetMesh& m,
 void write_vtk_surface(const std::string& path, const TetMesh& m,
                        std::span<const double> q = {});
 
+/// Solver restart state carried alongside the solution vector, so a run
+/// resumed from a checkpoint continues bitwise-identically to the
+/// uninterrupted one: the completed-step count, the continuation CFL, and
+/// the reference residual norm ||R_0|| the convergence test is relative
+/// to. All-zero for checkpoints written without meta (legacy files), which
+/// restart as a fresh solve from the stored state.
+struct CheckpointMeta {
+  std::uint64_t step = 0;
+  double cfl = 0;
+  double r0 = 0;
+};
+
 /// Binary checkpoint of a solution vector, keyed to the mesh by a
 /// topology fingerprint so restarts onto a different mesh are rejected.
+/// The write is atomic: data goes to `<path>.tmp`, is flushed and
+/// fsync'ed, then renamed over `path` — a crash mid-write can never
+/// corrupt the previous checkpoint. With `meta`, appends the solver
+/// restart state after the solution payload (readers of the old format
+/// ignore the trailing block).
 void save_checkpoint(const std::string& path, const TetMesh& m,
-                     std::span<const double> q);
+                     std::span<const double> q,
+                     const CheckpointMeta* meta = nullptr);
 
 /// Loads a checkpoint into `q` (must be nv*4). Throws on fingerprint or
-/// size mismatch.
+/// size mismatch. With `meta`, fills the solver restart state when the
+/// file carries one (all-zero otherwise).
 void load_checkpoint(const std::string& path, const TetMesh& m,
-                     std::span<double> q);
+                     std::span<double> q, CheckpointMeta* meta = nullptr);
 
 /// Topology fingerprint (vertices, tets, edge hash) used by checkpoints.
 std::uint64_t mesh_fingerprint(const TetMesh& m);

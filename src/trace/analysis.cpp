@@ -137,6 +137,9 @@ TimelineAnalysis TimelineAnalysis::compute(
           break;
         case EventKind::kWavefront:
           break;
+        case EventKind::kResilience:
+          a.resilience_instants++;
+          break;
       }
     }
     ts.span_seconds = union_seconds(std::move(iv));
@@ -271,6 +274,7 @@ Json TimelineAnalysis::to_json() const {
   j["total_events"] = Json(total_events);
   j["dropped_events"] = Json(dropped_events);
   j["shortfalls"] = Json(shortfalls);
+  j["resilience_instants"] = Json(resilience_instants);
   Json jt = Json::array();
   for (const ThreadSummary& t : threads) {
     Json e = Json::object();

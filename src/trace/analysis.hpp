@@ -81,6 +81,7 @@ struct TimelineAnalysis {
   std::uint64_t total_events = 0;
   std::uint64_t dropped_events = 0;
   std::uint64_t shortfalls = 0;
+  std::uint64_t resilience_instants = 0;  ///< step rejects/backoffs/ckpts
   std::vector<ThreadSummary> threads;
   std::vector<KernelSummary> kernels;      ///< sorted by name
   std::vector<BlockingDep> top_blocking;   ///< sorted by seconds, descending

@@ -43,6 +43,13 @@ Json event_json(int tid, const Event& e) {
       args["level"] = Json(static_cast<double>(e.a0));
       args["rows"] = Json(static_cast<double>(e.a1));
       break;
+    case EventKind::kResilience:
+      j["cat"] = Json("resilience");
+      j["ph"] = Json("i");
+      j["s"] = Json("t");
+      args["step"] = Json(static_cast<double>(e.a0));
+      args["detail"] = Json(static_cast<double>(e.a1));
+      break;
   }
   if (args.size() > 0) j["args"] = std::move(args);
   return j;

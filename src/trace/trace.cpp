@@ -158,4 +158,16 @@ void wavefront(const char* name, std::int64_t level, std::int64_t rows) {
   detail::record(e);
 }
 
+void resilience_instant(const char* name, std::int64_t step,
+                        std::int64_t detail_arg) {
+  if (!enabled()) return;
+  Event e;
+  e.kind = EventKind::kResilience;
+  e.name = name;
+  e.t0_ns = e.t1_ns = now_ns();
+  e.a0 = step;
+  e.a1 = detail_arg;
+  detail::record(e);
+}
+
 }  // namespace fun3d::trace

@@ -35,7 +35,13 @@
 
 namespace fun3d::trace {
 
-enum class EventKind : std::uint8_t { kSpan, kSpinWait, kShortfall, kWavefront };
+enum class EventKind : std::uint8_t {
+  kSpan,
+  kSpinWait,
+  kShortfall,
+  kWavefront,
+  kResilience,
+};
 
 /// One recorded event. `name` must be a string with static storage
 /// duration (kernel labels are literals); only the pointer is stored.
@@ -45,10 +51,13 @@ struct Event {
   std::uint64_t t0_ns = 0;  ///< start, ns since the enable() epoch
   std::uint64_t t1_ns = 0;  ///< end; == t0_ns for point instants
   /// Kind-specific payload:
-  ///  kSpan:      a0 = planned thread id of a team shard (-1 otherwise)
-  ///  kSpinWait:  a0 = owner thread, a1 = row, a2 = spins, a3 = yields
-  ///  kShortfall: a0 = planned team size, a1 = delivered team size
-  ///  kWavefront: a0 = level index, a1 = rows in the level
+  ///  kSpan:       a0 = planned thread id of a team shard (-1 otherwise)
+  ///  kSpinWait:   a0 = owner thread, a1 = row, a2 = spins, a3 = yields
+  ///  kShortfall:  a0 = planned team size, a1 = delivered team size
+  ///  kWavefront:  a0 = level index, a1 = rows in the level
+  ///  kResilience: a0 = Newton step, a1 = event detail (verdict code for
+  ///               step_reject, CFL millionths for cfl_backoff, running
+  ///               checkpoint count for checkpoint)
   std::int64_t a0 = -1, a1 = 0, a2 = 0, a3 = 0;
 };
 
@@ -140,5 +149,12 @@ void shortfall(std::int64_t planned, std::int64_t delivered);
 /// Records a wavefront boundary of a level-scheduled kernel (call from one
 /// thread per level; checks enabled() itself).
 void wavefront(const char* name, std::int64_t level, std::int64_t rows);
+
+/// Records a solver resilience instant — a step rejection, CFL backoff, or
+/// checkpoint write at Newton step `step`. `name` must have static storage
+/// duration ("step_reject" / "cfl_backoff" / "checkpoint"); checks
+/// enabled() itself (cold path).
+void resilience_instant(const char* name, std::int64_t step,
+                        std::int64_t detail);
 
 }  // namespace fun3d::trace

@@ -331,6 +331,64 @@ TEST(PerfReport, ComparatorFlagsWaitFractionRegression) {
   EXPECT_TRUE(compare_reports(cur.to_json(), cur.to_json(), 0.25).empty());
 }
 
+TEST(PerfReport, ResilienceStatsAreCapturedAndValidated) {
+  // A clean solve carries the full resilience.* counter set with zero
+  // rejections, and the report validates.
+  const PerfReport rep = smoke_report();
+  ASSERT_TRUE(rep.counters.count("resilience.rejected_steps"));
+  EXPECT_EQ(rep.counters.at("resilience.rejected_steps"), 0u);
+  EXPECT_EQ(rep.counters.at("resilience.injected_faults"), 0u);
+  ASSERT_TRUE(rep.counters.count("resilience.checkpoints_written"));
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+
+  // An injected-fault solve reports its rejection and still validates:
+  // the per-reason breakdown sums to rejected_steps.
+  SolverConfig cfg = SolverConfig::optimized(2);
+  cfg.ptc.max_steps = 30;
+  cfg.ptc.rtol = 1e-6;
+  cfg.resilience.fault.nan_residual_step = 2;
+  FlowSolver solver(solver_mesh(21), cfg);
+  const SolveStats st = solver.solve();
+  EXPECT_TRUE(st.converged);
+  PerfReport faulty = PerfReport::begin("x", "t");
+  solver.fill_report(faulty);
+  EXPECT_EQ(faulty.counters.at("resilience.rejected_steps"), 1u);
+  EXPECT_EQ(faulty.counters.at("resilience.nonfinite_residual_rejects"), 1u);
+  EXPECT_TRUE(validate_report(faulty.to_json()).empty());
+}
+
+TEST(PerfReport, ValidatorRejectsInconsistentResilienceCounters) {
+  // Rejected steps whose per-reason breakdown does not sum up: tampered
+  // or miscounted — rejected.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.counters["resilience.rejected_steps"] = 3;
+  rep.counters["resilience.nonfinite_update_rejects"] = 1;
+  rep.counters["resilience.nonfinite_residual_rejects"] = 0;
+  rep.counters["resilience.breakdown_rejects"] = 0;
+  rep.counters["resilience.stall_rejects"] = 0;
+  rep.counters["resilience.growth_rejects"] = 0;
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("rejected_steps"), std::string::npos);
+
+  // A rejected_steps counter missing its reason breakdown is schema drift.
+  PerfReport orphan = PerfReport::begin("x", "t");
+  orphan.counters["resilience.rejected_steps"] = 1;
+  EXPECT_FALSE(validate_report(orphan.to_json()).empty());
+
+  // Retries (and backoffs) can never exceed the rejection count.
+  rep.counters["resilience.nonfinite_update_rejects"] = 3;
+  rep.counters["resilience.retries"] = 4;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+  rep.counters["resilience.retries"] = 2;
+  rep.counters["resilience.backoffs"] = 5;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // The consistent shape passes.
+  rep.counters["resilience.backoffs"] = 2;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+}
+
 TEST(PerfReport, ValidatorCatchesBrokenReports) {
   EXPECT_FALSE(validate_report(Json(1.0)).empty());
 

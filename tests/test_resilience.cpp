@@ -1,0 +1,319 @@
+// Solver resilience layer (DESIGN.md §8): health-check units, the SER
+// NaN regression, fault-injected solves exercising every rejection path,
+// and the checkpoint/restart bitwise-continuation guarantee.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/newton.hpp"
+#include "core/resilience.hpp"
+#include "core/solver.hpp"
+#include "core/vtk_io.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TetMesh solver_mesh(unsigned seed = 1) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, seed);
+  rcm_reorder(m);
+  return m;
+}
+
+SolverConfig quick(SolverConfig cfg) {
+  cfg.ptc.max_steps = 30;
+  cfg.ptc.rtol = 1e-8;
+  return cfg;
+}
+
+// ---- ser_update: the CFL controller must back off, not grow, on NaN ----
+
+TEST(SerUpdate, NonFiniteResidualBacksOffInsteadOfGrowing) {
+  const PtcOptions opt;  // cfl0 = 10
+  // Regression: NaN fails `r_now > 0`, which used to take the GROWTH
+  // branch and ramp the CFL into a diverging state. Now it is the 0.1
+  // backoff, clamped below by min(cfl, cfl0).
+  EXPECT_EQ(ser_update(100.0, 1.0, kNaN, opt), 10.0);
+  EXPECT_EQ(ser_update(100.0, kNaN, 1.0, opt), 10.0);
+  EXPECT_EQ(ser_update(100.0, 1.0, kInf, opt), 10.0);
+  EXPECT_EQ(ser_update(1000.0, 1.0, kNaN, opt), 100.0);  // 0.1x, above cfl0
+}
+
+TEST(SerUpdate, ZeroResidualTakesGrowthClampNotDivideByZero) {
+  const PtcOptions opt;
+  const double next = ser_update(100.0, 1.0, 0.0, opt);
+  EXPECT_TRUE(std::isfinite(next));
+  EXPECT_EQ(next, 100.0 * opt.cfl_growth_max);
+}
+
+TEST(SerUpdate, BackedOffCflRecoversGraduallyInsteadOfSnappingToCfl0) {
+  const PtcOptions opt;  // cfl0 = 10, growth clamp 2.0
+  // The resilience layer can push the CFL below cfl0; the old lower clamp
+  // to cfl0 would snap it straight back, defeating the backoff.
+  EXPECT_EQ(ser_update(1.0, 10.0, 5.0, opt), 2.0);
+  // And a healthy CFL >= cfl0 still never drops below cfl0.
+  EXPECT_EQ(ser_update(10.0, 1.0, 100.0, opt), 10.0);
+}
+
+TEST(SerUpdate, RespectsGrowthClampAndCflMax) {
+  PtcOptions opt;
+  opt.cfl_max = 150.0;
+  EXPECT_EQ(ser_update(100.0, 10.0, 1.0, opt), 150.0);  // 2x clamped to max
+  EXPECT_EQ(ser_update(100.0, 3.0, 2.0, opt), 150.0);
+  EXPECT_EQ(ser_update(100.0, 2.0, 3.0, opt), 100.0 * (2.0 / 3.0));
+}
+
+// ---- health-check units ----
+
+TEST(Resilience, AllFiniteScansEveryEntry) {
+  const double ok[] = {0.0, -1.5, 1e300};
+  EXPECT_TRUE(all_finite({ok, 3}));
+  EXPECT_TRUE(all_finite({ok, std::size_t{0}}));
+  double bad[] = {0.0, 1.0, 2.0, 3.0};
+  bad[3] = kNaN;
+  EXPECT_FALSE(all_finite({bad, 4}));
+  bad[3] = kInf;
+  EXPECT_FALSE(all_finite({bad, 4}));
+}
+
+TEST(Resilience, FaultTargetIndexIsDeterministicAndInRange) {
+  const std::size_t n = 1234;
+  const std::size_t a = fault_target_index(0x5eedu, 7, n);
+  EXPECT_EQ(a, fault_target_index(0x5eedu, 7, n));  // reproducible
+  EXPECT_LT(a, n);
+  // Different steps (and seeds) spread to different entries.
+  EXPECT_NE(a, fault_target_index(0x5eedu, 8, n));
+  EXPECT_NE(a, fault_target_index(0xbeefu, 7, n));
+}
+
+TEST(Resilience, UpdateHealthOrdersItsVerdicts) {
+  const ResilienceOptions opt;
+  double du[] = {1.0, -2.0};
+  LinearOutcome lin;
+  lin.converged = true;
+  lin.relative_residual = 1e-4;
+  EXPECT_EQ(check_update_health({du, 2}, lin, opt), StepVerdict::kAccept);
+
+  // Non-finite du dominates everything else.
+  du[1] = kNaN;
+  lin.breakdown = true;
+  EXPECT_EQ(check_update_health({du, 2}, lin, opt),
+            StepVerdict::kRejectNonFiniteUpdate);
+
+  du[1] = -2.0;
+  lin.converged = false;
+  EXPECT_EQ(check_update_health({du, 2}, lin, opt),
+            StepVerdict::kRejectBreakdown);
+
+  // No breakdown, not converged, zero progress: stall.
+  lin.breakdown = false;
+  lin.relative_residual = 1.0;
+  EXPECT_EQ(check_update_health({du, 2}, lin, opt),
+            StepVerdict::kRejectLinearStall);
+
+  // Inexact Newton: partial progress without convergence is usable.
+  lin.relative_residual = 0.5;
+  EXPECT_EQ(check_update_health({du, 2}, lin, opt), StepVerdict::kAccept);
+}
+
+TEST(Resilience, ResidualHealthRejectsNaNAndCatastrophicGrowth) {
+  const ResilienceOptions opt;  // growth_reject = 1e3
+  EXPECT_EQ(check_residual_health(1.0, 0.5, opt), StepVerdict::kAccept);
+  EXPECT_EQ(check_residual_health(1.0, kNaN, opt),
+            StepVerdict::kRejectNonFiniteResidual);
+  EXPECT_EQ(check_residual_health(1.0, kInf, opt),
+            StepVerdict::kRejectNonFiniteResidual);
+  EXPECT_EQ(check_residual_health(1.0, 2000.0, opt),
+            StepVerdict::kRejectResidualGrowth);
+  // Transient growth below the gate is PTC business as usual.
+  EXPECT_EQ(check_residual_health(1.0, 999.0, opt), StepVerdict::kAccept);
+}
+
+TEST(Resilience, VerdictNamesAreDiagnosable) {
+  EXPECT_STREQ(to_string(StepVerdict::kAccept), "accept");
+  for (const StepVerdict v :
+       {StepVerdict::kRejectNonFiniteUpdate, StepVerdict::kRejectBreakdown,
+        StepVerdict::kRejectLinearStall, StepVerdict::kRejectNonFiniteResidual,
+        StepVerdict::kRejectResidualGrowth})
+    EXPECT_NE(std::string(to_string(v)), "accept");
+}
+
+// ---- fault-injected solves: every rejection path recovers or fails
+// ---- gracefully (the acceptance criterion of DESIGN.md §8) ----
+
+/// Runs a baseline solve with `mutate` applied to the config and returns
+/// the stats; the mesh/seed is fixed so runs are comparable.
+template <typename F>
+SolveStats injected_run(F mutate, SolverConfig cfg = SolverConfig::baseline()) {
+  cfg = quick(cfg);
+  mutate(cfg);
+  FlowSolver solver(solver_mesh(11), cfg);
+  SolveStats st = solver.solve();
+  // Whatever happened, the state left behind is never poisoned.
+  EXPECT_TRUE(all_finite({solver.fields().q.data(), solver.fields().q.size()}));
+  return st;
+}
+
+TEST(Resilience, SeededNaNResidualIsRejectedBackedOffAndRecovered) {
+  const SolveStats st = injected_run(
+      [](SolverConfig& c) { c.resilience.fault.nan_residual_step = 2; });
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.failure, SolveFailure::kNone);
+  const ResilienceStats& rs = st.resilience;
+  EXPECT_EQ(rs.injected_faults, 1u);
+  EXPECT_EQ(rs.rejected_steps, 1u);
+  EXPECT_EQ(rs.nonfinite_residual_rejects, 1u);
+  EXPECT_EQ(rs.retries, 1u);
+  EXPECT_EQ(rs.backoffs, 1u);
+}
+
+TEST(Resilience, SeededNaNUpdateIsCaughtBeforeTouchingTheState) {
+  const SolveStats st = injected_run(
+      [](SolverConfig& c) { c.resilience.fault.nan_update_step = 2; });
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.resilience.nonfinite_update_rejects, 1u);
+  EXPECT_EQ(st.resilience.rejected_steps, 1u);
+  EXPECT_EQ(st.resilience.retries, 1u);
+}
+
+TEST(Resilience, ForcedKrylovBreakdownRetriesAndConverges) {
+  const SolveStats st = injected_run(
+      [](SolverConfig& c) { c.resilience.fault.breakdown_step = 1; });
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.resilience.breakdown_rejects, 1u);
+  EXPECT_EQ(st.resilience.rejected_steps, 1u);
+}
+
+TEST(Resilience, ExhaustedRetriesAbortGracefullyWithDiagnosableReason) {
+  const SolveStats st = injected_run([](SolverConfig& c) {
+    c.resilience.fault.breakdown_step = 1;
+    c.resilience.fault.repeat = -1;  // poison every attempt
+  });
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.failure, SolveFailure::kStepRetriesExhausted);
+  EXPECT_NE(st.failure_detail.find("step 1"), std::string::npos);
+  EXPECT_NE(st.failure_detail.find(
+                to_string(StepVerdict::kRejectBreakdown)),
+            std::string::npos);
+  // max_retries = 4: attempts 0..4 all rejected.
+  EXPECT_EQ(st.resilience.rejected_steps, 5u);
+  EXPECT_EQ(st.resilience.retries, 4u);
+}
+
+TEST(Resilience, DisabledStepControlRestoresLegacyAcceptEverything) {
+  // With the layer off, a synthetic breakdown flag is ignored (the GMRES
+  // correction is still real) and the solve proceeds as before.
+  const SolveStats st = injected_run([](SolverConfig& c) {
+    c.resilience.enabled = false;
+    c.resilience.fault.breakdown_step = 1;
+  });
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.resilience.rejected_steps, 0u);
+  EXPECT_EQ(st.resilience.injected_faults, 1u);
+}
+
+TEST(Resilience, HealthyRunNeverTripsTheChecks) {
+  const SolveStats st = injected_run([](SolverConfig&) {});
+  EXPECT_TRUE(st.converged);
+  EXPECT_EQ(st.resilience.rejected_steps, 0u);
+  EXPECT_EQ(st.resilience.retries, 0u);
+  EXPECT_EQ(st.resilience.backoffs, 0u);
+  EXPECT_EQ(st.resilience.injected_faults, 0u);
+}
+
+TEST(Resilience, RecoveryPathIsIdenticalUnderCappedTeams) {
+  // The `shortfall` CI matrix reruns this binary with OMP_THREAD_LIMIT
+  // caps; the optimized parallel solver must take the exact same
+  // reject/backoff/retry decisions as any uncapped run.
+  const SolveStats st = injected_run(
+      [](SolverConfig& c) { c.resilience.fault.nan_residual_step = 2; },
+      SolverConfig::optimized(2));
+  EXPECT_TRUE(st.converged);
+  const ResilienceStats& rs = st.resilience;
+  EXPECT_EQ(rs.injected_faults, 1u);
+  EXPECT_EQ(rs.rejected_steps, 1u);
+  EXPECT_EQ(rs.nonfinite_residual_rejects, 1u);
+  EXPECT_EQ(rs.retries, 1u);
+  EXPECT_EQ(rs.backoffs, 1u);
+}
+
+// ---- checkpoint / restart: bitwise continuation ----
+
+class CkptFile {
+ public:
+  explicit CkptFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + name) {}
+  ~CkptFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Resilience, KilledAndRestartedRunMatchesUninterruptedBitwise) {
+  SolverConfig cfg = quick(SolverConfig::baseline());
+  cfg.resilience.checkpoint_every = 2;
+
+  // Run A: uninterrupted to convergence.
+  CkptFile ckpt_a("resil_a.ckpt");
+  cfg.resilience.checkpoint_path = ckpt_a.path();
+  FlowSolver a(solver_mesh(12), cfg);
+  const SolveStats st_a = a.solve();
+  ASSERT_TRUE(st_a.converged);
+  ASSERT_GT(st_a.resilience.checkpoints_written, 1u);
+
+  // Run B: same run "killed" after 5 steps — its last periodic
+  // checkpoint (step 4) survives.
+  CkptFile ckpt_b("resil_b.ckpt");
+  cfg.resilience.checkpoint_path = ckpt_b.path();
+  cfg.ptc.max_steps = 5;
+  FlowSolver b(solver_mesh(12), cfg);
+  const SolveStats st_b = b.solve();
+  ASSERT_FALSE(st_b.converged);
+
+  // Run C: restart from B's checkpoint and run to convergence.
+  cfg.ptc.max_steps = 30;
+  FlowSolver c(solver_mesh(12), cfg);
+  const CheckpointMeta meta = c.restore_checkpoint(ckpt_b.path());
+  EXPECT_EQ(meta.step, 4u);
+  EXPECT_GT(meta.cfl, 0.0);
+  EXPECT_GT(meta.r0, 0.0);
+  const SolveStats st_c = c.solve();
+
+  // The resumed run is the uninterrupted run, bit for bit.
+  EXPECT_TRUE(st_c.converged);
+  EXPECT_EQ(st_c.steps, st_a.steps);
+  EXPECT_EQ(st_c.final_cfl, st_a.final_cfl);
+  EXPECT_EQ(st_c.reference_residual, st_a.reference_residual);
+  ASSERT_EQ(c.fields().q.size(), a.fields().q.size());
+  for (std::size_t i = 0; i < a.fields().q.size(); ++i)
+    ASSERT_EQ(c.fields().q[i], a.fields().q[i]) << "entry " << i;
+}
+
+TEST(Resilience, LegacyCheckpointWithoutMetaRestartsAsFreshSolve) {
+  const SolverConfig cfg = quick(SolverConfig::baseline());
+  TetMesh m = solver_mesh(13);
+  CkptFile ckpt("resil_legacy.ckpt");
+  {
+    FlowSolver warm(solver_mesh(13), cfg);
+    // Old-format checkpoint of the initial state: no meta block.
+    save_checkpoint(ckpt.path(), warm.mesh(),
+                    {warm.fields().q.data(), warm.fields().q.size()});
+  }
+  FlowSolver solver(std::move(m), cfg);
+  const CheckpointMeta meta = solver.restore_checkpoint(ckpt.path());
+  EXPECT_EQ(meta.step, 0u);
+  EXPECT_EQ(meta.cfl, 0.0);
+  EXPECT_EQ(meta.r0, 0.0);
+  const SolveStats st = solver.solve();
+  EXPECT_TRUE(st.converged);  // fresh solve from the stored state
+}
+
+}  // namespace
+}  // namespace fun3d

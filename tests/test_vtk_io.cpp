@@ -88,6 +88,81 @@ TEST(Checkpoint, RoundTripsExactly) {
   EXPECT_EQ(q, back);  // bitwise
 }
 
+TEST(Checkpoint, WriteIsAtomicAndLeavesNoTempFile) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q = random_solution(m, 7);
+  TmpFile f("atomic.bin");
+  save_checkpoint(f.path(), m, {q.data(), q.size()});
+  // The temp the data staged through was renamed away.
+  std::ifstream tmp(f.path() + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(Checkpoint, InterruptedRewriteLeavesOldCheckpointLoadable) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q1 = random_solution(m, 8);
+  const AVec<double> q2 = random_solution(m, 9);
+  TmpFile f("survives.bin");
+  save_checkpoint(f.path(), m, {q1.data(), q1.size()});
+  {
+    // Simulate a crash mid-rewrite: a half-written temp next to the good
+    // file. The previous checkpoint must stay intact and loadable.
+    std::ofstream out(f.path() + ".tmp", std::ios::binary);
+    out << "half-written garbage from a dying process";
+  }
+  AVec<double> back(q1.size(), 0.0);
+  load_checkpoint(f.path(), m, {back.data(), back.size()});
+  EXPECT_EQ(q1, back);
+  // The next successful save replaces both the stale temp and the file.
+  save_checkpoint(f.path(), m, {q2.data(), q2.size()});
+  std::ifstream tmp(f.path() + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  load_checkpoint(f.path(), m, {back.data(), back.size()});
+  EXPECT_EQ(q2, back);
+}
+
+TEST(Checkpoint, MetaRoundTripsExactly) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q = random_solution(m, 10);
+  TmpFile f("meta.bin");
+  const CheckpointMeta meta{7, 123.4567891011, 2.5e-3};
+  save_checkpoint(f.path(), m, {q.data(), q.size()}, &meta);
+  AVec<double> back(q.size(), 0.0);
+  CheckpointMeta got;
+  load_checkpoint(f.path(), m, {back.data(), back.size()}, &got);
+  EXPECT_EQ(q, back);
+  EXPECT_EQ(got.step, meta.step);
+  EXPECT_EQ(got.cfl, meta.cfl);  // bitwise, not approximate
+  EXPECT_EQ(got.r0, meta.r0);
+}
+
+TEST(Checkpoint, LegacyFileWithoutMetaYieldsZeroMeta) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q = random_solution(m, 11);
+  TmpFile f("legacy.bin");
+  save_checkpoint(f.path(), m, {q.data(), q.size()});  // no meta block
+  AVec<double> back(q.size(), 0.0);
+  CheckpointMeta got{99, 99.0, 99.0};  // poisoned: loader must overwrite
+  load_checkpoint(f.path(), m, {back.data(), back.size()}, &got);
+  EXPECT_EQ(q, back);
+  EXPECT_EQ(got.step, 0u);
+  EXPECT_EQ(got.cfl, 0.0);
+  EXPECT_EQ(got.r0, 0.0);
+}
+
+TEST(Checkpoint, MetaFileStaysLoadableByMetaUnawareReader) {
+  // Forward compatibility: a reader that never asks for meta reads a
+  // meta-bearing file fine (the trailing block is simply ignored).
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q = random_solution(m, 12);
+  TmpFile f("fwd.bin");
+  const CheckpointMeta meta{3, 40.0, 1.0};
+  save_checkpoint(f.path(), m, {q.data(), q.size()}, &meta);
+  AVec<double> back(q.size(), 0.0);
+  load_checkpoint(f.path(), m, {back.data(), back.size()});
+  EXPECT_EQ(q, back);
+}
+
 TEST(Checkpoint, RejectsDifferentMesh) {
   const TetMesh m1 = generate_box(3, 3, 3);
   const TetMesh m2 = generate_box(3, 3, 4);
