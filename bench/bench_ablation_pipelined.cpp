@@ -2,9 +2,13 @@
 //
 // The paper identifies the Krylov Allreduce as the scaling limit at 256
 // nodes and points to pipelined GMRES (Ghysels et al. [28]) / hierarchical
-// Krylov [29] as the way out. This ablation runs the cluster simulator with
-// and without Allreduce/compute overlap and reports how far the scaling
-// limit moves.
+// Krylov [29] as the way out. Since PR 8 the repo has a real
+// `GmresMode::kPipelined` solver mode, so this ablation no longer assumes
+// an overlap constant: it first runs two real solves (classical and
+// pipelined) on a small mesh, measures reductions-per-column and the
+// overlap fraction from `Profile::gmres`, then feeds those MEASURED
+// numbers into the cluster simulator to see how far the scaling limit
+// moves.
 #include "bench_common.hpp"
 
 #include <cmath>
@@ -24,6 +28,42 @@ int main(int argc, char** argv) {
   PerfReport rep = make_report(
       cli, "ablation_pipelined", "pipelined GMRES at scale");
   rep.params["max_nodes"] = max_nodes;
+
+  // ---- phase 1: measure the real solver's reduction behaviour ----------
+  // Small mesh, few steps: we only need per-column reduction counts and
+  // the overlap fraction, both of which are per-iteration properties.
+  SolverConfig ccfg = SolverConfig::optimized(1);
+  ccfg.gmres_mode = GmresMode::kClassical;
+  ccfg.ptc.max_steps = 8;
+  SolverConfig pcfg = ccfg;
+  pcfg.gmres_mode = GmresMode::kPipelined;
+  TetMesh mc = make_mesh(MeshPreset::kTiny, 1.0, /*report=*/false);
+  TetMesh mp = make_mesh(MeshPreset::kTiny, 1.0, /*report=*/false);
+  FlowSolver sc(std::move(mc), ccfg);
+  sc.solve();
+  FlowSolver sp(std::move(mp), pcfg);
+  sp.solve();
+  const GmresStats& gc = sc.profile().gmres;
+  const GmresStats& gp = sp.profile().gmres;
+  const double rpc_classical = gc.reductions_per_column();
+  const double rpc_pipelined = gp.reductions_per_column();
+  const double overlap = gp.overlap_fraction();
+  std::printf(
+      "\nmeasured (real solves, %llu / %llu Krylov columns):\n"
+      "  classical reductions/column  %.2f\n"
+      "  pipelined reductions/column  %.2f (fallback columns: %llu)\n"
+      "  pipelined overlap fraction   %.2f of the column's compute\n",
+      static_cast<unsigned long long>(gc.columns),
+      static_cast<unsigned long long>(gp.columns), rpc_classical,
+      rpc_pipelined, static_cast<unsigned long long>(gp.fallback_columns),
+      overlap);
+  rep.metrics["measured.classical.reductions_per_column"] = rpc_classical;
+  rep.metrics["measured.pipelined.reductions_per_column"] = rpc_pipelined;
+  rep.metrics["measured.pipelined.overlap_fraction"] = overlap;
+  sc.fill_report(rep, "classical.");
+  sp.fill_report(rep, "pipelined.");
+
+  // ---- phase 2: simulate at scale with the measured inputs -------------
   const TetMesh mesh = make_mesh(MeshPreset::kMeshD, scale);
   auto iters = [](int ranks) {
     return 1709.0 * (1.0 + 0.025 * std::log2(std::max(1, ranks)));
@@ -31,7 +71,10 @@ int main(int argc, char** argv) {
   ClusterConfig standard, pipelined;
   standard.optimized = pipelined.optimized = true;
   standard.iterations_of_ranks = pipelined.iterations_of_ranks = iters;
+  standard.allreduces_per_iter = rpc_classical;
   pipelined.pipelined_krylov = true;
+  pipelined.allreduces_per_iter = rpc_pipelined;
+  pipelined.pipelined_overlap_fraction = overlap;
 
   std::vector<int> nodes;
   for (int n = 16; n <= max_nodes; n *= 2) nodes.push_back(n);

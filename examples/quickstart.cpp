@@ -17,6 +17,8 @@
 //   --restart                 resume from --checkpoint (bitwise-identical
 //                             continuation of the interrupted run)
 //   --max-steps <n>           pseudo-transient step budget (default 40)
+//   --gmres-mode <m>          classical|pipelined Krylov orthogonalization
+//                             (default: the optimized config's pipelined)
 //   --json <path>             write a validated PerfReport (resilience.*)
 // Fault injection (deterministic; exercises the recovery paths):
 //   --inject-nan-step <k>     poison one residual entry with NaN at step k
@@ -116,6 +118,17 @@ int main(int argc, char** argv) {
   SolverConfig cfg = SolverConfig::optimized(/*nthreads=*/2);
   cfg.ptc.max_steps = static_cast<int>(cli.get_int("max-steps", 40));
   cfg.ptc.rtol = 1e-8;
+  const std::string gmres_mode = cli.get("gmres-mode", "");
+  if (gmres_mode == "classical") {
+    cfg.gmres_mode = GmresMode::kClassical;
+  } else if (gmres_mode == "pipelined") {
+    cfg.gmres_mode = GmresMode::kPipelined;
+  } else if (!gmres_mode.empty()) {
+    std::fprintf(stderr,
+                 "unknown --gmres-mode '%s' (want classical|pipelined)\n",
+                 gmres_mode.c_str());
+    return 1;
+  }
   cfg.resilience.checkpoint_every =
       static_cast<int>(cli.get_int("checkpoint-every", 0));
   cfg.resilience.checkpoint_path = ckpt_path;

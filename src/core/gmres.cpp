@@ -5,7 +5,9 @@
 #include <optional>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "util/aligned.hpp"
+#include "util/timer.hpp"
 
 namespace fun3d {
 namespace {
@@ -20,6 +22,12 @@ void apply_m(const LinearOp* precond, const VecOps& vec,
   }
 }
 
+/// Relative cancellation floor for the Pythagorean trailing-norm estimate
+/// eta^2 = ||w||^2 - sum h_i^2. When the subtraction cancels below this
+/// fraction of ||w||^2 the estimate has lost too many bits (the column is
+/// near breakdown), and the column re-runs through classical MGS instead.
+constexpr double kCancelTol = 1e-8;
+
 }  // namespace
 
 GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
@@ -28,7 +36,9 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
                         Profile* profile) {
   const std::size_t n = b.size();
   const int m = opt.restart;
+  const bool pipelined = opt.mode == GmresMode::kPipelined;
   GmresResult res;
+  GmresStats st;  // folded into profile->gmres on exit
 
   // Krylov basis (m+1 vectors) + Hessenberg (row-major, (m+1) x m:
   // entry (i, j) lives at h[i*m + j]).
@@ -38,6 +48,14 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
   std::vector<double> cs(static_cast<std::size_t>(m)), sn(static_cast<std::size_t>(m)),
       g(static_cast<std::size_t>(m) + 1);
   AVec<double> tmp(n), mtmp(n);
+  // Pipelined mode carries the operator images z_i = M^{-1} A v_i alongside
+  // the basis, so the next column's candidate exists before the current
+  // column's reduction completes (Ghysels-style communication hiding).
+  std::vector<AVec<double>> z;
+  if (pipelined) {
+    z.resize(static_cast<std::size_t>(m) + 1);
+    for (auto& zi : z) zi.resize(n);
+  }
 
   auto timed = [&](const char* name) {
     return profile != nullptr
@@ -45,9 +63,39 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
                                                     profile->timers, name)
                : std::nullopt;
   };
+  // Solver-internal global reductions: counted in both the netsim Allreduce
+  // total (Profile::reductions) and the per-column Krylov budget
+  // (GmresStats::reductions). Reductions the operator callback performs
+  // internally (e.g. the matrix-free FD norm) reach only the former.
+  auto count_reductions = [&](int k) {
+    st.reductions += static_cast<std::uint64_t>(k);
+    if (profile != nullptr) profile->reductions += static_cast<std::uint64_t>(k);
+  };
+  auto finish = [&](bool converged) {
+    res.converged = converged;
+    if (profile != nullptr) {
+      profile->gmres.columns += st.columns;
+      profile->gmres.pipelined_columns += st.pipelined_columns;
+      profile->gmres.fallback_columns += st.fallback_columns;
+      profile->gmres.reductions += st.reductions;
+      profile->gmres.overlap_seconds += st.overlap_seconds;
+      profile->gmres.column_seconds += st.column_seconds;
+    }
+    return res;
+  };
+  // w = M^{-1} A in  (uses tmp as scratch; `in` and `out` distinct).
+  auto apply_op = [&](std::span<const double> in, std::span<double> out) {
+    apply_a(in, tmp);
+    apply_m(precond, vec, tmp, out);
+  };
 
   double beta0 = -1;  // preconditioned norm of b (fixed reference)
-  while (res.iterations < opt.max_iters) {
+  while (true) {
+    // Cycle head — also the ONLY exit path. Every return below reports the
+    // TRUE preconditioned residual ||M^{-1}(b - A x)|| / beta0 computed
+    // right here, never the Givens recurrence estimate (which drifts from
+    // the truth with strong preconditioners); the estimate is kept in
+    // res.estimate_residual for observability.
     // r = M^{-1}(b - A x)
     apply_a(x, tmp);
     {
@@ -59,60 +107,156 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
     {
       auto s = timed(kernel::kVecOps);
       beta = vec.norm2(v[0]);
-      if (profile != nullptr) profile->reductions++;
+      count_reductions(1);
     }
     if (beta0 < 0) beta0 = beta > 0 ? beta : 1.0;
     res.relative_residual = beta / beta0;
-    if (beta <= opt.atol || res.relative_residual <= opt.rtol) {
-      res.converged = true;
-      return res;
-    }
+    if (beta <= opt.atol || res.relative_residual <= opt.rtol)
+      return finish(true);
+    if (res.iterations >= opt.max_iters) return finish(false);
     {
       auto s = timed(kernel::kVecOps);
       vec.scale(1.0 / beta, v[0]);
     }
     std::fill(g.begin(), g.end(), 0.0);
     g[0] = beta;
+    // Prime the pipeline: the first column's candidate is z_0 = Op v_0.
+    if (pipelined) apply_op(v[0], z[0]);
 
     int j = 0;
     bool breakdown = false;
     for (; j < m && res.iterations < opt.max_iters; ++j) {
       ++res.iterations;
-      // w = M^{-1} A v_j
-      apply_a(v[static_cast<std::size_t>(j)], tmp);
-      apply_m(precond, vec, tmp, mtmp);
-      // Modified Gram-Schmidt: one fused column (basis streamed once).
-      {
-        auto s = timed(kernel::kVecOps);
-        std::vector<std::span<const double>> basis;
-        basis.reserve(static_cast<std::size_t>(j) + 1);
-        for (int i = 0; i <= j; ++i)
-          basis.emplace_back(v[static_cast<std::size_t>(i)].data(), n);
-        std::vector<double> hcol(static_cast<std::size_t>(j) + 2);
-        const double hj1 = vec.orthogonalize(
-            std::span<const std::span<const double>>(basis.data(),
-                                                     basis.size()),
-            mtmp, std::span<double>(hcol.data(), hcol.size()));
+      Timer col_timer;
+      const auto ju = static_cast<std::size_t>(j);
+      std::vector<std::span<const double>> basis;
+      basis.reserve(ju + 1);
+      for (int i = 0; i <= j; ++i)
+        basis.emplace_back(v[static_cast<std::size_t>(i)].data(), n);
+      const std::span<const std::span<const double>> basis_view(basis.data(),
+                                                                basis.size());
+      std::vector<double> hcol(ju + 2);
+
+      if (!pipelined) {
+        // Classical column: w = M^{-1} A v_j, then one fused MGS sweep.
         // The j+1 basis dots are sequentially dependent and the trailing
-        // norm is one more: j+2 global reductions. `reductions` counts
-        // reductions actually performed — a fused mdot batch is one.
-        if (profile != nullptr) profile->reductions += j + 2;
+        // norm is one more: j+2 global reductions per column.
+        apply_op(v[ju], mtmp);
+        auto s = timed(kernel::kVecOps);
+        const double hj1 = vec.orthogonalize(
+            basis_view, mtmp, std::span<double>(hcol.data(), hcol.size()));
+        count_reductions(j + 2);
         for (int i = 0; i <= j; ++i)
           h[static_cast<std::size_t>(i * m + j)] =
               hcol[static_cast<std::size_t>(i)];
         h[static_cast<std::size_t>((j + 1) * m + j)] = hj1;
         breakdown = !(hj1 > 0);
         if (!breakdown) {
-          vec.copy(mtmp, v[static_cast<std::size_t>(j) + 1]);
-          vec.scale(1.0 / hj1, v[static_cast<std::size_t>(j) + 1]);
+          vec.copy(mtmp, v[ju + 1]);
+          vec.scale(1.0 / hj1, v[ju + 1]);
         } else {
           // Happy breakdown: A v_j is already in the span of v_0..v_j. The
           // next basis vector would otherwise keep garbage from the
           // previous restart cycle; zero it and stop expanding the space
           // after this column's rotations/update below.
-          vec.set(0.0, v[static_cast<std::size_t>(j) + 1]);
+          vec.set(0.0, v[ju + 1]);
+        }
+      } else {
+        // Pipelined column: the candidate w = z_j already exists. Batch
+        // the j+1 basis dots AND the candidate's norm-squared into ONE
+        // split-phase reduction, and complete it only after the next
+        // column's operator application has been issued — the reduction
+        // latency hides behind Op z_j.
+        std::vector<std::span<const double>> xs = basis;
+        xs.emplace_back(z[ju].data(), n);
+        MDotBatch batch;
+        {
+          auto s = timed(kernel::kVecOps);
+          batch = vec.mdot_start(
+              std::span<const std::span<const double>>(xs.data(), xs.size()),
+              std::span<const double>(z[ju].data(), n));
+          count_reductions(1);
+        }
+        {
+          // Overlap window: apply the operator to z_j (the image the
+          // linearity correction below turns into z_{j+1}) while the
+          // reduction is in flight.
+          trace::TraceSpan span("gmres_overlap", j);
+          Timer overlap_timer;
+          apply_op(z[ju], z[ju + 1]);
+          st.overlap_seconds += overlap_timer.seconds();
+        }
+        std::vector<double> dots(ju + 2);
+        {
+          auto s = timed(kernel::kVecOps);
+          vec.mdot_finish(batch, std::span<double>(dots.data(), dots.size()));
+        }
+        const double mu = dots[ju + 1];  // ||z_j||^2
+        double sigma = 0;
+        for (int i = 0; i <= j; ++i)
+          sigma += dots[static_cast<std::size_t>(i)] *
+                   dots[static_cast<std::size_t>(i)];
+        const double eta2 = mu - sigma;  // ||w - sum h_i v_i||^2, lagged
+        if (!(eta2 > kCancelTol * mu)) {
+          // The Pythagorean estimate cancelled: (near) breakdown. Re-run
+          // this column through classical MGS on a copy of the candidate
+          // (z_j itself must survive — later columns' linearity corrections
+          // still read it).
+          st.fallback_columns++;
+          auto s = timed(kernel::kVecOps);
+          vec.copy(z[ju], mtmp);
+          const double hj1 = vec.orthogonalize(
+              basis_view, mtmp, std::span<double>(hcol.data(), hcol.size()));
+          count_reductions(j + 2);
+          for (int i = 0; i <= j; ++i)
+            h[static_cast<std::size_t>(i * m + j)] =
+                hcol[static_cast<std::size_t>(i)];
+          h[static_cast<std::size_t>((j + 1) * m + j)] = hj1;
+          breakdown = !(hj1 > 0);
+          if (!breakdown) {
+            vec.copy(mtmp, v[ju + 1]);
+            vec.scale(1.0 / hj1, v[ju + 1]);
+            // The overlapped Op z_j image no longer matches the rebuilt
+            // v_{j+1}; recompute its operator image directly.
+            s.reset();
+            apply_op(v[ju + 1], z[ju + 1]);
+          } else {
+            vec.set(0.0, v[ju + 1]);
+            vec.set(0.0, z[ju + 1]);
+          }
+        } else {
+          st.pipelined_columns++;
+          const double hj1 = std::sqrt(eta2);
+          auto s = timed(kernel::kVecOps);
+          for (int i = 0; i <= j; ++i)
+            h[static_cast<std::size_t>(i * m + j)] =
+                dots[static_cast<std::size_t>(i)];
+          h[static_cast<std::size_t>((j + 1) * m + j)] = hj1;
+          std::vector<double> neg(ju + 1);
+          for (int i = 0; i <= j; ++i)
+            neg[static_cast<std::size_t>(i)] =
+                -dots[static_cast<std::size_t>(i)];
+          const std::span<const double> neg_view(neg.data(), neg.size());
+          // v_{j+1} = (z_j - sum h_i v_i) / h_{j+1,j}
+          vec.copy(z[ju], v[ju + 1]);
+          vec.maxpy(neg_view, basis_view, v[ju + 1]);
+          vec.scale(1.0 / hj1, v[ju + 1]);
+          // z_{j+1} = (Op z_j - sum h_i z_i) / h_{j+1,j}: by linearity of
+          // Op this equals Op v_{j+1} without a second operator call. The
+          // overlapped image is already sitting in z_{j+1}.
+          std::vector<std::span<const double>> zbasis;
+          zbasis.reserve(ju + 1);
+          for (int i = 0; i <= j; ++i)
+            zbasis.emplace_back(z[static_cast<std::size_t>(i)].data(), n);
+          vec.maxpy(neg_view,
+                    std::span<const std::span<const double>>(zbasis.data(),
+                                                             zbasis.size()),
+                    z[ju + 1]);
+          vec.scale(1.0 / hj1, z[ju + 1]);
+          breakdown = false;
         }
       }
+
       // Apply stored Givens rotations to the new column, then form a new one.
       for (int i = 0; i < j; ++i) {
         const double t1 = h[static_cast<std::size_t>(i * m + j)];
@@ -134,14 +278,19 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
         g[static_cast<std::size_t>(j)] = cs[static_cast<std::size_t>(j)] * gj;
         g[static_cast<std::size_t>(j) + 1] = -sn[static_cast<std::size_t>(j)] * gj;
       }
-      res.relative_residual =
+      res.estimate_residual =
           std::fabs(g[static_cast<std::size_t>(j) + 1]) / beta0;
-      if (breakdown || res.relative_residual <= opt.rtol) {
+      st.columns++;
+      st.column_seconds += col_timer.seconds();
+      if (breakdown || res.estimate_residual <= opt.rtol) {
         ++j;
         break;
       }
     }
-    // Back-substitute y from the triangularized H, update x += V y.
+    // Back-substitute y from the triangularized H, update x += V y, then
+    // loop back to the cycle head: it recomputes the true residual and
+    // decides convergence from that — if the Givens estimate drifted low,
+    // the solve simply continues instead of reporting a false success.
     std::vector<double> y(static_cast<std::size_t>(j));
     for (int i = j - 1; i >= 0; --i) {
       double s = g[static_cast<std::size_t>(i)];
@@ -160,12 +309,7 @@ GmresResult gmres_solve(const LinearOp& apply_a, const LinearOp* precond,
                                                          basis.size()),
                 x);
     }
-    if (res.relative_residual <= opt.rtol) {
-      res.converged = true;
-      return res;
-    }
   }
-  return res;
 }
 
 }  // namespace fun3d

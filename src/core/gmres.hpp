@@ -15,16 +15,36 @@ namespace fun3d {
 /// y = Op(x). Spans are distinct storage.
 using LinearOp = std::function<void(std::span<const double>, std::span<double>)>;
 
+/// Which Arnoldi-column algorithm gmres_solve runs (DESIGN.md §9).
+enum class GmresMode {
+  /// Modified Gram-Schmidt: j+2 sequentially dependent global reductions
+  /// per column j (the fused orthogonalize sweep).
+  kClassical,
+  /// Ghysels-style pipelined column: ONE fused split-phase reduction per
+  /// column (basis dots + candidate norm batched via mdot_start), with the
+  /// next column's operator application overlapping its completion and the
+  /// trailing norm recovered by the Pythagorean identity. Falls back to a
+  /// classical MGS column when the norm estimate cancels (near breakdown).
+  kPipelined,
+};
+
 struct GmresOptions {
   int restart = 30;
   int max_iters = 400;
   double rtol = 1e-3;   ///< relative (preconditioned) residual tolerance
   double atol = 1e-13;
+  GmresMode mode = GmresMode::kClassical;
 };
 
 struct GmresResult {
   int iterations = 0;
+  /// True relative (preconditioned) residual ||M^{-1}(b - Ax)|| / ||r0||,
+  /// recomputed on the exit path — not the Givens recurrence estimate.
   double relative_residual = 1.0;
+  /// The Givens recurrence estimate at exit (what `relative_residual`
+  /// reported before the true-residual fix); kept so the drift between
+  /// estimate and truth is observable and testable.
+  double estimate_residual = 1.0;
   bool converged = false;
 };
 

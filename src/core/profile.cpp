@@ -48,6 +48,7 @@ std::string Profile::format(const std::string& title) const {
 void Profile::clear() {
   timers.clear();
   newton_steps = linear_iterations = residual_evals = reductions = 0;
+  gmres = GmresStats{};
 }
 
 PerfReport PerfReport::begin(std::string bench_id, std::string title) {
@@ -85,6 +86,19 @@ void PerfReport::add_profile(const Profile& p, const std::string& prefix) {
   counters[prefix + "linear_iterations"] = p.linear_iterations;
   counters[prefix + "residual_evals"] = p.residual_evals;
   counters[prefix + "reductions"] = p.reductions;
+  // Krylov accounting (GmresStats): which algorithmic path produced each
+  // Arnoldi column and what it cost in solver-internal reductions, plus
+  // the measured overlap the pipelined mode achieved. validate_report
+  // cross-checks the family wherever a (prefixed) gmres.columns appears.
+  const std::string g = prefix + "gmres.";
+  counters[g + "columns"] = p.gmres.columns;
+  counters[g + "pipelined_columns"] = p.gmres.pipelined_columns;
+  counters[g + "fallback_columns"] = p.gmres.fallback_columns;
+  counters[g + "reductions"] = p.gmres.reductions;
+  metrics[g + "reductions_per_column"] = p.gmres.reductions_per_column();
+  metrics[g + "overlap_fraction"] = p.gmres.overlap_fraction();
+  metrics[g + "overlap_seconds"] = p.gmres.overlap_seconds;
+  metrics[g + "column_seconds"] = p.gmres.column_seconds;
 }
 
 void PerfReport::add_edge_plan(const EdgeLoopPlan& plan,
@@ -135,6 +149,8 @@ void PerfReport::add_vecops_stats(const std::string& prefix) {
   counters[p + "orthogonalize_calls"] = s.orthogonalize_calls;
   counters[p + "orthogonalize_vectors"] = s.orthogonalize_vectors;
   counters[p + "orthogonalize_fallbacks"] = s.orthogonalize_fallbacks;
+  counters[p + "split_batches"] = s.split_batches;
+  counters[p + "split_fallbacks"] = s.split_fallbacks;
   counters[p + "fused_sweeps"] = s.fused_sweeps;
   counters[p + "unfused_sweeps"] = s.unfused_sweeps;
   metrics[p + "sweeps_saved"] =
@@ -411,6 +427,51 @@ std::vector<std::string> validate_report(const Json& report) {
       if (counters->at(i).as_double(-1) > unfused->as_double(-1))
         problems.push_back("counters." + key +
                            ": fused_sweeps exceeds unfused_sweeps");
+    }
+    // Krylov-accounting consistency (add_profile): wherever a (possibly
+    // prefixed) gmres.columns counter appears, the column-path counters
+    // must accompany it, every column must be attributable (pipelined +
+    // fallback <= columns; the remainder ran the classical path), any
+    // column costs at least one solver-internal reduction, and the derived
+    // metrics must match the counters they are derived from.
+    const std::string kColumns = "gmres.columns";
+    const Json* vmetrics = report.find("metrics");
+    for (std::size_t i = 0; i < counters->size(); ++i) {
+      const std::string key = counters->key_at(i);
+      if (!key.ends_with(kColumns)) continue;
+      const std::string prefix = key.substr(0, key.size() - kColumns.size());
+      const Json* pip = counters->find(prefix + "gmres.pipelined_columns");
+      const Json* fb = counters->find(prefix + "gmres.fallback_columns");
+      const Json* red = counters->find(prefix + "gmres.reductions");
+      if (pip == nullptr || fb == nullptr || red == nullptr) {
+        problems.push_back("counters." + key +
+                           ": missing matching gmres.pipelined_columns / "
+                           "fallback_columns / reductions");
+        continue;
+      }
+      const double cols = counters->at(i).as_double(-1);
+      if (pip->as_double(0) + fb->as_double(0) > cols)
+        problems.push_back("counters." + key +
+                           ": pipelined + fallback columns exceed columns");
+      if (cols > 0 && red->as_double(0) < cols)
+        problems.push_back("counters." + prefix + "gmres.reductions" +
+                           ": fewer reductions than Arnoldi columns");
+      if (vmetrics != nullptr && vmetrics->is_object()) {
+        const Json* rpc =
+            vmetrics->find(prefix + "gmres.reductions_per_column");
+        if (rpc != nullptr && cols > 0 &&
+            std::abs(rpc->as_double(-1) - red->as_double(0) / cols) > 1e-9)
+          problems.push_back("metrics." + prefix +
+                             "gmres.reductions_per_column: does not equal "
+                             "gmres.reductions / gmres.columns");
+        const Json* ov = vmetrics->find(prefix + "gmres.overlap_fraction");
+        if (ov != nullptr) {
+          const double v = ov->as_double(-1);
+          if (!(v >= 0.0) || v > 1.0 + 1e-9)
+            problems.push_back("metrics." + prefix +
+                               "gmres.overlap_fraction: outside [0,1]");
+        }
+      }
     }
     // Step-rejection consistency (add_resilience_stats): wherever a
     // (possibly prefixed) resilience.rejected_steps counter appears, the

@@ -32,6 +32,38 @@ inline constexpr const char* kVecOps = "vecops";
 inline constexpr const char* kOther = "other";
 }  // namespace kernel
 
+/// Per-solve Krylov accounting filled by gmres_solve: how many Arnoldi
+/// columns ran, which algorithmic path produced each of them, and how many
+/// *solver-internal* global reductions they cost. `reductions` here counts
+/// only the reductions the GMRES algorithm itself issues (cycle-head norm,
+/// fused column batches, fallback MGS sequences) — reductions performed
+/// inside the operator callback (e.g. the matrix-free FD norm) appear in
+/// Profile::reductions but not here, so `reductions_per_column()` isolates
+/// the algorithm's synchronization budget the way the netsim cost model
+/// needs it.
+struct GmresStats {
+  std::uint64_t columns = 0;            ///< Arnoldi columns completed
+  std::uint64_t pipelined_columns = 0;  ///< columns via the fused 1-reduction path
+  std::uint64_t fallback_columns = 0;   ///< columns re-run through classical MGS
+  std::uint64_t reductions = 0;         ///< solver-internal global reductions
+  double overlap_seconds = 0;  ///< operator time inside the split-phase window
+  double column_seconds = 0;   ///< wall time across all Arnoldi columns
+
+  /// Solver-internal reductions per Arnoldi column (0 when no columns ran).
+  /// Classical MGS pays j+2 per column j; the pipelined path pays exactly 1.
+  [[nodiscard]] double reductions_per_column() const {
+    return columns ? static_cast<double>(reductions) /
+                         static_cast<double>(columns)
+                   : 0.0;
+  }
+  /// Fraction of Arnoldi-column wall time spent inside the split-phase
+  /// overlap window — the measured analogue of the netsim assumption that
+  /// pipelining hides the Allreduce behind the next column's operator.
+  [[nodiscard]] double overlap_fraction() const {
+    return column_seconds > 0 ? overlap_seconds / column_seconds : 0.0;
+  }
+};
+
 struct Profile {
   StopwatchSet timers;
   std::uint64_t newton_steps = 0;
@@ -39,6 +71,8 @@ struct Profile {
   std::uint64_t residual_evals = 0;
   /// Global reductions performed (dots + norms): the netsim Allreduce count.
   std::uint64_t reductions = 0;
+  /// Krylov-internal accounting (accumulated across linear solves).
+  GmresStats gmres;
 
   /// Fraction of total time per kernel (Fig. 5-style breakdown). A
   /// zero-total profile yields an all-zero map (never NaN), so reports

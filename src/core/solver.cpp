@@ -72,6 +72,7 @@ SolverConfig SolverConfig::optimized(int nthreads) {
   c.compressed_ilu_buffer = true;
   c.simd_ilu = true;
   c.threaded_vecops = true;
+  c.gmres_mode = GmresMode::kPipelined;
   return c;
 }
 
@@ -112,6 +113,7 @@ void FlowSolver::fill_report(PerfReport& report,
   report.params[prefix + "ilu_mode"] = static_cast<double>(cfg_.ilu_mode);
   report.params[prefix + "second_order"] = cfg_.second_order ? 1.0 : 0.0;
   report.params[prefix + "matrix_free"] = cfg_.matrix_free ? 1.0 : 0.0;
+  report.params[prefix + "gmres_mode"] = static_cast<double>(cfg_.gmres_mode);
   report.add_profile(profile_, prefix);
   report.add_edge_plan(plan_, prefix);
   report.add_team_stats(prefix);
@@ -321,9 +323,11 @@ SolveStats FlowSolver::solve() {
         lin.breakdown = bres.breakdown;
       } else {
         trace::TraceSpan span("gmres");
+        GmresOptions gopt = cfg_.gmres;
+        gopt.mode = cfg_.gmres_mode;
         const GmresResult gres =
             gmres_solve(apply_a, &precond, {rhs.data(), nq}, {du.data(), nq},
-                        cfg_.gmres, vec_, &profile_);
+                        gopt, vec_, &profile_);
         lin.iterations = gres.iterations;
         lin.relative_residual = gres.relative_residual;
         lin.converged = gres.converged;

@@ -69,6 +69,10 @@ struct SolverConfig {
   bool matrix_free = true;
   KrylovMethod krylov = KrylovMethod::kGmres;
   GmresOptions gmres;
+  /// Arnoldi-column algorithm (overrides gmres.mode at the solve call):
+  /// kPipelined batches each column's reductions into one split-phase
+  /// mdot overlapped with the next operator application (DESIGN.md §9).
+  GmresMode gmres_mode = GmresMode::kClassical;
   PtcOptions ptc;
   /// Step-control policy: health checks + rejection/backoff/retry,
   /// periodic atomic checkpointing, fault injection (DESIGN.md §8).

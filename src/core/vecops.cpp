@@ -20,6 +20,8 @@ std::atomic<std::uint64_t> g_mdot_components{0};
 std::atomic<std::uint64_t> g_orth_calls{0};
 std::atomic<std::uint64_t> g_orth_vectors{0};
 std::atomic<std::uint64_t> g_orth_fallbacks{0};
+std::atomic<std::uint64_t> g_split_batches{0};
+std::atomic<std::uint64_t> g_split_fallbacks{0};
 std::atomic<std::uint64_t> g_fused_sweeps{0};
 std::atomic<std::uint64_t> g_unfused_sweeps{0};
 std::atomic<std::uint64_t> g_fused_bytes{0};
@@ -58,6 +60,8 @@ VecOpsStats vecops_stats() {
   s.orthogonalize_calls = g_orth_calls.load(std::memory_order_relaxed);
   s.orthogonalize_vectors = g_orth_vectors.load(std::memory_order_relaxed);
   s.orthogonalize_fallbacks = g_orth_fallbacks.load(std::memory_order_relaxed);
+  s.split_batches = g_split_batches.load(std::memory_order_relaxed);
+  s.split_fallbacks = g_split_fallbacks.load(std::memory_order_relaxed);
   s.fused_sweeps = g_fused_sweeps.load(std::memory_order_relaxed);
   s.unfused_sweeps = g_unfused_sweeps.load(std::memory_order_relaxed);
   s.fused_bytes = g_fused_bytes.load(std::memory_order_relaxed);
@@ -71,6 +75,8 @@ void reset_vecops_stats() {
   g_orth_calls.store(0, std::memory_order_relaxed);
   g_orth_vectors.store(0, std::memory_order_relaxed);
   g_orth_fallbacks.store(0, std::memory_order_relaxed);
+  g_split_batches.store(0, std::memory_order_relaxed);
+  g_split_fallbacks.store(0, std::memory_order_relaxed);
   g_fused_sweeps.store(0, std::memory_order_relaxed);
   g_unfused_sweeps.store(0, std::memory_order_relaxed);
   g_fused_bytes.store(0, std::memory_order_relaxed);
@@ -338,6 +344,77 @@ double VecOps::orthogonalize(std::span<const std::span<const double>> basis,
   }
   h[k] = norm2(w);
   return h[k];
+}
+
+MDotBatch VecOps::mdot_start(std::span<const std::span<const double>> xs,
+                             std::span<const double> y) const {
+  MDotBatch batch;
+  batch.k = xs.size();
+  batch.nt = static_cast<idx_t>(nthreads > 1 ? nthreads : 1);
+  batch.xs.assign(xs.begin(), xs.end());
+  batch.y = y;
+  const std::size_t k = batch.k;
+  if (k == 0) {
+    batch.fused = true;
+    return batch;
+  }
+  g_split_batches.fetch_add(1, std::memory_order_relaxed);
+  const idx_t n = static_cast<idx_t>(y.size());
+  const double* yp = y.data();
+  note_fusion(1, k, 8ull * static_cast<std::uint64_t>(n) * (k + 1),
+              16ull * static_cast<std::uint64_t>(n) * k);
+
+  const idx_t nt = batch.nt;
+  batch.partial.assign(static_cast<std::size_t>(nt) * k, 0.0);
+  if (nt <= 1) {
+    double* acc = batch.partial.data();
+    for (idx_t i = 0; i < n; ++i)
+      for (std::size_t kk = 0; kk < k; ++kk)
+        acc[kk] += batch.xs[kk].data()[i] * yp[i];
+    batch.fused = true;
+    return batch;
+  }
+  // Same sweep, chunking, and per-element accumulation order as mdot() —
+  // only the planned-order combine is deferred to mdot_finish. The shard
+  // has no barriers, but a capped team still aborts (kAbort) rather than
+  // run cooperatively: the abort is the signal mdot_finish uses to replay
+  // the batch through the unfused kernels, exercising the same fallback
+  // contract as the fused MGS column.
+  const std::vector<std::span<const double>>& xv = batch.xs;
+  std::vector<double>& partial = batch.partial;
+  const TeamRun run = run_team(
+      nt,
+      [&](idx_t t) {
+        const auto [b, e] = static_chunk(n, t, nt);
+        double* acc = partial.data() + static_cast<std::size_t>(t) * k;
+        for (idx_t i = b; i < e; ++i)
+          for (std::size_t kk = 0; kk < k; ++kk)
+            acc[kk] += xv[kk].data()[i] * yp[i];
+      },
+      ShortfallPolicy::kAbort, "vecops_mdot");
+  batch.fused = run.completed;
+  return batch;
+}
+
+void VecOps::mdot_finish(MDotBatch& batch, std::span<double> out) const {
+  assert(out.size() == batch.k);
+  const std::size_t k = batch.k;
+  if (k == 0) return;
+  if (!batch.fused) {
+    // Capped team at start: recompute each component through the
+    // shortfall-robust unfused dot — per component the chunk boundaries,
+    // ascending-i accumulation, and planned-order combine are identical
+    // to the fused sweep's, so the results match bit for bit.
+    g_split_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t kk = 0; kk < k; ++kk) out[kk] = dot(batch.xs[kk], batch.y);
+    return;
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    double sum = 0;
+    for (idx_t t = 0; t < batch.nt; ++t)
+      sum += batch.partial[static_cast<std::size_t>(t) * k + kk];
+    out[kk] = sum;
+  }
 }
 
 }  // namespace fun3d

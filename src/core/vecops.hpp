@@ -18,6 +18,9 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
+
+#include "graph/csr.hpp"  // idx_t
 
 namespace fun3d {
 
@@ -33,6 +36,8 @@ struct VecOpsStats {
   std::uint64_t orthogonalize_calls = 0;    ///< fused MGS columns
   std::uint64_t orthogonalize_vectors = 0;  ///< basis vectors across calls
   std::uint64_t orthogonalize_fallbacks = 0;  ///< capped-team unfused runs
+  std::uint64_t split_batches = 0;    ///< split-phase mdot_start calls
+  std::uint64_t split_fallbacks = 0;  ///< capped-team unfused completions
   std::uint64_t fused_sweeps = 0;    ///< kernel launches actually performed
   std::uint64_t unfused_sweeps = 0;  ///< launches the unfused path needs
   std::uint64_t fused_bytes = 0;     ///< est. bytes streamed, fused
@@ -41,6 +46,26 @@ struct VecOpsStats {
 
 [[nodiscard]] VecOpsStats vecops_stats();
 void reset_vecops_stats();
+
+/// In-flight split-phase batched dot (see VecOps::mdot_start /
+/// VecOps::mdot_finish). The start call streams every operand once and
+/// leaves per-*planned*-thread partials here; the finish call combines
+/// them in planned order. Between the two calls the caller may run
+/// unrelated work — the overlap window pipelined GMRES hides its global
+/// reduction behind. The operand spans are captured by view: the caller
+/// must keep the underlying vectors alive and unmodified until finish.
+struct MDotBatch {
+  std::vector<std::span<const double>> xs;  ///< captured operand views
+  std::span<const double> y;
+  std::vector<double> partial;  ///< nt x k, planned-thread-major
+  std::size_t k = 0;
+  idx_t nt = 1;
+  /// True when the single-sweep start region completed. On a capped team
+  /// (TeamExecutor kAbort shortfall) it stays false and finish() computes
+  /// each component through the shortfall-robust unfused kernels instead —
+  /// bitwise-identical per component at any delivered team size.
+  bool fused = false;
+};
 
 struct VecOps {
   int nthreads = 1;
@@ -85,6 +110,21 @@ struct VecOps {
   /// dependent, so the call performs basis.size()+1 global reductions.
   double orthogonalize(std::span<const std::span<const double>> basis,
                        std::span<double> w, std::span<double> h) const;
+  /// Split-phase batched dot: posts the one-sweep partial accumulation of
+  /// out[i] = dot(x[i], y) and returns without combining. The caller runs
+  /// overlapping work (pipelined GMRES runs the next column's operator
+  /// application), then calls mdot_finish to combine the partials in
+  /// planned-thread order. start+finish is bitwise-identical to mdot(),
+  /// which is itself bitwise-identical to xs.size() independent dot()
+  /// calls. The start sweep runs under the TeamExecutor kAbort contract:
+  /// a capped team aborts the fused sweep and finish() recomputes through
+  /// the shortfall-robust unfused kernels — same bits, one counted
+  /// `split_fallbacks` event. Counts as ONE global reduction.
+  [[nodiscard]] MDotBatch mdot_start(
+      std::span<const std::span<const double>> xs,
+      std::span<const double> y) const;
+  /// Completes a split-phase batched dot. `out` needs batch.k entries.
+  void mdot_finish(MDotBatch& batch, std::span<double> out) const;
 };
 
 }  // namespace fun3d

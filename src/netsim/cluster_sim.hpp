@@ -56,10 +56,22 @@ struct ClusterConfig {
   /// (rank) count — measured from block-Jacobi solver runs.
   std::function<double(int)> iterations_of_ranks;
   double steps = 20;  ///< pseudo-time steps (fixed across scales)
-  /// Communication-hiding Krylov (Ghysels et al. pipelined GMRES — the
-  /// paper's §VI-B2 future work): the Allreduce of iteration k overlaps the
-  /// compute of iteration k+1, exposing only the excess latency.
+  /// Communication-hiding Krylov (Ghysels et al. pipelined GMRES, now the
+  /// real `GmresMode::kPipelined` solver mode): the Allreduce of iteration
+  /// k overlaps the compute of iteration k+1, exposing only the excess
+  /// latency.
   bool pipelined_krylov = false;
+  /// Fraction of per-iteration compute actually available to hide the
+  /// Allreduce behind when pipelined_krylov is set. The implementation
+  /// overlaps the reduction with the next column's operator application
+  /// only — not the whole iteration — so feed the MEASURED
+  /// `gmres.overlap_fraction` from a real pipelined solve here (1.0
+  /// reproduces the old full-overlap assumption).
+  double pipelined_overlap_fraction = 1.0;
+  /// Override of SolverCosts::allreduces_per_iter (global reductions per
+  /// linear iteration); <= 0 keeps the cost-model default. Feed the
+  /// measured `gmres.reductions_per_column` from a real solve.
+  double allreduces_per_iter = 0.0;
 };
 
 struct ScalingPoint {

@@ -85,6 +85,22 @@ struct Parser {
     return false;
   }
 
+  /// Consumes exactly four hex digits into `cp`; false (position left at
+  /// the offending digit) otherwise.
+  bool parse_hex4(unsigned& cp) {
+    if (pos + 4 > text.size()) return false;
+    cp = 0;
+    for (int k = 0; k < 4; ++k) {
+      char h = text[pos++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+      else return false;
+    }
+    return true;
+  }
+
   bool parse_string(std::string& out) {
     if (!consume('"')) return fail("expected string");
     out.clear();
@@ -104,24 +120,37 @@ struct Parser {
           case 'b': out += '\b'; break;
           case 'f': out += '\f'; break;
           case 'u': {
-            if (pos + 4 > text.size()) return fail("bad \\u escape");
             unsigned cp = 0;
-            for (int k = 0; k < 4; ++k) {
-              char h = text[pos++];
-              cp <<= 4;
-              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
-              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
-              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
-              else return fail("bad \\u escape");
+            if (!parse_hex4(cp)) return fail("bad \\u escape");
+            if (cp >= 0xDC00 && cp <= 0xDFFF)
+              return fail("unpaired low surrogate");
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: RFC 8259 requires the low half as an
+              // immediately following \uXXXX escape; combine to the
+              // supplementary-plane code point.
+              if (pos + 2 > text.size() || text[pos] != '\\' ||
+                  text[pos + 1] != 'u')
+                return fail("unpaired high surrogate");
+              pos += 2;
+              unsigned lo = 0;
+              if (!parse_hex4(lo)) return fail("bad \\u escape");
+              if (lo < 0xDC00 || lo > 0xDFFF)
+                return fail("unpaired high surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
             }
-            // Reports are ASCII; encode BMP code points as UTF-8.
+            // Encode the code point as UTF-8 (1-4 bytes).
             if (cp < 0x80) {
               out += static_cast<char>(cp);
             } else if (cp < 0x800) {
               out += static_cast<char>(0xC0 | (cp >> 6));
               out += static_cast<char>(0x80 | (cp & 0x3F));
-            } else {
+            } else if (cp < 0x10000) {
               out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xF0 | (cp >> 18));
+              out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
               out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
               out += static_cast<char>(0x80 | (cp & 0x3F));
             }

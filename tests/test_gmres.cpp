@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
+#include <omp.h>
 
 #include <cmath>
 
 #include "core/gmres.hpp"
 #include "mesh/generate.hpp"
+#include "parallel/team.hpp"
 #include "sparse/ilu.hpp"
 #include "sparse/spmv.hpp"
 #include "sparse/trsv.hpp"
@@ -11,6 +13,20 @@
 
 namespace fun3d {
 namespace {
+
+/// Runs fn() inside a nested region whose inner teams are capped at one
+/// thread — the environment where run_team detects a shortfall.
+template <class Fn>
+void with_capped_team(Fn&& fn) {
+  const int saved = omp_get_max_active_levels();
+  omp_set_max_active_levels(1);
+#pragma omp parallel num_threads(2)
+  {
+#pragma omp single
+    fn();
+  }
+  omp_set_max_active_levels(saved);
+}
 
 Bcsr4 random_dd(const CsrGraph& adj, unsigned seed, double dd = 8.0) {
   Bcsr4 m = Bcsr4::from_adjacency(adj);
@@ -216,7 +232,8 @@ TEST(Gmres, CountsReductionsInProfile) {
 TEST(Gmres, ReductionCountIsPerGlobalReductionNotPerSweep) {
   // A = 2I converges in one column: 1 residual norm + (j+2 = 2) for the
   // fused MGS column — its dots are sequentially dependent, so fusing the
-  // sweeps does not change the number of global reductions performed.
+  // sweeps does not change the number of global reductions performed —
+  // + 1 for the true-residual norm the converged exit path recomputes.
   AVec<double> b(16, 1.0), x(16, 0.0);
   const LinearOp op = [](std::span<const double> in, std::span<double> out) {
     for (std::size_t i = 0; i < in.size(); ++i) out[i] = 2.0 * in[i];
@@ -228,7 +245,220 @@ TEST(Gmres, ReductionCountIsPerGlobalReductionNotPerSweep) {
   const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec, &prof);
   EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.iterations, 1);
-  EXPECT_EQ(prof.reductions, 3u);
+  EXPECT_EQ(prof.reductions, 4u);
+  EXPECT_EQ(prof.gmres.reductions, 4u);
+  EXPECT_EQ(prof.gmres.columns, 1u);
+}
+
+// ---- pipelined mode (GmresMode::kPipelined, DESIGN.md §9) ----
+
+TEST(Gmres, PipelinedMatchesClassicalSolution) {
+  const Bcsr4 a = random_dd(generate_box(3, 3, 2).vertex_graph(), 2);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> xref(n), b(n);
+  Rng rng(3);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  spmv_serial(a, xref, b);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  // The fused single-reduction projection is CGS-like: it loses
+  // orthogonality near machine-precision residuals (rtol <= 1e-8 on this
+  // system trips the cancellation fallback), which is why the solver keeps
+  // the classical MGS escape hatch. At production-style tolerances the two
+  // modes walk the same Krylov space step for step.
+  opt.rtol = 1e-6;
+  opt.max_iters = 300;
+  AVec<double> x1(n, 0.0), x2(n, 0.0);
+  const GmresResult classical = gmres_solve(op, nullptr, b, x1, opt, vec);
+  opt.mode = GmresMode::kPipelined;
+  const GmresResult pipelined = gmres_solve(op, nullptr, b, x2, opt, vec);
+  ASSERT_TRUE(classical.converged);
+  ASSERT_TRUE(pipelined.converged);
+  // Same Krylov space, same convergence behaviour: iteration parity +-1.
+  EXPECT_NEAR(pipelined.iterations, classical.iterations, 1);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x2[i], xref[i], 1e-4);
+}
+
+TEST(Gmres, PipelinedPerformsOneReductionPerColumn) {
+  const Bcsr4 a = random_dd(generate_box(3, 3, 2).vertex_graph(), 2);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> xref(n), b(n);
+  Rng rng(3);
+  for (auto& v : xref) v = rng.uniform(-1, 1);
+  spmv_serial(a, xref, b);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  // Stay in the regime where the fused projection is numerically clean
+  // (no cancellation fallbacks); see PipelinedMatchesClassicalSolution.
+  opt.rtol = 1e-6;
+  opt.max_iters = 300;
+
+  Profile classical_prof;
+  AVec<double> x1(n, 0.0);
+  gmres_solve(op, nullptr, b, x1, opt, vec, &classical_prof);
+  opt.mode = GmresMode::kPipelined;
+  Profile prof;
+  AVec<double> x2(n, 0.0);
+  const GmresResult r = gmres_solve(op, nullptr, b, x2, opt, vec, &prof);
+  ASSERT_TRUE(r.converged);
+
+  // Every column went through the fused 1-reduction path; the only other
+  // reductions are the cycle-head residual norms (one per cycle + the
+  // converged exit's true-residual check). Within a single restart cycle
+  // that is exactly columns + 2 reductions in total.
+  EXPECT_EQ(prof.gmres.fallback_columns, 0u);
+  EXPECT_EQ(prof.gmres.pipelined_columns, prof.gmres.columns);
+  ASSERT_GT(prof.gmres.columns, 2u);
+  ASSERT_LE(r.iterations, opt.restart);  // single cycle
+  EXPECT_EQ(prof.gmres.reductions, prof.gmres.columns + 2);
+  // O(1) per column versus the classical j+2 growth.
+  EXPECT_LT(prof.gmres.reductions_per_column(), 2.0);
+  EXPECT_GT(classical_prof.gmres.reductions_per_column(), 2.0);
+  EXPECT_LT(prof.reductions, classical_prof.reductions);
+}
+
+TEST(Gmres, PipelinedFallsBackOnCancellationAndBreakdown) {
+  // A = 2I: the first column's candidate z_0 = 2 v_0 lies entirely in the
+  // span of v_0, so the Pythagorean norm estimate cancels to exactly zero
+  // and the column re-runs through classical MGS — which then detects the
+  // (happy) breakdown and exits with the exact solution.
+  AVec<double> b(16, 1.0), x(16, 0.0);
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = 2.0 * in[i];
+  };
+  VecOps vec{1};
+  Profile prof;
+  GmresOptions opt;
+  opt.rtol = 1e-12;
+  opt.mode = GmresMode::kPipelined;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec, &prof);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(prof.gmres.columns, 1u);
+  EXPECT_EQ(prof.gmres.fallback_columns, 1u);
+  EXPECT_EQ(prof.gmres.pipelined_columns, 0u);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_DOUBLE_EQ(x[i], 0.5);
+}
+
+TEST(Gmres, PipelinedHappyBreakdownMidCycleYieldsExactSolution) {
+  // The swap-operator case above, pipelined: the j = 1 column cancels and
+  // falls back, the fallback detects the exact breakdown, and the solve
+  // still produces the exact solution (no NaN from the lagged norm).
+  const std::size_t n = 16;
+  AVec<double> b(n, 0.0), x(n, 0.0);
+  b[3] = 1.0;
+  const LinearOp op = [](std::span<const double> in, std::span<double> out) {
+    for (std::size_t i = 0; i < in.size(); ++i) out[i] = in[i];
+    out[3] = in[5];
+    out[5] = in[3];
+  };
+  VecOps vec{1};
+  GmresOptions opt;
+  opt.restart = 4;
+  opt.max_iters = 8;
+  opt.rtol = -1.0;
+  opt.atol = 0.0;
+  opt.mode = GmresMode::kPipelined;
+  const GmresResult r = gmres_solve(op, nullptr, b, x, opt, vec);
+  EXPECT_TRUE(r.converged);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_FALSE(std::isnan(x[i])) << i;
+    EXPECT_EQ(x[i], i == 5 ? 1.0 : 0.0) << i;
+  }
+}
+
+TEST(GmresShortfall, PipelinedCappedTeamBitwiseMatchesUncapped) {
+  // A capped OpenMP team aborts every fused split-phase sweep inside the
+  // pipelined solve; the kAbort fallbacks must keep the entire solve —
+  // solution vector included — bitwise-identical to the uncapped run.
+  const Bcsr4 a = random_dd(generate_box(3, 3, 2).vertex_graph(), 2);
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> b(n);
+  Rng rng(13);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  const VecOps vec{4};
+  GmresOptions opt;
+  opt.rtol = 1e-8;
+  opt.max_iters = 300;
+  opt.mode = GmresMode::kPipelined;
+
+  AVec<double> x_ref(n, 0.0);
+  const GmresResult r_ref = gmres_solve(op, nullptr, b, x_ref, opt, vec);
+  ASSERT_TRUE(r_ref.converged);
+
+  reset_team_shortfall_stats();
+  const VecOpsStats before = vecops_stats();
+  AVec<double> x_cap(n, 0.0);
+  GmresResult r_cap;
+  with_capped_team(
+      [&] { r_cap = gmres_solve(op, nullptr, b, x_cap, opt, vec); });
+  const VecOpsStats after = vecops_stats();
+
+  EXPECT_GT(team_shortfall_events(), 0u);
+  EXPECT_GT(after.split_fallbacks, before.split_fallbacks);
+  EXPECT_TRUE(r_cap.converged);
+  EXPECT_EQ(r_cap.iterations, r_ref.iterations);
+  EXPECT_EQ(r_cap.relative_residual, r_ref.relative_residual);  // bitwise
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x_cap[i], x_ref[i]);
+  reset_team_shortfall_stats();
+}
+
+// Regression for the converged exit path: the solver used to report the
+// Givens recurrence estimate as `relative_residual`; with a preconditioner
+// the estimate drifts from the truth. The exit path must recompute the
+// true preconditioned residual — bitwise what an independent
+// ||M^{-1}(b - A x)|| / ||M^{-1} b|| evaluation yields.
+TEST(Gmres, ReportsTrueResidualNotGivensEstimateOnExit) {
+  // Weak diagonal dominance + ILU(0): enough arithmetic per iteration for
+  // the recurrence to drift measurably.
+  const Bcsr4 a = random_dd(generate_box(4, 4, 3).vertex_graph(), 11, 2.2);
+  const IluFactor f = factorize_ilu(a, symbolic_ilu(a.structure(), 0));
+  const std::size_t n = static_cast<std::size_t>(a.num_rows()) * kBs;
+  AVec<double> b(n);
+  Rng rng(12);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const LinearOp op = [&](std::span<const double> in, std::span<double> out) {
+    spmv_serial(a, in, out);
+  };
+  const LinearOp pre = [&](std::span<const double> in, std::span<double> out) {
+    trsv_serial(f, in, out);
+  };
+  VecOps vec{1};
+  for (const GmresMode mode : {GmresMode::kClassical, GmresMode::kPipelined}) {
+    GmresOptions opt;
+    opt.rtol = 1e-6;
+    opt.max_iters = 400;
+    opt.mode = mode;
+    AVec<double> x(n, 0.0);
+    const GmresResult r = gmres_solve(op, &pre, b, x, opt, vec);
+    ASSERT_TRUE(r.converged);
+
+    // Independent true-residual evaluation with the same primitives the
+    // exit path uses: must match the report bit for bit.
+    AVec<double> tmp(n), pr(n);
+    auto pre_norm = [&](std::span<const double> q, std::span<double> t,
+                        std::span<double> p) {
+      op(q, t);
+      vec.aypx(-1.0, b, t);
+      pre(t, p);
+      return vec.norm2(p);
+    };
+    AVec<double> zero(n, 0.0), t0(n), p0(n);
+    const double beta0 = pre_norm(zero, t0, p0);
+    const double true_rel = pre_norm(x, tmp, pr) / beta0;
+    EXPECT_DOUBLE_EQ(r.relative_residual, true_rel);
+    EXPECT_LE(r.relative_residual, opt.rtol);
+    // ... and the Givens estimate it replaced is visibly different.
+    EXPECT_NE(r.relative_residual, r.estimate_residual);
+  }
 }
 
 }  // namespace

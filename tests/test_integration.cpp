@@ -75,6 +75,45 @@ TEST(Integration, SolveThenWriteVtkArtifacts) {
   std::remove(surf.c_str());
 }
 
+TEST(Integration, PipelinedGmresMatchesClassicalIterationCounts) {
+  // ISSUE 8 acceptance: on an integration mesh at the production linear
+  // tolerance, pipelined GMRES must walk the same Krylov spaces as
+  // classical MGS — same pseudo-time steps, total linear iterations within
+  // ±1 per step — while doing O(1) reductions per column.
+  SolverConfig classical = SolverConfig::optimized(2);
+  classical.gmres_mode = GmresMode::kClassical;
+  SolverConfig pipelined = SolverConfig::optimized(2);
+  pipelined.gmres_mode = GmresMode::kPipelined;
+  classical.ptc.max_steps = pipelined.ptc.max_steps = 25;
+  classical.ptc.rtol = pipelined.ptc.rtol = 1e-8;
+
+  FlowSolver sc(make_case(4), classical);
+  const SolveStats stc = sc.solve();
+  FlowSolver sp(make_case(4), pipelined);
+  const SolveStats stp = sp.solve();
+  ASSERT_TRUE(stc.converged);
+  ASSERT_TRUE(stp.converged);
+  EXPECT_EQ(stp.steps, stc.steps);
+  EXPECT_NEAR(static_cast<double>(stp.linear_iterations),
+              static_cast<double>(stc.linear_iterations),
+              static_cast<double>(stc.steps));
+
+  // Reduction accounting: classical grows with the column index (j+2);
+  // pipelined stays O(1) per column on the whole run.
+  EXPECT_GT(sc.profile().gmres.reductions_per_column(), 2.0);
+  EXPECT_LT(sp.profile().gmres.reductions_per_column(), 2.0);
+  EXPECT_LT(sp.profile().gmres.reductions, sc.profile().gmres.reductions);
+
+  // And the two modes land on the same steady state.
+  double diff = 0, ref_norm = 0;
+  const AVec<double>& reference = sc.fields().q;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    diff += std::pow(sp.fields().q[i] - reference[i], 2);
+    ref_norm += reference[i] * reference[i];
+  }
+  EXPECT_LT(std::sqrt(diff) / std::sqrt(ref_norm), 1e-6);
+}
+
 /// Every optimization combination must land on the same steady state.
 /// (Each case solves both the baseline and the variant: ctest runs
 /// parameterized cases in separate processes, so no state can be shared.)

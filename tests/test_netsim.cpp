@@ -127,6 +127,73 @@ TEST_F(ClusterSimTest, PipelinedKrylovHidesAllreduce) {
   EXPECT_GT(gain_big, gain_small);
 }
 
+TEST_F(ClusterSimTest, PipelinedExposedAllreduceMatchesOverlapFormula) {
+  // Validate the simulator's overlap arithmetic against its own outputs:
+  // with steps = 0 every compute second is iteration compute, so
+  //   t_iter_compute = compute_seconds / iterations
+  //   t_allreduce    = allreduce_seconds / iterations   (non-pipelined)
+  // and a pipelined run with overlap fraction f must expose exactly
+  //   max(0, t_allreduce - f * t_iter_compute)
+  // per iteration. This is the formula the measured gmres.overlap_fraction
+  // feeds (bench_ablation_pipelined), so it must hold bit-for-bit in f.
+  ClusterConfig base = config(true);
+  base.steps = 0;
+  const auto s = simulate_strong_scaling(mesh, base, {16})[0];
+  const double t_iter_compute = s.compute_seconds / s.iterations;
+  const double t_allreduce = s.allreduce_seconds / s.iterations;
+  ASSERT_GT(t_iter_compute, 0.0);
+  ASSERT_GT(t_allreduce, 0.0);
+
+  double prev = -1.0;
+  for (const double f : {1.0, 0.5, 0.25, 0.0}) {
+    ClusterConfig pipe = base;
+    pipe.pipelined_krylov = true;
+    pipe.pipelined_overlap_fraction = f;
+    const auto p = simulate_strong_scaling(mesh, pipe, {16})[0];
+    const double expected =
+        s.iterations * std::max(0.0, t_allreduce - f * t_iter_compute);
+    EXPECT_NEAR(p.allreduce_seconds, expected,
+                1e-12 * std::max(1.0, expected))
+        << "overlap fraction " << f;
+    // Less overlap can only expose more of the Allreduce.
+    EXPECT_GE(p.allreduce_seconds, prev - 1e-15);
+    prev = p.allreduce_seconds;
+  }
+  // f = 0 means nothing is hidden: identical to the non-pipelined run.
+  ClusterConfig none = base;
+  none.pipelined_krylov = true;
+  none.pipelined_overlap_fraction = 0.0;
+  EXPECT_DOUBLE_EQ(simulate_strong_scaling(mesh, none, {16})[0].allreduce_seconds,
+                   s.allreduce_seconds);
+}
+
+TEST_F(ClusterSimTest, AllreducesPerIterOverrideScalesLinearly) {
+  // The measured gmres.reductions_per_column override must scale the
+  // Allreduce bill proportionally — this is what makes the simulated
+  // classical-vs-pipelined speedup consistent with the measured reduction
+  // counts of the two real solver modes.
+  ClusterConfig a = config(true);
+  a.steps = 0;
+  ClusterConfig b = a;
+  a.allreduces_per_iter = 5.0;  // ~ measured classical j+2 average
+  b.allreduces_per_iter = 1.25;  // ~ measured pipelined constant
+  const auto ra = simulate_strong_scaling(mesh, a, {16})[0];
+  const auto rb = simulate_strong_scaling(mesh, b, {16})[0];
+  EXPECT_NEAR(ra.allreduce_seconds / rb.allreduce_seconds, 5.0 / 1.25,
+              1e-9);
+  // Compute is untouched by the override.
+  EXPECT_DOUBLE_EQ(ra.compute_seconds, rb.compute_seconds);
+  // <= 0 keeps the cost-model default (the prior behaviour).
+  ClusterConfig d = config(true);
+  d.steps = 0;
+  d.allreduces_per_iter = 0.0;
+  const auto rd = simulate_strong_scaling(mesh, d, {16})[0];
+  ClusterConfig d2 = d;
+  d2.allreduces_per_iter = 2.0;  // the SolverCosts default, explicitly
+  EXPECT_DOUBLE_EQ(simulate_strong_scaling(mesh, d2, {16})[0].allreduce_seconds,
+                   rd.allreduce_seconds);
+}
+
 TEST(SolverCosts, OptimizedConstantsAreFaster) {
   const MachineSpec node = MachineSpec::stampede_node();
   const SolverCosts base = make_solver_costs(node, 16, 1, false);

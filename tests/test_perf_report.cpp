@@ -25,10 +25,13 @@ TetMesh solver_mesh(unsigned seed = 1) {
   return m;
 }
 
-/// Small real solve -> filled report, shared by the tests below.
-PerfReport smoke_report() {
+/// Small real solve -> filled report, shared by the tests below. The
+/// optimized config defaults to pipelined GMRES; tests that assert on the
+/// classical fused-MGS accounting pass kClassical explicitly.
+PerfReport smoke_report(GmresMode mode = GmresMode::kPipelined) {
   reset_team_shortfall_stats();  // isolate from other tests' capped runs
   SolverConfig cfg = SolverConfig::optimized(2);
+  cfg.gmres_mode = mode;
   cfg.ptc.max_steps = 10;
   cfg.ptc.rtol = 1e-6;
   FlowSolver solver(solver_mesh(), cfg);
@@ -155,10 +158,10 @@ TEST(PerfReport, TeamShortfallCountersAreCapturedAndConsistent) {
 }
 
 TEST(PerfReport, VecopsStatsAreCapturedAndConsistent) {
-  // A real solve runs the fused GMRES orthogonalization: the vecops.*
-  // keys land in the report and pass validation.
+  // A real classical-mode solve runs the fused GMRES orthogonalization:
+  // the vecops.* keys land in the report and pass validation.
   reset_vecops_stats();
-  const PerfReport rep = smoke_report();
+  const PerfReport rep = smoke_report(GmresMode::kClassical);
   ASSERT_TRUE(rep.counters.count("vecops.orthogonalize_calls"));
   EXPECT_GT(rep.counters.at("vecops.orthogonalize_calls"), 0u);
   EXPECT_EQ(rep.counters.at("vecops.orthogonalize_fallbacks"), 0u);
@@ -184,6 +187,64 @@ TEST(PerfReport, ValidatorRejectsInconsistentVecopsCounters) {
 
   // The consistent shape passes.
   rep.counters["vecops.unfused_sweeps"] = 9;
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+}
+
+TEST(PerfReport, GmresStatsAreCapturedAndConsistent) {
+  // A real pipelined solve fills the gmres.* Krylov accounting: every
+  // column attributed to a path, most through the 1-reduction pipelined
+  // path, and the derived metrics agree with the counters.
+  reset_vecops_stats();
+  const PerfReport rep = smoke_report(GmresMode::kPipelined);
+  ASSERT_TRUE(rep.counters.count("gmres.columns"));
+  const auto cols = rep.counters.at("gmres.columns");
+  ASSERT_GT(cols, 0u);
+  EXPECT_GT(rep.counters.at("gmres.pipelined_columns"), 0u);
+  EXPECT_LE(rep.counters.at("gmres.pipelined_columns") +
+                rep.counters.at("gmres.fallback_columns"),
+            cols);
+  EXPECT_GE(rep.counters.at("gmres.reductions"), cols);
+  EXPECT_GT(rep.metrics.at("gmres.reductions_per_column"), 0.0);
+  EXPECT_GE(rep.metrics.at("gmres.overlap_fraction"), 0.0);
+  EXPECT_LE(rep.metrics.at("gmres.overlap_fraction"), 1.0);
+  // The split-phase primitives are what make the overlap real.
+  EXPECT_GT(rep.counters.at("vecops.split_batches"), 0u);
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+}
+
+TEST(PerfReport, ValidatorRejectsInconsistentGmresCounters) {
+  // Columns without the path/reduction counters: rejected.
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.counters["gmres.columns"] = 10;
+  auto problems = validate_report(rep.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("gmres"), std::string::npos);
+
+  // More attributed columns than columns: rejected.
+  rep.counters["gmres.pipelined_columns"] = 8;
+  rep.counters["gmres.fallback_columns"] = 5;
+  rep.counters["gmres.reductions"] = 12;
+  rep.metrics["gmres.reductions_per_column"] = 1.2;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // Fewer reductions than columns (impossible: each column costs at
+  // least its one batched reduction): rejected.
+  rep.counters["gmres.fallback_columns"] = 2;
+  rep.counters["gmres.reductions"] = 4;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // A derived metric that contradicts its counters: rejected.
+  rep.counters["gmres.reductions"] = 12;
+  rep.metrics["gmres.reductions_per_column"] = 3.0;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // An overlap fraction outside [0,1]: rejected.
+  rep.metrics["gmres.reductions_per_column"] = 1.2;
+  rep.metrics["gmres.overlap_fraction"] = 1.5;
+  EXPECT_FALSE(validate_report(rep.to_json()).empty());
+
+  // The consistent shape passes.
+  rep.metrics["gmres.overlap_fraction"] = 0.4;
   EXPECT_TRUE(validate_report(rep.to_json()).empty());
 }
 

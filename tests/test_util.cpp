@@ -221,6 +221,53 @@ TEST(Json, ParseRoundTrip) {
   EXPECT_EQ(back.dump(2), text);
 }
 
+TEST(Json, SurrogatePairsDecodeToSupplementaryCodePoints) {
+  // RFC 8259 §7: code points above U+FFFF are escaped as a UTF-16
+  // surrogate pair. "\ud83d\ude00" is U+1F600, UTF-8 f0 9f 98 80.
+  std::string err;
+  const Json j = Json::parse("\"\\ud83d\\ude00\"", &err);
+  ASSERT_TRUE(j.is_string()) << err;
+  EXPECT_EQ(j.as_string(), "\xf0\x9f\x98\x80");
+  // Mixed BMP + supplementary content in one string.
+  const Json mix = Json::parse("\"a\\u00e9\\ud834\\udd1ez\"", &err);
+  ASSERT_TRUE(mix.is_string()) << err;
+  EXPECT_EQ(mix.as_string(), "a\xc3\xa9\xf0\x9d\x84\x9ez");  // a é 𝄞 z
+}
+
+TEST(Json, SurrogatePairRoundTripIsLossless) {
+  // Writer emits raw UTF-8; parser must reproduce the exact bytes through
+  // a dump -> parse cycle, including supplementary-plane characters.
+  Json j = Json::object();
+  j["emoji"] = Json("\xf0\x9f\x98\x80 ok");           // U+1F600
+  j["clef"] = Json("\xf0\x9d\x84\x9e");               // U+1D11E
+  const std::string text = j.dump();
+  std::string err;
+  const Json back = Json::parse(text, &err);
+  ASSERT_TRUE(back.is_object()) << err;
+  EXPECT_EQ(back.find("emoji")->as_string(), "\xf0\x9f\x98\x80 ok");
+  EXPECT_EQ(back.find("clef")->as_string(), "\xf0\x9d\x84\x9e");
+  EXPECT_EQ(back.dump(), text);  // fixed point, bytes preserved
+}
+
+TEST(Json, LoneSurrogatesAreRejected) {
+  std::string err;
+  // High surrogate with no low half.
+  EXPECT_TRUE(Json::parse("\"\\ud83d\"", &err).is_null());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  // High surrogate followed by a non-escape.
+  EXPECT_TRUE(Json::parse("\"\\ud83dx\"", &err).is_null());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  // High surrogate followed by an escape that is not a low surrogate.
+  EXPECT_TRUE(Json::parse("\"\\ud83d\\u0041\"", &err).is_null());
+  EXPECT_FALSE(err.empty());
+  err.clear();
+  // Unpaired low surrogate.
+  EXPECT_TRUE(Json::parse("\"\\ude00\"", &err).is_null());
+  EXPECT_FALSE(err.empty());
+}
+
 TEST(Json, ParseRejectsGarbage) {
   std::string err;
   EXPECT_TRUE(Json::parse("{\"a\":}", &err).is_null());

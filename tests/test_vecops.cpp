@@ -246,6 +246,88 @@ TEST(VecOpsShortfall, FusedKernelsBitwiseIdenticalUnderCappedTeam) {
   reset_team_shortfall_stats();
 }
 
+TEST_P(VecOpsTest, SplitPhaseMdotBitwiseEqualsMdot) {
+  const VecOps v = ops();
+  const std::size_t k = 5, n = 1237;
+  const MgsProblem p(k, n, 21);
+  double fused[5], split[5];
+  v.mdot(p.basis_span(), p.w, std::span<double>(fused, k));
+  MDotBatch batch = v.mdot_start(p.basis_span(), p.w);
+  v.mdot_finish(batch, std::span<double>(split, k));
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(split[i], fused[i]) << "component " << i;  // bitwise
+    const double ref = v.dot(p.spans[i], p.w);
+    EXPECT_EQ(split[i], ref) << "component " << i;
+  }
+}
+
+TEST_P(VecOpsTest, SplitPhaseMdotCountsOneBatch) {
+  const VecOps v = ops();
+  const MgsProblem p(3, 100, 22);
+  double out[3];
+  const VecOpsStats before = vecops_stats();
+  MDotBatch batch = v.mdot_start(p.basis_span(), p.w);
+  v.mdot_finish(batch, std::span<double>(out, 3));
+  const VecOpsStats after = vecops_stats();
+  EXPECT_EQ(after.split_batches, before.split_batches + 1);
+  // If the environment itself caps the team (OMP_THREAD_LIMIT in the
+  // shortfall matrix), the start sweep aborts and the finish is counted
+  // as exactly one fallback; otherwise no fallback happens.
+  EXPECT_EQ(after.split_fallbacks,
+            before.split_fallbacks + (batch.fused ? 0 : 1));
+  EXPECT_EQ(after.fused_sweeps, before.fused_sweeps + 1);
+  EXPECT_EQ(after.unfused_sweeps, before.unfused_sweeps + 3);
+}
+
+TEST_P(VecOpsTest, SplitPhaseToleratesWorkBetweenStartAndFinish) {
+  // The point of the split: unrelated kernels run between the two phases
+  // without perturbing the posted partials.
+  const VecOps v = ops();
+  const std::size_t k = 4, n = 2011;
+  const MgsProblem p(k, n, 23);
+  double ref[4], split[4];
+  v.mdot(p.basis_span(), p.w, std::span<double>(ref, k));
+  MDotBatch batch = v.mdot_start(p.basis_span(), p.w);
+  AVec<double> scratch(n, 1.0);  // overlapped work on unrelated storage
+  v.scale(2.0, scratch);
+  (void)v.norm2(scratch);
+  v.mdot_finish(batch, std::span<double>(split, k));
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(split[i], ref[i]);
+}
+
+TEST(VecOpsShortfall, SplitPhaseMdotBitwiseIdenticalUnderCappedTeam) {
+  // A capped team aborts the fused start sweep; finish() must complete
+  // through the shortfall-robust unfused kernels, count the fallback, and
+  // still produce bitwise-identical results (the PR 5 contract, extended
+  // to the split-phase primitives pipelined GMRES overlaps with).
+  const VecOps v{4};
+  const std::size_t k = 4, n = 1501;
+  const MgsProblem p(k, n, 31);
+
+  double ref[4];
+  MDotBatch ref_batch = v.mdot_start(p.basis_span(), p.w);
+  v.mdot_finish(ref_batch, std::span<double>(ref, k));
+  // (ref_batch.fused is true when this process has its 4 threads; under an
+  // external OMP_THREAD_LIMIT the reference shortfalls too — either way it
+  // is the bitwise target the capped run must reproduce.)
+
+  reset_team_shortfall_stats();
+  const VecOpsStats before = vecops_stats();
+  double cap[4];
+  with_capped_team([&] {
+    MDotBatch batch = v.mdot_start(p.basis_span(), p.w);
+    EXPECT_FALSE(batch.fused);  // kAbort: the fused sweep never ran
+    v.mdot_finish(batch, std::span<double>(cap, k));
+  });
+  const VecOpsStats after = vecops_stats();
+
+  EXPECT_GT(team_shortfall_events(), 0u);
+  EXPECT_EQ(after.split_batches, before.split_batches + 1);
+  EXPECT_EQ(after.split_fallbacks, before.split_fallbacks + 1);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_EQ(cap[i], ref[i]);  // bitwise
+  reset_team_shortfall_stats();
+}
+
 TEST(VecOps, ThreadCountsAgreeWithEachOther) {
   AVec<double> x(5000);
   Rng rng(5);
