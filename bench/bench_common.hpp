@@ -8,7 +8,9 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 
+#include "comm/hybrid_solver.hpp"
 #include "core/boundary.hpp"
 #include "core/jacobian.hpp"
 #include "core/newton.hpp"
@@ -155,6 +157,37 @@ inline bool write_report(const Cli& cli, PerfReport& r) {
   }
   std::printf("\nperf report written to %s\n", path.c_str());
   return trace_ok;
+}
+
+/// `--measured` support for the multi-node benches: runs the real
+/// in-process hybrid-rank solver (HybridSolver, DESIGN.md §10) over a
+/// small host mesh and returns its CommReport. The measured
+/// `comm.overlap_fraction` and `comm.exchanges_per_linear_iteration`
+/// replace the netsim's analytic defaults, and the full comm.* family is
+/// folded into `rep` under the `measured.` prefix so validate_report
+/// cross-checks the traffic against Decomposition::total_ghosts().
+inline comm::CommReport measure_comm(PerfReport& rep, int nranks = 4,
+                                     int threads_per_rank = 2) {
+  TetMesh m = make_mesh(MeshPreset::kSmall, 1.0, /*report=*/false);
+  comm::HybridConfig hc;
+  hc.nranks = nranks;
+  hc.threads_per_rank = threads_per_rank;
+  hc.solver = SolverConfig::optimized(threads_per_rank);
+  hc.solver.ptc.max_steps = 10;
+  hc.solver.ptc.rtol = 1e-8;
+  comm::HybridSolver hs(std::move(m), hc);
+  hs.solve();
+  const comm::CommReport& cr = hs.comm_report();
+  rep.add_comm_stats(cr.summary(), "measured.");
+  std::printf(
+      "measured (in-process hybrid run, %d ranks x %d threads on the small "
+      "host mesh): overlap fraction %.3f, %.2f halo exchanges per linear "
+      "iteration, %llu halo bytes over %llu exchange rounds\n",
+      cr.ranks, cr.threads_per_rank, cr.overlap_fraction,
+      cr.exchanges_per_linear_iteration,
+      static_cast<unsigned long long>(cr.halo_bytes),
+      static_cast<unsigned long long>(cr.exchanges));
+  return cr;
 }
 
 /// "shape holds" annotation helper: ratio of ours to paper.

@@ -29,6 +29,16 @@ int main(int argc, char** argv) {
     return 1709.0 * (1.0 + 0.025 * std::log2(std::max(1, ranks)));
   };
 
+  // --measured: feed the overlap fraction and halo-exchange rate of a real
+  // in-process hybrid run (HybridSolver) into the simulator in place of
+  // the analytic defaults; the comm.* family lands in the report where
+  // validate_report cross-checks the ghost accounting.
+  if (cli.get_bool("measured", false)) {
+    const comm::CommReport cr = measure_comm(rep);
+    cfg.halo_overlap_fraction = cr.overlap_fraction;
+    cfg.halo_exchanges_per_iter = cr.exchanges_per_linear_iteration;
+  }
+
   std::vector<int> nodes;
   for (int n = 1; n <= max_nodes; n *= 2) nodes.push_back(n);
   const auto pts = simulate_strong_scaling(mesh, cfg, nodes);

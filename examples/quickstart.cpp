@@ -26,8 +26,19 @@
 //   --inject-breakdown-step <k>    flag the linear solve as broken down
 //   --inject-crash-step <k>   raise SIGKILL at the top of step k
 //   --inject-repeat <n>       poisoned attempts per step (-1 = all)
+// In-process hybrid-rank mode (DESIGN.md §10):
+//   --ranks <p>               solver domains on disjoint thread teams,
+//                             coupled by shared-memory halo exchange
+//                             (default 1 = the plain FlowSolver path)
+//   --rank-threads <t>        threads per rank (default 2)
+//   --precond-scope <s>       block-jacobi|additive-schwarz (default
+//                             block-jacobi)
+//   --no-overlap              block on every halo exchange instead of
+//                             overlapping interior-edge fluxes (same answer)
 #include <cstdio>
+#include <thread>
 
+#include "comm/hybrid_solver.hpp"
 #include "core/profile.hpp"
 #include "core/solver.hpp"
 #include "core/vtk_io.hpp"
@@ -97,6 +108,115 @@ bool self_check_trace(const std::string& path) {
   return true;
 }
 
+/// Exports + self-checks the event timeline (shared by both solver paths).
+int finish_trace(const std::string& trace_path) {
+  trace::disable();
+  const std::vector<trace::ThreadTrace> threads = trace::collect();
+  std::string err;
+  if (!trace::write_chrome_trace(trace_path, threads, &err)) {
+    std::fprintf(stderr, "failed to write trace: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("\n%s",
+              trace::TimelineAnalysis::compute(threads).format().c_str());
+  std::printf("trace written to %s (open at ui.perfetto.dev)\n",
+              trace_path.c_str());
+  return self_check_trace(trace_path) ? 0 : 1;
+}
+
+/// --ranks > 1: the in-process hybrid-rank path (DESIGN.md §10). Mirrors
+/// the report/trace/VTK flow of main() over the HybridSolver surface and
+/// self-validates the emitted comm.* family, so CI can cross-check the
+/// measured halo traffic against the decomposition's ghost accounting.
+int run_hybrid(const Cli& cli, TetMesh mesh, const SolverConfig& cfg,
+               int ranks, int rank_threads, const std::string& trace_path,
+               const std::string& json_path) {
+  comm::HybridConfig hc;
+  hc.nranks = ranks;
+  hc.threads_per_rank = rank_threads;
+  hc.solver = cfg;
+  const std::string ps = cli.get("precond-scope", "block-jacobi");
+  if (ps == "block-jacobi") {
+    hc.precond_scope = comm::PrecondScope::kBlockJacobi;
+  } else if (ps == "additive-schwarz") {
+    hc.precond_scope = comm::PrecondScope::kAdditiveSchwarz;
+  } else {
+    std::fprintf(stderr,
+                 "unknown --precond-scope '%s' (want "
+                 "block-jacobi|additive-schwarz)\n",
+                 ps.c_str());
+    return 1;
+  }
+  hc.overlap_halo = !cli.get_bool("no-overlap", false);
+
+  comm::HybridSolver solver(std::move(mesh), hc);
+  const SolveStats stats = solver.solve();
+  std::printf("\nconverged: %s in %d steps, %llu linear iterations, %.2fs\n",
+              stats.converged ? "yes" : "NO", stats.steps,
+              static_cast<unsigned long long>(stats.linear_iterations),
+              stats.wall_seconds);
+  const comm::CommReport& cr = solver.comm_report();
+  std::printf(
+      "comm: %d ranks x %d threads (%s, overlap %s) | %llu exchanges, "
+      "%.1f KiB halo traffic, %llu allreduces | overlap fraction %.3f, "
+      "%.2f exchanges per linear iteration\n",
+      cr.ranks, cr.threads_per_rank, precond_scope_name(hc.precond_scope),
+      hc.overlap_halo ? "on" : "off",
+      static_cast<unsigned long long>(cr.exchanges),
+      static_cast<double>(cr.halo_bytes) / 1024.0,
+      static_cast<unsigned long long>(cr.allreduces), cr.overlap_fraction,
+      cr.exchanges_per_linear_iteration);
+  if (stats.failure != SolveFailure::kNone)
+    std::printf("failure: %s\n", stats.failure_detail.c_str());
+  std::printf("residual history:\n");
+  for (std::size_t i = 0; i < stats.residual_history.size(); ++i)
+    std::printf("  step %2zu  |R| = %.3e\n", i, stats.residual_history[i]);
+  std::printf("\n%s",
+              solver.profile().format("kernel profile (rank 0)").c_str());
+
+  if (!trace_path.empty()) {
+    const int rc = finish_trace(trace_path);
+    if (rc != 0) return rc;
+  }
+
+  const std::span<const double> q = solver.solution();
+  double pmin = 1e300, pmax = -1e300;
+  for (idx_t v = 0; v < solver.mesh().num_vertices; ++v) {
+    const double p = q[static_cast<std::size_t>(v) * kNs];
+    pmin = std::min(pmin, p);
+    pmax = std::max(pmax, p);
+  }
+  std::printf("\npressure range: [%.4f, %.4f] (freestream %.1f)\n", pmin,
+              pmax, cfg.physics.freestream[0]);
+  write_vtk("quickstart_volume.vtk", solver.mesh(), q);
+  write_vtk_surface("quickstart_surface.vtk", solver.mesh(), q);
+  std::printf("wrote quickstart_volume.vtk, quickstart_surface.vtk\n");
+
+  if (!json_path.empty()) {
+    PerfReport report = PerfReport::begin(
+        "quickstart_hybrid", "wing-bump quickstart, in-process hybrid ranks");
+    report.params["max_steps"] = static_cast<double>(cfg.ptc.max_steps);
+    report.counters["steps"] = static_cast<std::uint64_t>(stats.steps);
+    report.counters["converged"] = stats.converged ? 1 : 0;
+    report.metrics["final_cfl"] = stats.final_cfl;
+    solver.fill_report(report);
+    const std::vector<std::string> problems =
+        validate_report(report.to_json());
+    for (const std::string& p : problems)
+      std::fprintf(stderr, "report validation: %s\n", p.c_str());
+    std::string err;
+    if (!report.write(json_path, &err)) {
+      std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("perf report written to %s (validated: %s)\n",
+                json_path.c_str(), problems.empty() ? "ok" : "INVALID");
+    if (!problems.empty()) return 1;
+  }
+  return stats.converged ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,7 +235,24 @@ int main(int argc, char** argv) {
   // 2. Solver: all shared-memory optimizations on. The resilience knobs
   // (DESIGN.md §8) are surfaced as flags so CI can crash/restart this
   // binary and tests can force the rejection paths deterministically.
-  SolverConfig cfg = SolverConfig::optimized(/*nthreads=*/2);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 1));
+  const int rank_threads = static_cast<int>(cli.get_int("rank-threads", 2));
+  if (ranks < 1) {
+    std::fprintf(stderr, "--ranks %d: want at least 1\n", ranks);
+    return 1;
+  }
+  if (rank_threads < 1) {
+    std::fprintf(stderr, "--rank-threads %d: want at least 1\n",
+                 rank_threads);
+    return 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw > 0 && static_cast<unsigned>(ranks) * rank_threads > hw)
+    std::fprintf(stderr,
+                 "warning: %d ranks x %d threads oversubscribes the %u "
+                 "hardware threads; expect slowdown, not speedup\n",
+                 ranks, rank_threads, hw);
+  SolverConfig cfg = SolverConfig::optimized(rank_threads);
   cfg.ptc.max_steps = static_cast<int>(cli.get_int("max-steps", 40));
   cfg.ptc.rtol = 1e-8;
   const std::string gmres_mode = cli.get("gmres-mode", "");
@@ -141,6 +278,23 @@ int main(int argc, char** argv) {
       static_cast<int>(cli.get_int("inject-breakdown-step", -1));
   fault.crash_step = static_cast<int>(cli.get_int("inject-crash-step", -1));
   fault.repeat = static_cast<int>(cli.get_int("inject-repeat", 1));
+
+  // --ranks > 1 takes the hybrid path. Checkpoint/restart and fault
+  // injection are single-domain features (HybridSolver rejects them too,
+  // but a flag-level message beats an exception).
+  if (ranks > 1) {
+    if (cli.get_bool("restart", false) ||
+        cfg.resilience.checkpoint_every > 0 || fault.nan_residual_step >= 0 ||
+        fault.nan_update_step >= 0 || fault.breakdown_step >= 0 ||
+        fault.crash_step >= 0) {
+      std::fprintf(stderr,
+                   "--ranks > 1 does not support checkpoint/restart or "
+                   "fault-injection flags\n");
+      return 1;
+    }
+    return run_hybrid(cli, std::move(mesh), cfg, ranks, rank_threads,
+                      trace_path, json_path);
+  }
   FlowSolver solver(std::move(mesh), cfg);
   if (cli.get_bool("restart", false)) {
     const CheckpointMeta meta = solver.restore_checkpoint(ckpt_path);
@@ -174,18 +328,8 @@ int main(int argc, char** argv) {
 
   // 3b. Export + self-check the event timeline when --trace was given.
   if (!trace_path.empty()) {
-    trace::disable();
-    const std::vector<trace::ThreadTrace> threads = trace::collect();
-    std::string err;
-    if (!trace::write_chrome_trace(trace_path, threads, &err)) {
-      std::fprintf(stderr, "failed to write trace: %s\n", err.c_str());
-      return 1;
-    }
-    std::printf("\n%s",
-                trace::TimelineAnalysis::compute(threads).format().c_str());
-    std::printf("trace written to %s (open at ui.perfetto.dev)\n",
-                trace_path.c_str());
-    if (!self_check_trace(trace_path)) return 1;
+    const int rc = finish_trace(trace_path);
+    if (rc != 0) return rc;
   }
 
   // 4. Sample the solution: pressure extrema over the wall.

@@ -1,0 +1,237 @@
+#include "comm/halo.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "trace/trace.hpp"
+#include "util/timer.hpp"
+
+namespace fun3d::comm {
+
+idx_t RankHalo::local_id(idx_t g) const {
+  if (g >= row_begin && g < row_begin + num_owned) return g - row_begin;
+  const auto it =
+      std::lower_bound(ghost_globals.begin(), ghost_globals.end(), g);
+  assert(it != ghost_globals.end() && *it == g);
+  return num_owned + static_cast<idx_t>(it - ghost_globals.begin());
+}
+
+std::vector<RankHalo> build_halo_plans(const TetMesh& m,
+                                       const Decomposition& d) {
+  const int P = static_cast<int>(d.nparts());
+  std::vector<RankHalo> plans(static_cast<std::size_t>(P));
+  // Ghost sets per rank, naturally sorted (std::set ascending).
+  std::vector<std::vector<idx_t>> ghosts(static_cast<std::size_t>(P));
+  {
+    std::vector<std::vector<char>> seen(static_cast<std::size_t>(P));
+    for (int r = 0; r < P; ++r)
+      seen[static_cast<std::size_t>(r)].assign(
+          static_cast<std::size_t>(m.num_vertices), 0);
+    for (const auto& [a, b] : m.edges) {
+      const idx_t pa = d.part.part[static_cast<std::size_t>(a)];
+      const idx_t pb = d.part.part[static_cast<std::size_t>(b)];
+      if (pa == pb) continue;
+      if (!seen[static_cast<std::size_t>(pa)][static_cast<std::size_t>(b)]) {
+        seen[static_cast<std::size_t>(pa)][static_cast<std::size_t>(b)] = 1;
+        ghosts[static_cast<std::size_t>(pa)].push_back(b);
+      }
+      if (!seen[static_cast<std::size_t>(pb)][static_cast<std::size_t>(a)]) {
+        seen[static_cast<std::size_t>(pb)][static_cast<std::size_t>(a)] = 1;
+        ghosts[static_cast<std::size_t>(pb)].push_back(a);
+      }
+    }
+    for (auto& g : ghosts) std::sort(g.begin(), g.end());
+  }
+
+  for (int r = 0; r < P; ++r) {
+    RankHalo& h = plans[static_cast<std::size_t>(r)];
+    const Subdomain& sub = d.subs[static_cast<std::size_t>(r)];
+    h.rank = r;
+    h.row_begin = sub.row_begin;
+    h.num_owned = sub.num_owned();
+    h.ghost_globals = std::move(ghosts[static_cast<std::size_t>(r)]);
+    h.num_ghosts = static_cast<idx_t>(h.ghost_globals.size());
+    assert(h.num_ghosts == sub.num_ghosts);
+    // Receive slices: ghosts are sorted by global id and ownership ranges
+    // are contiguous, so each owner's contribution is one contiguous run.
+    for (idx_t i = 0; i < h.num_ghosts;) {
+      const idx_t g = h.ghost_globals[static_cast<std::size_t>(i)];
+      const idx_t owner = d.part.part[static_cast<std::size_t>(g)];
+      idx_t j = i;
+      while (j < h.num_ghosts &&
+             d.part.part[static_cast<std::size_t>(
+                 h.ghost_globals[static_cast<std::size_t>(j)])] == owner)
+        ++j;
+      RankNeighbor nb;
+      nb.rank = static_cast<int>(owner);
+      nb.recv_begin = h.num_owned + i;
+      nb.recv_count = j - i;
+      h.neighbors.push_back(std::move(nb));
+      i = j;
+    }
+  }
+  // Send lists: what s receives from r IS what r must send to s, already
+  // in the order s unpacks (ascending global id).
+  for (int s = 0; s < P; ++s) {
+    const RankHalo& hs = plans[static_cast<std::size_t>(s)];
+    for (const RankNeighbor& nb : hs.neighbors) {
+      RankHalo& hr = plans[static_cast<std::size_t>(nb.rank)];
+      auto it = std::find_if(hr.neighbors.begin(), hr.neighbors.end(),
+                             [s](const RankNeighbor& n) { return n.rank == s; });
+      // The exchange graph is symmetric (a cut edge makes each side a
+      // ghost owner for the other), so r always already lists s.
+      assert(it != hr.neighbors.end());
+      it->send_locals.reserve(static_cast<std::size_t>(nb.recv_count));
+      for (idx_t i = 0; i < nb.recv_count; ++i) {
+        const idx_t g = hs.ghost_globals[static_cast<std::size_t>(
+            nb.recv_begin - hs.num_owned + i)];
+        it->send_locals.push_back(g - hr.row_begin);
+      }
+      hr.max_send = std::max(hr.max_send, it->send_locals.size());
+    }
+  }
+  return plans;
+}
+
+void HaloExchange::start(std::span<const double> field, int ncomp,
+                         CommStats& stats) {
+  assert(!in_flight_);
+  const RankHalo& h = *halo_;
+  stats.exchanges++;
+  stats.exchange_components += static_cast<std::uint64_t>(ncomp);
+  seq_++;
+  ncomp_in_flight_ = ncomp;
+  in_flight_ = true;
+  if (h.neighbors.empty()) return;
+  trace::TraceSpan span("halo_pack", h.rank);
+  for (const RankNeighbor& nb : h.neighbors) {
+    Mailbox& out = rt_->mailbox(h.rank, nb.rank);
+    // The receiver of message seq_-1 must have drained the buffer before
+    // we refill it (acquire pairs with its consume release).
+    wait_epoch(out.consumed, seq_ - 1);
+    double* buf = out.buf.data();
+    std::size_t w = 0;
+    for (const idx_t v : nb.send_locals) {
+      const double* src =
+          field.data() + static_cast<std::size_t>(v) * ncomp;
+      for (int c = 0; c < ncomp; ++c) buf[w++] = src[c];
+    }
+    out.published.store(seq_, std::memory_order_release);
+  }
+}
+
+void HaloExchange::finish(std::span<double> field, int ncomp,
+                          CommStats& stats) {
+  assert(in_flight_ && ncomp == ncomp_in_flight_);
+  const RankHalo& h = *halo_;
+  in_flight_ = false;
+  stats.packed_cells +=
+      static_cast<std::uint64_t>(h.num_ghosts) * static_cast<std::uint64_t>(ncomp);
+  stats.halo_bytes += static_cast<std::uint64_t>(h.num_ghosts) *
+                      static_cast<std::uint64_t>(ncomp) * 8u;
+  if (h.neighbors.empty()) return;
+  trace::TraceSpan span("halo_wait", h.rank);
+  const bool traced = trace::enabled();
+  Timer t;
+  for (const RankNeighbor& nb : h.neighbors) {
+    Mailbox& in = rt_->mailbox(nb.rank, h.rank);
+    const std::uint64_t t0 = traced ? trace::now_ns() : 0;
+    const WaitStats w = wait_epoch_counted(in.published, seq_);
+    if (traced && (w.spins > 0 || w.yields > 0))
+      trace::spin_wait(nb.rank, static_cast<std::int64_t>(seq_), w.spins,
+                       w.yields, t0);
+    const double* buf = in.buf.data();
+    double* dst = field.data() +
+                  static_cast<std::size_t>(nb.recv_begin) * ncomp;
+    std::copy(buf, buf + static_cast<std::size_t>(nb.recv_count) * ncomp,
+              dst);
+    in.consumed.store(seq_, std::memory_order_release);
+  }
+  stats.halo_wait_seconds += t.seconds();
+}
+
+LocalDomain build_local_domain(const TetMesh& m, RankHalo halo,
+                               bool full_overlap) {
+  LocalDomain dom;
+  dom.halo = std::move(halo);
+  const RankHalo& h = dom.halo;
+  const idx_t nl = h.num_local();
+  TetMesh& lm = dom.mesh;
+  lm.num_vertices = nl;
+  lm.x.resize(static_cast<std::size_t>(nl));
+  lm.y.resize(static_cast<std::size_t>(nl));
+  lm.z.resize(static_cast<std::size_t>(nl));
+  lm.dual_vol.resize(static_cast<std::size_t>(nl));
+  auto global_of = [&](idx_t l) {
+    return l < h.num_owned
+               ? h.row_begin + l
+               : h.ghost_globals[static_cast<std::size_t>(l - h.num_owned)];
+  };
+  for (idx_t l = 0; l < nl; ++l) {
+    const std::size_t g = static_cast<std::size_t>(global_of(l));
+    lm.x[static_cast<std::size_t>(l)] = m.x[g];
+    lm.y[static_cast<std::size_t>(l)] = m.y[g];
+    lm.z[static_cast<std::size_t>(l)] = m.z[g];
+    lm.dual_vol[static_cast<std::size_t>(l)] = m.dual_vol[g];
+  }
+  // Edges with >= 1 owned endpoint, global orientation + normal preserved.
+  // With full_overlap, ghost-ghost edges join lm.edges too — the Jacobian
+  // structure and assembly run over lm.edges, so the additive-Schwarz
+  // factor sees the complete A(sub, sub) of the overlap region — but stay
+  // out of the flux shells: their scatters would only land in ghost
+  // residual entries, which are never read.
+  const idx_t gb = h.row_begin, ge = h.row_begin + h.num_owned;
+  auto owned = [&](idx_t g) { return g >= gb && g < ge; };
+  auto is_local = [&](idx_t g) {
+    return owned(g) || std::binary_search(h.ghost_globals.begin(),
+                                          h.ghost_globals.end(), g);
+  };
+  for (std::size_t e = 0; e < m.edges.size(); ++e) {
+    const auto [a, b] = m.edges[e];
+    const bool oa = owned(a), ob = owned(b);
+    if (!oa && !ob) {
+      if (!full_overlap || !is_local(a) || !is_local(b)) continue;
+      lm.edges.emplace_back(h.local_id(a), h.local_id(b));
+      lm.dual_nx.push_back(m.dual_nx[e]);
+      lm.dual_ny.push_back(m.dual_ny[e]);
+      lm.dual_nz.push_back(m.dual_nz[e]);
+      continue;
+    }
+    const idx_t la = h.local_id(a), lb = h.local_id(b);
+    lm.edges.emplace_back(la, lb);
+    lm.dual_nx.push_back(m.dual_nx[e]);
+    lm.dual_ny.push_back(m.dual_ny[e]);
+    lm.dual_nz.push_back(m.dual_nz[e]);
+    TetMesh& shell = (oa && ob) ? dom.interior_shell : dom.cut_shell;
+    shell.edges.emplace_back(la, lb);
+    shell.dual_nx.push_back(m.dual_nx[e]);
+    shell.dual_ny.push_back(m.dual_ny[e]);
+    shell.dual_nz.push_back(m.dual_nz[e]);
+  }
+  dom.interior_shell.num_vertices = nl;
+  dom.cut_shell.num_vertices = nl;
+  // Boundary faces with >= 1 owned corner. Triangle corners are pairwise
+  // edge-adjacent, so a non-owned corner of an included face is always in
+  // the ghost set. With full_overlap, all-ghost faces are kept as well so
+  // ghost boundary rows carry their boundary Jacobian contribution.
+  for (std::size_t f = 0; f < m.bfaces.size(); ++f) {
+    const BoundaryFace& bf = m.bfaces[f];
+    const bool any_owned = owned(bf.v[0]) || owned(bf.v[1]) || owned(bf.v[2]);
+    if (!any_owned &&
+        !(full_overlap && is_local(bf.v[0]) && is_local(bf.v[1]) &&
+          is_local(bf.v[2])))
+      continue;
+    BoundaryFace lf;
+    lf.tag = bf.tag;
+    for (int k = 0; k < 3; ++k)
+      lf.v[static_cast<std::size_t>(k)] =
+          h.local_id(bf.v[static_cast<std::size_t>(k)]);
+    lm.bfaces.push_back(lf);
+    lm.bface_nx.push_back(m.bface_nx[f]);
+    lm.bface_ny.push_back(m.bface_ny[f]);
+    lm.bface_nz.push_back(m.bface_nz[f]);
+  }
+  return dom;
+}
+
+}  // namespace fun3d::comm

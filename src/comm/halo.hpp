@@ -1,0 +1,131 @@
+// Shared-memory halo exchange over a Decomposition (DESIGN.md §10).
+//
+// Local numbering per rank r (global numbering is already part-contiguous
+// after decompose()): owned vertices map to [0, num_owned) by subtracting
+// row_begin; ghost vertices — off-part endpoints of r's cut edges — map to
+// [num_owned, num_owned + num_ghosts) in ascending GLOBAL id. Because
+// ownership ranges are themselves contiguous in global ids, sorting ghosts
+// by global id also groups them by owning rank, so each neighbor's
+// contribution is one contiguous slice of the ghost range and both sides of
+// a directed pair agree on the pack/unpack order without negotiation.
+//
+// HaloExchange moves `ncomp` components per vertex of an AoS field array
+// (q: 4, gradients: 12) through the RankRuntime mailboxes, either blocking
+// (exchange) or split-phase (start / finish) so interior-edge compute can
+// run inside the in-flight window — the comm/comp overlap the paper's
+// hybrid variant relies on. Waits are traced as spin_wait events under a
+// halo_wait span; packing under halo_pack.
+#pragma once
+
+#include <span>
+
+#include "comm/runtime.hpp"
+#include "mesh/decompose.hpp"
+
+namespace fun3d::comm {
+
+/// One neighbor of a rank in the exchange graph.
+struct RankNeighbor {
+  int rank = 0;
+  /// Owned local ids this rank packs for `rank`, in ascending global id —
+  /// exactly the order the receiver's ghost slice expects.
+  std::vector<idx_t> send_locals;
+  idx_t recv_begin = 0;  ///< first ghost local id filled by this neighbor
+  idx_t recv_count = 0;  ///< ghosts received from this neighbor
+};
+
+/// One rank's halo-exchange plan.
+struct RankHalo {
+  int rank = 0;
+  idx_t row_begin = 0;  ///< global id of owned local vertex 0
+  idx_t num_owned = 0;
+  idx_t num_ghosts = 0;
+  std::vector<idx_t> ghost_globals;     ///< ascending; local = num_owned + i
+  std::vector<RankNeighbor> neighbors;  ///< ascending by rank
+  std::size_t max_send = 0;             ///< largest single send (vertices)
+
+  [[nodiscard]] idx_t num_local() const { return num_owned + num_ghosts; }
+  /// Local id of global vertex `g` (owned or ghost of this rank).
+  [[nodiscard]] idx_t local_id(idx_t g) const;
+};
+
+/// Builds every rank's halo plan from the decomposed (renumbered) mesh.
+/// Plans are symmetric: r sends to s exactly the vertices s receives from
+/// r, in the same order.
+std::vector<RankHalo> build_halo_plans(const TetMesh& m,
+                                       const Decomposition& d);
+
+/// Per-rank exchange endpoint over the shared mailboxes. One instance per
+/// rank thread; `halo` and `rt` must outlive it. At most one split-phase
+/// exchange may be in flight per instance.
+class HaloExchange {
+ public:
+  HaloExchange(RankRuntime& rt, const RankHalo& halo)
+      : rt_(&rt), halo_(&halo) {}
+
+  /// Blocking exchange: fills the ghost slots of `field` (num_local() *
+  /// ncomp doubles, AoS) with the owners' current values.
+  void exchange(std::span<double> field, int ncomp, CommStats& stats) {
+    start({field.data(), field.size()}, ncomp, stats);
+    finish(field, ncomp, stats);
+  }
+
+  /// Packs and publishes this rank's owned boundary values; returns
+  /// without waiting for neighbors. Run interior work next, then finish().
+  void start(std::span<const double> field, int ncomp, CommStats& stats);
+
+  /// Waits for every neighbor's message, unpacks into the ghost slots,
+  /// and releases the buffers. Charges the blocked time to
+  /// stats.halo_wait_seconds.
+  void finish(std::span<double> field, int ncomp, CommStats& stats);
+
+  [[nodiscard]] bool in_flight() const { return in_flight_; }
+
+ private:
+  RankRuntime* rt_;
+  const RankHalo* halo_;
+  std::uint64_t seq_ = 0;  ///< completed + in-flight exchange count
+  int ncomp_in_flight_ = 0;
+  bool in_flight_ = false;
+};
+
+/// The subset of TetMesh a rank-local solve needs, extracted once per rank:
+/// local vertices (owned then ghosts), every edge with >= 1 owned endpoint
+/// (global orientation and dual normal preserved — both sides of a cut edge
+/// compute the identical flux and each accumulates only into vertices it
+/// owns), every boundary face with >= 1 owned corner (its other corners are
+/// edge-adjacent, hence always present as ghosts), and copied dual volumes.
+/// Ghost entries of derived quantities (gradients before the exchange,
+/// residuals, wave speeds) are computed from partial stencils and NEVER
+/// read — ghost gradients are overwritten by the halo exchange, and only
+/// owned residual/wavespeed entries feed the solver.
+///
+/// `interior_shell` / `cut_shell` are edges-only views (same vertex count)
+/// splitting the local edge list into both-endpoints-owned edges — whose
+/// fluxes need no exchanged gradients and run INSIDE the in-flight grad
+/// exchange — and the rest, which run after finish(). Together they
+/// partition the local edge list, so owned residuals match the unsplit
+/// evaluation exactly.
+struct LocalDomain {
+  RankHalo halo;
+  TetMesh mesh;
+  TetMesh interior_shell;
+  TetMesh cut_shell;
+};
+
+/// Extracts one rank's local domain from the decomposed mesh. `halo` is
+/// that rank's entry of build_halo_plans (moved in — plans are built once
+/// for all ranks because send orders come from the receivers' plans).
+///
+/// `full_overlap` additionally keeps ghost-ghost edges and all-ghost
+/// boundary faces in `mesh` (NOT in the shells, whose scatters feed the
+/// owned residual): the additive-Schwarz factor needs the complete
+/// A(sub, sub) over the overlap region — with only cut-edge couplings the
+/// ghost rows lose diagonal dominance as SER drives the pseudo-time shift
+/// to zero and the subdomain ILU goes near-singular. Owned residuals,
+/// gradients, and wave speeds are unaffected in value (the extra edges
+/// scatter only into ghost entries).
+LocalDomain build_local_domain(const TetMesh& m, RankHalo halo,
+                               bool full_overlap = false);
+
+}  // namespace fun3d::comm

@@ -1,0 +1,658 @@
+#include "comm/hybrid_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "core/boundary.hpp"
+#include "core/gradients.hpp"
+#include "core/jacobian.hpp"
+#include "graph/levels.hpp"
+#include "trace/trace.hpp"
+
+namespace fun3d::comm {
+namespace {
+
+/// Adjacency of the owned principal block (interior edges + diagonal, the
+/// ghost columns dropped) — what the block-Jacobi scope factorizes.
+CsrGraph owned_block_adjacency(const LocalDomain& dom) {
+  const idx_t n = dom.halo.num_owned;
+  CsrGraph g;
+  g.rowptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [a, b] : dom.interior_shell.edges) {
+    g.rowptr[static_cast<std::size_t>(a) + 1]++;
+    g.rowptr[static_cast<std::size_t>(b) + 1]++;
+  }
+  for (idx_t v = 0; v < n; ++v)
+    g.rowptr[static_cast<std::size_t>(v) + 1] +=
+        g.rowptr[static_cast<std::size_t>(v)];
+  g.col.resize(static_cast<std::size_t>(g.rowptr.back()));
+  std::vector<idx_t> cur(g.rowptr.begin(), g.rowptr.end() - 1);
+  for (const auto& [a, b] : dom.interior_shell.edges) {
+    g.col[static_cast<std::size_t>(cur[static_cast<std::size_t>(a)]++)] = b;
+    g.col[static_cast<std::size_t>(cur[static_cast<std::size_t>(b)]++)] = a;
+  }
+  for (idx_t v = 0; v < n; ++v)
+    std::sort(g.col.begin() + g.rowptr[static_cast<std::size_t>(v)],
+              g.col.begin() + g.rowptr[static_cast<std::size_t>(v) + 1]);
+  return g;
+}
+
+}  // namespace
+
+const char* precond_scope_name(PrecondScope s) {
+  switch (s) {
+    case PrecondScope::kBlockJacobi:
+      return "block-jacobi";
+    case PrecondScope::kAdditiveSchwarz:
+      return "additive-schwarz";
+  }
+  return "?";
+}
+
+CommSummary CommReport::summary() const {
+  CommSummary s;
+  s.ranks = ranks;
+  s.threads_per_rank = threads_per_rank;
+  s.total_ghosts = total_ghosts;
+  s.overlap_halo = overlap_fraction > 0 || overlap_seconds > 0;
+  s.exchanges = exchanges;
+  s.exchange_components = exchange_components;
+  s.packed_cells = packed_cells;
+  s.halo_bytes = halo_bytes;
+  s.allreduces = allreduces;
+  s.barriers = barriers;
+  s.overlap_seconds = overlap_seconds;
+  s.halo_wait_seconds = halo_wait_seconds;
+  s.barrier_wait_seconds = barrier_wait_seconds;
+  s.allreduce_wait_seconds = allreduce_wait_seconds;
+  s.overlap_fraction = overlap_fraction;
+  s.exchanges_per_linear_iteration = exchanges_per_linear_iteration;
+  return s;
+}
+
+/// Everything one rank master owns: its local domain, exchange endpoint,
+/// fields, kernels' plans, Jacobian + scoped preconditioner, and the SPMD
+/// loop's scratch. Constructed on the main thread (setup is serial),
+/// exercised only by the rank's own std::thread.
+struct HybridSolver::Rank {
+  const HybridConfig& cfg;
+  RankRuntime& rt;
+  LocalDomain dom;
+  HaloExchange hx;
+  FlowFields fields;
+  EdgeArrays edges_full;  ///< gradients / wavespeed / Jacobian
+  EdgeLoopPlan plan_full;
+  EdgeArrays edges_int;  ///< fluxes inside the in-flight grad exchange
+  EdgeLoopPlan plan_int;
+  EdgeArrays edges_cut;  ///< fluxes needing exchanged ghost gradients
+  EdgeLoopPlan plan_cut;
+  Bcsr4 jac;  ///< all local rows (ghost rows partial but finite)
+  // Block-Jacobi scope: the owned principal block copied out of jac.
+  Bcsr4 pre;
+  std::vector<idx_t> pre_from_jac;  ///< pre nz -> jac nz
+  IluPattern pattern;
+  std::unique_ptr<IluSchedules> ilu_schedules;
+  std::unique_ptr<IluFactor> factor;
+  std::unique_ptr<TrsvSchedules> trsv_schedules;
+  AVec<double> wavespeed, dt_shift;  ///< full local
+  AVec<double> as_in, as_out;        ///< additive-Schwarz full-size scratch
+  VecOps vec;
+  Profile profile;
+  CommStats stats;
+  SolveStats solve_stats;
+  std::exception_ptr error;
+
+  Rank(const HybridConfig& c, RankRuntime& runtime, LocalDomain d)
+      : cfg(c),
+        rt(runtime),
+        dom(std::move(d)),
+        hx(runtime, dom.halo),
+        fields(dom.mesh),
+        edges_full(dom.mesh),
+        plan_full(build_edge_plan(dom.mesh, c.solver.strategy,
+                                  std::max(1, c.threads_per_rank))),
+        edges_int(dom.interior_shell),
+        plan_int(build_edge_plan(dom.interior_shell, c.solver.strategy,
+                                 std::max(1, c.threads_per_rank))),
+        edges_cut(dom.cut_shell),
+        plan_cut(build_edge_plan(dom.cut_shell, c.solver.strategy,
+                                 std::max(1, c.threads_per_rank))),
+        jac(make_jacobian_matrix(dom.mesh)) {
+    vec.nthreads = c.solver.threaded_vecops ? c.threads_per_rank : 1;
+    if (c.precond_scope == PrecondScope::kBlockJacobi) {
+      pre = Bcsr4::from_adjacency(owned_block_adjacency(dom));
+      pre_from_jac.resize(pre.num_blocks());
+      for (idx_t r = 0; r < pre.num_rows(); ++r)
+        for (idx_t nz = pre.row_begin(r); nz < pre.row_end(r); ++nz)
+          pre_from_jac[static_cast<std::size_t>(nz)] =
+              jac.find(r, pre.col(nz));
+      pattern = symbolic_ilu(pre.structure(), c.solver.fill_level);
+    } else {
+      pattern = symbolic_ilu(jac.structure(), c.solver.fill_level);
+      const std::size_t nl =
+          static_cast<std::size_t>(dom.halo.num_local()) * kNs;
+      as_in.assign(nl, 0.0);
+      as_out.assign(nl, 0.0);
+    }
+    if (c.solver.ilu_mode != IluMode::kSerial)
+      ilu_schedules = std::make_unique<IluSchedules>(IluSchedules::build(
+          pattern, std::max(1, c.threads_per_rank), c.solver.sparsify_p2p));
+    const std::size_t nl = static_cast<std::size_t>(dom.halo.num_local());
+    wavespeed.assign(nl, 0.0);
+    dt_shift.assign(nl, 0.0);
+    fields.set_uniform(c.solver.physics.freestream);
+  }
+
+  [[nodiscard]] int id() const { return dom.halo.rank; }
+  [[nodiscard]] std::size_t nq_owned() const {
+    return static_cast<std::size_t>(dom.halo.num_owned) * kNs;
+  }
+
+  /// Global deterministic dot: planned-order local partials (VecOps),
+  /// planned-order combine across ranks (allreduce) — bitwise-identical on
+  /// every rank and run to run.
+  double global_dot(std::span<const double> x, std::span<const double> y) {
+    const double local = vec.dot(x, y);
+    profile.reductions++;
+    return rt.allreduce_sum1(id(), local, stats);
+  }
+  double global_norm(std::span<const double> x) {
+    return std::sqrt(global_dot(x, x));
+  }
+
+  /// Steady residual over the OWNED entries: exchanges ghost q, computes
+  /// gradients on the full local stencil, exchanges ghost gradients —
+  /// split-phase, with the interior-edge fluxes inside the in-flight
+  /// window when overlap_halo — then the cut-edge and boundary fluxes.
+  void eval_residual(std::span<const double> u, std::span<double> r) {
+    const std::size_t nq = nq_owned();
+    std::copy(u.begin(), u.end(), fields.q.begin());
+    hx.exchange({fields.q.data(), fields.q.size()}, kNs, stats);
+    if (cfg.solver.second_order) {
+      auto s = profile.timers.scoped(kernel::kGradient);
+      trace::TraceSpan span("gradient");
+      compute_gradients(dom.mesh, edges_full, plan_full, fields);
+    }
+    std::span<double> resid{fields.resid.data(), fields.resid.size()};
+    std::fill(resid.begin(), resid.end(), 0.0);
+    const bool split = cfg.overlap_halo && cfg.solver.second_order;
+    if (split)
+      hx.start({fields.grad.data(), fields.grad.size()}, kGradStride, stats);
+    else if (cfg.solver.second_order)
+      hx.exchange({fields.grad.data(), fields.grad.size()}, kGradStride,
+                  stats);
+    {
+      auto s = profile.timers.scoped(kernel::kFlux);
+      trace::TraceSpan span(split ? "comm_overlap" : "flux", id());
+      Timer t;
+      compute_edge_fluxes(cfg.solver.physics, edges_int, plan_int,
+                          cfg.solver.flux, fields, resid);
+      if (split) stats.overlap_seconds += t.seconds();
+    }
+    if (split)
+      hx.finish({fields.grad.data(), fields.grad.size()}, kGradStride, stats);
+    {
+      auto s = profile.timers.scoped(kernel::kFlux);
+      trace::TraceSpan span("flux");
+      compute_edge_fluxes(cfg.solver.physics, edges_cut, plan_cut,
+                          cfg.solver.flux, fields, resid);
+      add_boundary_fluxes(cfg.solver.physics, dom.mesh, fields, resid);
+    }
+    std::copy(resid.begin(), resid.begin() + static_cast<std::ptrdiff_t>(nq),
+              r.begin());
+    profile.residual_evals++;
+  }
+
+  void factor_preconditioner() {
+    auto s = profile.timers.scoped(kernel::kIlu);
+    trace::TraceSpan span("ilu_factor_phase");
+    Bcsr4* mat = &jac;
+    if (cfg.precond_scope == PrecondScope::kBlockJacobi) {
+      for (std::size_t nz = 0; nz < pre.num_blocks(); ++nz) {
+        const double* src =
+            jac.block(pre_from_jac[nz]);
+        std::copy(src, src + kBs2, pre.block(static_cast<idx_t>(nz)));
+      }
+      mat = &pre;
+    }
+    switch (cfg.solver.ilu_mode) {
+      case IluMode::kSerial:
+        factor = std::make_unique<IluFactor>(
+            factorize_ilu(*mat, pattern, cfg.solver.compressed_ilu_buffer,
+                          cfg.solver.simd_ilu));
+        break;
+      case IluMode::kLevels:
+        factor = std::make_unique<IluFactor>(factorize_ilu_levels(
+            *mat, pattern, *ilu_schedules, cfg.solver.simd_ilu));
+        break;
+      case IluMode::kP2P:
+        factor = std::make_unique<IluFactor>(factorize_ilu_p2p(
+            *mat, pattern, *ilu_schedules, cfg.solver.simd_ilu));
+        break;
+    }
+    if (trsv_schedules == nullptr && cfg.solver.trsv_mode != TrsvMode::kSerial)
+      trsv_schedules = std::make_unique<TrsvSchedules>(TrsvSchedules::build(
+          *factor, std::max(1, cfg.threads_per_rank),
+          cfg.solver.sparsify_p2p));
+  }
+
+  void trsv(std::span<const double> in, std::span<double> out) {
+    switch (cfg.solver.trsv_mode) {
+      case TrsvMode::kSerial:
+        trsv_serial(*factor, in, out);
+        break;
+      case TrsvMode::kLevels:
+        trsv_levels(*factor, *trsv_schedules, in, out);
+        break;
+      case TrsvMode::kP2P:
+        trsv_p2p(*factor, *trsv_schedules, in, out);
+        break;
+    }
+  }
+
+  /// Applies the scoped preconditioner to an owned-size vector. The
+  /// additive-Schwarz scope first exchanges the ghost entries of the input
+  /// (one extra round per application) and solves over owned + ghost rows
+  /// — restricted AS: the overlap region's output is discarded.
+  void apply_preconditioner(std::span<const double> in,
+                            std::span<double> out) {
+    auto s = profile.timers.scoped(kernel::kTrsv);
+    trace::TraceSpan span("trsv_phase");
+    if (cfg.precond_scope == PrecondScope::kBlockJacobi) {
+      trsv(in, out);
+      return;
+    }
+    const std::size_t nq = nq_owned();
+    std::copy(in.begin(), in.end(), as_in.begin());
+    hx.exchange({as_in.data(), as_in.size()}, kNs, stats);
+    trsv({as_in.data(), as_in.size()}, {as_out.data(), as_out.size()});
+    std::copy(as_out.begin(), as_out.begin() + static_cast<std::ptrdiff_t>(nq),
+              out.begin());
+  }
+};
+
+namespace {
+
+struct SpmdLinearOutcome {
+  int iterations = 0;
+  double relative_residual = 1.0;
+  bool converged = false;
+};
+
+/// Restarted left-preconditioned GMRES(m), modified Gram-Schmidt + Givens,
+/// over OWNED-size distributed vectors. Every scalar that steers control
+/// flow (column dots, norms, the Givens recurrence, convergence tests) is
+/// a planned-order allreduce result, so all ranks branch identically and
+/// the iterate is bitwise-reproducible at a fixed rank count. The cycle
+/// head recomputes the TRUE preconditioned residual, so the convergence
+/// claim never relies on the recurrence estimate alone.
+template <typename Matvec, typename Precond>
+SpmdLinearOutcome spmd_gmres(HybridSolver::Rank& rk, const GmresOptions& opt,
+                             Matvec&& apply_a, Precond&& precond,
+                             std::span<const double> b, std::span<double> x) {
+  const std::size_t n = b.size();
+  const int m = std::max(1, opt.restart);
+  AVec<double> r(n, 0.0), z(n, 0.0), w(n, 0.0);
+  std::vector<AVec<double>> basis(static_cast<std::size_t>(m) + 1);
+  for (auto& v : basis) v.assign(n, 0.0);
+  // Column-major Hessenberg: H[(m+1)*j + i].
+  std::vector<double> H(static_cast<std::size_t>(m + 1) * m, 0.0);
+  std::vector<double> g(static_cast<std::size_t>(m) + 1, 0.0);
+  std::vector<double> cs(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> sn(static_cast<std::size_t>(m), 0.0);
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  SpmdLinearOutcome out;
+  double r0norm = -1.0;
+  while (true) {
+    apply_a({x.data(), x.size()}, {w.data(), n});
+    rk.vec.waxpy(-1.0, {w.data(), n}, b, {r.data(), n});
+    precond({r.data(), n}, {z.data(), n});
+    const double beta = rk.global_norm({z.data(), n});
+    if (r0norm < 0) r0norm = beta > 0 ? beta : 1.0;
+    out.relative_residual = beta / r0norm;
+    const double tol = std::max(opt.rtol * r0norm, opt.atol);
+    if (beta <= tol) {
+      out.converged = true;
+      return out;
+    }
+    if (out.iterations >= opt.max_iters) return out;
+
+    rk.vec.copy({z.data(), n}, {basis[0].data(), n});
+    rk.vec.scale(1.0 / beta, {basis[0].data(), n});
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+    int j = 0;
+    while (j < m && out.iterations < opt.max_iters) {
+      apply_a({basis[static_cast<std::size_t>(j)].data(), n}, {w.data(), n});
+      precond({w.data(), n}, {z.data(), n});
+      auto& col = H;
+      const std::size_t c0 = static_cast<std::size_t>(m + 1) *
+                             static_cast<std::size_t>(j);
+      for (int i = 0; i <= j; ++i) {
+        const double h = rk.global_dot(
+            {basis[static_cast<std::size_t>(i)].data(), n}, {z.data(), n});
+        col[c0 + static_cast<std::size_t>(i)] = h;
+        rk.vec.axpy(-h, {basis[static_cast<std::size_t>(i)].data(), n},
+                    {z.data(), n});
+      }
+      const double hn = rk.global_norm({z.data(), n});
+      col[c0 + static_cast<std::size_t>(j) + 1] = hn;
+      if (hn > 0) {
+        rk.vec.copy({z.data(), n},
+                    {basis[static_cast<std::size_t>(j) + 1].data(), n});
+        rk.vec.scale(1.0 / hn,
+                     {basis[static_cast<std::size_t>(j) + 1].data(), n});
+      }
+      for (int i = 0; i < j; ++i) {
+        const double a = col[c0 + static_cast<std::size_t>(i)];
+        const double bb = col[c0 + static_cast<std::size_t>(i) + 1];
+        col[c0 + static_cast<std::size_t>(i)] =
+            cs[static_cast<std::size_t>(i)] * a +
+            sn[static_cast<std::size_t>(i)] * bb;
+        col[c0 + static_cast<std::size_t>(i) + 1] =
+            -sn[static_cast<std::size_t>(i)] * a +
+            cs[static_cast<std::size_t>(i)] * bb;
+      }
+      const double a = col[c0 + static_cast<std::size_t>(j)];
+      const double bb = col[c0 + static_cast<std::size_t>(j) + 1];
+      const double denom = std::sqrt(a * a + bb * bb);
+      cs[static_cast<std::size_t>(j)] = denom > 0 ? a / denom : 1.0;
+      sn[static_cast<std::size_t>(j)] = denom > 0 ? bb / denom : 0.0;
+      col[c0 + static_cast<std::size_t>(j)] = denom;
+      col[c0 + static_cast<std::size_t>(j) + 1] = 0.0;
+      g[static_cast<std::size_t>(j) + 1] =
+          -sn[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      g[static_cast<std::size_t>(j)] =
+          cs[static_cast<std::size_t>(j)] * g[static_cast<std::size_t>(j)];
+      ++out.iterations;
+      ++j;
+      if (std::abs(g[static_cast<std::size_t>(j)]) <= tol) break;
+    }
+    // Back-substitute and fold the cycle's correction into x; the outer
+    // loop recomputes the true residual and decides convergence.
+    for (int k = j - 1; k >= 0; --k) {
+      double sum = g[static_cast<std::size_t>(k)];
+      for (int l = k + 1; l < j; ++l)
+        sum -= H[static_cast<std::size_t>(m + 1) * static_cast<std::size_t>(l) +
+                 static_cast<std::size_t>(k)] *
+               y[static_cast<std::size_t>(l)];
+      y[static_cast<std::size_t>(k)] =
+          sum / H[static_cast<std::size_t>(m + 1) *
+                      static_cast<std::size_t>(k) +
+                  static_cast<std::size_t>(k)];
+    }
+    for (int k = 0; k < j; ++k)
+      rk.vec.axpy(y[static_cast<std::size_t>(k)],
+                  {basis[static_cast<std::size_t>(k)].data(), n},
+                  {x.data(), x.size()});
+  }
+}
+
+}  // namespace
+
+void HybridSolver::validate_config() const {
+  if (cfg_.nranks < 1)
+    throw std::invalid_argument("HybridSolver: nranks must be >= 1");
+  if (cfg_.threads_per_rank < 1)
+    throw std::invalid_argument("HybridSolver: threads_per_rank must be >= 1");
+  if (cfg_.nranks > mesh_.num_vertices)
+    throw std::invalid_argument("HybridSolver: more ranks than mesh vertices");
+  if (cfg_.nranks == 1) return;  // the delegate supports everything
+  const SolverConfig& s = cfg_.solver;
+  if (s.gradient_method != GradientMethod::kGreenGauss)
+    throw std::invalid_argument(
+        "HybridSolver: multi-rank requires Green-Gauss gradients");
+  if (s.krylov != KrylovMethod::kGmres)
+    throw std::invalid_argument("HybridSolver: multi-rank requires GMRES");
+  if (!s.matrix_free)
+    throw std::invalid_argument(
+        "HybridSolver: multi-rank requires the matrix-free operator");
+  if (s.flux.layout != VertexLayout::kAoS)
+    throw std::invalid_argument(
+        "HybridSolver: multi-rank requires the AoS vertex layout");
+  if (s.subdomains > 1)
+    throw std::invalid_argument(
+        "HybridSolver: per-rank subdomain blocking is superseded by "
+        "precond_scope; set subdomains = 1");
+  const FaultPlan& f = s.resilience.fault;
+  if (s.resilience.checkpoint_every > 0 || f.crash_step >= 0 ||
+      f.breakdown_step >= 0 || f.nan_update_step >= 0 ||
+      f.nan_residual_step >= 0)
+    throw std::invalid_argument(
+        "HybridSolver: checkpointing / fault injection are single-rank "
+        "(FlowSolver) features");
+}
+
+HybridSolver::HybridSolver(TetMesh mesh, HybridConfig cfg)
+    : mesh_(std::move(mesh)), cfg_(cfg) {
+  validate_config();
+  decomp_ = decompose(mesh_, cfg_.nranks, cfg_.use_graph_partitioner);
+  q_global_.assign(static_cast<std::size_t>(mesh_.num_vertices) * kNs, 0.0);
+  if (cfg_.nranks == 1) {
+    // Bitwise identity with the plain solver by construction: decompose()
+    // at one part applies the identity renumbering, and the delegate IS a
+    // FlowSolver over that mesh.
+    SolverConfig sc = cfg_.solver;
+    sc.nthreads = cfg_.threads_per_rank;
+    delegate_ = std::make_unique<FlowSolver>(mesh_, sc);
+    return;
+  }
+  rt_ = std::make_unique<RankRuntime>(cfg_.nranks);
+  std::vector<RankHalo> plans = build_halo_plans(mesh_, decomp_);
+  std::size_t max_send = 0;
+  for (const RankHalo& p : plans) max_send = std::max(max_send, p.max_send);
+  rt_->reserve_mailboxes(max_send * kGradStride);
+  ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (int r = 0; r < cfg_.nranks; ++r)
+    ranks_.push_back(std::make_unique<Rank>(
+        cfg_, *rt_,
+        build_local_domain(
+            mesh_, std::move(plans[static_cast<std::size_t>(r)]),
+            cfg_.precond_scope == PrecondScope::kAdditiveSchwarz)));
+}
+
+HybridSolver::~HybridSolver() = default;
+
+const Profile& HybridSolver::profile() const {
+  return delegate_ != nullptr ? delegate_->profile() : ranks_.front()->profile;
+}
+
+void HybridSolver::rank_main(int rank, SolveStats& stats) {
+  Rank& rk = *ranks_[static_cast<std::size_t>(rank)];
+  const SolverConfig& sc = cfg_.solver;
+  const std::size_t nq = rk.nq_owned();
+  AVec<double> u(rk.fields.q.begin(),
+                 rk.fields.q.begin() + static_cast<std::ptrdiff_t>(nq));
+  AVec<double> r(nq, 0.0), rhs(nq, 0.0), du(nq, 0.0);
+  AVec<double> jv_tmp(nq, 0.0), jv_pert(nq, 0.0);
+
+  rk.eval_residual({u.data(), nq}, {r.data(), nq});
+  double rnorm = rk.global_norm({r.data(), nq});
+  const double r0 = rnorm > 0 ? rnorm : 1.0;
+  double cfl = sc.ptc.cfl0;
+  stats.residual_history.push_back(rnorm);
+
+  for (int step = 0; step < sc.ptc.max_steps; ++step) {
+    if (rnorm <= sc.ptc.rtol * r0 || rnorm <= sc.ptc.atol) {
+      stats.converged = true;
+      break;
+    }
+    {
+      auto s = rk.profile.timers.scoped(kernel::kOther);
+      compute_wavespeed_sums(sc.physics, rk.dom.mesh, rk.edges_full,
+                             rk.fields,
+                             {rk.wavespeed.data(), rk.wavespeed.size()});
+      // The local sum is truncated for ghost vertices (they only see
+      // their cut edges). Block-Jacobi never reads ghost rows, but the
+      // additive-Schwarz factor does — without the owner's full wavespeed
+      // sum the ghost diagonal loses its pseudo-time dominance and the
+      // ILU factor degrades with subdomain surface. One scalar exchange
+      // restores the owner's value.
+      if (cfg_.precond_scope == PrecondScope::kAdditiveSchwarz)
+        rk.hx.exchange({rk.wavespeed.data(), rk.wavespeed.size()}, 1,
+                       rk.stats);
+      compute_dt_shift({rk.wavespeed.data(), rk.wavespeed.size()}, cfl,
+                       {rk.dt_shift.data(), rk.dt_shift.size()});
+    }
+    {
+      auto s = rk.profile.timers.scoped(kernel::kJacobian);
+      trace::TraceSpan span("jacobian");
+      assemble_jacobian(sc.physics, rk.edges_full, rk.plan_full, rk.fields,
+                        sc.scheme, rk.jac);
+      add_boundary_jacobian(sc.physics, rk.dom.mesh, rk.fields, rk.jac);
+      rk.jac.shift_diagonal({rk.dt_shift.data(), rk.dt_shift.size()});
+    }
+    rk.factor_preconditioner();
+
+    for (std::size_t i = 0; i < nq; ++i) rhs[i] = -r[i];
+    std::fill(du.begin(), du.end(), 0.0);
+    const double unorm = rk.global_norm({u.data(), nq});
+
+    auto apply_a = [&](std::span<const double> v, std::span<double> yv) {
+      const double vnorm = rk.global_norm(v);
+      if (vnorm == 0) {
+        rk.vec.set(0.0, yv);
+        return;
+      }
+      const double h = std::sqrt(1e-14) * (1.0 + unorm) / vnorm;
+      for (std::size_t i = 0; i < nq; ++i) jv_pert[i] = u[i] + h * v[i];
+      rk.eval_residual({jv_pert.data(), nq}, {jv_tmp.data(), nq});
+      const double inv_h = 1.0 / h;
+      for (std::size_t i = 0; i < nq; ++i) {
+        const std::size_t vtx = i / kNs;
+        yv[i] = (jv_tmp[i] - r[i]) * inv_h + rk.dt_shift[vtx] * v[i];
+      }
+    };
+    auto precond = [&](std::span<const double> in, std::span<double> outv) {
+      rk.apply_preconditioner(in, outv);
+    };
+    SpmdLinearOutcome lin;
+    {
+      trace::TraceSpan span("gmres");
+      lin = spmd_gmres(rk, sc.gmres, apply_a, precond, {rhs.data(), nq},
+                       {du.data(), nq});
+    }
+    stats.linear_iterations += static_cast<std::uint64_t>(lin.iterations);
+    rk.profile.linear_iterations +=
+        static_cast<std::uint64_t>(lin.iterations);
+
+    rk.vec.axpy(1.0, {du.data(), nq}, {u.data(), nq});
+    rk.eval_residual({u.data(), nq}, {r.data(), nq});
+    const double rnew = rk.global_norm({r.data(), nq});
+    cfl = ser_update(cfl, rnorm, rnew, sc.ptc);
+    rnorm = rnew;
+    stats.residual_history.push_back(rnorm);
+    stats.steps = step + 1;
+    rk.profile.newton_steps++;
+  }
+  if (rnorm <= sc.ptc.rtol * r0 || rnorm <= sc.ptc.atol)
+    stats.converged = true;
+  stats.final_cfl = cfl;
+  stats.reference_residual = r0;
+  if (rk.factor != nullptr)
+    stats.ilu_parallelism = dag_parallelism(rk.factor->lower_deps());
+  // Leave the accepted state in the fields (owned prefix authoritative).
+  std::copy(u.begin(), u.end(), rk.fields.q.begin());
+}
+
+SolveStats HybridSolver::solve() {
+  Timer wall;
+  if (delegate_ != nullptr) {
+    SolveStats stats = delegate_->solve();
+    const auto& q = delegate_->fields().q;
+    std::copy(q.begin(), q.end(), q_global_.begin());
+    comm_report_ = CommReport{};
+    comm_report_.ranks = 1;
+    comm_report_.threads_per_rank = cfg_.threads_per_rank;
+    comm_report_.total_ghosts = decomp_.total_ghosts();
+    comm_report_.total_cut_edges = decomp_.total_cut_edges();
+    comm_report_.exchanges_per_linear_iteration = 0;
+    return stats;
+  }
+
+  std::vector<std::thread> masters;
+  masters.reserve(ranks_.size());
+  for (std::size_t r = 0; r < ranks_.size(); ++r)
+    masters.emplace_back([this, r] {
+      Rank& rk = *ranks_[r];
+      try {
+        rank_main(static_cast<int>(r), rk.solve_stats);
+      } catch (...) {
+        rk.error = std::current_exception();
+      }
+    });
+  for (std::thread& t : masters) t.join();
+  for (const auto& rk : ranks_)
+    if (rk->error) std::rethrow_exception(rk->error);
+
+  // Gather the owned slices into the global solution vector.
+  for (const auto& rk : ranks_) {
+    const RankHalo& h = rk->dom.halo;
+    std::copy(rk->fields.q.begin(),
+              rk->fields.q.begin() +
+                  static_cast<std::ptrdiff_t>(rk->nq_owned()),
+              q_global_.begin() +
+                  static_cast<std::ptrdiff_t>(h.row_begin) * kNs);
+  }
+
+  CommReport c;
+  c.ranks = cfg_.nranks;
+  c.threads_per_rank = cfg_.threads_per_rank;
+  c.total_ghosts = decomp_.total_ghosts();
+  c.total_cut_edges = decomp_.total_cut_edges();
+  // Round counts are SPMD-identical on every rank; volumes and waits sum.
+  c.exchanges = ranks_.front()->stats.exchanges;
+  c.exchange_components = ranks_.front()->stats.exchange_components;
+  c.allreduces = ranks_.front()->stats.allreduces;
+  c.barriers = ranks_.front()->stats.barriers;
+  for (const auto& rk : ranks_) {
+    c.packed_cells += rk->stats.packed_cells;
+    c.halo_bytes += rk->stats.halo_bytes;
+    c.overlap_seconds += rk->stats.overlap_seconds;
+    c.halo_wait_seconds += rk->stats.halo_wait_seconds;
+    c.barrier_wait_seconds += rk->stats.barrier_wait_seconds;
+    c.allreduce_wait_seconds += rk->stats.allreduce_wait_seconds;
+  }
+  const double denom = c.overlap_seconds + c.halo_wait_seconds;
+  c.overlap_fraction =
+      denom > 0 ? std::clamp(c.overlap_seconds / denom, 0.0, 1.0) : 0.0;
+  SolveStats stats = ranks_.front()->solve_stats;
+  c.exchanges_per_linear_iteration =
+      stats.linear_iterations > 0
+          ? static_cast<double>(c.exchanges) /
+                static_cast<double>(stats.linear_iterations)
+          : 0.0;
+  comm_report_ = c;
+  stats.wall_seconds = wall.seconds();
+  return stats;
+}
+
+void HybridSolver::fill_report(PerfReport& report,
+                               const std::string& prefix) const {
+  if (delegate_ != nullptr) {
+    delegate_->fill_report(report, prefix);
+  } else {
+    report.params[prefix + "nthreads"] = cfg_.threads_per_rank;
+    report.params[prefix + "fill_level"] = cfg_.solver.fill_level;
+    report.params[prefix + "trsv_mode"] =
+        static_cast<double>(cfg_.solver.trsv_mode);
+    report.params[prefix + "ilu_mode"] =
+        static_cast<double>(cfg_.solver.ilu_mode);
+    report.params[prefix + "second_order"] =
+        cfg_.solver.second_order ? 1.0 : 0.0;
+    report.params[prefix + "matrix_free"] =
+        cfg_.solver.matrix_free ? 1.0 : 0.0;
+    report.add_profile(ranks_.front()->profile, prefix);
+    report.add_edge_plan(ranks_.front()->plan_full, prefix);
+    report.add_team_stats(prefix);
+    report.add_vecops_stats(prefix);
+  }
+  CommSummary s = comm_report_.summary();
+  s.precond_scope = static_cast<double>(cfg_.precond_scope);
+  s.overlap_halo = cfg_.overlap_halo;
+  report.add_comm_stats(s, prefix);
+}
+
+}  // namespace fun3d::comm

@@ -1,0 +1,142 @@
+// HybridSolver (DESIGN.md §10): the in-process hybrid-rank driver — the
+// shared-memory analogue of the paper's MPI+OpenMP "Hybrid" variant. The
+// global mesh is decomposed into P subdomains (decompose()), each owned by
+// one rank master std::thread running the SAME pseudo-transient
+// Newton-Krylov loop as FlowSolver over its local domain, with
+//
+//   * ghost state moved through RankRuntime mailboxes (HaloExchange):
+//     a blocking q exchange before gradients, and a split-phase gradient
+//     exchange whose in-flight window the interior-edge fluxes run inside
+//     (traced as comm_overlap spans) when overlap_halo is on;
+//   * every global scalar (residual norms, Krylov dots, the matrix-free FD
+//     step) computed by the deterministic planned-order allreduce, so all
+//     ranks take bitwise-identical branches and the converged answer is
+//     reproducible run to run at any fixed rank count;
+//   * the preconditioner scoped per rank: block-Jacobi factors only the
+//     owned principal block, additive Schwarz factors the whole local
+//     (owned + ghost) matrix and exchanges the residual's ghost entries
+//     before each triangular solve — one extra exchange per Krylov
+//     iteration buying overlap-1 coupling.
+//
+// At nranks == 1 the driver delegates to a plain FlowSolver over the
+// (identity-renumbered) mesh, so the single-rank hybrid run is
+// bitwise-identical to the non-hybrid solver by construction.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "comm/halo.hpp"
+#include "core/solver.hpp"
+
+namespace fun3d::comm {
+
+/// Preconditioner scope of the hybrid solve (paper §III-C: subdomain-block
+/// preconditioning is what makes NKS "Schwarz").
+enum class PrecondScope {
+  kBlockJacobi,      ///< factor the owned principal block only (no overlap)
+  kAdditiveSchwarz,  ///< factor owned+ghost rows; exchange before each TRSV
+};
+
+const char* precond_scope_name(PrecondScope s);
+
+struct HybridConfig {
+  int nranks = 2;
+  int threads_per_rank = 1;  ///< inner TeamExecutor width per rank
+  bool use_graph_partitioner = true;
+  PrecondScope precond_scope = PrecondScope::kBlockJacobi;
+  /// Split-phase gradient exchange with interior-edge fluxes inside the
+  /// in-flight window (false = block on every exchange; same answer).
+  bool overlap_halo = true;
+  /// Per-rank solver knobs. nthreads is overridden by threads_per_rank.
+  /// Multi-rank solves support the Green-Gauss + matrix-free GMRES + AoS
+  /// configuration (the optimized path); others throw at construction.
+  SolverConfig solver;
+};
+
+/// Aggregated communication observability of one solve — the source of the
+/// PerfReport comm.* family and the measured inputs the netsim --measured
+/// benches feed back into ClusterConfig.
+struct CommReport {
+  int ranks = 1;
+  int threads_per_rank = 1;
+  std::uint64_t total_ghosts = 0;     ///< Decomposition::total_ghosts()
+  std::uint64_t total_cut_edges = 0;  ///< Decomposition::total_cut_edges()
+  // Round counts are SPMD-identical on every rank; reported once (rank 0).
+  std::uint64_t exchanges = 0;
+  std::uint64_t exchange_components = 0;  ///< sum of ncomp over rounds
+  std::uint64_t allreduces = 0;
+  std::uint64_t barriers = 0;
+  // Volumes and wait seconds are summed over ranks.
+  std::uint64_t packed_cells = 0;  ///< ghost values received, all ranks
+  std::uint64_t halo_bytes = 0;    ///< 8 * packed_cells
+  double overlap_seconds = 0;       ///< compute inside in-flight exchanges
+  double halo_wait_seconds = 0;     ///< exposed (not overlapped) halo waits
+  double barrier_wait_seconds = 0;
+  double allreduce_wait_seconds = 0;
+  /// overlap / (overlap + exposed halo wait), clamped to [0, 1]; the
+  /// measured analogue of ClusterConfig::halo_overlap_fraction.
+  double overlap_fraction = 0;
+  /// Halo exchange rounds per Krylov iteration (+ Newton-step overheads
+  /// folded in) — the measured analogue of SolverCosts' exchanges/iter.
+  double exchanges_per_linear_iteration = 0;
+
+  /// The schema-neutral view PerfReport::add_comm_stats consumes.
+  [[nodiscard]] CommSummary summary() const;
+};
+
+class HybridSolver {
+ public:
+  /// Takes ownership of the mesh (dual metrics built), decomposes and
+  /// renumbers it. Throws std::invalid_argument for nranks < 1, nranks >
+  /// mesh vertices, or a multi-rank configuration outside the supported
+  /// envelope (least-squares gradients, BiCGSTAB, assembled-operator
+  /// Krylov, SoA vertex layout, checkpointing, fault injection).
+  HybridSolver(TetMesh mesh, HybridConfig cfg);
+  ~HybridSolver();
+  HybridSolver(const HybridSolver&) = delete;
+  HybridSolver& operator=(const HybridSolver&) = delete;
+
+  /// Runs the hybrid solve: spawns nranks rank-master threads (delegates
+  /// to a plain FlowSolver at nranks == 1), joins them, aggregates the
+  /// CommReport, and gathers the owned slices into solution().
+  SolveStats solve();
+
+  /// The renumbered global mesh (subdomain-contiguous vertex ids).
+  [[nodiscard]] const TetMesh& mesh() const { return mesh_; }
+  [[nodiscard]] const Decomposition& decomposition() const { return decomp_; }
+  [[nodiscard]] const HybridConfig& config() const { return cfg_; }
+  /// Valid after solve().
+  [[nodiscard]] const CommReport& comm_report() const { return comm_report_; }
+  /// Global solution state (nv*4, AoS, renumbered order). Valid after
+  /// solve().
+  [[nodiscard]] std::span<const double> solution() const {
+    return {q_global_.data(), q_global_.size()};
+  }
+  /// Rank 0's kernel profile (SPMD-representative) — the delegate's at
+  /// nranks == 1.
+  [[nodiscard]] const Profile& profile() const;
+
+  /// Captures config, rank-0 profile, team/vecops stats, and the comm.*
+  /// family into a perf report.
+  void fill_report(PerfReport& report, const std::string& prefix = "") const;
+
+  /// One rank master's state (opaque; defined in the .cpp). Public so the
+  /// SPMD Krylov helper can take it by reference.
+  struct Rank;
+
+ private:
+  void rank_main(int rank, SolveStats& stats);
+  void validate_config() const;
+
+  TetMesh mesh_;
+  HybridConfig cfg_;
+  Decomposition decomp_;
+  std::unique_ptr<RankRuntime> rt_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::unique_ptr<FlowSolver> delegate_;  ///< the nranks == 1 path
+  CommReport comm_report_;
+  AVec<double> q_global_;
+};
+
+}  // namespace fun3d::comm

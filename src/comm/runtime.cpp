@@ -1,0 +1,73 @@
+#include "comm/runtime.hpp"
+
+#include "trace/trace.hpp"
+#include "util/timer.hpp"
+
+namespace fun3d::comm {
+
+RankRuntime::RankRuntime(int nranks, std::size_t max_width)
+    : nranks_(nranks), max_width_(max_width), barrier_(nranks) {
+  // Pad each rank's slot row to a cache-line multiple.
+  constexpr std::size_t kDoublesPerLine = 64 / sizeof(double);
+  slot_stride_ =
+      ((max_width_ + kDoublesPerLine - 1) / kDoublesPerLine) * kDoublesPerLine;
+  slots_.assign(static_cast<std::size_t>(nranks_) * slot_stride_, 0.0);
+  boxes_.resize(static_cast<std::size_t>(nranks_) *
+                static_cast<std::size_t>(nranks_));
+}
+
+void RankRuntime::reserve_mailboxes(std::size_t capacity) {
+  for (Mailbox& b : boxes_)
+    if (b.buf.size() < capacity) b.buf.assign(capacity, 0.0);
+}
+
+void RankRuntime::barrier(int rank, CommStats& stats) {
+  stats.barriers++;
+  const bool traced = trace::enabled();
+  const std::uint64_t t0 = traced ? trace::now_ns() : 0;
+  Timer t;
+  const WaitStats w = barrier_.arrive_and_wait();
+  stats.barrier_wait_seconds += t.seconds();
+  if (traced && (w.spins > 0 || w.yields > 0))
+    trace::spin_wait(/*owner=*/-1, /*row=*/rank, w.spins, w.yields, t0);
+}
+
+void RankRuntime::allreduce_sum(int rank, double* inout, std::size_t width,
+                                CommStats& stats) {
+  stats.allreduces++;
+  if (nranks_ <= 1) return;
+  double* my_row = slots_.data() + static_cast<std::size_t>(rank) * slot_stride_;
+  for (std::size_t i = 0; i < width; ++i) my_row[i] = inout[i];
+  // Publish: the barrier's release/acquire edges order every rank's slot
+  // writes before every rank's combine reads.
+  {
+    trace::TraceSpan span("rank_allreduce", rank);
+    const bool traced = trace::enabled();
+    const std::uint64_t t0 = traced ? trace::now_ns() : 0;
+    Timer t;
+    WaitStats w = barrier_.arrive_and_wait();
+    // Combine in RANK order — the fixed plan every rank executes
+    // identically, making the sums bitwise-equal on all ranks and
+    // reproducible run to run (the allreduce analogue of the planned-order
+    // partial combines in parallel_sum / VecOps).
+    for (std::size_t i = 0; i < width; ++i) {
+      double acc = 0.0;
+      for (int r = 0; r < nranks_; ++r)
+        acc += slots_[static_cast<std::size_t>(r) * slot_stride_ + i];
+      inout[i] = acc;
+    }
+    // Reuse barrier: nobody may overwrite a slot row for the NEXT
+    // allreduce until everyone has finished combining this one.
+    const WaitStats w2 = barrier_.arrive_and_wait();
+    stats.allreduce_wait_seconds += t.seconds();
+    if (traced) {
+      if (w.spins > 0 || w.yields > 0)
+        trace::spin_wait(/*owner=*/-1, /*row=*/rank, w.spins, w.yields, t0);
+      if (w2.spins > 0 || w2.yields > 0)
+        trace::spin_wait(/*owner=*/-1, /*row=*/rank, w2.spins, w2.yields, t0);
+    }
+  }
+  stats.barriers += 2;
+}
+
+}  // namespace fun3d::comm

@@ -1,0 +1,156 @@
+// In-process "rank" runtime (DESIGN.md §10): the shared-memory stand-in for
+// an MPI communicator. P solver domains run concurrently on their own
+// std::thread rank masters inside ONE process and communicate through
+//
+//  * Mailbox      — a per-directed-neighbor-pair message buffer guarded by
+//                   two monotone 64-bit epoch counters (published /
+//                   consumed) with release/acquire ordering, the
+//                   shared-memory analogue of an eager MPI send/recv;
+//  * RankBarrier  — a central generation-counting barrier;
+//  * allreduce    — a deterministic planned-order sum: every rank deposits
+//                   its partials into its own slot row, and EVERY rank then
+//                   combines the rows in rank order 0..P-1, so the result
+//                   is bitwise-identical on all ranks and reproducible at
+//                   any rank count for a given decomposition.
+//
+// Rank masters are std::threads, NOT an outer OpenMP team: each std::thread
+// roots its own OpenMP contention group, so a capped runtime
+// (OMP_THREAD_LIMIT) shrinks the per-rank *inner* teams — which the
+// TeamExecutor shortfall machinery already tolerates — while the rank
+// masters themselves always all exist and the barriers cannot deadlock.
+//
+// All spin loops reuse parallel/spinwait.hpp (cpu_relax + yield threshold),
+// and the traced paths attribute waits through trace::spin_wait exactly
+// like the P2P TRSV kernels, so rank stalls show up on the timeline.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/spinwait.hpp"
+#include "util/aligned.hpp"
+
+namespace fun3d::comm {
+
+/// Per-rank communication counters, aggregated by CommReport::aggregate
+/// after the rank threads join. Wait seconds are wall time spent blocked in
+/// the respective primitive (the exposed — not overlapped — cost).
+struct CommStats {
+  std::uint64_t exchanges = 0;      ///< halo exchange rounds this rank ran
+  std::uint64_t exchange_components = 0;  ///< sum of ncomp over exchanges
+  std::uint64_t packed_cells = 0;   ///< ghost values this rank received
+  std::uint64_t halo_bytes = 0;     ///< 8 * packed_cells
+  std::uint64_t allreduces = 0;     ///< planned-order allreduce calls
+  std::uint64_t barriers = 0;       ///< barrier arrivals
+  double barrier_wait_seconds = 0;    ///< blocked inside RankBarrier
+  double allreduce_wait_seconds = 0;  ///< blocked inside allreduce barriers
+  double halo_wait_seconds = 0;       ///< blocked waiting for neighbor data
+  double overlap_seconds = 0;  ///< compute run inside an in-flight exchange
+};
+
+/// One directed point-to-point message slot (sender rank -> receiver rank).
+/// Protocol (message k, counted from 1):
+///   sender:   wait_epoch(consumed, k-1)  — buffer free again
+///             write buf                  — plain stores
+///             published.store(k, release)
+///   receiver: wait_epoch(published, k)   — acquire pairs with the publish
+///             read buf
+///             consumed.store(k, release) — hands the buffer back
+/// The release/acquire pairs make the buffer accesses data-race-free: the
+/// receiver's reads happen-after the sender's writes (publish edge), and
+/// the sender's next writes happen-after the receiver's reads (consume
+/// edge). Counters are cache-line-separated from the buffer and from each
+/// other so the two spinning sides never false-share.
+struct Mailbox {
+  AVec<double> buf;
+  alignas(64) std::atomic<std::uint64_t> published{0};
+  alignas(64) std::atomic<std::uint64_t> consumed{0};
+
+  Mailbox() = default;
+  explicit Mailbox(std::size_t capacity) : buf(capacity, 0.0) {}
+  Mailbox(Mailbox&& o) noexcept
+      : buf(std::move(o.buf)),
+        published(o.published.load(std::memory_order_relaxed)),
+        consumed(o.consumed.load(std::memory_order_relaxed)) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+};
+
+/// Central sense-free barrier: arrivals count up; the last arrival resets
+/// the count and bumps the generation (release), everyone else spins on the
+/// generation (acquire). Reusable immediately — a rank cannot re-enter
+/// before the generation it waits on has been published.
+class RankBarrier {
+ public:
+  explicit RankBarrier(int nranks) : nranks_(nranks) {}
+
+  /// Arrives and waits for all ranks. Returns the spin/yield stats of the
+  /// wait (zero when this rank was the last to arrive).
+  WaitStats arrive_and_wait() {
+    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == nranks_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+      return {};
+    }
+    return wait_epoch_counted(generation_, gen + 1);
+  }
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+ private:
+  int nranks_ = 1;
+  alignas(64) std::atomic<int> arrived_{0};
+  alignas(64) std::atomic<std::uint64_t> generation_{0};
+};
+
+/// Shared state of one in-process rank group. Construct once, hand a
+/// reference to every rank thread. `max_width` bounds the widest allreduce.
+class RankRuntime {
+ public:
+  RankRuntime(int nranks, std::size_t max_width = 16);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Deterministic planned-order sum-allreduce over `width <= max_width`
+  /// doubles. Every rank must call with the same width; `inout` holds this
+  /// rank's partials on entry and the (bitwise rank-independent) global
+  /// sums on return. Two barriers: one to publish the slots, one so the
+  /// slots may be reused by the next call. Waits are charged to `stats`
+  /// (and to the timeline as rank_allreduce spans by the caller).
+  void allreduce_sum(int rank, double* inout, std::size_t width,
+                     CommStats& stats);
+
+  /// Scalar convenience wrapper.
+  double allreduce_sum1(int rank, double value, CommStats& stats) {
+    allreduce_sum(rank, &value, 1, stats);
+    return value;
+  }
+
+  /// Full-group barrier with wait accounting.
+  void barrier(int rank, CommStats& stats);
+
+  /// Directed mailbox sender `from` -> receiver `to` (from != to).
+  [[nodiscard]] Mailbox& mailbox(int from, int to) {
+    return boxes_[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(nranks_) +
+                  static_cast<std::size_t>(to)];
+  }
+
+  /// Ensures every directed mailbox can hold `capacity` doubles. Call from
+  /// the (single-threaded) setup phase only.
+  void reserve_mailboxes(std::size_t capacity);
+
+ private:
+  int nranks_ = 1;
+  std::size_t max_width_ = 0;
+  RankBarrier barrier_;
+  /// nranks x max_width slot rows, padded to whole cache lines so ranks
+  /// never false-share their partials.
+  std::size_t slot_stride_ = 0;
+  AVec<double> slots_;
+  std::vector<Mailbox> boxes_;
+};
+
+}  // namespace fun3d::comm

@@ -190,6 +190,29 @@ void PerfReport::add_resilience_stats(const ResilienceStats& s,
   counters[p + "injected_faults"] = s.injected_faults;
 }
 
+void PerfReport::add_comm_stats(const CommSummary& c,
+                                const std::string& prefix) {
+  const std::string p = prefix + "comm.";
+  params[p + "ranks"] = c.ranks;
+  params[p + "threads_per_rank"] = c.threads_per_rank;
+  params[p + "total_ghosts"] = static_cast<double>(c.total_ghosts);
+  params[p + "precond_scope"] = c.precond_scope;
+  params[p + "overlap_halo"] = c.overlap_halo ? 1.0 : 0.0;
+  counters[p + "exchanges"] = c.exchanges;
+  counters[p + "exchange_components"] = c.exchange_components;
+  counters[p + "packed_cells"] = c.packed_cells;
+  counters[p + "halo_bytes"] = c.halo_bytes;
+  counters[p + "allreduces"] = c.allreduces;
+  counters[p + "barriers"] = c.barriers;
+  metrics[p + "overlap_seconds"] = c.overlap_seconds;
+  metrics[p + "halo_wait_seconds"] = c.halo_wait_seconds;
+  metrics[p + "barrier_wait_seconds"] = c.barrier_wait_seconds;
+  metrics[p + "allreduce_wait_seconds"] = c.allreduce_wait_seconds;
+  metrics[p + "overlap_fraction"] = c.overlap_fraction;
+  metrics[p + "exchanges_per_linear_iteration"] =
+      c.exchanges_per_linear_iteration;
+}
+
 void PerfReport::add_trace_analysis(const trace::TimelineAnalysis& a,
                                     const std::string& prefix) {
   const std::string p = prefix + "trace.";
@@ -508,6 +531,55 @@ std::vector<std::string> validate_report(const Json& report) {
         if (c != nullptr && c->as_double(0) > rejected)
           problems.push_back("counters." + prefix + "resilience." + dep +
                              ": exceeds rejected_steps");
+      }
+    }
+    // Halo-exchange consistency (add_comm_stats): wherever a (possibly
+    // prefixed) comm.halo_bytes counter appears, the volume accounting
+    // must close exactly — bytes are 8 per packed double, and every rank
+    // joins every SPMD exchange round, so the cells received across ranks
+    // are the component-rounds times the decomposition's total ghosts.
+    // This is the cross-check that ties a --measured bench's traffic back
+    // to Decomposition::total_ghosts(). overlap_fraction is a ratio of
+    // non-negative times, so it must sit in [0,1].
+    const std::string kHaloBytes = "comm.halo_bytes";
+    const Json* cparams = report.find("params");
+    const Json* cmetrics = report.find("metrics");
+    for (std::size_t i = 0; i < counters->size(); ++i) {
+      const std::string key = counters->key_at(i);
+      if (!key.ends_with(kHaloBytes)) continue;
+      const std::string prefix = key.substr(0, key.size() - kHaloBytes.size());
+      const Json* cells = counters->find(prefix + "comm.packed_cells");
+      const Json* comps = counters->find(prefix + "comm.exchange_components");
+      if (cells == nullptr || comps == nullptr) {
+        problems.push_back("counters." + key +
+                           ": missing matching comm.packed_cells / "
+                           "comm.exchange_components");
+        continue;
+      }
+      if (counters->at(i).as_double(-1) != 8.0 * cells->as_double(0))
+        problems.push_back("counters." + key +
+                           ": does not equal 8 * comm.packed_cells");
+      const Json* ghosts =
+          cparams != nullptr && cparams->is_object()
+              ? cparams->find(prefix + "comm.total_ghosts")
+              : nullptr;
+      if (ghosts == nullptr)
+        problems.push_back("counters." + key +
+                           ": missing matching params comm.total_ghosts");
+      else if (cells->as_double(0) !=
+               comps->as_double(0) * ghosts->as_double(0))
+        problems.push_back(
+            "counters." + prefix +
+            "comm.packed_cells: does not equal comm.exchange_components * "
+            "comm.total_ghosts");
+      if (cmetrics != nullptr && cmetrics->is_object()) {
+        const Json* ov = cmetrics->find(prefix + "comm.overlap_fraction");
+        if (ov != nullptr) {
+          const double v = ov->as_double(-1);
+          if (!(v >= 0.0) || v > 1.0 + 1e-9)
+            problems.push_back("metrics." + prefix +
+                               "comm.overlap_fraction: outside [0,1]");
+        }
       }
     }
   }

@@ -82,6 +82,39 @@ struct Profile {
   void clear();
 };
 
+/// Schema-neutral summary of one hybrid-rank solve's communication
+/// behaviour (filled from comm::CommReport; kept here so PerfReport does
+/// not depend on the comm layer). Feeds the `comm.*` report family:
+/// params comm.ranks / comm.threads_per_rank / comm.total_ghosts /
+/// comm.precond_scope / comm.overlap_halo; counters comm.exchanges /
+/// comm.exchange_components / comm.packed_cells / comm.halo_bytes /
+/// comm.allreduces / comm.barriers; metrics comm.overlap_seconds /
+/// comm.halo_wait_seconds / comm.barrier_wait_seconds /
+/// comm.allreduce_wait_seconds / comm.overlap_fraction /
+/// comm.exchanges_per_linear_iteration. validate_report cross-checks
+/// halo_bytes == 8 * packed_cells, packed_cells == exchange_components *
+/// total_ghosts (every rank joins every SPMD exchange round), and
+/// overlap_fraction in [0, 1].
+struct CommSummary {
+  int ranks = 1;
+  int threads_per_rank = 1;
+  std::uint64_t total_ghosts = 0;
+  double precond_scope = 0;  ///< comm::PrecondScope as a numeric param
+  bool overlap_halo = false;
+  std::uint64_t exchanges = 0;
+  std::uint64_t exchange_components = 0;
+  std::uint64_t packed_cells = 0;
+  std::uint64_t halo_bytes = 0;
+  std::uint64_t allreduces = 0;
+  std::uint64_t barriers = 0;
+  double overlap_seconds = 0;
+  double halo_wait_seconds = 0;
+  double barrier_wait_seconds = 0;
+  double allreduce_wait_seconds = 0;
+  double overlap_fraction = 0;
+  double exchanges_per_linear_iteration = 0;
+};
+
 /// Structured, machine-readable performance report — the artifact behind
 /// every bench's `--json <path>` flag and the substrate future perf work
 /// reports through. Sections are fixed (schema-stable); keys within a
@@ -147,6 +180,10 @@ struct PerfReport {
   /// never exceed it.
   void add_resilience_stats(const ResilienceStats& s,
                             const std::string& prefix = "");
+  /// Captures a hybrid-rank solve's communication summary under the
+  /// `<prefix>comm.*` keys (see CommSummary for the family and the
+  /// invariants validate_report enforces on it).
+  void add_comm_stats(const CommSummary& c, const std::string& prefix = "");
   /// Folds a timeline analysis (trace/analysis.hpp) into the report under
   /// `<prefix>trace.*`: overall and per-kernel wait fractions, measured
   /// critical paths and effective parallelism (metrics), event/drop/

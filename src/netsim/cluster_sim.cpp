@@ -153,7 +153,9 @@ std::vector<ScalingPoint> simulate_strong_scaling(
           static_cast<double>(ghosts[static_cast<std::size_t>(r)].size()));
     }
     pt.max_local_edges = max_edges;
-    pt.halo_bytes_per_rank = max_ghosts * kNs * 8.0;
+    pt.halo_bytes_per_rank = cfg.halo_bytes_of_ranks
+                                 ? cfg.halo_bytes_of_ranks(ranks)
+                                 : max_ghosts * kNs * 8.0;
 
     pt.iterations = cfg.iterations_of_ranks
                         ? cfg.iterations_of_ranks(ranks)
@@ -171,8 +173,15 @@ std::vector<ScalingPoint> simulate_strong_scaling(
     // Non-blocking sends to all neighbours proceed concurrently: one
     // message latency exposed, bandwidth shared over the rank's total halo
     // (the reason the paper sees <5% of comm time in point-to-point).
+    const double halo_exchanges_per_iter =
+        cfg.halo_exchanges_per_iter > 0 ? cfg.halo_exchanges_per_iter
+                                        : costs.halo_exchanges_per_iter;
+    // Split-phase exchange hides the measured overlap fraction of each
+    // round behind interior-edge compute; only the rest is exposed.
+    const double halo_exposed =
+        1.0 - std::clamp(cfg.halo_overlap_fraction, 0.0, 1.0);
     const double t_halo =
-        ranks > 1 ? costs.halo_exchanges_per_iter *
+        ranks > 1 ? halo_exposed * halo_exchanges_per_iter *
                         (cfg.net.alpha_us * 1e-6 +
                          pt.halo_bytes_per_rank / (cfg.net.bw_gbs * 1e9))
                   : 0.0;

@@ -72,6 +72,18 @@ struct ClusterConfig {
   /// linear iteration); <= 0 keeps the cost-model default. Feed the
   /// measured `gmres.reductions_per_column` from a real solve.
   double allreduces_per_iter = 0.0;
+  /// Fraction of each halo exchange hidden behind interior-edge compute
+  /// (split-phase exchange); exposed p2p time is (1 - f) * t_halo. Feed
+  /// the measured `comm.overlap_fraction` from a HybridSolver run.
+  double halo_overlap_fraction = 0.0;
+  /// Override of SolverCosts::halo_exchanges_per_iter; <= 0 keeps the
+  /// cost-model default (2.0). Feed the measured
+  /// `comm.exchanges_per_linear_iteration` from a HybridSolver run.
+  double halo_exchanges_per_iter = 0.0;
+  /// Override of the per-rank halo volume model (max_ghosts * kNs * 8
+  /// bytes) as a function of total rank count. Feed the measured
+  /// `comm.halo_bytes` per exchange round from a HybridSolver run.
+  std::function<double(int)> halo_bytes_of_ranks;
 };
 
 struct ScalingPoint {

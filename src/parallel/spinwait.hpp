@@ -73,4 +73,37 @@ inline WaitStats wait_progress_counted(const std::atomic<idx_t>& counter,
   return st;
 }
 
+/// Epoch wait for the in-process rank runtime (src/comm/): spin until the
+/// monotone 64-bit epoch counter reaches `target`. Same spin/yield loop and
+/// threshold as wait_progress — mailbox epochs are unbounded message
+/// counts, so they get the wider type instead of idx_t rows.
+inline void wait_epoch(const std::atomic<std::uint64_t>& counter,
+                       std::uint64_t target) {
+  int spins = 0;
+  while (counter.load(std::memory_order_acquire) < target) {
+    cpu_relax();
+    if (++spins >= kSpinsBeforeYield) {
+      sched_yield();
+      spins = 0;
+    }
+  }
+}
+
+/// wait_epoch with spin/yield accounting for the traced comm paths.
+inline WaitStats wait_epoch_counted(const std::atomic<std::uint64_t>& counter,
+                                    std::uint64_t target) {
+  WaitStats st;
+  int spins = 0;
+  while (counter.load(std::memory_order_acquire) < target) {
+    cpu_relax();
+    ++st.spins;
+    if (++spins >= kSpinsBeforeYield) {
+      sched_yield();
+      ++st.yields;
+      spins = 0;
+    }
+  }
+  return st;
+}
+
 }  // namespace fun3d

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "comm/hybrid_solver.hpp"
+#include "core/profile.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d::comm {
+namespace {
+
+TetMesh comm_mesh(unsigned seed = 1) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, seed);
+  rcm_reorder(m);
+  return m;
+}
+
+SolverConfig solver_cfg() {
+  SolverConfig c = SolverConfig::optimized(2);
+  c.ptc.max_steps = 30;
+  c.ptc.rtol = 1e-8;
+  return c;
+}
+
+HybridConfig hybrid_cfg(int nranks, int threads = 2) {
+  HybridConfig c;
+  c.nranks = nranks;
+  c.threads_per_rank = threads;
+  c.solver = solver_cfg();
+  return c;
+}
+
+// ---------------------------------------------------------------- runtime
+
+TEST(RankRuntime, AllreduceIsPlannedOrderSumOnEveryRank) {
+  constexpr int kRanks = 4;
+  constexpr std::size_t kWidth = 3;
+  RankRuntime rt(kRanks);
+  // Values whose sum depends on association order, so a wrong combine
+  // order shows up bitwise.
+  auto value = [](int r, std::size_t i) {
+    return 1.0 / (3.0 * (r + 1)) + 1e-13 * static_cast<double>(i + 1) / 7.0;
+  };
+  double expected[kWidth];
+  for (std::size_t i = 0; i < kWidth; ++i) {
+    double acc = 0.0;
+    for (int r = 0; r < kRanks; ++r) acc += value(r, i);  // rank order
+    expected[i] = acc;
+  }
+  std::vector<std::array<double, kWidth>> got(kRanks);
+  std::vector<CommStats> stats(kRanks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r)
+    threads.emplace_back([&, r] {
+      for (int round = 0; round < 5; ++round) {
+        std::array<double, kWidth> v;
+        for (std::size_t i = 0; i < kWidth; ++i)
+          v[i] = value(r, i);
+        rt.allreduce_sum(r, v.data(), kWidth,
+                         stats[static_cast<std::size_t>(r)]);
+        got[static_cast<std::size_t>(r)] = v;
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < kRanks; ++r)
+    for (std::size_t i = 0; i < kWidth; ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(r)][i], expected[i])
+          << "rank " << r << " component " << i;
+  // 5 allreduces, each costing two barrier rounds.
+  EXPECT_EQ(stats[0].allreduces, 5u);
+  EXPECT_EQ(stats[0].barriers, 10u);
+}
+
+TEST(RankRuntime, BarrierSeparatesPhases) {
+  constexpr int kRanks = 3;
+  constexpr int kRounds = 20;
+  RankRuntime rt(kRanks);
+  std::array<std::atomic<int>, kRanks> phase{};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r)
+    threads.emplace_back([&, r] {
+      CommStats st;
+      for (int k = 0; k < kRounds; ++k) {
+        phase[static_cast<std::size_t>(r)].store(k + 1,
+                                                 std::memory_order_relaxed);
+        rt.barrier(r, st);
+        // After the barrier every rank must have entered round k+1.
+        for (int o = 0; o < kRanks; ++o)
+          if (phase[static_cast<std::size_t>(o)].load(
+                  std::memory_order_relaxed) < k + 1)
+            violations.fetch_add(1);
+        rt.barrier(r, st);
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// ------------------------------------------------------------ halo plans
+
+TEST(HaloPlans, SymmetricAndConsistentWithDecomposition) {
+  TetMesh m = comm_mesh(3);
+  const Decomposition d = decompose(m, 4, /*use_graph_partitioner=*/true);
+  const std::vector<RankHalo> plans = build_halo_plans(m, d);
+  std::uint64_t ghosts = 0;
+  for (const RankHalo& h : plans)
+    ghosts += static_cast<std::uint64_t>(h.num_ghosts);
+  EXPECT_EQ(ghosts, d.total_ghosts());
+  for (const RankHalo& hs : plans) {
+    idx_t covered = 0;
+    for (const RankNeighbor& nb : hs.neighbors) {
+      covered += nb.recv_count;
+      // What s receives from r is exactly what r packs for s, in order.
+      const RankHalo& hr = plans[static_cast<std::size_t>(nb.rank)];
+      const auto it = std::find_if(
+          hr.neighbors.begin(), hr.neighbors.end(),
+          [&](const RankNeighbor& n) { return n.rank == hs.rank; });
+      ASSERT_NE(it, hr.neighbors.end());
+      ASSERT_EQ(static_cast<idx_t>(it->send_locals.size()), nb.recv_count);
+      for (idx_t i = 0; i < nb.recv_count; ++i) {
+        const idx_t g = hs.ghost_globals[static_cast<std::size_t>(
+            nb.recv_begin - hs.num_owned + i)];
+        EXPECT_EQ(g, hr.row_begin + it->send_locals[static_cast<std::size_t>(i)]);
+      }
+    }
+    EXPECT_EQ(covered, hs.num_ghosts);
+  }
+}
+
+TEST(HaloPlans, LocalDomainsPartitionEdgesAndCarryBoundary) {
+  TetMesh m = comm_mesh(5);
+  const std::size_t global_bfaces = m.bfaces.size();
+  const Decomposition d = decompose(m, 4, true);
+  std::vector<RankHalo> plans = build_halo_plans(m, d);
+  std::size_t bfaces_owned = 0;
+  for (int r = 0; r < 4; ++r) {
+    const LocalDomain dom =
+        build_local_domain(m, std::move(plans[static_cast<std::size_t>(r)]));
+    const idx_t no = dom.halo.num_owned;
+    EXPECT_EQ(dom.interior_shell.edges.size() + dom.cut_shell.edges.size(),
+              dom.mesh.edges.size());
+    for (const auto& [a, b] : dom.interior_shell.edges) {
+      EXPECT_LT(a, no);
+      EXPECT_LT(b, no);
+    }
+    for (const auto& [a, b] : dom.cut_shell.edges)
+      EXPECT_TRUE((a < no) != (b < no));  // exactly one owned endpoint
+    for (const BoundaryFace& f : dom.mesh.bfaces) {
+      int owned = 0;
+      for (const idx_t v : f.v) owned += v < no ? 1 : 0;
+      EXPECT_GE(owned, 1);
+      if (f.v[0] < no) ++bfaces_owned;  // count each face at its v0 owner
+    }
+    EXPECT_EQ(dom.mesh.num_vertices, dom.halo.num_local());
+  }
+  // Every global boundary face appears at exactly one rank owning its v0.
+  EXPECT_EQ(bfaces_owned, global_bfaces);
+}
+
+TEST(HaloExchange, GhostsReceiveOwnersValuesExactly) {
+  TetMesh m = comm_mesh(7);
+  constexpr int kRanks = 4, kComp = 3;
+  const Decomposition d = decompose(m, kRanks, true);
+  std::vector<RankHalo> plans = build_halo_plans(m, d);
+  RankRuntime rt(kRanks);
+  std::size_t max_send = 0;
+  for (const RankHalo& p : plans) max_send = std::max(max_send, p.max_send);
+  rt.reserve_mailboxes(max_send * kComp);
+  // Exactly-representable arithmetic: the value must be bit-identical when
+  // recomputed at a different call site (FP contraction would otherwise
+  // fuse the two inlined copies differently).
+  auto truth = [](idx_t g, int c) { return g * 1.5 + 0.25 * (c + 1); };
+  std::vector<LocalDomain> doms;
+  for (int r = 0; r < kRanks; ++r)
+    doms.push_back(
+        build_local_domain(m, std::move(plans[static_cast<std::size_t>(r)])));
+  std::vector<std::vector<double>> fields(kRanks);
+  for (int r = 0; r < kRanks; ++r) {
+    const RankHalo& h = doms[static_cast<std::size_t>(r)].halo;
+    auto& f = fields[static_cast<std::size_t>(r)];
+    f.assign(static_cast<std::size_t>(h.num_local()) * kComp, -1.0);
+    for (idx_t v = 0; v < h.num_owned; ++v)
+      for (int c = 0; c < kComp; ++c)
+        f[static_cast<std::size_t>(v) * kComp + static_cast<std::size_t>(c)] =
+            truth(h.row_begin + v, c);
+  }
+  std::vector<CommStats> stats(kRanks);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kRanks; ++r)
+    threads.emplace_back([&, r] {
+      HaloExchange hx(rt, doms[static_cast<std::size_t>(r)].halo);
+      auto& f = fields[static_cast<std::size_t>(r)];
+      // Two rounds: the second reuses the mailboxes (epoch protocol).
+      for (int round = 0; round < 2; ++round)
+        hx.exchange({f.data(), f.size()}, kComp,
+                    stats[static_cast<std::size_t>(r)]);
+    });
+  for (auto& t : threads) t.join();
+  for (int r = 0; r < kRanks; ++r) {
+    const RankHalo& h = doms[static_cast<std::size_t>(r)].halo;
+    for (idx_t i = 0; i < h.num_ghosts; ++i) {
+      const idx_t g = h.ghost_globals[static_cast<std::size_t>(i)];
+      for (int c = 0; c < kComp; ++c)
+        EXPECT_EQ(fields[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(h.num_owned + i) * kComp +
+                         static_cast<std::size_t>(c)],
+                  truth(g, c));
+    }
+    // Volume accounting: 2 rounds x kComp components x this rank's ghosts.
+    EXPECT_EQ(stats[static_cast<std::size_t>(r)].packed_cells,
+              2u * kComp * static_cast<std::uint64_t>(h.num_ghosts));
+    EXPECT_EQ(stats[static_cast<std::size_t>(r)].halo_bytes,
+              stats[static_cast<std::size_t>(r)].packed_cells * 8u);
+  }
+}
+
+// ---------------------------------------------------------- hybrid solver
+
+TEST(HybridSolver, OneRankIsBitwiseIdenticalToFlowSolver) {
+  HybridSolver hybrid(comm_mesh(2), hybrid_cfg(1, 2));
+  SolverConfig sc = solver_cfg();
+  sc.nthreads = 2;
+  FlowSolver plain(comm_mesh(2), sc);
+  const SolveStats hs = hybrid.solve();
+  const SolveStats ps = plain.solve();
+  EXPECT_TRUE(hs.converged);
+  EXPECT_TRUE(ps.converged);
+  ASSERT_EQ(hs.steps, ps.steps);
+  ASSERT_EQ(hs.residual_history.size(), ps.residual_history.size());
+  for (std::size_t i = 0; i < hs.residual_history.size(); ++i)
+    EXPECT_EQ(hs.residual_history[i], ps.residual_history[i]);
+  const auto q = hybrid.solution();
+  ASSERT_EQ(q.size(), plain.fields().q.size());
+  for (std::size_t i = 0; i < q.size(); ++i)
+    EXPECT_EQ(q[i], plain.fields().q[i]) << "entry " << i;
+}
+
+class HybridRankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridRankSweep, ConvergesToTheFlowSolverSteadyState) {
+  const int ranks = GetParam();
+  HybridSolver hybrid(comm_mesh(2), hybrid_cfg(ranks, 2));
+  SolverConfig sc = solver_cfg();
+  sc.nthreads = 2;
+  FlowSolver plain(comm_mesh(2), sc);
+  const SolveStats hs = hybrid.solve();
+  const SolveStats ps = plain.solve();
+  EXPECT_TRUE(hs.converged) << ranks << " ranks";
+  EXPECT_TRUE(ps.converged);
+  // Same steady state up to the convergence tolerance, mapped through the
+  // decomposition's renumbering (old -> new).
+  const auto& perm = hybrid.decomposition().perm;
+  const auto q = hybrid.solution();
+  double diff = 0, norm = 0;
+  for (std::size_t v = 0; v < perm.size(); ++v)
+    for (int c = 0; c < kNs; ++c) {
+      const double a =
+          q[static_cast<std::size_t>(perm[v]) * kNs +
+            static_cast<std::size_t>(c)];
+      const double b =
+          plain.fields().q[v * kNs + static_cast<std::size_t>(c)];
+      diff += (a - b) * (a - b);
+      norm += b * b;
+    }
+  EXPECT_LT(std::sqrt(diff / norm), 1e-6);
+
+  // Communication accounting closes exactly.
+  const CommReport& cr = hybrid.comm_report();
+  EXPECT_EQ(cr.ranks, ranks);
+  EXPECT_EQ(cr.total_ghosts, hybrid.decomposition().total_ghosts());
+  EXPECT_EQ(cr.halo_bytes, 8u * cr.packed_cells);
+  EXPECT_EQ(cr.packed_cells, cr.exchange_components * cr.total_ghosts);
+  EXPECT_GT(cr.exchanges, 0u);
+  EXPECT_GT(cr.allreduces, 0u);
+  EXPECT_GE(cr.overlap_fraction, 0.0);
+  EXPECT_LE(cr.overlap_fraction, 1.0);
+  EXPECT_GT(cr.overlap_seconds, 0.0);
+  EXPECT_GT(cr.exchanges_per_linear_iteration, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HybridRankSweep, ::testing::Values(2, 4, 8));
+
+TEST(HybridSolver, RepeatedSolvesAreBitwiseReproducible) {
+  HybridSolver a(comm_mesh(4), hybrid_cfg(4, 2));
+  HybridSolver b(comm_mesh(4), hybrid_cfg(4, 2));
+  const SolveStats sa = a.solve();
+  const SolveStats sb = b.solve();
+  ASSERT_EQ(sa.steps, sb.steps);
+  ASSERT_EQ(sa.residual_history.size(), sb.residual_history.size());
+  for (std::size_t i = 0; i < sa.residual_history.size(); ++i)
+    EXPECT_EQ(sa.residual_history[i], sb.residual_history[i]);
+  const auto qa = a.solution(), qb = b.solution();
+  ASSERT_EQ(qa.size(), qb.size());
+  for (std::size_t i = 0; i < qa.size(); ++i) EXPECT_EQ(qa[i], qb[i]);
+}
+
+TEST(HybridSolver, OverlapOffIsBitwiseIdenticalToOverlapOn) {
+  HybridConfig on = hybrid_cfg(2, 2);
+  HybridConfig off = hybrid_cfg(2, 2);
+  off.overlap_halo = false;
+  HybridSolver a(comm_mesh(6), on);
+  HybridSolver b(comm_mesh(6), off);
+  const SolveStats sa = a.solve();
+  const SolveStats sb = b.solve();
+  // The split-phase exchange changes WHEN data moves, never the numbers:
+  // interior fluxes accumulate before cut fluxes on both paths.
+  ASSERT_EQ(sa.steps, sb.steps);
+  for (std::size_t i = 0; i < sa.residual_history.size(); ++i)
+    EXPECT_EQ(sa.residual_history[i], sb.residual_history[i]);
+  const auto qa = a.solution(), qb = b.solution();
+  for (std::size_t i = 0; i < qa.size(); ++i) EXPECT_EQ(qa[i], qb[i]);
+  EXPECT_GT(a.comm_report().overlap_seconds, 0.0);
+  EXPECT_EQ(b.comm_report().overlap_seconds, 0.0);
+}
+
+TEST(HybridSolver, AdditiveSchwarzConvergesAndExchangesMore) {
+  HybridConfig bj = hybrid_cfg(4, 1);
+  HybridConfig as = hybrid_cfg(4, 1);
+  as.precond_scope = PrecondScope::kAdditiveSchwarz;
+  HybridSolver sb(comm_mesh(2), bj);
+  HybridSolver sa(comm_mesh(2), as);
+  const SolveStats rb = sb.solve();
+  const SolveStats ra = sa.solve();
+  EXPECT_TRUE(rb.converged);
+  EXPECT_TRUE(ra.converged);
+  // The AS scope pays one extra exchange per preconditioner application.
+  EXPECT_GT(sa.comm_report().exchanges_per_linear_iteration,
+            sb.comm_report().exchanges_per_linear_iteration);
+}
+
+TEST(HybridSolver, FillReportEmitsAValidCommFamily) {
+  HybridSolver hybrid(comm_mesh(2), hybrid_cfg(2, 1));
+  const SolveStats st = hybrid.solve();
+  PerfReport report = PerfReport::begin("test_comm", "hybrid smoke");
+  hybrid.fill_report(report);
+  report.counters["steps"] = static_cast<std::uint64_t>(st.steps);
+  const std::vector<std::string> problems = validate_report(report.to_json());
+  EXPECT_TRUE(problems.empty())
+      << "first problem: " << (problems.empty() ? "" : problems.front());
+  EXPECT_EQ(report.params.at("comm.ranks"), 2.0);
+  EXPECT_GT(report.counters.at("comm.halo_bytes"), 0u);
+}
+
+TEST(HybridSolver, RejectsUnsupportedConfigurations) {
+  auto expect_throw = [](HybridConfig c) {
+    EXPECT_THROW(HybridSolver(comm_mesh(1), c), std::invalid_argument);
+  };
+  HybridConfig c = hybrid_cfg(0);
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.gradient_method = GradientMethod::kLeastSquares;
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.krylov = KrylovMethod::kBicgstab;
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.matrix_free = false;
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.flux.layout = VertexLayout::kSoA;
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.resilience.checkpoint_every = 1;
+  c.solver.resilience.checkpoint_path = "x.ckpt";
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.resilience.fault.nan_update_step = 0;
+  expect_throw(c);
+  c = hybrid_cfg(2);
+  c.solver.subdomains = 2;
+  expect_throw(c);
+  // The same knobs are fine at one rank (the delegate supports them).
+  HybridConfig ok = hybrid_cfg(1);
+  ok.solver.gradient_method = GradientMethod::kLeastSquares;
+  EXPECT_NO_THROW(HybridSolver(comm_mesh(1), ok));
+}
+
+}  // namespace
+}  // namespace fun3d::comm

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "mesh/decompose.hpp"
 #include "mesh/dual.hpp"
 #include "mesh/generate.hpp"
@@ -51,6 +53,55 @@ TEST(Decompose, PartitionerCutsFewerEdgesThanNaturalOnShuffled) {
   const Decomposition gp = decompose(m2, 8, /*use_graph_partitioner=*/true);
   EXPECT_LT(gp.total_cut_edges(), nat.total_cut_edges() / 2);
   EXPECT_LT(gp.total_ghosts(), nat.total_ghosts());
+}
+
+TEST_P(DecomposeTest, GhostAccountingMatchesCutEdgeStencils) {
+  const auto [nparts, use_partitioner] = GetParam();
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  shuffle_numbering(m, 2);
+  const Decomposition d = decompose(m, nparts, use_partitioner);
+  // total_ghosts() is exactly the sum of the per-subdomain ghost counts...
+  std::uint64_t per_sub = 0;
+  for (const auto& sub : d.subs)
+    per_sub += static_cast<std::uint64_t>(sub.num_ghosts);
+  EXPECT_EQ(d.total_ghosts(), per_sub);
+  // ...and each count is the number of DISTINCT off-part endpoints of the
+  // part's cut edges (recomputed here from scratch).
+  for (idx_t q = 0; q < nparts; ++q) {
+    std::set<idx_t> ghosts;
+    for (const auto& [a, b] : m.edges) {
+      const idx_t pa = d.part.part[static_cast<std::size_t>(a)];
+      const idx_t pb = d.part.part[static_cast<std::size_t>(b)];
+      if (pa == q && pb != q) ghosts.insert(b);
+      if (pb == q && pa != q) ghosts.insert(a);
+    }
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  d.subs[static_cast<std::size_t>(q)].num_ghosts),
+              ghosts.size());
+  }
+}
+
+TEST_P(DecomposeTest, IsDeterministicAcrossRepeatedCalls) {
+  const auto [nparts, use_partitioner] = GetParam();
+  TetMesh m1 = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  TetMesh m2 = generate_wing_bump(preset_params(MeshPreset::kSmall));
+  shuffle_numbering(m1, 3);
+  shuffle_numbering(m2, 3);
+  const Decomposition d1 = decompose(m1, nparts, use_partitioner);
+  const Decomposition d2 = decompose(m2, nparts, use_partitioner);
+  EXPECT_EQ(d1.perm, d2.perm);
+  EXPECT_EQ(d1.part.part, d2.part.part);
+  ASSERT_EQ(d1.subs.size(), d2.subs.size());
+  for (std::size_t q = 0; q < d1.subs.size(); ++q) {
+    EXPECT_EQ(d1.subs[q].row_begin, d2.subs[q].row_begin);
+    EXPECT_EQ(d1.subs[q].row_end, d2.subs[q].row_end);
+    EXPECT_EQ(d1.subs[q].num_ghosts, d2.subs[q].num_ghosts);
+    EXPECT_EQ(d1.subs[q].cut_edges, d2.subs[q].cut_edges);
+  }
+  // The renumbered meshes agree bitwise (same edges, same dual metrics).
+  EXPECT_EQ(m1.edges, m2.edges);
+  EXPECT_EQ(m1.dual_nx, m2.dual_nx);
+  EXPECT_EQ(m1.dual_vol, m2.dual_vol);
 }
 
 TEST(Decompose, SinglePartHasNoGhosts) {

@@ -194,6 +194,69 @@ TEST_F(ClusterSimTest, AllreducesPerIterOverrideScalesLinearly) {
                    rd.allreduce_seconds);
 }
 
+TEST_F(ClusterSimTest, HaloOverlapFractionScalesExposedP2P) {
+  // The measured comm.overlap_fraction from a HybridSolver run hides that
+  // share of every halo round; only (1 - f) of the p2p bill stays exposed.
+  ClusterConfig base = config(true);
+  base.steps = 0;
+  const auto s = simulate_strong_scaling(mesh, base, {16})[0];
+  ASSERT_GT(s.p2p_seconds, 0.0);
+  for (const double f : {0.0, 0.25, 0.5, 1.0}) {
+    ClusterConfig c = base;
+    c.halo_overlap_fraction = f;
+    const auto p = simulate_strong_scaling(mesh, c, {16})[0];
+    EXPECT_NEAR(p.p2p_seconds, (1.0 - f) * s.p2p_seconds,
+                1e-12 * std::max(1.0, s.p2p_seconds))
+        << "overlap fraction " << f;
+    // Compute and collectives are untouched by the halo knob.
+    EXPECT_DOUBLE_EQ(p.compute_seconds, s.compute_seconds);
+    EXPECT_DOUBLE_EQ(p.allreduce_seconds, s.allreduce_seconds);
+  }
+  // Out-of-range values clamp instead of producing negative time.
+  ClusterConfig wild = base;
+  wild.halo_overlap_fraction = 7.0;
+  EXPECT_DOUBLE_EQ(simulate_strong_scaling(mesh, wild, {16})[0].p2p_seconds,
+                   0.0);
+}
+
+TEST_F(ClusterSimTest, HaloExchangesPerIterOverrideScalesLinearly) {
+  // The measured comm.exchanges_per_linear_iteration override scales the
+  // p2p bill proportionally (additive Schwarz's extra exchange per Krylov
+  // iteration shows up here); <= 0 keeps the cost-model default.
+  ClusterConfig a = config(true);
+  a.steps = 0;
+  ClusterConfig b = a;
+  a.halo_exchanges_per_iter = 5.0;
+  b.halo_exchanges_per_iter = 1.25;
+  const auto ra = simulate_strong_scaling(mesh, a, {16})[0];
+  const auto rb = simulate_strong_scaling(mesh, b, {16})[0];
+  EXPECT_NEAR(ra.p2p_seconds / rb.p2p_seconds, 5.0 / 1.25, 1e-9);
+  EXPECT_DOUBLE_EQ(ra.compute_seconds, rb.compute_seconds);
+  ClusterConfig d = config(true);
+  d.steps = 0;
+  d.halo_exchanges_per_iter = 0.0;
+  ClusterConfig d2 = d;
+  d2.halo_exchanges_per_iter = 2.0;  // the SolverCosts default, explicitly
+  EXPECT_DOUBLE_EQ(simulate_strong_scaling(mesh, d2, {16})[0].p2p_seconds,
+                   simulate_strong_scaling(mesh, d, {16})[0].p2p_seconds);
+}
+
+TEST_F(ClusterSimTest, HaloBytesOfRanksOverridesVolumeModel) {
+  // A Decomposition-derived volume table replaces the internal
+  // max_ghosts * kNs * 8 estimate, and the p2p time follows the alpha-beta
+  // model evaluated at the override.
+  ClusterConfig cfg = config(true);
+  cfg.steps = 0;
+  cfg.halo_bytes_of_ranks = [](int ranks) { return 1000.0 * ranks; };
+  const auto p = simulate_strong_scaling(mesh, cfg, {4})[0];
+  const int ranks = 4 * cfg.ranks_per_node;
+  EXPECT_DOUBLE_EQ(p.halo_bytes_per_rank, 1000.0 * ranks);
+  const double t_round = cfg.net.alpha_us * 1e-6 +
+                         1000.0 * ranks / (cfg.net.bw_gbs * 1e9);
+  EXPECT_NEAR(p.p2p_seconds, p.iterations * 2.0 * t_round,
+              1e-12 * std::max(1.0, p.p2p_seconds));
+}
+
 TEST(SolverCosts, OptimizedConstantsAreFaster) {
   const MachineSpec node = MachineSpec::stampede_node();
   const SolverCosts base = make_solver_costs(node, 16, 1, false);

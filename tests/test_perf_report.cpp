@@ -450,6 +450,71 @@ TEST(PerfReport, ValidatorRejectsInconsistentResilienceCounters) {
   EXPECT_TRUE(validate_report(rep.to_json()).empty());
 }
 
+TEST(PerfReport, CommStatsFamilyValidates) {
+  // A consistent comm.* family — bytes = 8 * cells, cells = component
+  // rounds * decomposition ghosts — passes validation, bare and under the
+  // benches' `measured.` prefix.
+  CommSummary c;
+  c.ranks = 4;
+  c.threads_per_rank = 2;
+  c.total_ghosts = 120;
+  c.exchanges = 12;
+  c.exchange_components = 40;
+  c.packed_cells = 40 * 120;
+  c.halo_bytes = 8 * c.packed_cells;
+  c.allreduces = 7;
+  c.barriers = 14;
+  c.overlap_seconds = 0.25;
+  c.halo_wait_seconds = 0.75;
+  c.overlap_fraction = 0.25;
+  c.exchanges_per_linear_iteration = 2.5;
+  PerfReport rep = PerfReport::begin("x", "t");
+  rep.add_comm_stats(c);
+  rep.add_comm_stats(c, "measured.");
+  EXPECT_TRUE(validate_report(rep.to_json()).empty());
+  EXPECT_EQ(rep.counters.at("comm.halo_bytes"), c.halo_bytes);
+  EXPECT_EQ(rep.counters.at("measured.comm.packed_cells"), c.packed_cells);
+  EXPECT_EQ(rep.params.at("comm.ranks"), 4.0);
+}
+
+TEST(PerfReport, ValidatorRejectsInconsistentCommCounters) {
+  CommSummary c;
+  c.total_ghosts = 100;
+  c.exchange_components = 8;
+  c.packed_cells = 800;
+  c.halo_bytes = 6400;
+  c.overlap_fraction = 0.5;
+
+  // Bytes that are not 8 per packed double: miscounted traffic.
+  CommSummary bad_bytes = c;
+  bad_bytes.halo_bytes = 6399;
+  PerfReport r1 = PerfReport::begin("x", "t");
+  r1.add_comm_stats(bad_bytes);
+  auto problems = validate_report(r1.to_json());
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("halo_bytes"), std::string::npos);
+
+  // Cells that disagree with exchange_components * total_ghosts: the
+  // traffic no longer ties back to the Decomposition's ghost accounting.
+  CommSummary bad_cells = c;
+  bad_cells.total_ghosts = 99;
+  PerfReport r2 = PerfReport::begin("x", "t");
+  r2.add_comm_stats(bad_cells);
+  EXPECT_FALSE(validate_report(r2.to_json()).empty());
+
+  // An overlap fraction outside [0, 1] is not a time ratio.
+  CommSummary bad_overlap = c;
+  bad_overlap.overlap_fraction = 1.5;
+  PerfReport r3 = PerfReport::begin("x", "t");
+  r3.add_comm_stats(bad_overlap);
+  EXPECT_FALSE(validate_report(r3.to_json()).empty());
+
+  // A halo_bytes counter orphaned from its family is schema drift.
+  PerfReport r4 = PerfReport::begin("x", "t");
+  r4.counters["comm.halo_bytes"] = 6400;
+  EXPECT_FALSE(validate_report(r4.to_json()).empty());
+}
+
 TEST(PerfReport, ValidatorCatchesBrokenReports) {
   EXPECT_FALSE(validate_report(Json(1.0)).empty());
 
