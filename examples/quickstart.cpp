@@ -29,13 +29,18 @@
 // In-process hybrid-rank mode (DESIGN.md §10):
 //   --ranks <p>               solver domains on disjoint thread teams,
 //                             coupled by shared-memory halo exchange
-//                             (default 1 = the plain FlowSolver path)
+//                             (default 1 = the plain FlowSolver path).
+//                             Checkpoint/restart and fault injection work
+//                             at any rank count: the checkpoint is rank
+//                             0's gathered global state, and --restart
+//                             requires the same --ranks it was written with
 //   --rank-threads <t>        threads per rank (default 2)
 //   --precond-scope <s>       block-jacobi|additive-schwarz (default
 //                             block-jacobi)
 //   --no-overlap              block on every halo exchange instead of
 //                             overlapping interior-edge fluxes (same answer)
 #include <cstdio>
+#include <exception>
 #include <thread>
 
 #include "comm/hybrid_solver.hpp"
@@ -130,7 +135,7 @@ int finish_trace(const std::string& trace_path) {
 /// measured halo traffic against the decomposition's ghost accounting.
 int run_hybrid(const Cli& cli, TetMesh mesh, const SolverConfig& cfg,
                int ranks, int rank_threads, const std::string& trace_path,
-               const std::string& json_path) {
+               const std::string& json_path, const std::string& ckpt_path) {
   comm::HybridConfig hc;
   hc.nranks = ranks;
   hc.threads_per_rank = rank_threads;
@@ -150,6 +155,18 @@ int run_hybrid(const Cli& cli, TetMesh mesh, const SolverConfig& cfg,
   hc.overlap_halo = !cli.get_bool("no-overlap", false);
 
   comm::HybridSolver solver(std::move(mesh), hc);
+  if (cli.get_bool("restart", false)) {
+    try {
+      const CheckpointMeta meta = solver.restore_checkpoint(ckpt_path);
+      std::printf("restarted from %s: step %llu, CFL %.6g (%llu ranks)\n",
+                  ckpt_path.c_str(),
+                  static_cast<unsigned long long>(meta.step), meta.cfl,
+                  static_cast<unsigned long long>(meta.ranks));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "restart failed: %s\n", e.what());
+      return 1;
+    }
+  }
   const SolveStats stats = solver.solve();
   std::printf("\nconverged: %s in %d steps, %llu linear iterations, %.2fs\n",
               stats.converged ? "yes" : "NO", stats.steps,
@@ -166,6 +183,17 @@ int run_hybrid(const Cli& cli, TetMesh mesh, const SolverConfig& cfg,
       static_cast<double>(cr.halo_bytes) / 1024.0,
       static_cast<unsigned long long>(cr.allreduces), cr.overlap_fraction,
       cr.exchanges_per_linear_iteration);
+  const ResilienceStats& rs = stats.resilience;
+  if (rs.rejected_steps > 0 || rs.injected_faults > 0 ||
+      rs.checkpoints_written > 0) {
+    std::printf("resilience: %llu rejected, %llu retries, %llu backoffs, "
+                "%llu checkpoints, %llu injected faults\n",
+                static_cast<unsigned long long>(rs.rejected_steps),
+                static_cast<unsigned long long>(rs.retries),
+                static_cast<unsigned long long>(rs.backoffs),
+                static_cast<unsigned long long>(rs.checkpoints_written),
+                static_cast<unsigned long long>(rs.injected_faults));
+  }
   if (stats.failure != SolveFailure::kNone)
     std::printf("failure: %s\n", stats.failure_detail.c_str());
   std::printf("residual history:\n");
@@ -190,7 +218,12 @@ int run_hybrid(const Cli& cli, TetMesh mesh, const SolverConfig& cfg,
               pmax, cfg.physics.freestream[0]);
   write_vtk("quickstart_volume.vtk", solver.mesh(), q);
   write_vtk_surface("quickstart_surface.vtk", solver.mesh(), q);
-  std::printf("wrote quickstart_volume.vtk, quickstart_surface.vtk\n");
+  // The final state as a restartable, byte-comparable checkpoint stamped
+  // with this run's decomposition signature (CI's crash-recovery check
+  // compares it against the uninterrupted run's).
+  solver.write_checkpoint(ckpt_path, stats);
+  std::printf("wrote quickstart_volume.vtk, quickstart_surface.vtk, %s\n",
+              ckpt_path.c_str());
 
   if (!json_path.empty()) {
     PerfReport report = PerfReport::begin(
@@ -279,27 +312,24 @@ int main(int argc, char** argv) {
   fault.crash_step = static_cast<int>(cli.get_int("inject-crash-step", -1));
   fault.repeat = static_cast<int>(cli.get_int("inject-repeat", 1));
 
-  // --ranks > 1 takes the hybrid path. Checkpoint/restart and fault
-  // injection are single-domain features (HybridSolver rejects them too,
-  // but a flag-level message beats an exception).
-  if (ranks > 1) {
-    if (cli.get_bool("restart", false) ||
-        cfg.resilience.checkpoint_every > 0 || fault.nan_residual_step >= 0 ||
-        fault.nan_update_step >= 0 || fault.breakdown_step >= 0 ||
-        fault.crash_step >= 0) {
-      std::fprintf(stderr,
-                   "--ranks > 1 does not support checkpoint/restart or "
-                   "fault-injection flags\n");
-      return 1;
-    }
+  // --ranks > 1 takes the hybrid path. The unified NewtonDriver runs the
+  // same checkpoint/restart and fault-injection machinery there: every
+  // rank master takes allreduce-identical recovery decisions, and the
+  // periodic checkpoints are rank 0's gathered global state.
+  if (ranks > 1)
     return run_hybrid(cli, std::move(mesh), cfg, ranks, rank_threads,
-                      trace_path, json_path);
-  }
+                      trace_path, json_path, ckpt_path);
   FlowSolver solver(std::move(mesh), cfg);
   if (cli.get_bool("restart", false)) {
-    const CheckpointMeta meta = solver.restore_checkpoint(ckpt_path);
-    std::printf("restarted from %s: step %llu, CFL %.6g\n", ckpt_path.c_str(),
-                static_cast<unsigned long long>(meta.step), meta.cfl);
+    try {
+      const CheckpointMeta meta = solver.restore_checkpoint(ckpt_path);
+      std::printf("restarted from %s: step %llu, CFL %.6g\n",
+                  ckpt_path.c_str(),
+                  static_cast<unsigned long long>(meta.step), meta.cfl);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "restart failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   // 3. Solve and report.
@@ -350,8 +380,11 @@ int main(int argc, char** argv) {
             {f.q.data(), f.q.size()});
   write_vtk_surface("quickstart_surface.vtk", solver.mesh(),
                     {f.q.data(), f.q.size()});
-  const CheckpointMeta final_meta{static_cast<std::uint64_t>(stats.steps),
-                                  stats.final_cfl, stats.reference_residual};
+  const idx_t single_rank_rows[1] = {0};
+  const CheckpointMeta final_meta{
+      static_cast<std::uint64_t>(stats.steps), stats.final_cfl,
+      stats.reference_residual, 1,
+      partition_hash(single_rank_rows, solver.mesh().num_vertices)};
   save_checkpoint(ckpt_path, solver.mesh(), {f.q.data(), f.q.size()},
                   &final_meta);
   std::printf("wrote quickstart_volume.vtk, quickstart_surface.vtk, %s\n",

@@ -392,6 +392,153 @@ SpmdLinearOutcome spmd_gmres(HybridSolver::Rank& rk, const GmresOptions& opt,
 
 }  // namespace
 
+/// The SPMD end of the unified driver contract (core/newton_driver.hpp):
+/// one instance per rank master. Every scalar handed back to the driver —
+/// norms, the matrix-free FD step, the verdict flags — is a planned-order
+/// allreduce result, so all ranks take bitwise-identical accept/reject
+/// branches; checkpoints are collective rank-0-gathered atomic writes.
+class HybridSolver::RankBackend final : public NewtonBackend {
+ public:
+  RankBackend(HybridSolver& hs, Rank& rk)
+      : hs_(hs),
+        rk_(rk),
+        nq_(rk.nq_owned()),
+        jv_tmp_(nq_, 0.0),
+        jv_pert_(nq_, 0.0) {}
+
+  [[nodiscard]] std::size_t owned_size() const override { return nq_; }
+  [[nodiscard]] std::size_t global_size() const override {
+    return static_cast<std::size_t>(hs_.mesh_.num_vertices) * kNs;
+  }
+  [[nodiscard]] std::size_t owned_offset() const override {
+    return static_cast<std::size_t>(rk_.dom.halo.row_begin) * kNs;
+  }
+
+  void eval_residual(std::span<const double> u, std::span<double> r) override {
+    rk_.eval_residual(u, r);
+  }
+
+  void prepare_step(double cfl) override {
+    const SolverConfig& sc = rk_.cfg.solver;
+    {
+      auto s = rk_.profile.timers.scoped(kernel::kOther);
+      compute_wavespeed_sums(sc.physics, rk_.dom.mesh, rk_.edges_full,
+                             rk_.fields,
+                             {rk_.wavespeed.data(), rk_.wavespeed.size()});
+      // The local sum is truncated for ghost vertices (they only see
+      // their cut edges). Block-Jacobi never reads ghost rows, but the
+      // additive-Schwarz factor does — without the owner's full wavespeed
+      // sum the ghost diagonal loses its pseudo-time dominance and the
+      // ILU factor degrades with subdomain surface. One scalar exchange
+      // restores the owner's value.
+      if (rk_.cfg.precond_scope == PrecondScope::kAdditiveSchwarz)
+        rk_.hx.exchange({rk_.wavespeed.data(), rk_.wavespeed.size()}, 1,
+                        rk_.stats);
+      compute_dt_shift({rk_.wavespeed.data(), rk_.wavespeed.size()}, cfl,
+                       {rk_.dt_shift.data(), rk_.dt_shift.size()});
+    }
+    {
+      auto s = rk_.profile.timers.scoped(kernel::kJacobian);
+      trace::TraceSpan span("jacobian");
+      assemble_jacobian(sc.physics, rk_.edges_full, rk_.plan_full, rk_.fields,
+                        sc.scheme, rk_.jac);
+      add_boundary_jacobian(sc.physics, rk_.dom.mesh, rk_.fields, rk_.jac);
+      rk_.jac.shift_diagonal({rk_.dt_shift.data(), rk_.dt_shift.size()});
+    }
+    rk_.factor_preconditioner();
+  }
+
+  LinearOutcome solve_linear(std::span<const double> u,
+                             std::span<const double> r,
+                             std::span<const double> rhs,
+                             std::span<double> du) override {
+    const double unorm = rk_.global_norm(u);
+    auto apply_a = [this, u, r, unorm](std::span<const double> v,
+                                       std::span<double> yv) {
+      const double vnorm = rk_.global_norm(v);
+      if (vnorm == 0) {
+        rk_.vec.set(0.0, yv);
+        return;
+      }
+      const double h = std::sqrt(1e-14) * (1.0 + unorm) / vnorm;
+      for (std::size_t i = 0; i < nq_; ++i) jv_pert_[i] = u[i] + h * v[i];
+      rk_.eval_residual({jv_pert_.data(), nq_}, {jv_tmp_.data(), nq_});
+      const double inv_h = 1.0 / h;
+      for (std::size_t i = 0; i < nq_; ++i) {
+        const std::size_t vtx = i / kNs;
+        yv[i] = (jv_tmp_[i] - r[i]) * inv_h + rk_.dt_shift[vtx] * v[i];
+      }
+    };
+    auto precond = [this](std::span<const double> in, std::span<double> outv) {
+      rk_.apply_preconditioner(in, outv);
+    };
+    SpmdLinearOutcome sp;
+    {
+      trace::TraceSpan span("gmres");
+      sp = spmd_gmres(rk_, rk_.cfg.solver.gmres, apply_a, precond, rhs, du);
+    }
+    LinearOutcome lin;
+    lin.iterations = sp.iterations;
+    lin.relative_residual = sp.relative_residual;
+    lin.converged = sp.converged;
+    return lin;
+  }
+
+  [[nodiscard]] double global_norm(std::span<const double> v) override {
+    return rk_.global_norm(v);
+  }
+
+  [[nodiscard]] double allreduce_sum(double local) override {
+    // Control-plane reduce (the driver's verdict flags): planned-order
+    // like every data reduce, but not charged as a profile reduction —
+    // the single-rank backend's identity reduce isn't either.
+    return rk_.rt.allreduce_sum1(rk_.id(), local, rk_.stats);
+  }
+
+  void apply_update(std::span<const double> du, std::span<double> u) override {
+    rk_.vec.axpy(1.0, du, u);
+  }
+
+  void save_state_checkpoint(std::span<const double> u,
+                             const CheckpointMeta& meta) override {
+    // Collective: every rank deposits its owned slice into the shared
+    // global vector (disjoint plain stores), a barrier publishes them, and
+    // rank 0 alone performs the atomic write with the decomposition
+    // signature stamped in. The second barrier publishes rank 0's failure
+    // (if any) so every rank throws in lockstep instead of deadlocking on
+    // a rank that unwound.
+    std::copy(u.begin(), u.end(),
+              hs_.q_global_.begin() +
+                  static_cast<std::ptrdiff_t>(rk_.dom.halo.row_begin) * kNs);
+    hs_.rt_->barrier(rk_.id(), rk_.stats);
+    if (rk_.id() == 0) {
+      hs_.ckpt_error_ = nullptr;
+      try {
+        CheckpointMeta m = meta;
+        m.ranks = static_cast<std::uint64_t>(hs_.cfg_.nranks);
+        m.partition_hash = hs_.partition_hash_;
+        save_checkpoint(rk_.cfg.solver.resilience.checkpoint_path, hs_.mesh_,
+                        {hs_.q_global_.data(), hs_.q_global_.size()}, &m);
+      } catch (...) {
+        hs_.ckpt_error_ = std::current_exception();
+      }
+    }
+    hs_.rt_->barrier(rk_.id(), rk_.stats);
+    if (hs_.ckpt_error_ != nullptr) {
+      if (rk_.id() == 0) std::rethrow_exception(hs_.ckpt_error_);
+      throw std::runtime_error("hybrid checkpoint: write failed on rank 0");
+    }
+  }
+
+  [[nodiscard]] Profile& profile() override { return rk_.profile; }
+
+ private:
+  HybridSolver& hs_;
+  Rank& rk_;
+  std::size_t nq_;
+  AVec<double> jv_tmp_, jv_pert_;  ///< matrix-free FD scratch
+};
+
 void HybridSolver::validate_config() const {
   if (cfg_.nranks < 1)
     throw std::invalid_argument("HybridSolver: nranks must be >= 1");
@@ -416,13 +563,8 @@ void HybridSolver::validate_config() const {
     throw std::invalid_argument(
         "HybridSolver: per-rank subdomain blocking is superseded by "
         "precond_scope; set subdomains = 1");
-  const FaultPlan& f = s.resilience.fault;
-  if (s.resilience.checkpoint_every > 0 || f.crash_step >= 0 ||
-      f.breakdown_step >= 0 || f.nan_update_step >= 0 ||
-      f.nan_residual_step >= 0)
-    throw std::invalid_argument(
-        "HybridSolver: checkpointing / fault injection are single-rank "
-        "(FlowSolver) features");
+  // Checkpoint/restart and fault injection are rank-count-agnostic: the
+  // unified NewtonDriver runs them identically on every rank master.
 }
 
 HybridSolver::HybridSolver(TetMesh mesh, HybridConfig cfg)
@@ -430,6 +572,10 @@ HybridSolver::HybridSolver(TetMesh mesh, HybridConfig cfg)
   validate_config();
   decomp_ = decompose(mesh_, cfg_.nranks, cfg_.use_graph_partitioner);
   q_global_.assign(static_cast<std::size_t>(mesh_.num_vertices) * kNs, 0.0);
+  std::vector<idx_t> row_begins;
+  row_begins.reserve(decomp_.subs.size());
+  for (const Subdomain& s : decomp_.subs) row_begins.push_back(s.row_begin);
+  partition_hash_ = partition_hash(row_begins, mesh_.num_vertices);
   if (cfg_.nranks == 1) {
     // Bitwise identity with the plain solver by construction: decompose()
     // at one part applies the identity renumbering, and the delegate IS a
@@ -461,96 +607,13 @@ const Profile& HybridSolver::profile() const {
 
 void HybridSolver::rank_main(int rank, SolveStats& stats) {
   Rank& rk = *ranks_[static_cast<std::size_t>(rank)];
-  const SolverConfig& sc = cfg_.solver;
   const std::size_t nq = rk.nq_owned();
+  // The owned prefix of the rank's fields is its slice of the state.
   AVec<double> u(rk.fields.q.begin(),
                  rk.fields.q.begin() + static_cast<std::ptrdiff_t>(nq));
-  AVec<double> r(nq, 0.0), rhs(nq, 0.0), du(nq, 0.0);
-  AVec<double> jv_tmp(nq, 0.0), jv_pert(nq, 0.0);
-
-  rk.eval_residual({u.data(), nq}, {r.data(), nq});
-  double rnorm = rk.global_norm({r.data(), nq});
-  const double r0 = rnorm > 0 ? rnorm : 1.0;
-  double cfl = sc.ptc.cfl0;
-  stats.residual_history.push_back(rnorm);
-
-  for (int step = 0; step < sc.ptc.max_steps; ++step) {
-    if (rnorm <= sc.ptc.rtol * r0 || rnorm <= sc.ptc.atol) {
-      stats.converged = true;
-      break;
-    }
-    {
-      auto s = rk.profile.timers.scoped(kernel::kOther);
-      compute_wavespeed_sums(sc.physics, rk.dom.mesh, rk.edges_full,
-                             rk.fields,
-                             {rk.wavespeed.data(), rk.wavespeed.size()});
-      // The local sum is truncated for ghost vertices (they only see
-      // their cut edges). Block-Jacobi never reads ghost rows, but the
-      // additive-Schwarz factor does — without the owner's full wavespeed
-      // sum the ghost diagonal loses its pseudo-time dominance and the
-      // ILU factor degrades with subdomain surface. One scalar exchange
-      // restores the owner's value.
-      if (cfg_.precond_scope == PrecondScope::kAdditiveSchwarz)
-        rk.hx.exchange({rk.wavespeed.data(), rk.wavespeed.size()}, 1,
-                       rk.stats);
-      compute_dt_shift({rk.wavespeed.data(), rk.wavespeed.size()}, cfl,
-                       {rk.dt_shift.data(), rk.dt_shift.size()});
-    }
-    {
-      auto s = rk.profile.timers.scoped(kernel::kJacobian);
-      trace::TraceSpan span("jacobian");
-      assemble_jacobian(sc.physics, rk.edges_full, rk.plan_full, rk.fields,
-                        sc.scheme, rk.jac);
-      add_boundary_jacobian(sc.physics, rk.dom.mesh, rk.fields, rk.jac);
-      rk.jac.shift_diagonal({rk.dt_shift.data(), rk.dt_shift.size()});
-    }
-    rk.factor_preconditioner();
-
-    for (std::size_t i = 0; i < nq; ++i) rhs[i] = -r[i];
-    std::fill(du.begin(), du.end(), 0.0);
-    const double unorm = rk.global_norm({u.data(), nq});
-
-    auto apply_a = [&](std::span<const double> v, std::span<double> yv) {
-      const double vnorm = rk.global_norm(v);
-      if (vnorm == 0) {
-        rk.vec.set(0.0, yv);
-        return;
-      }
-      const double h = std::sqrt(1e-14) * (1.0 + unorm) / vnorm;
-      for (std::size_t i = 0; i < nq; ++i) jv_pert[i] = u[i] + h * v[i];
-      rk.eval_residual({jv_pert.data(), nq}, {jv_tmp.data(), nq});
-      const double inv_h = 1.0 / h;
-      for (std::size_t i = 0; i < nq; ++i) {
-        const std::size_t vtx = i / kNs;
-        yv[i] = (jv_tmp[i] - r[i]) * inv_h + rk.dt_shift[vtx] * v[i];
-      }
-    };
-    auto precond = [&](std::span<const double> in, std::span<double> outv) {
-      rk.apply_preconditioner(in, outv);
-    };
-    SpmdLinearOutcome lin;
-    {
-      trace::TraceSpan span("gmres");
-      lin = spmd_gmres(rk, sc.gmres, apply_a, precond, {rhs.data(), nq},
-                       {du.data(), nq});
-    }
-    stats.linear_iterations += static_cast<std::uint64_t>(lin.iterations);
-    rk.profile.linear_iterations +=
-        static_cast<std::uint64_t>(lin.iterations);
-
-    rk.vec.axpy(1.0, {du.data(), nq}, {u.data(), nq});
-    rk.eval_residual({u.data(), nq}, {r.data(), nq});
-    const double rnew = rk.global_norm({r.data(), nq});
-    cfl = ser_update(cfl, rnorm, rnew, sc.ptc);
-    rnorm = rnew;
-    stats.residual_history.push_back(rnorm);
-    stats.steps = step + 1;
-    rk.profile.newton_steps++;
-  }
-  if (rnorm <= sc.ptc.rtol * r0 || rnorm <= sc.ptc.atol)
-    stats.converged = true;
-  stats.final_cfl = cfl;
-  stats.reference_residual = r0;
+  RankBackend backend(*this, rk);
+  NewtonDriver driver(backend, cfg_.solver.ptc, cfg_.solver.resilience);
+  stats = driver.run({u.data(), nq}, restart_);
   if (rk.factor != nullptr)
     stats.ilu_parallelism = dag_parallelism(rk.factor->lower_deps());
   // Leave the accepted state in the fields (owned prefix authoritative).
@@ -584,6 +647,7 @@ SolveStats HybridSolver::solve() {
       }
     });
   for (std::thread& t : masters) t.join();
+  restart_.reset();  // a restored checkpoint arms exactly one solve
   for (const auto& rk : ranks_)
     if (rk->error) std::rethrow_exception(rk->error);
 
@@ -629,6 +693,38 @@ SolveStats HybridSolver::solve() {
   return stats;
 }
 
+CheckpointMeta HybridSolver::restore_checkpoint(const std::string& path) {
+  // Signature first: a rank-count mismatch also changes the renumbering
+  // (hence the mesh fingerprint), and checking the signature before
+  // load_checkpoint turns the confusing "different mesh" error into a
+  // precise "written by an N-rank run" one.
+  check_checkpoint_signature(read_checkpoint_meta(path), cfg_.nranks,
+                             partition_hash_);
+  if (delegate_ != nullptr) return delegate_->restore_checkpoint(path);
+  CheckpointMeta meta;
+  load_checkpoint(path, mesh_, {q_global_.data(), q_global_.size()}, &meta);
+  // Scatter owned slices into the rank fields; ghosts refresh on the first
+  // halo exchange of the armed solve.
+  for (const auto& rk : ranks_) {
+    const auto begin =
+        q_global_.begin() +
+        static_cast<std::ptrdiff_t>(rk->dom.halo.row_begin) * kNs;
+    std::copy(begin, begin + static_cast<std::ptrdiff_t>(rk->nq_owned()),
+              rk->fields.q.begin());
+  }
+  restart_ = meta;
+  return meta;
+}
+
+void HybridSolver::write_checkpoint(const std::string& path,
+                                    const SolveStats& stats) const {
+  const CheckpointMeta meta{static_cast<std::uint64_t>(stats.steps),
+                            stats.final_cfl, stats.reference_residual,
+                            static_cast<std::uint64_t>(cfg_.nranks),
+                            partition_hash_};
+  save_checkpoint(path, mesh_, {q_global_.data(), q_global_.size()}, &meta);
+}
+
 void HybridSolver::fill_report(PerfReport& report,
                                const std::string& prefix) const {
   if (delegate_ != nullptr) {
@@ -648,6 +744,10 @@ void HybridSolver::fill_report(PerfReport& report,
     report.add_edge_plan(ranks_.front()->plan_full, prefix);
     report.add_team_stats(prefix);
     report.add_vecops_stats(prefix);
+    // Resilience counters are SPMD-identical (every verdict is an
+    // allreduce result); report rank 0's.
+    report.add_resilience_stats(ranks_.front()->solve_stats.resilience,
+                                prefix);
   }
   CommSummary s = comm_report_.summary();
   s.precond_scope = static_cast<double>(cfg_.precond_scope);

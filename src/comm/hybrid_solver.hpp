@@ -2,7 +2,11 @@
 // shared-memory analogue of the paper's MPI+OpenMP "Hybrid" variant. The
 // global mesh is decomposed into P subdomains (decompose()), each owned by
 // one rank master std::thread running the SAME pseudo-transient
-// Newton-Krylov loop as FlowSolver over its local domain, with
+// Newton-Krylov loop as FlowSolver — literally the same code: every rank
+// master drives the unified NewtonDriver (core/newton_driver.hpp) through
+// an SPMD RankBackend, so step accept/reject, CFL backoff, retry budget,
+// periodic rank-0-gathered checkpointing, and fault injection behave
+// identically at any rank count — with
 //
 //   * ghost state moved through RankRuntime mailboxes (HaloExchange):
 //     a blocking q exchange before gradients, and a split-phase gradient
@@ -23,8 +27,11 @@
 // bitwise-identical to the non-hybrid solver by construction.
 #pragma once
 
+#include <exception>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 
 #include "comm/halo.hpp"
 #include "core/solver.hpp"
@@ -91,7 +98,8 @@ class HybridSolver {
   /// renumbers it. Throws std::invalid_argument for nranks < 1, nranks >
   /// mesh vertices, or a multi-rank configuration outside the supported
   /// envelope (least-squares gradients, BiCGSTAB, assembled-operator
-  /// Krylov, SoA vertex layout, checkpointing, fault injection).
+  /// Krylov, SoA vertex layout). Checkpoint/restart and fault injection
+  /// are rank-count-agnostic and fully supported.
   HybridSolver(TetMesh mesh, HybridConfig cfg);
   ~HybridSolver();
   HybridSolver(const HybridSolver&) = delete;
@@ -101,6 +109,22 @@ class HybridSolver {
   /// to a plain FlowSolver at nranks == 1), joins them, aggregates the
   /// CommReport, and gathers the owned slices into solution().
   SolveStats solve();
+
+  /// Loads a checkpoint written by a solve at THIS rank count and
+  /// partition (rank 0's gathered periodic checkpoints, or
+  /// write_checkpoint) and arms the next solve() to continue from it —
+  /// bitwise-identically to the uninterrupted run, the same guarantee
+  /// FlowSolver::restore_checkpoint gives at one rank. A checkpoint whose
+  /// decomposition signature names a different rank count or partition
+  /// throws std::runtime_error with a message naming both sides.
+  CheckpointMeta restore_checkpoint(const std::string& path);
+
+  /// Writes the current solution() as a restartable checkpoint whose meta
+  /// carries `stats`' step/CFL/reference-residual plus this run's
+  /// decomposition signature. Valid after solve() (the final-state
+  /// analogue of the periodic in-loop checkpoints).
+  void write_checkpoint(const std::string& path,
+                        const SolveStats& stats) const;
 
   /// The renumbered global mesh (subdomain-contiguous vertex ids).
   [[nodiscard]] const TetMesh& mesh() const { return mesh_; }
@@ -126,6 +150,11 @@ class HybridSolver {
   struct Rank;
 
  private:
+  /// NewtonBackend adapter over one Rank (defined in the .cpp): the SPMD
+  /// end of the unified driver contract — planned-order allreduce norms,
+  /// collective rank-0-gathered checkpoints.
+  class RankBackend;
+
   void rank_main(int rank, SolveStats& stats);
   void validate_config() const;
 
@@ -137,6 +166,13 @@ class HybridSolver {
   std::unique_ptr<FlowSolver> delegate_;  ///< the nranks == 1 path
   CommReport comm_report_;
   AVec<double> q_global_;
+  /// This run's decomposition signature, stamped into every checkpoint.
+  std::uint64_t partition_hash_ = 0;
+  std::optional<CheckpointMeta> restart_;  ///< armed by restore_checkpoint
+  /// Rank 0's checkpoint-write failure, published between the collective
+  /// checkpoint barriers so every rank throws in lockstep instead of
+  /// deadlocking on a rank that unwound.
+  std::exception_ptr ckpt_error_;
 };
 
 }  // namespace fun3d::comm

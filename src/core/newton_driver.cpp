@@ -1,0 +1,191 @@
+#include "core/newton_driver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <csignal>
+#include <limits>
+
+#include "trace/trace.hpp"
+#include "util/aligned.hpp"
+
+namespace fun3d {
+
+SolveStats NewtonDriver::run(std::span<double> u,
+                             const std::optional<CheckpointMeta>& restart) {
+  SolveStats stats;
+  resil_ = ResilienceStats{};
+  const ResilienceOptions& res_opt = res_;
+  const FaultPlan& fault = res_opt.fault;
+  const std::size_t nq = backend_.owned_size();
+  assert(u.size() == nq);
+  AVec<double> r(nq, 0.0), rhs(nq, 0.0), du(nq, 0.0);
+  // Last accepted state, restored when a trial step is rejected after the
+  // update was already applied.
+  AVec<double> u_save(nq, 0.0);
+
+  backend_.eval_residual(u, {r.data(), nq});
+  double rnorm = backend_.global_norm({r.data(), nq});
+  double r0 = rnorm > 0 ? rnorm : 1.0;
+  double cfl = ptc_.cfl0;
+  int start_step = 0;
+  if (restart.has_value()) {
+    // Resume bitwise where the checkpoint left off: its CFL, its step
+    // count, and its reference residual for the relative convergence test
+    // (rnorm itself is recomputed above and matches the uninterrupted run
+    // bit-for-bit — every kernel is deterministic).
+    if (restart->cfl > 0) cfl = restart->cfl;
+    if (restart->r0 > 0) r0 = restart->r0;
+    start_step = static_cast<int>(restart->step);
+    stats.steps = start_step;
+  }
+  stats.residual_history.push_back(rnorm);
+
+  // Fires at most `fault.repeat` attempts of the targeted step (-1 = all).
+  auto inject = [&](int target, int step, int attempt) {
+    return target >= 0 && target == step &&
+           (fault.repeat < 0 || attempt < fault.repeat);
+  };
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  // Poisons the locally-owned image of the plan's GLOBAL target entry.
+  // Every rank (or the one single rank) counts the injection event, so the
+  // resilience counters stay SPMD-identical even when another rank owns
+  // the poisoned entry.
+  auto poison = [&](AVec<double>& v, int step) {
+    const std::size_t g =
+        fault_target_index(fault.seed, step, backend_.global_size());
+    const std::size_t off = backend_.owned_offset();
+    if (g >= off && g - off < nq) v[g - off] = kNaN;
+    resil_.injected_faults++;
+  };
+  bool aborted = false;
+
+  for (int step = start_step; step < ptc_.max_steps && !aborted; ++step) {
+    if (rnorm <= ptc_.rtol * r0 || rnorm <= ptc_.atol) {
+      stats.converged = true;
+      break;
+    }
+    if (fault.crash_step == step) std::raise(SIGKILL);  // simulated crash
+    for (int attempt = 0;; ++attempt) {
+      backend_.prepare_step(cfl);
+
+      // Solve J du = -R.
+      for (std::size_t i = 0; i < nq; ++i) rhs[i] = -r[i];
+      std::fill(du.begin(), du.end(), 0.0);
+      LinearOutcome lin = backend_.solve_linear(u, {r.data(), nq},
+                                                {rhs.data(), nq},
+                                                {du.data(), nq});
+      stats.linear_iterations += static_cast<std::uint64_t>(lin.iterations);
+      backend_.profile().linear_iterations +=
+          static_cast<std::uint64_t>(lin.iterations);
+      if (!lin.converged) resil_.linear_nonconverged++;
+
+      // Deterministic fault injection (test/CI harness; default off).
+      if (inject(fault.breakdown_step, step, attempt)) {
+        lin.breakdown = true;
+        lin.converged = false;
+        resil_.injected_faults++;
+      }
+      if (inject(fault.nan_update_step, step, attempt)) poison(du, step);
+
+      StepVerdict verdict = StepVerdict::kAccept;
+      if (res_opt.enabled) {
+        // The finiteness scan is the one verdict input computed from LOCAL
+        // data; reduce it so every rank sees the same flag and branches
+        // identically (a single-rank backend's allreduce is the identity).
+        const bool update_finite =
+            backend_.allreduce_sum(all_finite({du.data(), nq}) ? 0.0
+                                                               : 1.0) == 0.0;
+        verdict = check_update_health(update_finite, lin, res_opt);
+      }
+      bool applied = false;
+      double rnew = kNaN;
+      if (verdict == StepVerdict::kAccept) {
+        std::copy(u.begin(), u.end(), u_save.begin());
+        backend_.apply_update({du.data(), nq}, u);
+        applied = true;
+        backend_.eval_residual(u, {r.data(), nq});
+        if (inject(fault.nan_residual_step, step, attempt)) poison(r, step);
+        rnew = backend_.global_norm({r.data(), nq});
+        if (res_opt.enabled)
+          verdict = check_residual_health(rnorm, rnew, res_opt);
+      }
+
+      if (verdict == StepVerdict::kAccept) {
+        cfl = ser_update(cfl, rnorm, rnew, ptc_);
+        rnorm = rnew;
+        stats.residual_history.push_back(rnorm);
+        stats.steps = step + 1;
+        backend_.profile().newton_steps++;
+        if (res_opt.checkpoint_every > 0 && !res_opt.checkpoint_path.empty() &&
+            (step + 1) % res_opt.checkpoint_every == 0) {
+          const CheckpointMeta meta{static_cast<std::uint64_t>(step + 1), cfl,
+                                    r0};
+          backend_.save_state_checkpoint(u, meta);
+          resil_.checkpoints_written++;
+          trace::resilience_instant(
+              "checkpoint", step + 1,
+              static_cast<std::int64_t>(resil_.checkpoints_written));
+        }
+        break;
+      }
+
+      // Rejected: count the reason, roll back, back the CFL off, retry —
+      // or give up with a diagnosable failure once the budget is spent.
+      resil_.rejected_steps++;
+      switch (verdict) {
+        case StepVerdict::kRejectNonFiniteUpdate:
+          resil_.nonfinite_update_rejects++;
+          break;
+        case StepVerdict::kRejectBreakdown:
+          resil_.breakdown_rejects++;
+          break;
+        case StepVerdict::kRejectLinearStall:
+          resil_.stall_rejects++;
+          break;
+        case StepVerdict::kRejectNonFiniteResidual:
+          resil_.nonfinite_residual_rejects++;
+          break;
+        case StepVerdict::kRejectResidualGrowth:
+          resil_.growth_rejects++;
+          break;
+        case StepVerdict::kAccept:
+          break;  // unreachable
+      }
+      trace::resilience_instant("step_reject", step,
+                                static_cast<std::int64_t>(verdict));
+      if (applied) std::copy(u_save.begin(), u_save.end(), u.begin());
+      // Re-anchor the cached field state (and r) to the rolled-back
+      // iterate: the trial update and/or the matrix-free Jacobian-vector
+      // perturbations left the backend's fields holding a different —
+      // possibly poisoned — state than u, and the next attempt assembles
+      // its Jacobian from those fields. Deterministic kernels make this r
+      // bit-identical to the one computed at the last accept.
+      backend_.eval_residual(u, {r.data(), nq});
+      if (attempt >= res_opt.max_retries) {
+        stats.failure = SolveFailure::kStepRetriesExhausted;
+        stats.failure_detail = "step " + std::to_string(step) + " rejected " +
+                               std::to_string(attempt + 1) +
+                               "x: " + to_string(verdict);
+        aborted = true;
+        break;
+      }
+      const double backed = std::max(cfl * res_opt.cfl_backoff,
+                                     res_opt.cfl_floor);
+      if (backed < cfl) {
+        resil_.backoffs++;
+        trace::resilience_instant("cfl_backoff", step,
+                                  static_cast<std::int64_t>(backed * 1e6));
+      }
+      cfl = backed;
+      resil_.retries++;
+    }
+  }
+  if (rnorm <= ptc_.rtol * r0 || rnorm <= ptc_.atol) stats.converged = true;
+  stats.final_cfl = cfl;
+  stats.reference_residual = r0;
+  stats.resilience = resil_;
+  return stats;
+}
+
+}  // namespace fun3d

@@ -1,0 +1,152 @@
+// Unified pseudo-transient Newton-Krylov step driver (DESIGN.md §8/§10):
+// ONE accept/reject loop shared by every solver front-end.
+//
+// FlowSolver::solve() and HybridSolver's per-rank SPMD loop used to be two
+// hand-maintained copies of the same pseudo-transient continuation body —
+// and only the single-rank copy had the resilience layer (health checks,
+// rollback, CFL backoff, retry budget, periodic checkpointing, fault
+// injection). NewtonDriver absorbs that body once; the front-ends supply a
+// NewtonBackend that answers the handful of operations whose implementation
+// actually differs between one rank and P ranks:
+//
+//   * eval_residual / prepare_step / solve_linear — the physics, Jacobian,
+//     preconditioner, and Krylov machinery (serial or SPMD);
+//   * global_norm / allreduce_sum — deterministic global reductions. On the
+//     SPMD backend these are planned-order allreduces, so EVERY scalar that
+//     steers the driver's control flow (norms, the update-finiteness flag)
+//     is bitwise-identical on all ranks and all ranks branch identically —
+//     no rank can accept a step another rank rejected;
+//   * save_state_checkpoint — the atomic restartable snapshot. The SPMD
+//     backend gathers owned slices and writes once from rank 0, inside
+//     barriers, so the file is always a complete global state.
+//
+// The driver itself owns the policy: SER CFL control, the step
+// accept/reject verdicts, rollback + re-anchoring, the retry budget,
+// checkpoint cadence, restart continuation, and the deterministic fault
+// injectors. This is the only ser_update() call site in src/ (lint:
+// tools/lint_dup_driver.sh).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/newton.hpp"
+#include "core/profile.hpp"
+#include "core/resilience.hpp"
+#include "core/vtk_io.hpp"
+
+namespace fun3d {
+
+/// Why a solve gave up before converging (beyond simply running out of
+/// steps): kStepRetriesExhausted means one step was rejected by the health
+/// checks more than resilience.max_retries times in a row — the state left
+/// in the fields is the last ACCEPTED iterate, not the poisoned trial.
+enum class SolveFailure { kNone = 0, kStepRetriesExhausted };
+
+struct SolveStats {
+  bool converged = false;
+  int steps = 0;
+  std::uint64_t linear_iterations = 0;
+  double wall_seconds = 0;
+  double final_cfl = 0;
+  /// Reference residual the relative convergence test divided by (the
+  /// initial ||R||, or the restored checkpoint's). Stored in checkpoint
+  /// meta so a restart reproduces the same convergence decisions.
+  double reference_residual = 0;
+  std::vector<double> residual_history;  ///< ||R|| after each step
+  /// Flop-weighted DAG parallelism of the ILU factor (paper Table II).
+  double ilu_parallelism = 0;
+  /// Diagnosable failure reason + human-readable detail (empty on
+  /// success), e.g. "step 7 rejected 5x: non-finite residual norm".
+  SolveFailure failure = SolveFailure::kNone;
+  std::string failure_detail;
+  /// Recovery observability for this solve (also in the PerfReport via
+  /// fill_report as the `resilience.*` counters).
+  ResilienceStats resilience;
+};
+
+/// What a solver front-end must provide for NewtonDriver to run its
+/// pseudo-transient loop over it. One instance per solve; the driver calls
+/// it from a single thread (each SPMD rank master constructs its own).
+class NewtonBackend {
+ public:
+  virtual ~NewtonBackend() = default;
+
+  /// Entries of the state vector this backend owns (nv*4 on one rank).
+  [[nodiscard]] virtual std::size_t owned_size() const = 0;
+  /// Entries of the GLOBAL state across all ranks — the domain the fault
+  /// injectors pick their target index from, so a plan poisons the same
+  /// global entry regardless of how the solve is decomposed.
+  [[nodiscard]] virtual std::size_t global_size() const = 0;
+  /// Global index of owned entry 0 (0 on a single rank).
+  [[nodiscard]] virtual std::size_t owned_offset() const = 0;
+
+  /// Steady residual R(u) over the owned entries. Must be deterministic,
+  /// and must leave the backend's cached field state anchored at `u`: the
+  /// driver's rollback contract re-evaluates at the rolled-back iterate
+  /// precisely to restore that anchor after a rejected trial.
+  virtual void eval_residual(std::span<const double> u,
+                             std::span<double> r) = 0;
+  /// Pseudo-time shift + Jacobian assembly + preconditioner factorization
+  /// at the currently anchored state (the last eval_residual argument).
+  virtual void prepare_step(double cfl) = 0;
+  /// Krylov-solves J du = rhs around the anchored state. `u` and `r` feed
+  /// the matrix-free operator; `du` is zero on entry. Charges its global
+  /// reductions to profile() itself (the driver charges the iterations).
+  virtual LinearOutcome solve_linear(std::span<const double> u,
+                                     std::span<const double> r,
+                                     std::span<const double> rhs,
+                                     std::span<double> du) = 0;
+  /// Deterministic global L2 norm of an owned-size vector; counts one
+  /// reduction in profile(). SPMD backends return the planned-order
+  /// allreduce result — the identical bit pattern on every rank.
+  [[nodiscard]] virtual double global_norm(std::span<const double> v) = 0;
+  /// Deterministic global sum of one scalar (identity on a single rank).
+  /// The driver reduces every locally-computed control-flow predicate
+  /// through this, so SPMD ranks always take the same branch.
+  [[nodiscard]] virtual double allreduce_sum(double local) = 0;
+  /// u += du in the backend's (bitwise-pinned) vector arithmetic.
+  virtual void apply_update(std::span<const double> du,
+                            std::span<double> u) = 0;
+  /// Atomic restartable checkpoint of the owned state. `meta` carries the
+  /// driver's step/CFL/r0; the backend completes its decomposition
+  /// signature (rank count + partition hash) and performs the write —
+  /// collectively on SPMD backends (gather, rank-0 write, barriers), so
+  /// every rank returns only once the rename is durable.
+  virtual void save_state_checkpoint(std::span<const double> u,
+                                     const CheckpointMeta& meta) = 0;
+  /// Profile the driver charges newton_steps to.
+  [[nodiscard]] virtual Profile& profile() = 0;
+};
+
+/// The single pseudo-transient continuation loop (DESIGN.md §8): SER CFL
+/// growth on accepted steps, health-checked accept/reject with rollback and
+/// bounded retries, periodic checkpointing, restart continuation, and
+/// deterministic fault injection. Drives any NewtonBackend.
+class NewtonDriver {
+ public:
+  NewtonDriver(NewtonBackend& backend, const PtcOptions& ptc,
+               const ResilienceOptions& res)
+      : backend_(backend), ptc_(ptc), res_(res) {}
+
+  /// Runs to convergence, the step limit, or retry exhaustion. `u` holds
+  /// the initial owned state on entry and the last ACCEPTED state on
+  /// return. `restart` (a restored CheckpointMeta) resumes the step count,
+  /// CFL, and reference residual so the continuation is bitwise-identical
+  /// to the uninterrupted run. wall_seconds and ilu_parallelism are left
+  /// for the caller to fill.
+  SolveStats run(std::span<double> u,
+                 const std::optional<CheckpointMeta>& restart = std::nullopt);
+
+ private:
+  NewtonBackend& backend_;
+  PtcOptions ptc_;
+  ResilienceOptions res_;
+  ResilienceStats resil_;
+};
+
+}  // namespace fun3d

@@ -31,7 +31,12 @@ bool all_finite(std::span<const double> v) {
 StepVerdict check_update_health(std::span<const double> du,
                                 const LinearOutcome& lin,
                                 const ResilienceOptions& opt) {
-  if (!all_finite(du)) return StepVerdict::kRejectNonFiniteUpdate;
+  return check_update_health(all_finite(du), lin, opt);
+}
+
+StepVerdict check_update_health(bool update_finite, const LinearOutcome& lin,
+                                const ResilienceOptions& opt) {
+  if (!update_finite) return StepVerdict::kRejectNonFiniteUpdate;
   if (lin.breakdown) return StepVerdict::kRejectBreakdown;
   if (!lin.converged && !(lin.relative_residual < opt.linear_stall_rel))
     return StepVerdict::kRejectLinearStall;

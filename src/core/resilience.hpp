@@ -118,6 +118,14 @@ struct ResilienceStats {
                                               const LinearOutcome& lin,
                                               const ResilienceOptions& opt);
 
+/// Same check with the finiteness scan already reduced to a flag. This is
+/// the form the unified NewtonDriver calls: on SPMD backends the flag is a
+/// global allreduce result, so every rank reaches the same verdict even
+/// when only one rank's owned entries are poisoned.
+[[nodiscard]] StepVerdict check_update_health(bool update_finite,
+                                              const LinearOutcome& lin,
+                                              const ResilienceOptions& opt);
+
 /// Post-application health check on the trial residual norm. A non-finite
 /// r_new always rejects; growth beyond opt.growth_reject relative to the
 /// last accepted norm rejects.

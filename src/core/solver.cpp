@@ -3,12 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <csignal>
-#include <limits>
 
 #include "core/boundary.hpp"
 #include "core/gradients.hpp"
 #include "core/jacobian.hpp"
+#include "core/newton_driver.hpp"
 #include "graph/levels.hpp"
 #include "sparse/spmv.hpp"
 #include "trace/trace.hpp"
@@ -200,6 +199,9 @@ void FlowSolver::apply_preconditioner(std::span<const double> in,
 }
 
 CheckpointMeta FlowSolver::restore_checkpoint(const std::string& path) {
+  const idx_t row_begins[1] = {0};
+  check_checkpoint_signature(read_checkpoint_meta(path), 1,
+                             partition_hash(row_begins, mesh_.num_vertices));
   CheckpointMeta meta;
   load_checkpoint(path, mesh_, {fields_.q.data(), fields_.q.size()}, &meta);
   if (cfg_.flux.layout == VertexLayout::kSoA) fields_.sync_soa_from_aos();
@@ -207,243 +209,146 @@ CheckpointMeta FlowSolver::restore_checkpoint(const std::string& path) {
   return meta;
 }
 
+/// The single-rank end of the unified driver contract (DESIGN.md §8): all
+/// global reductions are plain VecOps reductions, allreduce is the
+/// identity, and checkpoints go straight to disk with a 1-rank signature.
+class FlowSolver::StepBackend final : public NewtonBackend {
+ public:
+  explicit StepBackend(FlowSolver& s)
+      : s_(s),
+        nq_(static_cast<std::size_t>(s.fields_.nv) * kNs),
+        jv_tmp_(nq_, 0.0),
+        jv_pert_(nq_, 0.0) {}
+
+  [[nodiscard]] std::size_t owned_size() const override { return nq_; }
+  [[nodiscard]] std::size_t global_size() const override { return nq_; }
+  [[nodiscard]] std::size_t owned_offset() const override { return 0; }
+  [[nodiscard]] Profile& profile() override { return s_.profile_; }
+
+  void eval_residual(std::span<const double> u,
+                     std::span<double> r) override {
+    s_.eval_residual(u, r);
+  }
+
+  void prepare_step(double cfl) override {
+    // Local pseudo-time shift.
+    {
+      auto s = s_.profile_.timers.scoped(kernel::kOther);
+      compute_wavespeed_sums(s_.cfg_.physics, s_.mesh_, s_.edges_, s_.fields_,
+                             {s_.wavespeed_.data(), s_.wavespeed_.size()});
+      compute_dt_shift({s_.wavespeed_.data(), s_.wavespeed_.size()}, cfl,
+                       {s_.dt_shift_.data(), s_.dt_shift_.size()});
+    }
+    // First-order Jacobian + boundary + time term.
+    {
+      auto s = s_.profile_.timers.scoped(kernel::kJacobian);
+      trace::TraceSpan span("jacobian");
+      assemble_jacobian(s_.cfg_.physics, s_.edges_, s_.plan_, s_.fields_,
+                        s_.cfg_.scheme, s_.jac_);
+      add_boundary_jacobian(s_.cfg_.physics, s_.mesh_, s_.fields_, s_.jac_);
+      s_.jac_.shift_diagonal({s_.dt_shift_.data(), s_.dt_shift_.size()});
+    }
+    s_.factor_preconditioner();
+  }
+
+  LinearOutcome solve_linear(std::span<const double> u,
+                             std::span<const double> r,
+                             std::span<const double> rhs,
+                             std::span<double> du) override {
+    const std::size_t nq = nq_;
+    const double unorm = s_.vec_.norm2(u);
+    s_.profile_.reductions++;
+    LinearOp apply_a;
+    if (s_.cfg_.matrix_free) {
+      apply_a = [&, u, r, unorm](std::span<const double> v,
+                                 std::span<double> y) {
+        const double vnorm = s_.vec_.norm2(v);
+        s_.profile_.reductions++;
+        if (vnorm == 0) {
+          s_.vec_.set(0.0, y);
+          return;
+        }
+        const double h = std::sqrt(1e-14) * (1.0 + unorm) / vnorm;
+        for (std::size_t i = 0; i < nq; ++i)
+          jv_pert_[i] = u[i] + h * v[i];
+        s_.eval_residual({jv_pert_.data(), nq}, {jv_tmp_.data(), nq});
+        const double inv_h = 1.0 / h;
+        for (std::size_t i = 0; i < nq; ++i) {
+          const std::size_t vtx = i / kNs;
+          y[i] = (jv_tmp_[i] - r[i]) * inv_h + s_.dt_shift_[vtx] * v[i];
+        }
+      };
+    } else {
+      apply_a = [this](std::span<const double> v, std::span<double> y) {
+        spmv_parallel(s_.jac_, v, y, std::max(1, s_.cfg_.nthreads));
+      };
+    }
+    LinearOp precond = [this](std::span<const double> in,
+                              std::span<double> out) {
+      s_.apply_preconditioner(in, out);
+    };
+    LinearOutcome lin;
+    if (s_.cfg_.krylov == KrylovMethod::kBicgstab) {
+      trace::TraceSpan span("bicgstab");
+      BicgstabOptions bopt;
+      bopt.rtol = s_.cfg_.gmres.rtol;
+      bopt.atol = s_.cfg_.gmres.atol;
+      bopt.max_iters = s_.cfg_.gmres.max_iters;
+      const BicgstabResult bres = bicgstab_solve(
+          apply_a, &precond, rhs, du, bopt, s_.vec_, &s_.profile_);
+      lin.iterations = bres.iterations;
+      lin.relative_residual = bres.relative_residual;
+      lin.converged = bres.converged;
+      lin.breakdown = bres.breakdown;
+    } else {
+      trace::TraceSpan span("gmres");
+      GmresOptions gopt = s_.cfg_.gmres;
+      gopt.mode = s_.cfg_.gmres_mode;
+      const GmresResult gres = gmres_solve(apply_a, &precond, rhs, du, gopt,
+                                           s_.vec_, &s_.profile_);
+      lin.iterations = gres.iterations;
+      lin.relative_residual = gres.relative_residual;
+      lin.converged = gres.converged;
+    }
+    return lin;
+  }
+
+  [[nodiscard]] double global_norm(std::span<const double> v) override {
+    const double n = s_.vec_.norm2(v);
+    s_.profile_.reductions++;
+    return n;
+  }
+
+  [[nodiscard]] double allreduce_sum(double local) override { return local; }
+
+  void apply_update(std::span<const double> du, std::span<double> u) override {
+    s_.vec_.axpy(1.0, du, u);
+  }
+
+  void save_state_checkpoint(std::span<const double> u,
+                             const CheckpointMeta& meta) override {
+    CheckpointMeta m = meta;
+    m.ranks = 1;
+    const idx_t row_begins[1] = {0};
+    m.partition_hash = partition_hash(row_begins, s_.mesh_.num_vertices);
+    save_checkpoint(s_.cfg_.resilience.checkpoint_path, s_.mesh_, u, &m);
+  }
+
+ private:
+  FlowSolver& s_;
+  std::size_t nq_;
+  AVec<double> jv_tmp_, jv_pert_;
+};
+
 SolveStats FlowSolver::solve() {
   Timer wall;
-  SolveStats stats;
-  resil_ = ResilienceStats{};
-  const ResilienceOptions& res_opt = cfg_.resilience;
-  const FaultPlan& fault = res_opt.fault;
-  const std::size_t nq = static_cast<std::size_t>(fields_.nv) * kNs;
   AVec<double> u(fields_.q.begin(), fields_.q.end());
-  AVec<double> r(nq, 0.0), rhs(nq, 0.0), du(nq, 0.0);
-  AVec<double> jv_tmp(nq, 0.0), jv_pert(nq, 0.0);
-  // Last accepted state, restored when a trial step is rejected after the
-  // update was already applied.
-  AVec<double> u_save(nq, 0.0);
-
-  eval_residual(u, {r.data(), nq});
-  double rnorm = vec_.norm2({r.data(), nq});
-  profile_.reductions++;
-  double r0 = rnorm > 0 ? rnorm : 1.0;
-  double cfl = cfg_.ptc.cfl0;
-  int start_step = 0;
-  if (restart_.has_value()) {
-    // Resume bitwise where the checkpoint left off: its CFL, its step
-    // count, and its reference residual for the relative convergence test
-    // (rnorm itself is recomputed above and matches the uninterrupted run
-    // bit-for-bit — every kernel is deterministic).
-    if (restart_->cfl > 0) cfl = restart_->cfl;
-    if (restart_->r0 > 0) r0 = restart_->r0;
-    start_step = static_cast<int>(restart_->step);
-    stats.steps = start_step;
-    restart_.reset();
-  }
-  stats.residual_history.push_back(rnorm);
-
-  // Fires at most `fault.repeat` attempts of the targeted step (-1 = all).
-  auto inject = [&](int target, int step, int attempt) {
-    return target >= 0 && target == step &&
-           (fault.repeat < 0 || attempt < fault.repeat);
-  };
-  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
-  bool aborted = false;
-
-  for (int step = start_step; step < cfg_.ptc.max_steps && !aborted; ++step) {
-    if (rnorm <= cfg_.ptc.rtol * r0 || rnorm <= cfg_.ptc.atol) {
-      stats.converged = true;
-      break;
-    }
-    if (fault.crash_step == step) std::raise(SIGKILL);  // simulated crash
-    for (int attempt = 0;; ++attempt) {
-      // Local pseudo-time shift.
-      {
-        auto s = profile_.timers.scoped(kernel::kOther);
-        compute_wavespeed_sums(cfg_.physics, mesh_, edges_, fields_,
-                               {wavespeed_.data(), wavespeed_.size()});
-        compute_dt_shift({wavespeed_.data(), wavespeed_.size()}, cfl,
-                         {dt_shift_.data(), dt_shift_.size()});
-      }
-      // First-order Jacobian + boundary + time term.
-      {
-        auto s = profile_.timers.scoped(kernel::kJacobian);
-        trace::TraceSpan span("jacobian");
-        assemble_jacobian(cfg_.physics, edges_, plan_, fields_, cfg_.scheme,
-                          jac_);
-        add_boundary_jacobian(cfg_.physics, mesh_, fields_, jac_);
-        jac_.shift_diagonal({dt_shift_.data(), dt_shift_.size()});
-      }
-      factor_preconditioner();
-
-      // Solve J du = -R.
-      for (std::size_t i = 0; i < nq; ++i) rhs[i] = -r[i];
-      std::fill(du.begin(), du.end(), 0.0);
-
-      const double unorm = vec_.norm2({u.data(), nq});
-      profile_.reductions++;
-      LinearOp apply_a;
-      if (cfg_.matrix_free) {
-        apply_a = [&](std::span<const double> v, std::span<double> y) {
-          const double vnorm = vec_.norm2(v);
-          profile_.reductions++;
-          if (vnorm == 0) {
-            vec_.set(0.0, y);
-            return;
-          }
-          const double h = std::sqrt(1e-14) * (1.0 + unorm) / vnorm;
-          for (std::size_t i = 0; i < nq; ++i) jv_pert[i] = u[i] + h * v[i];
-          eval_residual({jv_pert.data(), nq}, {jv_tmp.data(), nq});
-          const double inv_h = 1.0 / h;
-          for (std::size_t i = 0; i < nq; ++i) {
-            const std::size_t vtx = i / kNs;
-            y[i] = (jv_tmp[i] - r[i]) * inv_h + dt_shift_[vtx] * v[i];
-          }
-        };
-      } else {
-        apply_a = [&](std::span<const double> v, std::span<double> y) {
-          spmv_parallel(jac_, v, y, std::max(1, cfg_.nthreads));
-        };
-      }
-      LinearOp precond = [&](std::span<const double> in,
-                             std::span<double> out) {
-        apply_preconditioner(in, out);
-      };
-      LinearOutcome lin;
-      if (cfg_.krylov == KrylovMethod::kBicgstab) {
-        trace::TraceSpan span("bicgstab");
-        BicgstabOptions bopt;
-        bopt.rtol = cfg_.gmres.rtol;
-        bopt.atol = cfg_.gmres.atol;
-        bopt.max_iters = cfg_.gmres.max_iters;
-        const BicgstabResult bres =
-            bicgstab_solve(apply_a, &precond, {rhs.data(), nq},
-                           {du.data(), nq}, bopt, vec_, &profile_);
-        lin.iterations = bres.iterations;
-        lin.relative_residual = bres.relative_residual;
-        lin.converged = bres.converged;
-        lin.breakdown = bres.breakdown;
-      } else {
-        trace::TraceSpan span("gmres");
-        GmresOptions gopt = cfg_.gmres;
-        gopt.mode = cfg_.gmres_mode;
-        const GmresResult gres =
-            gmres_solve(apply_a, &precond, {rhs.data(), nq}, {du.data(), nq},
-                        gopt, vec_, &profile_);
-        lin.iterations = gres.iterations;
-        lin.relative_residual = gres.relative_residual;
-        lin.converged = gres.converged;
-      }
-      stats.linear_iterations += static_cast<std::uint64_t>(lin.iterations);
-      profile_.linear_iterations += static_cast<std::uint64_t>(lin.iterations);
-      if (!lin.converged) resil_.linear_nonconverged++;
-
-      // Deterministic fault injection (test/CI harness; default off).
-      if (inject(fault.breakdown_step, step, attempt)) {
-        lin.breakdown = true;
-        lin.converged = false;
-        resil_.injected_faults++;
-      }
-      if (inject(fault.nan_update_step, step, attempt)) {
-        du[fault_target_index(fault.seed, step, nq)] = kNaN;
-        resil_.injected_faults++;
-      }
-
-      StepVerdict verdict =
-          res_opt.enabled ? check_update_health({du.data(), nq}, lin, res_opt)
-                          : StepVerdict::kAccept;
-      bool applied = false;
-      double rnew = kNaN;
-      if (verdict == StepVerdict::kAccept) {
-        std::copy(u.begin(), u.end(), u_save.begin());
-        vec_.axpy(1.0, {du.data(), nq}, {u.data(), nq});
-        applied = true;
-        eval_residual(u, {r.data(), nq});
-        if (inject(fault.nan_residual_step, step, attempt)) {
-          r[fault_target_index(fault.seed, step, nq)] = kNaN;
-          resil_.injected_faults++;
-        }
-        rnew = vec_.norm2({r.data(), nq});
-        profile_.reductions++;
-        if (res_opt.enabled)
-          verdict = check_residual_health(rnorm, rnew, res_opt);
-      }
-
-      if (verdict == StepVerdict::kAccept) {
-        cfl = ser_update(cfl, rnorm, rnew, cfg_.ptc);
-        rnorm = rnew;
-        stats.residual_history.push_back(rnorm);
-        stats.steps = step + 1;
-        profile_.newton_steps++;
-        if (res_opt.checkpoint_every > 0 && !res_opt.checkpoint_path.empty() &&
-            (step + 1) % res_opt.checkpoint_every == 0) {
-          const CheckpointMeta meta{static_cast<std::uint64_t>(step + 1), cfl,
-                                    r0};
-          save_checkpoint(res_opt.checkpoint_path, mesh_, {u.data(), nq},
-                          &meta);
-          resil_.checkpoints_written++;
-          trace::resilience_instant(
-              "checkpoint", step + 1,
-              static_cast<std::int64_t>(resil_.checkpoints_written));
-        }
-        break;
-      }
-
-      // Rejected: count the reason, roll back, back the CFL off, retry —
-      // or give up with a diagnosable failure once the budget is spent.
-      resil_.rejected_steps++;
-      switch (verdict) {
-        case StepVerdict::kRejectNonFiniteUpdate:
-          resil_.nonfinite_update_rejects++;
-          break;
-        case StepVerdict::kRejectBreakdown:
-          resil_.breakdown_rejects++;
-          break;
-        case StepVerdict::kRejectLinearStall:
-          resil_.stall_rejects++;
-          break;
-        case StepVerdict::kRejectNonFiniteResidual:
-          resil_.nonfinite_residual_rejects++;
-          break;
-        case StepVerdict::kRejectResidualGrowth:
-          resil_.growth_rejects++;
-          break;
-        case StepVerdict::kAccept:
-          break;  // unreachable
-      }
-      trace::resilience_instant("step_reject", step,
-                                static_cast<std::int64_t>(verdict));
-      if (applied) std::copy(u_save.begin(), u_save.end(), u.begin());
-      // Re-anchor the cached field state (and r) to the rolled-back
-      // iterate: the trial update and/or the matrix-free Jacobian-vector
-      // perturbations left fields_ holding a different — possibly
-      // poisoned — state than u, and the next attempt assembles its
-      // Jacobian from fields_. Deterministic kernels make this r
-      // bit-identical to the one computed at the last accept.
-      eval_residual(u, {r.data(), nq});
-      if (attempt >= res_opt.max_retries) {
-        stats.failure = SolveFailure::kStepRetriesExhausted;
-        stats.failure_detail = "step " + std::to_string(step) + " rejected " +
-                               std::to_string(attempt + 1) +
-                               "x: " + to_string(verdict);
-        aborted = true;
-        break;
-      }
-      const double backed = std::max(cfl * res_opt.cfl_backoff,
-                                     res_opt.cfl_floor);
-      if (backed < cfl) {
-        resil_.backoffs++;
-        trace::resilience_instant("cfl_backoff", step,
-                                  static_cast<std::int64_t>(backed * 1e6));
-      }
-      cfl = backed;
-      resil_.retries++;
-    }
-  }
-  if (rnorm <= cfg_.ptc.rtol * r0 || rnorm <= cfg_.ptc.atol)
-    stats.converged = true;
-  stats.final_cfl = cfl;
-  stats.reference_residual = r0;
+  StepBackend backend(*this);
+  NewtonDriver driver(backend, cfg_.ptc, cfg_.resilience);
+  SolveStats stats = driver.run({u.data(), u.size()}, restart_);
+  restart_.reset();
+  resil_ = stats.resilience;
   stats.wall_seconds = wall.seconds();
-  stats.resilience = resil_;
   if (factor_ != nullptr)
     stats.ilu_parallelism = dag_parallelism(factor_->lower_deps());
   // Leave the converged (or last accepted) state in the fields.

@@ -21,6 +21,7 @@
 #include "core/gmres.hpp"
 #include "core/gradients_lsq.hpp"
 #include "core/newton.hpp"
+#include "core/newton_driver.hpp"
 #include "core/profile.hpp"
 #include "core/resilience.hpp"
 #include "core/vtk_io.hpp"
@@ -85,33 +86,9 @@ struct SolverConfig {
   static SolverConfig optimized(int nthreads);
 };
 
-/// Why a solve gave up before converging (beyond simply running out of
-/// steps): kStepRetriesExhausted means one step was rejected by the health
-/// checks more than resilience.max_retries times in a row — the state left
-/// in the fields is the last ACCEPTED iterate, not the poisoned trial.
-enum class SolveFailure { kNone = 0, kStepRetriesExhausted };
-
-struct SolveStats {
-  bool converged = false;
-  int steps = 0;
-  std::uint64_t linear_iterations = 0;
-  double wall_seconds = 0;
-  double final_cfl = 0;
-  /// Reference residual the relative convergence test divided by (the
-  /// initial ||R||, or the restored checkpoint's). Stored in checkpoint
-  /// meta so a restart reproduces the same convergence decisions.
-  double reference_residual = 0;
-  std::vector<double> residual_history;  ///< ||R|| after each step
-  /// Flop-weighted DAG parallelism of the ILU factor (paper Table II).
-  double ilu_parallelism = 0;
-  /// Diagnosable failure reason + human-readable detail (empty on
-  /// success), e.g. "step 7 rejected 5x: non-finite residual norm".
-  SolveFailure failure = SolveFailure::kNone;
-  std::string failure_detail;
-  /// Recovery observability for this solve (also in the PerfReport via
-  /// fill_report as the `resilience.*` counters).
-  ResilienceStats resilience;
-};
+// SolveFailure and SolveStats live in core/newton_driver.hpp — the unified
+// step driver produces them for every front-end (FlowSolver and the hybrid
+// rank masters alike).
 
 class FlowSolver {
  public:
@@ -156,6 +133,10 @@ class FlowSolver {
   }
 
  private:
+  /// NewtonBackend adapter over this solver (defined in solver.cpp): the
+  /// serial-reduction, single-rank end of the unified driver contract.
+  class StepBackend;
+
   void factor_preconditioner();
   void apply_preconditioner(std::span<const double> in,
                             std::span<double> out);

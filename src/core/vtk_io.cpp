@@ -114,6 +114,10 @@ constexpr std::uint64_t kCheckpointMagic = 0x46554e3344434b50ull;  // FUN3DCKP
 // Trailing solver-state block (step/CFL/r0). Old readers stop after the
 // solution payload and never see it; old files simply end without it.
 constexpr std::uint64_t kMetaMagic = 0x46554e33444d4554ull;  // FUN3DMET
+// V2 block: step/CFL/r0 plus the decomposition signature (rank count +
+// partition hash). Written by every current checkpoint; V1 files stay
+// readable (their signature reads back as 0 = unrecorded).
+constexpr std::uint64_t kMetaMagic2 = 0x46554e33444d5432ull;  // FUN3DMT2
 
 std::uint64_t double_bits(double v) {
   std::uint64_t b;
@@ -126,6 +130,31 @@ double bits_double(std::uint64_t b) {
   double v;
   std::memcpy(&v, &b, sizeof(v));
   return v;
+}
+
+/// Reads the trailing meta block the file cursor sits before, if any.
+CheckpointMeta read_meta_block(std::FILE* f) {
+  CheckpointMeta meta;
+  std::uint64_t magic = 0;
+  if (std::fread(&magic, sizeof(magic), 1, f) != 1) return meta;
+  if (magic == kMetaMagic) {
+    std::uint64_t block[3];
+    if (std::fread(block, sizeof(block), 1, f) == 1) {
+      meta.step = block[0];
+      meta.cfl = bits_double(block[1]);
+      meta.r0 = bits_double(block[2]);
+    }
+  } else if (magic == kMetaMagic2) {
+    std::uint64_t block[5];
+    if (std::fread(block, sizeof(block), 1, f) == 1) {
+      meta.step = block[0];
+      meta.cfl = bits_double(block[1]);
+      meta.r0 = bits_double(block[2]);
+      meta.ranks = block[3];
+      meta.partition_hash = block[4];
+    }
+  }
+  return meta;
 }
 
 }  // namespace
@@ -147,9 +176,10 @@ void save_checkpoint(const std::string& path, const TetMesh& m,
         std::fwrite(header, sizeof(header), 1, f.get()) == 1 &&
         std::fwrite(q.data(), sizeof(double), q.size(), f.get()) == q.size();
     if (ok && meta != nullptr) {
-      const std::uint64_t block[4] = {kMetaMagic, meta->step,
+      const std::uint64_t block[6] = {kMetaMagic2,           meta->step,
                                       double_bits(meta->cfl),
-                                      double_bits(meta->r0)};
+                                      double_bits(meta->r0), meta->ranks,
+                                      meta->partition_hash};
       ok = std::fwrite(block, sizeof(block), 1, f.get()) == 1;
     }
     if (!ok || std::fflush(f.get()) != 0 || fsync(fileno(f.get())) != 0)
@@ -180,16 +210,51 @@ void load_checkpoint(const std::string& path, const TetMesh& m,
     throw std::runtime_error("load_checkpoint: solution size mismatch");
   if (std::fread(q.data(), sizeof(double), q.size(), f.get()) != q.size())
     throw std::runtime_error("load_checkpoint: truncated data");
-  if (meta != nullptr) {
-    *meta = CheckpointMeta{};
-    std::uint64_t block[4];
-    if (std::fread(block, sizeof(block), 1, f.get()) == 1 &&
-        block[0] == kMetaMagic) {
-      meta->step = block[1];
-      meta->cfl = bits_double(block[2]);
-      meta->r0 = bits_double(block[3]);
-    }
-  }
+  if (meta != nullptr) *meta = read_meta_block(f.get());
+}
+
+CheckpointMeta read_checkpoint_meta(const std::string& path) {
+  File f = open_or_throw(path, "rb");
+  std::uint64_t header[3];
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1)
+    throw std::runtime_error("read_checkpoint_meta: short read");
+  if (header[0] != kCheckpointMagic)
+    throw std::runtime_error("read_checkpoint_meta: not a checkpoint file");
+  if (std::fseek(f.get(),
+                 static_cast<long>(header[2] * sizeof(double)),
+                 SEEK_CUR) != 0)
+    throw std::runtime_error("read_checkpoint_meta: truncated data");
+  return read_meta_block(f.get());
+}
+
+std::uint64_t partition_hash(std::span<const idx_t> row_begins,
+                             idx_t num_vertices) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(row_begins.size());
+  mix(static_cast<std::uint64_t>(num_vertices));
+  for (const idx_t rb : row_begins) mix(static_cast<std::uint64_t>(rb));
+  return h;
+}
+
+void check_checkpoint_signature(const CheckpointMeta& meta, int nranks,
+                                std::uint64_t hash) {
+  if (meta.ranks == 0) return;  // legacy checkpoint: no signature recorded
+  if (meta.ranks != static_cast<std::uint64_t>(nranks))
+    throw std::runtime_error(
+        "checkpoint decomposition mismatch: written by a " +
+        std::to_string(meta.ranks) + "-rank run, restoring into a " +
+        std::to_string(nranks) + "-rank run (re-run with --ranks " +
+        std::to_string(meta.ranks) + " or start a fresh solve)");
+  if (meta.partition_hash != 0 && hash != 0 && meta.partition_hash != hash)
+    throw std::runtime_error(
+        "checkpoint decomposition mismatch: same rank count (" +
+        std::to_string(nranks) +
+        ") but a different mesh partition — the stored state is in another "
+        "run's renumbering and cannot be restored here");
 }
 
 }  // namespace fun3d

@@ -26,10 +26,18 @@ void write_vtk_surface(const std::string& path, const TetMesh& m,
 /// the reference residual norm ||R_0|| the convergence test is relative
 /// to. All-zero for checkpoints written without meta (legacy files), which
 /// restart as a fresh solve from the stored state.
+///
+/// `ranks`/`partition_hash` are the decomposition signature of the writing
+/// run: a checkpoint written by a P-rank hybrid solve stores the RENUMBERED
+/// global state, so restoring it into a run with a different rank count or
+/// partition would silently permute the solution. 0 means "unrecorded"
+/// (legacy files) and is never checked.
 struct CheckpointMeta {
   std::uint64_t step = 0;
   double cfl = 0;
   double r0 = 0;
+  std::uint64_t ranks = 0;           ///< rank count of the writing run
+  std::uint64_t partition_hash = 0;  ///< partition_hash() of its ownership
 };
 
 /// Binary checkpoint of a solution vector, keyed to the mesh by a
@@ -48,6 +56,28 @@ void save_checkpoint(const std::string& path, const TetMesh& m,
 /// file carries one (all-zero otherwise).
 void load_checkpoint(const std::string& path, const TetMesh& m,
                      std::span<double> q, CheckpointMeta* meta = nullptr);
+
+/// Reads ONLY the trailing CheckpointMeta block of a checkpoint file
+/// (all-zero when the file carries none), without validating the mesh
+/// fingerprint or loading the payload. This is how restore paths inspect
+/// the decomposition signature first: a rank-count mismatch also changes
+/// the renumbering (hence the fingerprint), and the signature check turns
+/// the confusing "different mesh" error into a precise one. Throws on a
+/// missing/non-checkpoint file.
+CheckpointMeta read_checkpoint_meta(const std::string& path);
+
+/// Decomposition signature hash: FNV-1a over the rank count, the global
+/// vertex count, and each rank's first owned (renumbered) vertex id. A
+/// single-rank solve hashes {0} with its vertex count.
+std::uint64_t partition_hash(std::span<const idx_t> row_begins,
+                             idx_t num_vertices);
+
+/// Validates a checkpoint's decomposition signature against the restoring
+/// run's. A legacy meta (ranks == 0) always passes; a rank-count or
+/// partition-hash mismatch throws std::runtime_error with a message naming
+/// both sides. Call before load_checkpoint for precise diagnostics.
+void check_checkpoint_signature(const CheckpointMeta& meta, int nranks,
+                                std::uint64_t hash);
 
 /// Topology fingerprint (vertices, tets, edge hash) used by checkpoints.
 std::uint64_t mesh_fingerprint(const TetMesh& m);

@@ -367,16 +367,16 @@ TEST(HybridSolver, RejectsUnsupportedConfigurations) {
   c.solver.flux.layout = VertexLayout::kSoA;
   expect_throw(c);
   c = hybrid_cfg(2);
-  c.solver.resilience.checkpoint_every = 1;
-  c.solver.resilience.checkpoint_path = "x.ckpt";
-  expect_throw(c);
-  c = hybrid_cfg(2);
-  c.solver.resilience.fault.nan_update_step = 0;
-  expect_throw(c);
-  c = hybrid_cfg(2);
   c.solver.subdomains = 2;
   expect_throw(c);
-  // The same knobs are fine at one rank (the delegate supports them).
+  // Checkpointing and fault injection are rank-count-agnostic now: the
+  // unified driver runs them on every rank master.
+  c = hybrid_cfg(2);
+  c.solver.resilience.checkpoint_every = 1;
+  c.solver.resilience.checkpoint_path = "x.ckpt";
+  c.solver.resilience.fault.nan_update_step = 0;
+  EXPECT_NO_THROW(HybridSolver(comm_mesh(1), c));
+  // The single-rank-only knobs are fine at one rank (delegate path).
   HybridConfig ok = hybrid_cfg(1);
   ok.solver.gradient_method = GradientMethod::kLeastSquares;
   EXPECT_NO_THROW(HybridSolver(comm_mesh(1), ok));

@@ -1,0 +1,223 @@
+// Multi-rank resilience + checkpoint/restart (DESIGN.md §8/§10): the
+// unified NewtonDriver must take the SAME recovery decisions on every rank
+// master of a hybrid solve as it does on a single rank — every verdict is
+// an allreduce result — and a killed-and-restarted P-rank run must resume
+// bitwise-identically to the uninterrupted one from rank 0's gathered
+// checkpoint. The `shortfall` CI matrix reruns this binary under
+// OMP_THREAD_LIMIT caps; nothing here may depend on delivered team width.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "comm/hybrid_solver.hpp"
+#include "core/profile.hpp"
+#include "core/resilience.hpp"
+#include "core/vtk_io.hpp"
+#include "mesh/generate.hpp"
+#include "mesh/reorder.hpp"
+
+namespace fun3d::comm {
+namespace {
+
+TetMesh hybrid_mesh(unsigned seed = 21) {
+  TetMesh m = generate_wing_bump(preset_params(MeshPreset::kTiny));
+  shuffle_numbering(m, seed);
+  rcm_reorder(m);
+  return m;
+}
+
+HybridConfig hybrid_cfg(int nranks) {
+  HybridConfig c;
+  c.nranks = nranks;
+  c.threads_per_rank = 2;
+  c.solver = SolverConfig::optimized(2);
+  c.solver.ptc.max_steps = 30;
+  c.solver.ptc.rtol = 1e-8;
+  return c;
+}
+
+class CkptFile {
+ public:
+  explicit CkptFile(const char* name)
+      : path_(std::string(::testing::TempDir()) + name) {}
+  ~CkptFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Runs a hybrid solve at `nranks` with `mutate` applied to the config and
+/// returns the stats; mesh/seed fixed so rank counts are comparable.
+template <typename F>
+SolveStats injected_hybrid_run(int nranks, F mutate) {
+  HybridConfig cfg = hybrid_cfg(nranks);
+  mutate(cfg.solver);
+  HybridSolver solver(hybrid_mesh(), cfg);
+  SolveStats st = solver.solve();
+  EXPECT_TRUE(all_finite(solver.solution())) << nranks << " ranks";
+  return st;
+}
+
+// ---- rank-count-invariant recovery: the same fault plan must produce the
+// ---- same reject/backoff/retry trajectory at 1, 2, and 4 ranks ----
+
+TEST(HybridResilience, NanResidualRecoveryIsRankCountInvariant) {
+  for (const int nranks : {1, 2, 4}) {
+    const SolveStats st = injected_hybrid_run(nranks, [](SolverConfig& c) {
+      c.resilience.fault.nan_residual_step = 2;
+    });
+    EXPECT_TRUE(st.converged) << nranks << " ranks";
+    EXPECT_EQ(st.failure, SolveFailure::kNone) << nranks << " ranks";
+    const ResilienceStats& rs = st.resilience;
+    EXPECT_EQ(rs.injected_faults, 1u) << nranks << " ranks";
+    EXPECT_EQ(rs.rejected_steps, 1u) << nranks << " ranks";
+    EXPECT_EQ(rs.nonfinite_residual_rejects, 1u) << nranks << " ranks";
+    EXPECT_EQ(rs.retries, 1u) << nranks << " ranks";
+    EXPECT_EQ(rs.backoffs, 1u) << nranks << " ranks";
+  }
+}
+
+TEST(HybridResilience, NanUpdateIsCaughtBeforeTouchingAnyRanksState) {
+  // The poisoned du entry lives on ONE rank; the allreduced finiteness
+  // flag must reject it on ALL ranks before apply_update.
+  for (const int nranks : {2, 4}) {
+    const SolveStats st = injected_hybrid_run(nranks, [](SolverConfig& c) {
+      c.resilience.fault.nan_update_step = 2;
+    });
+    EXPECT_TRUE(st.converged) << nranks << " ranks";
+    EXPECT_EQ(st.resilience.nonfinite_update_rejects, 1u) << nranks;
+    EXPECT_EQ(st.resilience.rejected_steps, 1u) << nranks;
+    EXPECT_EQ(st.resilience.retries, 1u) << nranks;
+  }
+}
+
+TEST(HybridResilience, ForcedBreakdownRecoveryIsRankCountInvariant) {
+  for (const int nranks : {2, 4}) {
+    const SolveStats st = injected_hybrid_run(nranks, [](SolverConfig& c) {
+      c.resilience.fault.breakdown_step = 1;
+    });
+    EXPECT_TRUE(st.converged) << nranks << " ranks";
+    EXPECT_EQ(st.resilience.breakdown_rejects, 1u) << nranks;
+    EXPECT_EQ(st.resilience.rejected_steps, 1u) << nranks;
+  }
+}
+
+TEST(HybridResilience, ExhaustedRetriesAbortInLockstepAcrossRanks) {
+  const SolveStats st = injected_hybrid_run(2, [](SolverConfig& c) {
+    c.resilience.fault.breakdown_step = 1;
+    c.resilience.fault.repeat = -1;  // poison every attempt
+  });
+  EXPECT_FALSE(st.converged);
+  EXPECT_EQ(st.failure, SolveFailure::kStepRetriesExhausted);
+  EXPECT_NE(st.failure_detail.find("step 1"), std::string::npos);
+  EXPECT_EQ(st.resilience.rejected_steps, 5u);  // max_retries = 4
+  EXPECT_EQ(st.resilience.retries, 4u);
+}
+
+TEST(HybridResilience, MultiRankReportCarriesResilienceCounters) {
+  HybridConfig cfg = hybrid_cfg(2);
+  cfg.solver.resilience.fault.nan_residual_step = 2;
+  HybridSolver solver(hybrid_mesh(), cfg);
+  const SolveStats st = solver.solve();
+  ASSERT_TRUE(st.converged);
+  PerfReport report;
+  solver.fill_report(report, "h.");
+  EXPECT_EQ(report.counters.at("h.resilience.injected_faults"), 1u);
+  EXPECT_EQ(report.counters.at("h.resilience.rejected_steps"), 1u);
+  EXPECT_EQ(report.counters.at("h.resilience.retries"), 1u);
+}
+
+// ---- rank-aware checkpoint / restart: bitwise continuation at P ranks ----
+
+TEST(HybridResilience, KilledAndRestartedFourRankRunMatchesUninterrupted) {
+  HybridConfig cfg = hybrid_cfg(4);
+  cfg.solver.resilience.checkpoint_every = 2;
+
+  // Run A: uninterrupted to convergence.
+  CkptFile ckpt_a("hybrid_resil_a.ckpt");
+  cfg.solver.resilience.checkpoint_path = ckpt_a.path();
+  HybridSolver a(hybrid_mesh(), cfg);
+  const SolveStats st_a = a.solve();
+  ASSERT_TRUE(st_a.converged);
+  ASSERT_GT(st_a.resilience.checkpoints_written, 1u);
+
+  // Run B: the same run "killed" after 5 steps — its last periodic
+  // checkpoint (rank 0's gathered global state at step 4) survives.
+  CkptFile ckpt_b("hybrid_resil_b.ckpt");
+  cfg.solver.resilience.checkpoint_path = ckpt_b.path();
+  cfg.solver.ptc.max_steps = 5;
+  HybridSolver b(hybrid_mesh(), cfg);
+  const SolveStats st_b = b.solve();
+  ASSERT_FALSE(st_b.converged);
+
+  // The checkpoint carries the decomposition signature.
+  const CheckpointMeta on_disk = read_checkpoint_meta(ckpt_b.path());
+  EXPECT_EQ(on_disk.ranks, 4u);
+  EXPECT_NE(on_disk.partition_hash, 0u);
+
+  // Run C: restart from B's checkpoint and run to convergence.
+  cfg.solver.ptc.max_steps = 30;
+  HybridSolver c(hybrid_mesh(), cfg);
+  const CheckpointMeta meta = c.restore_checkpoint(ckpt_b.path());
+  EXPECT_EQ(meta.step, 4u);
+  EXPECT_GT(meta.cfl, 0.0);
+  const SolveStats st_c = c.solve();
+
+  // The resumed run is the uninterrupted run, bit for bit.
+  EXPECT_TRUE(st_c.converged);
+  EXPECT_EQ(st_c.steps, st_a.steps);
+  EXPECT_EQ(st_c.final_cfl, st_a.final_cfl);
+  EXPECT_EQ(st_c.reference_residual, st_a.reference_residual);
+  const std::span<const double> qa = a.solution();
+  const std::span<const double> qc = c.solution();
+  ASSERT_EQ(qa.size(), qc.size());
+  for (std::size_t i = 0; i < qa.size(); ++i)
+    ASSERT_EQ(qa[i], qc[i]) << "entry " << i;
+}
+
+TEST(HybridResilience, WriteCheckpointRoundTripsThroughRestore) {
+  HybridConfig cfg = hybrid_cfg(2);
+  HybridSolver a(hybrid_mesh(), cfg);
+  const SolveStats st_a = a.solve();
+  ASSERT_TRUE(st_a.converged);
+  CkptFile ckpt("hybrid_final.ckpt");
+  a.write_checkpoint(ckpt.path(), st_a);
+
+  HybridSolver b(hybrid_mesh(), cfg);
+  const CheckpointMeta meta = b.restore_checkpoint(ckpt.path());
+  EXPECT_EQ(meta.step, static_cast<std::uint64_t>(st_a.steps));
+  EXPECT_EQ(meta.cfl, st_a.final_cfl);
+  // The restored state converges immediately (it already is converged).
+  const SolveStats st_b = b.solve();
+  EXPECT_TRUE(st_b.converged);
+  EXPECT_EQ(st_b.steps, st_a.steps);
+}
+
+TEST(HybridResilience, RestoreRejectsACheckpointFromAnotherRankCount) {
+  CkptFile ckpt("hybrid_wrong_ranks.ckpt");
+  {
+    HybridConfig cfg = hybrid_cfg(4);
+    HybridSolver a(hybrid_mesh(), cfg);
+    const SolveStats st = a.solve();
+    ASSERT_TRUE(st.converged);
+    a.write_checkpoint(ckpt.path(), st);
+  }
+  HybridSolver b(hybrid_mesh(), hybrid_cfg(2));
+  try {
+    b.restore_checkpoint(ckpt.path());
+    FAIL() << "expected a decomposition-mismatch error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("4-rank"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2-rank"), std::string::npos) << msg;
+  }
+  // The single-rank FlowSolver rejects it the same way.
+  FlowSolver single(hybrid_mesh(), hybrid_cfg(1).solver);
+  EXPECT_THROW(single.restore_checkpoint(ckpt.path()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fun3d::comm

@@ -195,6 +195,85 @@ TEST(Checkpoint, MissingFileThrows) {
       std::runtime_error);
 }
 
+TEST(Checkpoint, DecompositionSignatureRoundTripsExactly) {
+  const TetMesh m = generate_box(2, 2, 2);
+  const AVec<double> q = random_solution(m, 14);
+  TmpFile f("sig.bin");
+  const idx_t rows[] = {0, 9, 18};
+  const CheckpointMeta meta{5, 80.0, 1.5e-2, 3,
+                            partition_hash(rows, m.num_vertices)};
+  save_checkpoint(f.path(), m, {q.data(), q.size()}, &meta);
+  // Through the full loader...
+  AVec<double> back(q.size(), 0.0);
+  CheckpointMeta got;
+  load_checkpoint(f.path(), m, {back.data(), back.size()}, &got);
+  EXPECT_EQ(got.ranks, 3u);
+  EXPECT_EQ(got.partition_hash, meta.partition_hash);
+  // ...and through the meta-only reader (no payload load, no fingerprint
+  // validation — this is what restore paths check FIRST).
+  const CheckpointMeta peeked = read_checkpoint_meta(f.path());
+  EXPECT_EQ(peeked.step, 5u);
+  EXPECT_EQ(peeked.cfl, 80.0);
+  EXPECT_EQ(peeked.ranks, 3u);
+  EXPECT_EQ(peeked.partition_hash, meta.partition_hash);
+}
+
+TEST(Checkpoint, PartitionHashSeparatesPartitionsAndMeshSizes) {
+  const idx_t a[] = {0, 10, 20};
+  const idx_t b[] = {0, 12, 20};  // same rank count, different split
+  const idx_t c[] = {0, 10};      // different rank count
+  EXPECT_EQ(partition_hash(a, 30), partition_hash(a, 30));
+  EXPECT_NE(partition_hash(a, 30), partition_hash(b, 30));
+  EXPECT_NE(partition_hash(a, 30), partition_hash(c, 30));
+  EXPECT_NE(partition_hash(a, 30), partition_hash(a, 31));  // mesh size
+}
+
+TEST(Checkpoint, SignatureCheckNamesBothSidesOfARankCountMismatch) {
+  const idx_t rows[] = {0, 10, 20, 30};
+  CheckpointMeta meta;
+  meta.ranks = 4;
+  meta.partition_hash = partition_hash(rows, 40);
+  // Matching signature passes.
+  EXPECT_NO_THROW(check_checkpoint_signature(meta, 4, meta.partition_hash));
+  // Rank-count mismatch: the error names the written and restoring counts.
+  try {
+    check_checkpoint_signature(meta, 2, meta.partition_hash);
+    FAIL() << "expected a rank-count mismatch error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("4-rank"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2-rank"), std::string::npos) << msg;
+  }
+  // Same rank count but a different partition (e.g. a different mesh
+  // size's renumbering): also rejected, with a partition-specific message.
+  try {
+    const idx_t other[] = {0, 11, 20, 30};
+    check_checkpoint_signature(meta, 4, partition_hash(other, 40));
+    FAIL() << "expected a partition mismatch error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("partition"), std::string::npos);
+  }
+}
+
+TEST(Checkpoint, LegacySignatureIsNeverChecked) {
+  // ranks == 0 means "unrecorded" (a legacy V1 meta block or no meta at
+  // all): any restoring configuration accepts it.
+  CheckpointMeta legacy;
+  EXPECT_NO_THROW(check_checkpoint_signature(legacy, 1, 12345u));
+  EXPECT_NO_THROW(check_checkpoint_signature(legacy, 8, 0u));
+}
+
+TEST(Checkpoint, ReadMetaRejectsNonCheckpointFiles) {
+  TmpFile f("notmeta.bin");
+  {
+    std::ofstream out(f.path(), std::ios::binary);
+    out << "not a checkpoint";
+  }
+  EXPECT_THROW(read_checkpoint_meta(f.path()), std::runtime_error);
+  EXPECT_THROW(read_checkpoint_meta("/nonexistent/nowhere.bin"),
+               std::runtime_error);
+}
+
 TEST(Fingerprint, SensitiveToTopologyNotNumberingAlone) {
   TetMesh a = generate_box(3, 3, 3);
   const TetMesh b = generate_box(3, 3, 4);

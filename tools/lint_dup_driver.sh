@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Unified-driver lint (DESIGN.md §8/§10): the pseudo-transient step
+# accept/reject policy lives in exactly ONE place — NewtonDriver
+# (src/core/newton_driver.cpp). Its telltale is the SER CFL controller:
+# any `ser_update(` call site outside the driver means a front-end has
+# grown its own copy of the continuation loop again (the FlowSolver /
+# HybridSolver duplication this lint exists to prevent), so it fails CI.
+# Declarations and the implementation in core/newton.{hpp,cpp} are exempt;
+# tests may call ser_update directly to pin the controller's contract.
+#
+# Usage: tools/lint_dup_driver.sh [repo-root]   (default: script's parent)
+set -eu
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+
+offenders=$(grep -rn "ser_update(" "$root/src" \
+  --include='*.cpp' --include='*.hpp' -l |
+  grep -v "^$root/src/core/newton_driver.cpp$" |
+  grep -v "^$root/src/core/newton_driver.hpp$" |
+  grep -v "^$root/src/core/newton.hpp$" |
+  grep -v "^$root/src/core/newton.cpp$" || true)
+
+if [ -n "$offenders" ]; then
+  echo "FAIL: ser_update( call sites outside src/core/newton_driver.cpp —"
+  echo "the step accept/reject loop must stay unified in NewtonDriver"
+  echo "(DESIGN.md §8); drive it through a NewtonBackend instead:"
+  grep -rn "ser_update(" $offenders
+  exit 1
+fi
+
+echo "OK: ser_update( only in the unified NewtonDriver (plus core/newton)"
